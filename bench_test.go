@@ -1,0 +1,366 @@
+// Package repro's benchmark harness: one testing.B benchmark per table and
+// figure of the paper (regenerating a reduced-scale version of it per
+// iteration, with the headline ratio reported as a custom metric), plus
+// ablation benches for the design choices called out in DESIGN.md.
+//
+// These benches quantify *reproduction shape*, not Go micro-performance:
+// ns/op is the cost of regenerating the experiment, and the custom metrics
+// (e.g. master_vs_l2s) are the paper's claims. cmd/ccbench produces the
+// full-scale figures recorded in EXPERIMENTS.md.
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/block"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/hw"
+	"repro/internal/l2s"
+	"repro/internal/middleware"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// benchRequests keeps a single bench iteration around a second.
+const benchRequests = 8000
+
+func benchOpts() experiments.Options {
+	return experiments.Options{
+		Seed:           1,
+		TargetRequests: benchRequests,
+		MemoriesMB:     []int{8, 64},
+	}
+}
+
+// --- Tables ---
+
+func BenchmarkTable1Params(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := hw.DefaultParams()
+		if p.ParseTime != sim.Milliseconds(0.1) {
+			b.Fatal("Table 1 constants corrupted")
+		}
+	}
+}
+
+func BenchmarkTable2Characterize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := experiments.NewHarness(benchOpts())
+		rows := h.Table2()
+		if len(rows) != 4 {
+			b.Fatal("Table 2 incomplete")
+		}
+	}
+}
+
+// --- Figures ---
+
+func BenchmarkFigure1CDF(b *testing.B) {
+	tr := trace.Rutgers.Generate(1, 0.2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pts := trace.CDF(tr, 50)
+		if len(pts) == 0 {
+			b.Fatal("empty CDF")
+		}
+	}
+}
+
+func benchFigure2(b *testing.B, preset trace.Preset) {
+	for i := 0; i < b.N; i++ {
+		h := experiments.NewHarness(benchOpts())
+		fig := h.Figure2(preset, 8)
+		reportRatio(b, fig)
+	}
+}
+
+// reportRatio emits the paper's headline number: cc-master throughput as a
+// fraction of L2S at the largest memory point of the sweep.
+func reportRatio(b *testing.B, fig *experiments.Figure) {
+	l2s := fig.SeriesFor(experiments.VariantL2S)
+	master := fig.SeriesFor(experiments.VariantMaster)
+	if l2s == nil || master == nil || len(l2s.Y) == 0 {
+		b.Fatal("figure missing series")
+	}
+	last := len(l2s.Y) - 1
+	if l2s.Y[last] > 0 {
+		b.ReportMetric(master.Y[last]/l2s.Y[last], "master_vs_l2s")
+	}
+}
+
+func BenchmarkFigure2Calgary(b *testing.B)  { benchFigure2(b, trace.Calgary) }
+func BenchmarkFigure2Clarknet(b *testing.B) { benchFigure2(b, trace.Clarknet) }
+func BenchmarkFigure2NASA(b *testing.B)     { benchFigure2(b, trace.NASA) }
+func BenchmarkFigure2Rutgers(b *testing.B)  { benchFigure2(b, trace.Rutgers) }
+
+func BenchmarkFigure3Calgary4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := experiments.NewHarness(benchOpts())
+		fig := h.Figure3(trace.Calgary, 4)
+		s := fig.SeriesFor(experiments.VariantMaster)
+		b.ReportMetric(s.Y[len(s.Y)-1], "master_vs_l2s")
+	}
+}
+
+func BenchmarkFigure3Rutgers8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := experiments.NewHarness(benchOpts())
+		fig := h.Figure3(trace.Rutgers, 8)
+		s := fig.SeriesFor(experiments.VariantMaster)
+		b.ReportMetric(s.Y[len(s.Y)-1], "master_vs_l2s")
+	}
+}
+
+func BenchmarkFigure4HitRates(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := experiments.NewHarness(benchOpts())
+		fig := h.Figure4(trace.Rutgers, 8)
+		m := fig.SeriesFor(experiments.VariantMaster)
+		l := fig.SeriesFor(experiments.VariantL2S)
+		last := len(m.Y) - 1
+		if l.Y[last] > 0 {
+			b.ReportMetric(m.Y[last]/l.Y[last], "hitrate_vs_l2s")
+		}
+	}
+}
+
+func BenchmarkFigure5Calgary4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := experiments.NewHarness(benchOpts())
+		fig := h.Figure5(trace.Calgary, 4)
+		s := fig.SeriesFor(experiments.VariantMaster)
+		b.ReportMetric(s.Y[len(s.Y)-1], "resp_vs_l2s")
+	}
+}
+
+func BenchmarkFigure5Rutgers8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := experiments.NewHarness(benchOpts())
+		fig := h.Figure5(trace.Rutgers, 8)
+		s := fig.SeriesFor(experiments.VariantMaster)
+		b.ReportMetric(s.Y[len(s.Y)-1], "resp_vs_l2s")
+	}
+}
+
+func BenchmarkFigure6AUtilization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := experiments.NewHarness(benchOpts())
+		fig := h.Figure6A(trace.Rutgers, 8)
+		nic := fig.SeriesFor("nic")
+		b.ReportMetric(nic.Y[len(nic.Y)-1], "nic_util_pct")
+	}
+}
+
+func BenchmarkFigure6BScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := experiments.NewHarness(experiments.Options{
+			Seed: 1, TargetRequests: benchRequests,
+		})
+		fig := h.Figure6B(trace.Rutgers, []int{4, 8, 16}, 32)
+		s := fig.Series[0]
+		if s.Y[0] > 0 {
+			b.ReportMetric(s.Y[len(s.Y)-1]/s.Y[0], "speedup_4_to_16")
+		}
+	}
+}
+
+// --- Ablations ---
+
+// runCC measures one CC configuration directly (bypassing the harness so
+// ablations can vary Config and Params).
+func runCC(preset trace.Preset, params *hw.Params, cfg core.Config) workload.Result {
+	tr := preset.Generate(1, float64(benchRequests)/float64(preset.NumRequests))
+	eng := sim.NewEngine(1)
+	s := core.New(eng, params, tr, cfg)
+	return workload.Run(eng, s, tr, workload.Config{})
+}
+
+func BenchmarkAblationNoForwarding(b *testing.B) {
+	params := hw.DefaultParams()
+	base := core.Config{Nodes: 8, MemoryPerNode: 16 << 20, Policy: core.PolicyMaster}
+	for i := 0; i < b.N; i++ {
+		with := runCC(trace.Rutgers, &params, base)
+		noFwd := base
+		noFwd.DisableForwarding = true
+		without := runCC(trace.Rutgers, &params, noFwd)
+		if without.Throughput > 0 {
+			b.ReportMetric(with.Throughput/without.Throughput, "fwd_speedup")
+		}
+	}
+}
+
+func BenchmarkAblationHintDirectory(b *testing.B) {
+	params := hw.DefaultParams()
+	base := core.Config{Nodes: 8, MemoryPerNode: 16 << 20, Policy: core.PolicyMaster}
+	for i := 0; i < b.N; i++ {
+		perfect := runCC(trace.Rutgers, &params, base)
+		hinted := base
+		hinted.HintAccuracy = 0.98 // Sarkar & Hartman's reported accuracy
+		hints := runCC(trace.Rutgers, &params, hinted)
+		if perfect.Throughput > 0 {
+			b.ReportMetric(hints.Throughput/perfect.Throughput, "hints_vs_perfect")
+		}
+	}
+}
+
+func BenchmarkAblationBlockSize(b *testing.B) {
+	params := hw.DefaultParams()
+	for _, kb := range []int{4, 8, 16, 64} {
+		kb := kb
+		b.Run(fmt.Sprintf("%dKB", kb), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := runCC(trace.Rutgers, &params, core.Config{
+					Nodes: 8, MemoryPerNode: 16 << 20, Policy: core.PolicyMaster,
+					Geometry: block.Geometry{Size: kb * 1024, ExtentBlocks: max(1, 64/kb)},
+				})
+				b.ReportMetric(res.Throughput, "req_per_s")
+			}
+		})
+	}
+}
+
+func BenchmarkAblationNetwork(b *testing.B) {
+	// §5's argument: master preservation pays off because LANs outpace
+	// disks. Slower networks should shrink cc-master's advantage.
+	for _, net := range []struct {
+		name string
+		mbps float64
+	}{{"100Mb", 12.8}, {"1Gb", 131.072}, {"10Gb", 1310.72}} {
+		net := net
+		b.Run(net.name, func(b *testing.B) {
+			params := hw.DefaultParams()
+			params.NetKBPerMS = net.mbps
+			for i := 0; i < b.N; i++ {
+				res := runCC(trace.Rutgers, &params, core.Config{
+					Nodes: 8, MemoryPerNode: 16 << 20, Policy: core.PolicyMaster,
+				})
+				b.ReportMetric(res.Throughput, "req_per_s")
+			}
+		})
+	}
+}
+
+func BenchmarkAblationWholeFile(b *testing.B) {
+	params := hw.DefaultParams()
+	base := core.Config{Nodes: 8, MemoryPerNode: 16 << 20, Policy: core.PolicyMaster}
+	for i := 0; i < b.N; i++ {
+		blockBased := runCC(trace.Rutgers, &params, base)
+		wf := base
+		wf.WholeFile = true
+		whole := runCC(trace.Rutgers, &params, wf)
+		if blockBased.Throughput > 0 {
+			b.ReportMetric(whole.Throughput/blockBased.Throughput, "wholefile_speedup")
+		}
+	}
+}
+
+func BenchmarkExtLARDComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := experiments.NewHarness(benchOpts())
+		fig := h.Extended(trace.Rutgers, 8)
+		l2s := fig.SeriesFor(experiments.VariantL2S)
+		lardr := fig.SeriesFor(experiments.VariantLARDR)
+		last := len(l2s.Y) - 1
+		if l2s.Y[last] > 0 {
+			b.ReportMetric(lardr.Y[last]/l2s.Y[last], "lardr_vs_l2s")
+		}
+	}
+}
+
+func BenchmarkAblationTCPHandoff(b *testing.B) {
+	// Bianchini & Carrera report TCP hand-off is worth ≈7% to L2S; §6
+	// names it as one of the remaining CC-vs-L2S differences.
+	params := hw.DefaultParams()
+	tr := trace.Rutgers.Generate(1, float64(benchRequests)/float64(trace.Rutgers.NumRequests))
+	run := func(noHandoff bool) float64 {
+		eng := sim.NewEngine(1)
+		s := l2s.New(eng, &params, tr, l2s.Config{
+			Nodes: 8, MemoryPerNode: 256 << 20, NoHandoff: noHandoff,
+		})
+		return workload.Run(eng, s, tr, workload.Config{}).Throughput
+	}
+	for i := 0; i < b.N; i++ {
+		with := run(false)
+		without := run(true)
+		if without > 0 {
+			b.ReportMetric(with/without, "handoff_speedup")
+		}
+	}
+}
+
+func BenchmarkExtNChance(b *testing.B) {
+	// Dahlin's client-side N-chance vs the paper's master-preserving
+	// policy: quantifies §2's claim that the server setting changes the
+	// trade-offs.
+	params := hw.DefaultParams()
+	for i := 0; i < b.N; i++ {
+		master := runCC(trace.Rutgers, &params, core.Config{
+			Nodes: 8, MemoryPerNode: 16 << 20, Policy: core.PolicyMaster,
+		})
+		nchance := runCC(trace.Rutgers, &params, core.Config{
+			Nodes: 8, MemoryPerNode: 16 << 20, Policy: core.PolicyNChance,
+		})
+		if nchance.Throughput > 0 {
+			b.ReportMetric(master.Throughput/nchance.Throughput, "master_vs_nchance")
+		}
+	}
+}
+
+func BenchmarkExtHotspot(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := experiments.NewHarness(experiments.Options{Seed: 1, TargetRequests: benchRequests})
+		res := h.Hotspot(trace.Rutgers, 8, 16, 0.5)
+		if res.Baseline.Throughput > 0 {
+			b.ReportMetric(res.Concentrated.Throughput/res.Baseline.Throughput, "hotspot_vs_rr")
+		}
+	}
+}
+
+// --- Live middleware ---
+
+func BenchmarkLiveMiddlewareRead(b *testing.B) {
+	geom := block.DefaultGeometry
+	sizes := map[block.FileID]int64{}
+	for f := 0; f < 16; f++ {
+		sizes[block.FileID(f)] = 32 * 1024
+	}
+	const k = 3
+	nodes := make([]*middleware.Node, k)
+	addrs := make([]string, k)
+	for i := 0; i < k; i++ {
+		n, err := middleware.Start(middleware.Config{
+			ID: i, CapacityBlocks: 256, Policy: core.PolicyMaster,
+			Geometry: geom, Source: middleware.NewMemSource(geom, sizes),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer n.Close()
+		nodes[i] = n
+		addrs[i] = n.Addr()
+	}
+	for _, n := range nodes {
+		n.SetAddrs(addrs)
+	}
+	client, err := middleware.DialCluster(addrs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer client.Close()
+	// Warm the cluster.
+	for f := 0; f < 16; f++ {
+		if _, err := client.Read(block.FileID(f)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(32 * 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.Read(block.FileID(i % 16)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+// Command ccbench regenerates every table and figure of the paper's
+// evaluation section (§5) and prints them as aligned text tables, together
+// with the §5 claim checks recorded in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	ccbench -all                   # everything (minutes at default scale)
+//	ccbench -fig2 -trace rutgers   # one panel
+//	ccbench -fig6b
+//	ccbench -all -requests 400000  # closer to full trace scale (slow)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ccbench: ")
+	var (
+		all       = flag.Bool("all", false, "regenerate every table and figure")
+		table2    = flag.Bool("table2", false, "Table 2")
+		fig1      = flag.Bool("fig1", false, "Figure 1")
+		fig2      = flag.Bool("fig2", false, "Figure 2 (throughput vs memory, 8 nodes)")
+		fig3      = flag.Bool("fig3", false, "Figure 3 (normalized throughput)")
+		fig4      = flag.Bool("fig4", false, "Figure 4 (hit rates)")
+		fig5      = flag.Bool("fig5", false, "Figure 5 (normalized response time)")
+		fig6a     = flag.Bool("fig6a", false, "Figure 6a (resource utilization)")
+		fig6b     = flag.Bool("fig6b", false, "Figure 6b (scaling with cluster size)")
+		extended  = flag.Bool("extended", false, "extension: L2S vs LARD vs LARD/R vs cc-master")
+		hotspot   = flag.Bool("hotspot", false, "extension: §5's forced hot-file concentration conjecture")
+		latency   = flag.Bool("latency", false, "extension: open-loop latency-vs-load curve for cc-master")
+		seeds     = flag.Int("seeds", 0, "extension: cross-seed sensitivity of the headline ratio (N seeds)")
+		writes    = flag.Bool("writes", false, "extension: throughput vs write fraction (write-invalidate)")
+		traceName = flag.String("trace", "", "restrict figure 2/3/4/5 to one trace")
+		requests  = flag.Int("requests", 150000, "approximate requests per run")
+		clients   = flag.Int("clients", 0, "closed-loop clients (0: 16/node)")
+		seed      = flag.Int64("seed", 1, "simulation seed")
+		memsFlag  = flag.String("mems", "", "comma-separated per-node MB sweep (default 4,8,16,32,64,128,256,512)")
+		mdOut     = flag.String("md", "", "write a full markdown reproduction report to this file")
+	)
+	flag.Parse()
+
+	opt := experiments.Options{
+		Seed:           *seed,
+		TargetRequests: *requests,
+		Clients:        *clients,
+	}
+	if *memsFlag != "" {
+		for _, s := range strings.Split(*memsFlag, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				log.Fatalf("bad -mems entry %q", s)
+			}
+			opt.MemoriesMB = append(opt.MemoriesMB, v)
+		}
+	}
+	h := experiments.NewHarness(opt)
+
+	if *mdOut != "" {
+		f, err := os.Create(*mdOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := experiments.WriteReport(f, h, experiments.ReportConfig{
+			Traces:          selected(*traceName),
+			IncludeExtended: *extended,
+		}); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *mdOut)
+		return
+	}
+
+	any := false
+	run := func(enabled bool, fn func()) {
+		if *all || enabled {
+			fn()
+			any = true
+		}
+	}
+
+	run(*table2, func() {
+		fmt.Println("== Table 2: trace characteristics ==")
+		for _, row := range h.Table2() {
+			fmt.Println(row)
+		}
+		fmt.Println()
+	})
+	run(*fig1, func() {
+		fmt.Println("== Figure 1: Rutgers trace CDF ==")
+		fmt.Printf("%-10s %-12s %-10s\n", "file%", "requests%", "cum MB")
+		for _, pt := range h.Figure1(trace.Rutgers, 25) {
+			fmt.Printf("%-10.1f %-12.1f %-10.1f\n", pt.FileFrac*100, pt.CumReqFrac*100, pt.CumMB)
+		}
+		fmt.Println()
+	})
+	run(*fig2, func() {
+		for _, p := range selected(*traceName) {
+			fmt.Println(h.Figure2(p, 8).Format())
+		}
+	})
+	run(*fig3, func() {
+		fmt.Println(h.Figure3(trace.Calgary, 4).Format())
+		fmt.Println(h.Figure3(trace.Rutgers, 8).Format())
+	})
+	run(*fig4, func() {
+		fmt.Println(h.Figure4(trace.Rutgers, 8).Format())
+	})
+	run(*fig5, func() {
+		fmt.Println(h.Figure5(trace.Calgary, 4).Format())
+		fmt.Println(h.Figure5(trace.Rutgers, 8).Format())
+	})
+	run(*fig6a, func() {
+		fmt.Println(h.Figure6A(trace.Rutgers, 8).Format())
+	})
+	run(*fig6b, func() {
+		fmt.Println(h.Figure6B(trace.Rutgers, nil, 32).Format())
+	})
+	run(*extended, func() {
+		fmt.Println(h.Extended(trace.Rutgers, 8).Format())
+	})
+	if *seeds > 0 {
+		var ss []int64
+		for i := 1; i <= *seeds; i++ {
+			ss = append(ss, int64(i))
+		}
+		rows := experiments.SeedSensitivity(opt, trace.Rutgers, 8, ss)
+		fmt.Println(experiments.FormatSensitivity(trace.Rutgers, 8, rows))
+		any = true
+	}
+	run(*latency, func() {
+		fmt.Println("== Extension: latency vs offered load (cc-master, rutgers, 8 nodes, 64MB) ==")
+		fmt.Printf("%-12s %-12s %-10s %-10s\n", "offered/s", "completed/s", "mean ms", "p95 ms")
+		for _, pt := range h.LatencyCurve(trace.Rutgers, 8, 64, []float64{500, 1000, 2000, 4000, 8000}) {
+			fmt.Printf("%-12.0f %-12.0f %-10.2f %-10.2f\n", pt.OfferedRate, pt.Throughput, pt.MeanRespMs, pt.P95RespMs)
+		}
+		fmt.Println()
+	})
+	run(*writes, func() {
+		fmt.Println("== Extension: throughput vs write fraction (cc-master, rutgers, 8 nodes, 64MB) ==")
+		fmt.Printf("%-10s %-12s %-10s %-8s\n", "writes", "req/s", "mean ms", "hit %")
+		for _, pt := range h.WriteCurve(trace.Rutgers, 8, 64, []float64{0, 0.05, 0.1, 0.2, 0.4}) {
+			fmt.Printf("%-10.2f %-12.0f %-10.2f %-8.1f\n", pt.WriteFrac, pt.Throughput, pt.MeanRespMs, pt.HitRate*100)
+		}
+		fmt.Println()
+	})
+	run(*hotspot, func() {
+		res := h.Hotspot(trace.Rutgers, 8, 32, 0.5)
+		fmt.Println("== Extension: forced concentration of hot files (cc-master, rutgers, 8 nodes, 32MB) ==")
+		fmt.Printf("hot set: %d files covering %.0f%% of requests, pinned to node 0\n",
+			res.HotFiles, res.HotReqFrac*100)
+		fmt.Printf("baseline (RR DNS):   %8.0f req/s  resp %6.2fms  hit %5.1f%%\n",
+			res.Baseline.Throughput, res.Baseline.MeanRespMs, res.Baseline.HitRate*100)
+		fmt.Printf("concentrated:        %8.0f req/s  resp %6.2fms  hit %5.1f%%  node0 cpu=%.2f disk=%.2f\n",
+			res.Concentrated.Throughput, res.Concentrated.MeanRespMs,
+			res.Concentrated.HitRate*100, res.HotNodeCPU, res.HotNodeDisk)
+		fmt.Println()
+	})
+
+	if !any {
+		flag.Usage()
+	}
+}
+
+func selected(name string) []trace.Preset {
+	if name == "" {
+		return trace.Presets
+	}
+	p, ok := trace.PresetByName(name)
+	if !ok {
+		log.Fatalf("unknown trace %q", name)
+	}
+	return []trace.Preset{p}
+}

@@ -1,0 +1,144 @@
+// Command ccnode runs live cooperative caching middleware nodes and talks
+// to them. Three modes:
+//
+//	# run one node of a cluster (repeat per node, then read via -get)
+//	ccnode -serve -id 0 -listen 127.0.0.1:7000 \
+//	       -cluster 127.0.0.1:7000,127.0.0.1:7001 -files 100 -avg 16384
+//
+//	# read a file through the cluster
+//	ccnode -get 7 -cluster 127.0.0.1:7000,127.0.0.1:7001
+//
+//	# print per-node statistics
+//	ccnode -stats -cluster 127.0.0.1:7000,127.0.0.1:7001
+//
+// All nodes of one cluster must be started with identical -files/-avg so
+// they agree on the (synthetic) file set; a real deployment would supply a
+// shared manifest and a DirSource instead.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+
+	"repro/internal/block"
+	"repro/internal/core"
+	"repro/internal/middleware"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ccnode: ")
+	var (
+		serve    = flag.Bool("serve", false, "run a middleware node")
+		id       = flag.Int("id", 0, "this node's index in -cluster")
+		listen   = flag.String("listen", "", "listen address (default: the -cluster entry for -id)")
+		cluster  = flag.String("cluster", "", "comma-separated node addresses, index = node ID")
+		capacity = flag.Int("capacity", 4096, "cache capacity in blocks")
+		policy   = flag.String("policy", "cc-master", "replacement policy (cc-basic, cc-master)")
+		hints    = flag.Bool("hints", false, "use the hint-based directory instead of the central one")
+		files    = flag.Int("files", 100, "synthetic file count")
+		avg      = flag.Int64("avg", 16384, "synthetic average file size (bytes)")
+		get      = flag.Int("get", -1, "read this file ID through the cluster and print its size")
+		stats    = flag.Bool("stats", false, "print per-node statistics")
+	)
+	flag.Parse()
+
+	addrs := splitAddrs(*cluster)
+	if len(addrs) == 0 {
+		log.Fatal("-cluster is required")
+	}
+
+	switch {
+	case *serve:
+		runNode(*id, *listen, addrs, *capacity, *policy, *hints, *files, *avg)
+	case *get >= 0:
+		client := dial(addrs)
+		defer client.Close()
+		data, err := client.Read(block.FileID(*get))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("file %d: %d bytes\n", *get, len(data))
+	case *stats:
+		client := dial(addrs)
+		defer client.Close()
+		for i := range addrs {
+			s, err := client.NodeStats(i)
+			if err != nil {
+				log.Fatalf("node %d: %v", i, err)
+			}
+			fmt.Printf("node %d: accesses=%d local=%d remote=%d disk=%d forwards=%d hit=%.1f%%\n",
+				i, s.Accesses, s.LocalHits, s.RemoteHits, s.DiskReads, s.Forwards, s.HitRate()*100)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func splitAddrs(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func dial(addrs []string) *middleware.Client {
+	c, err := middleware.DialCluster(addrs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return c
+}
+
+func runNode(id int, listen string, addrs []string, capacity int, policy string, hints bool, files int, avg int64) {
+	if id < 0 || id >= len(addrs) {
+		log.Fatalf("-id %d out of range for %d cluster addresses", id, len(addrs))
+	}
+	if listen == "" {
+		listen = addrs[id]
+	}
+	var pol core.Policy
+	switch policy {
+	case "cc-basic":
+		pol = core.PolicyBasic
+	case "cc-master":
+		pol = core.PolicyMaster
+	default:
+		log.Fatalf("unknown policy %q", policy)
+	}
+	sizes := make(map[block.FileID]int64, files)
+	for f := 0; f < files; f++ {
+		// Deterministic spread of sizes around the average so every node
+		// agrees without coordination.
+		sizes[block.FileID(f)] = avg/2 + int64(f%7)*(avg/7)
+	}
+	n, err := middleware.Start(middleware.Config{
+		ID:             id,
+		Listen:         listen,
+		Hints:          hints,
+		CapacityBlocks: capacity,
+		Policy:         pol,
+		Source:         middleware.NewMemSource(block.DefaultGeometry, sizes),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	n.SetAddrs(addrs)
+	log.Printf("node %d serving on %s (capacity %d blocks, %s, hints=%v)",
+		id, n.Addr(), capacity, policy, hints)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	log.Printf("shutting down")
+	n.Close()
+}

@@ -1,0 +1,87 @@
+// Command ccsim runs one simulated configuration — a server variant on a
+// cluster against a trace — and prints the measured point. It is the
+// exploratory front-end; cmd/ccbench regenerates the paper's figures.
+//
+// Usage:
+//
+//	ccsim -trace rutgers -variant cc-master -nodes 8 -mem 64
+//	ccsim -params        # dump the Table 1 constants
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/experiments"
+	"repro/internal/hw"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ccsim: ")
+	var (
+		traceName = flag.String("trace", "rutgers", "trace preset (calgary, clarknet, nasa, rutgers)")
+		variant   = flag.String("variant", "cc-master", "server variant (l2s, cc-basic, cc-sched, cc-master)")
+		nodes     = flag.Int("nodes", 8, "cluster size")
+		memMB     = flag.Int("mem", 64, "memory per node in MB")
+		requests  = flag.Int("requests", 150000, "approximate request count (file set is never scaled)")
+		scale     = flag.Float64("scale", 0, "explicit request scale in (0,1] (overrides -requests)")
+		clients   = flag.Int("clients", 0, "closed-loop clients (0: 16 per node)")
+		warmup    = flag.Float64("warmup", 0, "warmup fraction (0: default 0.4)")
+		seed      = flag.Int64("seed", 1, "simulation seed")
+		hints     = flag.Float64("hints", 0, "hint-directory accuracy in (0,1); 0 = perfect directory")
+		params    = flag.Bool("params", false, "print the Table 1 modeling constants and exit")
+	)
+	flag.Parse()
+
+	if *params {
+		printParams()
+		return
+	}
+
+	preset, ok := trace.PresetByName(*traceName)
+	if !ok {
+		log.Fatalf("unknown trace %q", *traceName)
+	}
+	v := experiments.Variant(*variant)
+	if _, isCC := v.CCPolicy(); !isCC && v != experiments.VariantL2S {
+		log.Fatalf("unknown variant %q", *variant)
+	}
+
+	h := experiments.NewHarness(experiments.Options{
+		Seed:           *seed,
+		Scale:          *scale,
+		TargetRequests: *requests,
+		Clients:        *clients,
+		WarmupFrac:     *warmup,
+		HintAccuracy:   *hints,
+	})
+	pt := h.Point(preset, v, *nodes, *memMB)
+	fmt.Println(pt)
+	fmt.Printf("  measured requests: %d   P95 response: %.2fms   max disk util: %.2f\n",
+		pt.Requests, pt.P95RespMs, pt.MaxDisk)
+}
+
+func printParams() {
+	p := hw.DefaultParams()
+	fmt.Println("Table 1: simulation parameters (reconstruction; see DESIGN.md)")
+	row := func(name string, v sim.Duration) { fmt.Printf("  %-34s %v\n", name, v) }
+	row("Parsing time", p.ParseTime)
+	fmt.Printf("  %-34s %v + %v/KB\n", "Serving time", p.ServeBase, p.ServePerKB)
+	fmt.Printf("  %-34s %v + %v/block\n", "Process a file request", p.FileReqBase, p.FileReqPerBlock)
+	row("Serve peer block request", p.ServePeerBlock)
+	row("Cache a new block", p.CacheNewBlock)
+	row("Process an evicted master block", p.ProcessEvictedMaster)
+	row("Disk seek (avg)", p.DiskSeek)
+	row("Disk rotational latency (avg)", p.DiskRotation)
+	row("Disk metadata seek per extent", p.DiskMetaSeek)
+	fmt.Printf("  %-34s %.0f KB/ms\n", "Disk transfer rate", p.DiskKBPerMS)
+	fmt.Printf("  %-34s %v + %.0f KB/ms\n", "Bus transfer", p.BusBase, p.BusKBPerMS)
+	row("Network latency (one way)", p.NetLatency)
+	fmt.Printf("  %-34s %.3f KB/ms (1 Gb/s)\n", "Network bandwidth", p.NetKBPerMS)
+	row("Router forwarding", p.RouterFwd)
+	row("TCP hand-off (L2S)", p.HandoffTime)
+}

@@ -1,0 +1,129 @@
+// Command cctrace generates and characterizes the web workloads: it prints
+// the Table 2 row for each (synthetic) trace, the Figure 1 CDF curves, and
+// can characterize a real access log in Common Log Format.
+//
+// Usage:
+//
+//	cctrace -table2                       # print Table 2
+//	cctrace -fig1 [-trace rutgers]        # print Figure 1 CDF points
+//	cctrace -parse access.log             # characterize a CLF log
+//	cctrace -coverage 0.99 -trace rutgers # bytes needed to cover 99% of requests
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cctrace: ")
+	var (
+		table2    = flag.Bool("table2", false, "print the Table 2 characterization of all four traces")
+		fig1      = flag.Bool("fig1", false, "print the Figure 1 CDF for -trace")
+		traceName = flag.String("trace", "rutgers", "trace preset (calgary, clarknet, nasa, rutgers)")
+		scale     = flag.Float64("scale", 1.0, "request-stream scale in (0,1]")
+		seed      = flag.Int64("seed", 1, "generator seed")
+		points    = flag.Int("points", 25, "CDF sample points for -fig1")
+		parse     = flag.String("parse", "", "characterize a Common Log Format file instead")
+		coverage  = flag.Float64("coverage", 0, "report MB of hottest files covering this request fraction")
+		save      = flag.String("save", "", "write the generated trace to this file (binary format)")
+		load      = flag.String("load", "", "read a binary trace from this file instead of generating")
+		stack     = flag.Bool("stack", false, "print the ideal-LRU hit-rate curve (stack-distance analysis)")
+	)
+	flag.Parse()
+
+	if *parse != "" {
+		f, err := os.Open(*parse)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		tr, err := trace.ParseCLF(*parse, f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(trace.Characterize(tr))
+		return
+	}
+
+	if *table2 {
+		fmt.Println("Table 2: characteristics of the WWW traces (synthetic reconstruction)")
+		for _, p := range trace.Presets {
+			tr := p.Generate(*seed, *scale)
+			fmt.Println(trace.Characterize(tr))
+		}
+		return
+	}
+
+	var tr *trace.Trace
+	name := *traceName
+	if *load != "" {
+		f, err := os.Open(*load)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		tr, err = trace.ReadBinary(f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		name = tr.Name
+	} else {
+		preset, ok := trace.PresetByName(name)
+		if !ok {
+			log.Fatalf("unknown trace %q", name)
+		}
+		tr = preset.Generate(*seed, *scale)
+	}
+
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := trace.WriteBinary(f, tr); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s (%d files, %d requests)\n", *save, len(tr.Files), len(tr.Requests))
+		return
+	}
+
+	if *coverage > 0 {
+		mb := float64(trace.BytesForCoverage(tr, *coverage)) / (1 << 20)
+		fmt.Printf("%s: %.1f%% of requests are covered by %.0f MB of the hottest files\n",
+			name, *coverage*100, mb)
+		return
+	}
+
+	if *stack {
+		sa := trace.AnalyzeStack(tr)
+		fmt.Printf("Ideal single-LRU hit rate for %s (theoretical maximum of §5)\n", name)
+		fmt.Printf("%-12s %-10s\n", "cache MB", "hit rate %")
+		for _, mb := range []int64{16, 32, 64, 128, 256, 512, 1024, 2048, 4096} {
+			fmt.Printf("%-12d %-10.1f\n", mb, sa.HitRate(mb<<20)*100)
+		}
+		fmt.Printf("ceiling (infinite cache): %.1f%% (%.1f%% compulsory misses)\n",
+			sa.MaxHitRate()*100, sa.ColdRate()*100)
+		return
+	}
+
+	if *fig1 {
+		fmt.Printf("Figure 1 (%s): files by request frequency -> cumulative requests and size\n", name)
+		fmt.Printf("%-10s %-12s %-10s\n", "file%", "requests%", "cum MB")
+		for _, pt := range trace.CDF(tr, *points) {
+			fmt.Printf("%-10.1f %-12.1f %-10.1f\n", pt.FileFrac*100, pt.CumReqFrac*100, pt.CumMB)
+		}
+		return
+	}
+
+	flag.Usage()
+	os.Exit(2)
+}

@@ -1,0 +1,13 @@
+// Package repro is a from-scratch Go reproduction of "Cooperative Caching
+// Middleware for Cluster-Based Servers" (Cuenca-Acuña & Nguyen, HPDC 2001):
+// a discrete-event cluster simulator regenerating every table and figure of
+// the paper's evaluation, the cooperative caching middleware itself (both
+// simulated and as a live TCP implementation), the L2S and LARD
+// locality-conscious baselines, and the paper's future-work extensions
+// (hint-based directories, writes, whole-file adaptation).
+//
+// Start with README.md for the tour, DESIGN.md for the system inventory and
+// Table 1/2 reconstruction, and EXPERIMENTS.md for the paper-vs-measured
+// record. The root package holds the per-figure benchmark harness
+// (bench_test.go) and the end-to-end integration test.
+package repro

@@ -1,0 +1,43 @@
+// Simulation: a miniature of the paper's headline experiment, run through
+// the public experiment harness — Figure 2's Calgary panel at reduced
+// request scale, printing throughput for L2S and the three cooperative
+// caching variants and checking the §5 ordering.
+//
+// Run with:
+//
+//	go run ./examples/simulation
+//
+// (cmd/ccbench regenerates all figures at full scale.)
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/experiments"
+	"repro/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	h := experiments.NewHarness(experiments.Options{
+		Seed:           1,
+		TargetRequests: 40000,
+		MemoriesMB:     []int{8, 16, 32, 64},
+	})
+
+	fmt.Println("Reproducing Figure 2 (Calgary panel, reduced scale)...")
+	fig := h.Figure2(trace.Calgary, 8)
+	fmt.Println(fig.Format())
+
+	l2s := fig.SeriesFor(experiments.VariantL2S)
+	master := fig.SeriesFor(experiments.VariantMaster)
+	basic := fig.SeriesFor(experiments.VariantBasic)
+	fmt.Println("§5 check: cc-master vs l2s, cc-basic vs l2s")
+	for i, mem := range l2s.X {
+		fmt.Printf("  %3d MB/node: master/l2s = %4.0f%%   basic/l2s = %4.0f%%\n",
+			mem, 100*master.Y[i]/l2s.Y[i], 100*basic.Y[i]/l2s.Y[i])
+	}
+	fmt.Println("\nExpected shape: basic well below l2s; master close to (or matching) l2s.")
+}

@@ -1,0 +1,102 @@
+// Webserver: the paper's motivating application — a cluster web server
+// built on the generic cooperative caching middleware instead of
+// content-aware request distribution. An HTTP front end plays the role of
+// round-robin DNS: each request enters the cluster at the next node, and
+// the middleware turns the nodes' memories into one big cache.
+//
+// Run with:
+//
+//	go run ./examples/webserver [-nodes 4] [-listen :8080]
+//
+// then fetch documents:
+//
+//	curl http://localhost:8080/doc/17
+//	curl http://localhost:8080/stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/block"
+	"repro/internal/core"
+	"repro/internal/httpfront"
+	"repro/internal/middleware"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		nNodes = flag.Int("nodes", 4, "middleware cluster size")
+		listen = flag.String("listen", "127.0.0.1:8080", "HTTP listen address")
+		docs   = flag.Int("docs", 64, "number of documents to publish")
+	)
+	flag.Parse()
+
+	// Publish documents on disk: this example writes real files and serves
+	// them through a DirSource, the deployment-shaped backing store.
+	dir, err := os.MkdirTemp("", "ccweb")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	geom := block.DefaultGeometry
+	names := make(map[block.FileID]string, *docs)
+	for d := 0; d < *docs; d++ {
+		name := fmt.Sprintf("doc%03d.html", d)
+		body := fmt.Sprintf("<html><body><h1>Document %d</h1><p>%s</p></body></html>",
+			d, strings.Repeat(fmt.Sprintf("cooperative caching paragraph %d. ", d), 200))
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		names[block.FileID(d)] = name
+	}
+
+	// Start the middleware cluster. All nodes share the document directory
+	// (the L2S-style "every file on every disk" layout is the simplest
+	// deployment on one machine; homes still partition responsibility).
+	nodes := make([]*middleware.Node, *nNodes)
+	addrs := make([]string, *nNodes)
+	for i := range nodes {
+		n, err := middleware.Start(middleware.Config{
+			ID:             i,
+			CapacityBlocks: 256,
+			Policy:         core.PolicyMaster,
+			Geometry:       geom,
+			Source:         middleware.NewDirSource(geom, dir, names),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer n.Close()
+		nodes[i] = n
+		addrs[i] = n.Addr()
+	}
+	for _, n := range nodes {
+		n.SetAddrs(addrs)
+	}
+	client, err := middleware.DialCluster(addrs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+	log.Printf("middleware cluster: %v", addrs)
+
+	// The HTTP layer: a gateway resolving /doc/<id> paths, with
+	// ETag-based conditional GETs, plus a cluster statistics endpoint.
+	table := httpfront.NewPathTable(nil)
+	for d := 0; d < *docs; d++ {
+		table.Add(fmt.Sprintf("/doc/%d", d), block.FileID(d))
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/doc/", httpfront.New(client, table))
+	mux.Handle("/stats", httpfront.StatsHandler(client))
+
+	log.Printf("serving %d documents on http://%s/doc/<id>", *docs, *listen)
+	log.Fatal(http.ListenAndServe(*listen, mux))
+}

@@ -1,0 +1,70 @@
+// Package block defines the identifiers shared by every subsystem: files,
+// fixed-size cache blocks, and the mapping between file sizes and block
+// counts. The middleware caches at block granularity (the paper's central
+// design choice), so these types appear throughout the simulator, the
+// caching core, and the live implementation.
+package block
+
+import "fmt"
+
+// FileID identifies a file in the served file set.
+type FileID int32
+
+// ID identifies one cache block: the i-th fixed-size block of a file.
+type ID struct {
+	File FileID
+	Idx  int32
+}
+
+// String formats the block as file:index.
+func (id ID) String() string { return fmt.Sprintf("%d:%d", id.File, id.Idx) }
+
+// Geometry captures the block/extent layout parameters of the system: cache
+// blocks of Size bytes, laid out on disk in contiguous extents of
+// ExtentBlocks blocks (64 KB extents of 8 KB blocks by default, per §4.2).
+type Geometry struct {
+	Size         int // block size in bytes
+	ExtentBlocks int // blocks per contiguous on-disk extent
+}
+
+// DefaultGeometry is the layout used throughout the paper reproduction:
+// 8 KB blocks in 64 KB extents.
+var DefaultGeometry = Geometry{Size: 8 * 1024, ExtentBlocks: 8}
+
+// Validate reports whether the geometry is usable.
+func (g Geometry) Validate() error {
+	if g.Size <= 0 {
+		return fmt.Errorf("block: non-positive block size %d", g.Size)
+	}
+	if g.ExtentBlocks <= 0 {
+		return fmt.Errorf("block: non-positive extent size %d", g.ExtentBlocks)
+	}
+	return nil
+}
+
+// ExtentBytes reports the extent size in bytes.
+func (g Geometry) ExtentBytes() int { return g.Size * g.ExtentBlocks }
+
+// Count reports how many blocks a file of sizeBytes occupies (at least 1 for
+// any non-empty file; zero-byte files still occupy one block of metadata).
+func (g Geometry) Count(sizeBytes int64) int32 {
+	if sizeBytes <= 0 {
+		return 1
+	}
+	return int32((sizeBytes + int64(g.Size) - 1) / int64(g.Size))
+}
+
+// Extent reports the extent index containing block idx.
+func (g Geometry) Extent(idx int32) int32 {
+	return idx / int32(g.ExtentBlocks)
+}
+
+// Blocks enumerates the block IDs of a file of sizeBytes.
+func (g Geometry) Blocks(f FileID, sizeBytes int64) []ID {
+	n := g.Count(sizeBytes)
+	ids := make([]ID, n)
+	for i := int32(0); i < n; i++ {
+		ids[i] = ID{File: f, Idx: i}
+	}
+	return ids
+}

@@ -1,0 +1,92 @@
+package block
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultGeometry(t *testing.T) {
+	g := DefaultGeometry
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.ExtentBytes() != 64*1024 {
+		t.Fatalf("extent = %d bytes, want 64KB", g.ExtentBytes())
+	}
+}
+
+func TestCount(t *testing.T) {
+	g := DefaultGeometry
+	cases := []struct {
+		size int64
+		want int32
+	}{
+		{0, 1},
+		{1, 1},
+		{8192, 1},
+		{8193, 2},
+		{64 * 1024, 8},
+		{100 * 1024, 13},
+	}
+	for _, c := range cases {
+		if got := g.Count(c.size); got != c.want {
+			t.Errorf("Count(%d) = %d, want %d", c.size, got, c.want)
+		}
+	}
+}
+
+func TestExtent(t *testing.T) {
+	g := DefaultGeometry
+	cases := []struct {
+		idx  int32
+		want int32
+	}{{0, 0}, {7, 0}, {8, 1}, {15, 1}, {16, 2}}
+	for _, c := range cases {
+		if got := g.Extent(c.idx); got != c.want {
+			t.Errorf("Extent(%d) = %d, want %d", c.idx, got, c.want)
+		}
+	}
+}
+
+func TestBlocksEnumeration(t *testing.T) {
+	g := DefaultGeometry
+	ids := g.Blocks(7, 20*1024)
+	if len(ids) != 3 {
+		t.Fatalf("got %d blocks, want 3", len(ids))
+	}
+	for i, id := range ids {
+		if id.File != 7 || id.Idx != int32(i) {
+			t.Fatalf("ids[%d] = %v", i, id)
+		}
+	}
+}
+
+func TestValidateRejectsBad(t *testing.T) {
+	if err := (Geometry{Size: 0, ExtentBlocks: 8}).Validate(); err == nil {
+		t.Error("zero block size accepted")
+	}
+	if err := (Geometry{Size: 8192, ExtentBlocks: 0}).Validate(); err == nil {
+		t.Error("zero extent accepted")
+	}
+}
+
+// Property: Count(size)·blockSize is the smallest multiple of blockSize
+// covering size (for positive sizes).
+func TestCountProperty(t *testing.T) {
+	g := DefaultGeometry
+	f := func(raw uint32) bool {
+		size := int64(raw%10_000_000) + 1
+		n := int64(g.Count(size))
+		return n*int64(g.Size) >= size && (n-1)*int64(g.Size) < size
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIDString(t *testing.T) {
+	id := ID{File: 3, Idx: 9}
+	if got := id.String(); got != "3:9" {
+		t.Fatalf("String() = %q", got)
+	}
+}

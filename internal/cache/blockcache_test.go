@@ -1,0 +1,228 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/block"
+	"repro/internal/sim"
+)
+
+func bid(f, i int) block.ID { return block.ID{File: block.FileID(f), Idx: int32(i)} }
+
+func TestBlockCacheBasics(t *testing.T) {
+	c := NewBlockCache(3)
+	c.Insert(bid(1, 0), true, 10)
+	c.Insert(bid(1, 1), false, 20)
+	c.Insert(bid(2, 0), true, 30)
+	if c.Len() != 3 || !c.Full() {
+		t.Fatalf("Len=%d Full=%v", c.Len(), c.Full())
+	}
+	if c.Masters() != 2 || c.NonMasters() != 1 {
+		t.Fatalf("masters=%d nonmasters=%d", c.Masters(), c.NonMasters())
+	}
+	if !c.Contains(bid(1, 0)) || c.Contains(bid(9, 9)) {
+		t.Fatal("Contains wrong")
+	}
+	if !c.IsMaster(bid(1, 0)) || c.IsMaster(bid(1, 1)) {
+		t.Fatal("IsMaster wrong")
+	}
+	if err := c.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvictOldestOrder(t *testing.T) {
+	c := NewBlockCache(3)
+	c.Insert(bid(1, 0), true, 10)
+	c.Insert(bid(1, 1), true, 20)
+	c.Insert(bid(1, 2), true, 30)
+	c.Touch(bid(1, 0), 40) // 1:0 becomes youngest
+	id, master, age, ok := c.EvictOldest()
+	if !ok || id != bid(1, 1) || !master || age != 20 {
+		t.Fatalf("evicted %v master=%v age=%v", id, master, age)
+	}
+	if err := c.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOldestNonMaster(t *testing.T) {
+	c := NewBlockCache(4)
+	c.Insert(bid(1, 0), true, 10)  // oldest overall, master
+	c.Insert(bid(1, 1), false, 20) // oldest non-master
+	c.Insert(bid(1, 2), false, 30)
+	c.Insert(bid(1, 3), true, 40)
+	if id, _, _, _ := c.Oldest(); id != bid(1, 0) {
+		t.Fatalf("Oldest = %v", id)
+	}
+	id, age, ok := c.OldestNonMaster()
+	if !ok || id != bid(1, 1) || age != 20 {
+		t.Fatalf("OldestNonMaster = %v age=%d ok=%v", id, age, ok)
+	}
+	// The master-preserving policy: evict the non-master even though a
+	// master is older.
+	eid, _, ok := c.EvictOldestNonMaster()
+	if !ok || eid != bid(1, 1) {
+		t.Fatalf("EvictOldestNonMaster = %v", eid)
+	}
+	if c.Masters() != 2 || c.NonMasters() != 1 {
+		t.Fatalf("counts after evict: %d/%d", c.Masters(), c.NonMasters())
+	}
+	if err := c.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertWithOldAgeOrdering(t *testing.T) {
+	// A forwarded master carries its original (old) age and must land in
+	// age order, becoming eviction candidate before younger blocks.
+	c := NewBlockCache(3)
+	c.Insert(bid(1, 0), false, 100)
+	c.Insert(bid(1, 1), false, 200)
+	c.Insert(bid(9, 9), true, 50) // forwarded master, older than everything
+	id, master, age, ok := c.EvictOldest()
+	if !ok || id != bid(9, 9) || !master || age != 50 {
+		t.Fatalf("evicted %v (master=%v age=%d)", id, master, age)
+	}
+	if err := c.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertMiddleAge(t *testing.T) {
+	c := NewBlockCache(4)
+	c.Insert(bid(1, 0), false, 100)
+	c.Insert(bid(1, 1), false, 300)
+	c.Insert(bid(9, 9), true, 200)
+	// Order should be 100, 200, 300.
+	var ages []sim.Time
+	for {
+		_, _, age, ok := c.EvictOldest()
+		if !ok {
+			break
+		}
+		ages = append(ages, age)
+	}
+	want := []sim.Time{100, 200, 300}
+	for i := range want {
+		if ages[i] != want[i] {
+			t.Fatalf("eviction ages %v, want %v", ages, want)
+		}
+	}
+}
+
+func TestPromote(t *testing.T) {
+	c := NewBlockCache(2)
+	c.Insert(bid(1, 0), false, 10)
+	if !c.Promote(bid(1, 0)) {
+		t.Fatal("Promote failed")
+	}
+	if !c.IsMaster(bid(1, 0)) || c.Masters() != 1 || c.NonMasters() != 0 {
+		t.Fatal("promotion not reflected")
+	}
+	if c.Promote(bid(1, 0)) {
+		t.Fatal("double promote succeeded")
+	}
+	if c.Promote(bid(5, 5)) {
+		t.Fatal("promote of absent block succeeded")
+	}
+	if _, _, ok := c.OldestNonMaster(); ok {
+		t.Fatal("promoted block still in non-master list")
+	}
+	if err := c.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	c := NewBlockCache(2)
+	c.Insert(bid(1, 0), true, 10)
+	present, master := c.Remove(bid(1, 0))
+	if !present || !master || c.Len() != 0 {
+		t.Fatalf("Remove: present=%v master=%v len=%d", present, master, c.Len())
+	}
+	if present, _ := c.Remove(bid(1, 0)); present {
+		t.Fatal("double remove reported present")
+	}
+}
+
+func TestTouchMissingAndEmptyQueries(t *testing.T) {
+	c := NewBlockCache(2)
+	if c.Touch(bid(1, 0), 5) {
+		t.Fatal("Touch of absent block returned true")
+	}
+	if _, _, _, ok := c.Oldest(); ok {
+		t.Fatal("Oldest on empty returned ok")
+	}
+	if _, ok := c.OldestAge(); ok {
+		t.Fatal("OldestAge on empty returned ok")
+	}
+	if _, _, _, ok := c.EvictOldest(); ok {
+		t.Fatal("EvictOldest on empty returned ok")
+	}
+	if _, _, ok := c.EvictOldestNonMaster(); ok {
+		t.Fatal("EvictOldestNonMaster on empty returned ok")
+	}
+}
+
+func TestInsertPanics(t *testing.T) {
+	c := NewBlockCache(1)
+	c.Insert(bid(1, 0), true, 10)
+	assertPanics(t, "full insert", func() { c.Insert(bid(1, 1), true, 20) })
+	c2 := NewBlockCache(2)
+	c2.Insert(bid(1, 0), true, 10)
+	assertPanics(t, "duplicate insert", func() { c2.Insert(bid(1, 0), true, 20) })
+	assertPanics(t, "zero capacity", func() { NewBlockCache(0) })
+	assertPanics(t, "touch back in time", func() { c2.Touch(bid(1, 0), 5) })
+}
+
+func assertPanics(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: no panic", name)
+		}
+	}()
+	fn()
+}
+
+// Property: under a random op sequence, all structural invariants hold and
+// the cache never exceeds capacity.
+func TestBlockCacheRandomOps(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := NewBlockCache(16)
+		now := sim.Time(0)
+		for op := 0; op < 2000; op++ {
+			now += sim.Time(rng.Intn(5))
+			id := bid(rng.Intn(4), rng.Intn(8))
+			switch rng.Intn(6) {
+			case 0, 1:
+				if !c.Contains(id) {
+					if c.Full() {
+						c.EvictOldest()
+					}
+					c.Insert(id, rng.Intn(2) == 0, now)
+				}
+			case 2:
+				c.Touch(id, now)
+			case 3:
+				c.Remove(id)
+			case 4:
+				c.EvictOldestNonMaster()
+			case 5:
+				c.Promote(id)
+			}
+			if err := c.checkInvariants(); err != nil {
+				t.Logf("seed %d op %d: %v", seed, op, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,221 @@
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/block"
+	"repro/internal/sim"
+)
+
+// CopyRegistry tracks how many in-memory copies of each file exist across
+// the cluster. It is the "perfect global knowledge" counterpart that L2S's
+// de-replication algorithm consults to keep at least one copy of each file
+// in memory whenever possible (§4.1). The same optimistic assumption is
+// granted to the cooperative caching layer's directory, keeping the
+// comparison fair.
+type CopyRegistry struct {
+	copies map[block.FileID]int
+}
+
+// NewCopyRegistry returns an empty registry.
+func NewCopyRegistry() *CopyRegistry {
+	return &CopyRegistry{copies: make(map[block.FileID]int)}
+}
+
+// Copies reports the cluster-wide in-memory copy count of f.
+func (r *CopyRegistry) Copies(f block.FileID) int { return r.copies[f] }
+
+// Add records a new in-memory copy.
+func (r *CopyRegistry) Add(f block.FileID) { r.copies[f]++ }
+
+// Drop records the removal of a copy.
+func (r *CopyRegistry) Drop(f block.FileID) {
+	if r.copies[f] <= 0 {
+		panic(fmt.Sprintf("cache: registry underflow for file %d", f))
+	}
+	r.copies[f]--
+	if r.copies[f] == 0 {
+		delete(r.copies, f)
+	}
+}
+
+// fentry is one cached whole file.
+type fentry struct {
+	file       block.FileID
+	size       int64
+	age        sim.Time
+	prev, next *fentry
+}
+
+// FileCache is the whole-file LRU cache used by the L2S baseline, with the
+// de-replication eviction preference: when space is needed, the oldest file
+// that has another in-memory copy elsewhere is evicted first; only when the
+// node holds nothing but last copies does it fall back to plain LRU.
+type FileCache struct {
+	capacity int64 // bytes
+	used     int64
+	entries  map[block.FileID]*fentry
+	head     *fentry // oldest
+	tail     *fentry // youngest
+	registry *CopyRegistry
+
+	// OnEvict, if set, is called after a file leaves the cache (by eviction
+	// or removal). L2S uses it to retarget request distribution away from
+	// nodes that de-replicated a file.
+	OnEvict func(block.FileID)
+}
+
+// NewFileCache returns a file cache of capacity bytes sharing registry.
+func NewFileCache(capacity int64, registry *CopyRegistry) *FileCache {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("cache: non-positive file cache capacity %d", capacity))
+	}
+	return &FileCache{
+		capacity: capacity,
+		entries:  make(map[block.FileID]*fentry),
+		registry: registry,
+	}
+}
+
+// Used reports the bytes currently cached.
+func (c *FileCache) Used() int64 { return c.used }
+
+// Cap reports the capacity in bytes.
+func (c *FileCache) Cap() int64 { return c.capacity }
+
+// Len reports the number of cached files.
+func (c *FileCache) Len() int { return len(c.entries) }
+
+// Contains reports whether f is cached, without touching LRU order.
+func (c *FileCache) Contains(f block.FileID) bool {
+	_, ok := c.entries[f]
+	return ok
+}
+
+// Touch records an access to f at now; reports whether it was present.
+func (c *FileCache) Touch(f block.FileID, now sim.Time) bool {
+	e, ok := c.entries[f]
+	if !ok {
+		return false
+	}
+	e.age = now
+	c.unlink(e)
+	c.linkYoungest(e)
+	return true
+}
+
+// Insert caches file f of the given size, evicting per the de-replication
+// policy until it fits. Files larger than the whole cache are rejected
+// (returned false) rather than flushing everything.
+func (c *FileCache) Insert(f block.FileID, size int64, now sim.Time) bool {
+	if size > c.capacity {
+		return false
+	}
+	if c.Contains(f) {
+		panic(fmt.Sprintf("cache: duplicate file insert %d", f))
+	}
+	for c.used+size > c.capacity {
+		if !c.evictOne() {
+			return false
+		}
+	}
+	e := &fentry{file: f, size: size, age: now}
+	c.entries[f] = e
+	c.linkYoungest(e)
+	c.used += size
+	c.registry.Add(f)
+	return true
+}
+
+// Remove drops f, updating the registry; reports whether it was present.
+func (c *FileCache) Remove(f block.FileID) bool {
+	e, ok := c.entries[f]
+	if !ok {
+		return false
+	}
+	c.drop(e)
+	return true
+}
+
+// evictOne removes one victim: the oldest replicated file among the
+// dereplicationScan oldest entries if any, else the oldest file. The scan
+// bound keeps eviction O(1) amortized; replicas are created for *hot* files,
+// which under LRU churn drift toward the old end only when they have cooled,
+// so a bounded scan finds them with high probability. Reports false when the
+// cache is empty.
+func (c *FileCache) evictOne() bool {
+	if c.head == nil {
+		return false
+	}
+	scanned := 0
+	for e := c.head; e != nil && scanned < dereplicationScan; e = e.next {
+		if c.registry.Copies(e.file) > 1 {
+			c.drop(e)
+			return true
+		}
+		scanned++
+	}
+	c.drop(c.head)
+	return true
+}
+
+// dereplicationScan bounds the eviction scan for replicated victims.
+const dereplicationScan = 128
+
+func (c *FileCache) drop(e *fentry) {
+	c.unlink(e)
+	delete(c.entries, e.file)
+	c.used -= e.size
+	c.registry.Drop(e.file)
+	if c.OnEvict != nil {
+		c.OnEvict(e.file)
+	}
+}
+
+func (c *FileCache) unlink(e *fentry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *FileCache) linkYoungest(e *fentry) {
+	e.prev = c.tail
+	e.next = nil
+	if c.tail != nil {
+		c.tail.next = e
+	} else {
+		c.head = e
+	}
+	c.tail = e
+}
+
+// checkInvariants validates structure; used by tests.
+func (c *FileCache) checkInvariants() error {
+	var used int64
+	n := 0
+	for e := c.head; e != nil; e = e.next {
+		used += e.size
+		n++
+		if _, ok := c.entries[e.file]; !ok {
+			return fmt.Errorf("cache: listed file %d not in map", e.file)
+		}
+	}
+	if n != len(c.entries) {
+		return fmt.Errorf("cache: file list %d entries, map %d", n, len(c.entries))
+	}
+	if used != c.used {
+		return fmt.Errorf("cache: used %d, counted %d", c.used, used)
+	}
+	if used > c.capacity {
+		return fmt.Errorf("cache: over capacity")
+	}
+	return nil
+}

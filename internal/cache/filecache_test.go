@@ -1,0 +1,178 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/block"
+	"repro/internal/sim"
+)
+
+func fid(i int) block.FileID { return block.FileID(i) }
+
+func TestFileCacheInsertAndTouch(t *testing.T) {
+	reg := NewCopyRegistry()
+	c := NewFileCache(100, reg)
+	if !c.Insert(fid(1), 40, 10) || !c.Insert(fid(2), 40, 20) {
+		t.Fatal("inserts failed")
+	}
+	if c.Used() != 80 || c.Len() != 2 {
+		t.Fatalf("used=%d len=%d", c.Used(), c.Len())
+	}
+	if reg.Copies(fid(1)) != 1 {
+		t.Fatalf("registry copies = %d", reg.Copies(fid(1)))
+	}
+	if !c.Touch(fid(1), 30) || c.Touch(fid(9), 30) {
+		t.Fatal("Touch wrong")
+	}
+	if err := c.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFileCacheLRUEviction(t *testing.T) {
+	reg := NewCopyRegistry()
+	c := NewFileCache(100, reg)
+	c.Insert(fid(1), 40, 10)
+	c.Insert(fid(2), 40, 20)
+	c.Touch(fid(1), 30)
+	// Inserting 40 more evicts the oldest: file 2.
+	c.Insert(fid(3), 40, 40)
+	if c.Contains(fid(2)) || !c.Contains(fid(1)) || !c.Contains(fid(3)) {
+		t.Fatal("LRU eviction picked wrong victim")
+	}
+	if reg.Copies(fid(2)) != 0 {
+		t.Fatal("registry not updated on eviction")
+	}
+}
+
+func TestDereplicationPreference(t *testing.T) {
+	reg := NewCopyRegistry()
+	a := NewFileCache(100, reg)
+	b := NewFileCache(100, reg)
+	// File 1 cached on both nodes (a replica); file 2 only on a, and older
+	// than nothing — file 1 on a is youngest.
+	a.Insert(fid(2), 50, 10) // last copy, oldest
+	a.Insert(fid(1), 50, 20)
+	b.Insert(fid(1), 50, 20)
+	// Now a needs space: plain LRU would evict file 2 (oldest), but file 1
+	// has another copy on b, so de-replication evicts file 1 instead.
+	if !a.Insert(fid(3), 50, 30) {
+		t.Fatal("insert failed")
+	}
+	if !a.Contains(fid(2)) {
+		t.Fatal("last copy evicted despite replica being available")
+	}
+	if a.Contains(fid(1)) {
+		t.Fatal("replica survived")
+	}
+	if reg.Copies(fid(1)) != 1 {
+		t.Fatalf("file1 copies = %d, want 1 (still on b)", reg.Copies(fid(1)))
+	}
+}
+
+func TestFileCacheOversizedRejected(t *testing.T) {
+	reg := NewCopyRegistry()
+	c := NewFileCache(100, reg)
+	c.Insert(fid(1), 60, 10)
+	if c.Insert(fid(2), 200, 20) {
+		t.Fatal("oversized file accepted")
+	}
+	if !c.Contains(fid(1)) {
+		t.Fatal("oversized insert flushed existing content")
+	}
+}
+
+func TestFileCacheRemove(t *testing.T) {
+	reg := NewCopyRegistry()
+	c := NewFileCache(100, reg)
+	c.Insert(fid(1), 60, 10)
+	if !c.Remove(fid(1)) || c.Remove(fid(1)) {
+		t.Fatal("Remove semantics wrong")
+	}
+	if c.Used() != 0 || reg.Copies(fid(1)) != 0 {
+		t.Fatal("Remove did not release space/registry")
+	}
+}
+
+func TestCopyRegistryUnderflowPanics(t *testing.T) {
+	reg := NewCopyRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("underflow did not panic")
+		}
+	}()
+	reg.Drop(fid(1))
+}
+
+func TestFileCachePanics(t *testing.T) {
+	reg := NewCopyRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero capacity accepted")
+		}
+	}()
+	NewFileCache(0, reg)
+}
+
+func TestFileCacheDuplicatePanics(t *testing.T) {
+	reg := NewCopyRegistry()
+	c := NewFileCache(100, reg)
+	c.Insert(fid(1), 10, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate insert accepted")
+		}
+	}()
+	c.Insert(fid(1), 10, 2)
+}
+
+// Property: two caches sharing a registry never drive it negative, never
+// exceed capacity, and registry counts equal actual residency.
+func TestFileCacheRandomOps(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		reg := NewCopyRegistry()
+		caches := []*FileCache{NewFileCache(500, reg), NewFileCache(500, reg)}
+		now := sim.Time(0)
+		for op := 0; op < 1500; op++ {
+			now += sim.Time(rng.Intn(3) + 1)
+			c := caches[rng.Intn(2)]
+			f := fid(rng.Intn(10))
+			switch rng.Intn(3) {
+			case 0:
+				if !c.Contains(f) {
+					c.Insert(f, int64(rng.Intn(200)+1), now)
+				}
+			case 1:
+				c.Touch(f, now)
+			case 2:
+				c.Remove(f)
+			}
+			for _, cc := range caches {
+				if err := cc.checkInvariants(); err != nil {
+					t.Logf("seed %d: %v", seed, err)
+					return false
+				}
+			}
+			// Cross-check registry against residency.
+			for i := 0; i < 10; i++ {
+				want := 0
+				for _, cc := range caches {
+					if cc.Contains(fid(i)) {
+						want++
+					}
+				}
+				if reg.Copies(fid(i)) != want {
+					t.Logf("seed %d: registry %d, residency %d", seed, reg.Copies(fid(i)), want)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

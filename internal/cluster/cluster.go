@@ -1,0 +1,152 @@
+// Package cluster assembles the simulated hardware of §4.2 — 4–32 nodes
+// (CPU, NIC, disk, bus) on a shared LAN with a router — and defines the
+// server-backend interface the workload driver uses, so the cooperative
+// caching server and the L2S baseline are driven identically.
+package cluster
+
+import (
+	"repro/internal/block"
+	"repro/internal/disk"
+	"repro/internal/hw"
+	"repro/internal/sim"
+)
+
+// Hardware is the assembled cluster substrate.
+type Hardware struct {
+	Eng    *sim.Engine
+	Params *hw.Params
+	Net    *hw.Network
+	Nodes  []*hw.Node
+	Disks  []*disk.Disk
+	Geom   block.Geometry
+}
+
+// NewHardware builds an n-node cluster. sched selects the disk queue
+// discipline (the only hardware-level difference between the paper's CC
+// variants).
+func NewHardware(eng *sim.Engine, p *hw.Params, geom block.Geometry, n int, sched disk.Scheduler) *Hardware {
+	if n <= 0 {
+		panic("cluster: need at least one node")
+	}
+	h := &Hardware{
+		Eng:    eng,
+		Params: p,
+		Net:    hw.NewNetwork(eng, p, 0),
+		Nodes:  make([]*hw.Node, n),
+		Disks:  make([]*disk.Disk, n),
+		Geom:   geom,
+	}
+	for i := 0; i < n; i++ {
+		h.Nodes[i] = hw.NewNode(eng, i, 0)
+		h.Disks[i] = disk.New(eng, p, geom, sched)
+	}
+	return h
+}
+
+// N reports the node count.
+func (h *Hardware) N() int { return len(h.Nodes) }
+
+// ResetStats restarts utilization accounting on every component; called at
+// the end of cache warmup.
+func (h *Hardware) ResetStats() {
+	for _, n := range h.Nodes {
+		n.ResetStats()
+	}
+	for _, d := range h.Disks {
+		d.ResetStats()
+	}
+	h.Net.Router.ResetStats()
+}
+
+// Utilization aggregates mean busy fractions across nodes for Figure 6(a).
+type Utilization struct {
+	CPU  float64
+	Disk float64
+	NIC  float64
+}
+
+// MeanUtilization averages each resource class over the nodes.
+func (h *Hardware) MeanUtilization() Utilization {
+	var u Utilization
+	for i := range h.Nodes {
+		u.CPU += h.Nodes[i].CPU.Utilization()
+		u.NIC += h.Nodes[i].NIC.Utilization()
+		u.Disk += h.Disks[i].Utilization()
+	}
+	n := float64(h.N())
+	u.CPU /= n
+	u.NIC /= n
+	u.Disk /= n
+	return u
+}
+
+// MaxDiskUtilization reports the busiest disk — the bottleneck metric §5
+// identifies for CC-Basic.
+func (h *Hardware) MaxDiskUtilization() float64 {
+	max := 0.0
+	for _, d := range h.Disks {
+		if u := d.Utilization(); u > max {
+			max = u
+		}
+	}
+	return max
+}
+
+// Backend is a cluster web server under test: the workload driver sends it
+// requests and it reports cache behaviour. Both the cooperative caching
+// server (internal/core) and the L2S baseline (internal/l2s) implement it.
+type Backend interface {
+	// Dispatch delivers a client request for file to the given node (chosen
+	// by the round-robin DNS in the workload driver). done fires when the
+	// last response byte has left the cluster.
+	Dispatch(node int, file block.FileID, done func())
+	// Hardware exposes the substrate for utilization accounting.
+	Hardware() *Hardware
+	// ResetStats clears cache/protocol counters (end of warmup).
+	ResetStats()
+	// CacheStats reports accumulated cache behaviour.
+	CacheStats() CacheStats
+}
+
+// CacheStats aggregates the hit-rate accounting of Figure 4. For the
+// block-based CC server the unit is block accesses; for whole-file L2S it
+// is file accesses. Rates are fractions of total accesses.
+type CacheStats struct {
+	Accesses  uint64
+	LocalHits uint64
+	// RemoteHits are accesses served from a peer's memory.
+	RemoteHits uint64
+	// DiskReads are accesses that went to disk (including races where a
+	// located master vanished in flight).
+	DiskReads uint64
+	// Forwards counts evicted masters forwarded to peers (CC only).
+	Forwards uint64
+	// ForwardDrops counts forwarded masters dropped on arrival because the
+	// destination held only younger blocks (CC only).
+	ForwardDrops uint64
+	// RaceMisses counts directory hits that missed in flight.
+	RaceMisses uint64
+	// Handoffs counts requests migrated to another node (L2S only).
+	Handoffs uint64
+	// Replications counts file replications under load (L2S only).
+	Replications uint64
+}
+
+// LocalRate is the fraction of accesses hit in local memory.
+func (s CacheStats) LocalRate() float64 { return rate(s.LocalHits, s.Accesses) }
+
+// RemoteRate is the fraction of accesses served from peer memory.
+func (s CacheStats) RemoteRate() float64 { return rate(s.RemoteHits, s.Accesses) }
+
+// HitRate is the fraction of accesses served from cluster memory.
+func (s CacheStats) HitRate() float64 { return rate(s.LocalHits+s.RemoteHits, s.Accesses) }
+
+// DiskRate is the fraction of accesses that required disk.
+func (s CacheStats) DiskRate() float64 { return rate(s.DiskReads, s.Accesses) }
+
+func rate(x, total uint64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(x) / float64(total)
+}

@@ -1,0 +1,75 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/block"
+	"repro/internal/disk"
+	"repro/internal/hw"
+	"repro/internal/sim"
+)
+
+func newHW(n int) (*sim.Engine, *Hardware) {
+	eng := sim.NewEngine(1)
+	p := hw.DefaultParams()
+	return eng, NewHardware(eng, &p, block.DefaultGeometry, n, disk.Sequential)
+}
+
+func TestNewHardwareAssembly(t *testing.T) {
+	_, h := newHW(4)
+	if h.N() != 4 || len(h.Disks) != 4 || len(h.Nodes) != 4 {
+		t.Fatalf("assembly: %d nodes, %d disks", len(h.Nodes), len(h.Disks))
+	}
+	if h.Net == nil || h.Net.Router == nil {
+		t.Fatal("no network")
+	}
+	for i, n := range h.Nodes {
+		if n.ID != i {
+			t.Fatalf("node %d has ID %d", i, n.ID)
+		}
+	}
+}
+
+func TestNewHardwarePanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("0-node cluster accepted")
+		}
+	}()
+	newHW(0)
+}
+
+func TestMeanAndMaxUtilization(t *testing.T) {
+	eng, h := newHW(2)
+	// Load node 0's disk fully; node 1 idle.
+	h.Disks[0].Read(1, 0, 1, nil)
+	end := eng.RunUntilIdle()
+	if end == 0 {
+		t.Fatal("nothing ran")
+	}
+	u := h.MeanUtilization()
+	if u.Disk <= 0 || u.Disk > 0.51 {
+		t.Fatalf("mean disk util = %f, want ~0.5 (one of two disks busy)", u.Disk)
+	}
+	if got := h.MaxDiskUtilization(); got < 0.99 {
+		t.Fatalf("max disk util = %f, want ~1", got)
+	}
+	h.ResetStats()
+	if h.MaxDiskUtilization() != 0 {
+		t.Fatal("ResetStats did not clear disk stats")
+	}
+}
+
+func TestCacheStatsRates(t *testing.T) {
+	s := CacheStats{Accesses: 100, LocalHits: 20, RemoteHits: 60, DiskReads: 20}
+	if s.LocalRate() != 0.2 || s.RemoteRate() != 0.6 || s.DiskRate() != 0.2 {
+		t.Fatalf("rates: %f %f %f", s.LocalRate(), s.RemoteRate(), s.DiskRate())
+	}
+	if s.HitRate() != 0.8 {
+		t.Fatalf("hit rate = %f", s.HitRate())
+	}
+	var empty CacheStats
+	if empty.HitRate() != 0 || empty.DiskRate() != 0 {
+		t.Fatal("empty stats should rate 0")
+	}
+}

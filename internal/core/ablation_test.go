@@ -1,0 +1,112 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/block"
+)
+
+func TestDisableForwardingDropsMasters(t *testing.T) {
+	tr := testTrace(8*1024, 8*1024, 8*1024)
+	eng, s := newServer(tr, Config{
+		Nodes: 2, MemoryPerNode: 16 * 1024, Policy: PolicyBasic, DisableForwarding: true,
+	})
+	m := block.ID{File: 0, Idx: 0}
+	s.nodes[0].cache.Insert(m, true, 5)
+	s.dir.Set(m, 0)
+	s.nodes[0].cache.Insert(block.ID{File: 1, Idx: 0}, true, 50)
+	s.dir.Set(block.ID{File: 1, Idx: 0}, 0)
+	// Peer has an older block, so with forwarding enabled the master would
+	// move there; disabled, it must be dropped.
+	s.nodes[1].cache.Insert(block.ID{File: 2, Idx: 0}, false, 1)
+	s.nodes[1].cache.Insert(block.ID{File: 2, Idx: 1}, false, 2)
+	s.insertBlock(s.nodes[0], block.ID{File: 2, Idx: 0}, false)
+	eng.RunUntilIdle()
+	if s.stats.Forwards != 0 {
+		t.Fatal("forwarding happened despite DisableForwarding")
+	}
+	if _, ok := s.dir.Holder(m); ok {
+		t.Fatal("dropped master still in directory")
+	}
+	if s.nodes[1].cache.IsMaster(m) {
+		t.Fatal("master arrived at peer")
+	}
+}
+
+func TestDisableForwardingEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	sizes := make([]int64, 30)
+	for i := range sizes {
+		sizes[i] = int64(rng.Intn(32*1024) + 512)
+	}
+	tr := testTrace(sizes...)
+	eng, s := newServer(tr, Config{
+		Nodes: 4, MemoryPerNode: 64 * 1024, Policy: PolicyMaster, DisableForwarding: true,
+	})
+	done := 0
+	for i := 0; i < 300; i++ {
+		s.Dispatch(rng.Intn(4), block.FileID(rng.Intn(30)), func() { done++ })
+		if i%9 == 0 {
+			eng.RunUntilIdle()
+		}
+	}
+	eng.RunUntilIdle()
+	if done != 300 {
+		t.Fatalf("completed %d of 300", done)
+	}
+	if s.stats.Forwards != 0 || s.stats.ForwardDrops != 0 {
+		t.Fatalf("forward stats nonzero: %+v", s.stats)
+	}
+	checkConsistency(t, s)
+}
+
+func TestFetchWindowPipelines(t *testing.T) {
+	// A 16-block cold file read from the local home disk: pipelined block
+	// fetches queue at the disk together, so the stream-preserving
+	// scheduler turns them into sequential reads (few positioning seeks).
+	tr := testTrace(16 * 8 * 1024)
+	eng, s := newServer(tr, Config{Nodes: 1, MemoryPerNode: 1 << 20, Policy: PolicySched})
+	done := false
+	s.Dispatch(0, 0, func() { done = true })
+	eng.RunUntilIdle()
+	if !done {
+		t.Fatal("request incomplete")
+	}
+	d := s.Hardware().Disks[0]
+	if d.Reads() != 16 {
+		t.Fatalf("disk reads = %d, want 16", d.Reads())
+	}
+	// One stream: at most a couple of positioning seeks; the rest must be
+	// sequential continuations.
+	if d.Seeks() > 3 {
+		t.Fatalf("seeks = %d, want ≤3 for a single pipelined stream", d.Seeks())
+	}
+}
+
+func TestWholeFileMatchesBlockResults(t *testing.T) {
+	// Both modes must deliver every request and end consistent.
+	rng := rand.New(rand.NewSource(11))
+	sizes := make([]int64, 20)
+	for i := range sizes {
+		sizes[i] = int64(rng.Intn(48*1024) + 512)
+	}
+	for _, whole := range []bool{false, true} {
+		tr := testTrace(sizes...)
+		eng, s := newServer(tr, Config{
+			Nodes: 4, MemoryPerNode: 128 * 1024, Policy: PolicyMaster, WholeFile: whole,
+		})
+		done := 0
+		for i := 0; i < 200; i++ {
+			s.Dispatch(rng.Intn(4), block.FileID(rng.Intn(20)), func() { done++ })
+			if i%13 == 0 {
+				eng.RunUntilIdle()
+			}
+		}
+		eng.RunUntilIdle()
+		if done != 200 {
+			t.Fatalf("wholeFile=%v: completed %d of 200", whole, done)
+		}
+		checkConsistency(t, s)
+	}
+}

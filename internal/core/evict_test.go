@@ -1,0 +1,315 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/block"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// fillNode loads file f (one block) into node n's cache by dispatching a
+// request there and draining the engine.
+func load(eng *sim.Engine, s *Server, node int, f block.FileID) {
+	s.Dispatch(node, f, nil)
+	eng.RunUntilIdle()
+}
+
+func TestEvictionDropsNonMasterSilently(t *testing.T) {
+	// Node cache of 2 blocks; fill with two non-master copies, then insert
+	// a third block: the oldest non-master is dropped, no forwarding.
+	tr := testTrace(8*1024, 8*1024, 8*1024)
+	eng, s := newServer(tr, Config{Nodes: 2, MemoryPerNode: 16 * 1024, Policy: PolicyBasic})
+	_ = eng
+	n := s.nodes[1]
+	n.cache.Insert(block.ID{File: 0, Idx: 0}, false, 10)
+	n.cache.Insert(block.ID{File: 1, Idx: 0}, false, 20)
+	s.insertBlock(n, block.ID{File: 2, Idx: 0}, false)
+	if s.stats.Forwards != 0 {
+		t.Fatal("non-master eviction should not forward")
+	}
+	if n.cache.Contains(block.ID{File: 0, Idx: 0}) {
+		t.Fatal("oldest non-master survived")
+	}
+}
+
+func TestMasterForwardedToPeerWithOlderBlock(t *testing.T) {
+	tr := testTrace(8*1024, 8*1024, 8*1024, 8*1024)
+	eng, s := newServer(tr, Config{Nodes: 2, MemoryPerNode: 16 * 1024, Policy: PolicyBasic})
+	old := block.ID{File: 0, Idx: 0}
+	// Node 1: two masters, the victim being older than node 0's content.
+	s.nodes[1].cache.Insert(old, true, 10)
+	s.dir.Set(old, 1)
+	s.nodes[1].cache.Insert(block.ID{File: 1, Idx: 0}, true, 50)
+	s.dir.Set(block.ID{File: 1, Idx: 0}, 1)
+	// Node 0: full with even older blocks → it is the forwarding target.
+	s.nodes[0].cache.Insert(block.ID{File: 2, Idx: 0}, false, 1)
+	s.nodes[0].cache.Insert(block.ID{File: 3, Idx: 0}, false, 2)
+
+	s.insertBlock(s.nodes[1], block.ID{File: 2, Idx: 0}, false)
+	eng.RunUntilIdle()
+
+	if s.stats.Forwards != 1 {
+		t.Fatalf("forwards = %d, want 1", s.stats.Forwards)
+	}
+	// The forwarded master displaced node 0's oldest block (file 2).
+	if !s.nodes[0].cache.IsMaster(old) {
+		t.Fatal("forwarded master not installed at peer")
+	}
+	if s.nodes[0].cache.Contains(block.ID{File: 2, Idx: 0}) {
+		t.Fatal("receiver did not drop its oldest block")
+	}
+	if h, ok := s.dir.Holder(old); !ok || h != 0 {
+		t.Fatalf("directory holder = %d,%v, want node 0", h, ok)
+	}
+	checkConsistency(t, s)
+}
+
+func TestGloballyOldestMasterIsDropped(t *testing.T) {
+	tr := testTrace(8*1024, 8*1024, 8*1024)
+	eng, s := newServer(tr, Config{Nodes: 2, MemoryPerNode: 16 * 1024, Policy: PolicyBasic})
+	victim := block.ID{File: 0, Idx: 0}
+	s.nodes[1].cache.Insert(victim, true, 5) // globally oldest
+	s.dir.Set(victim, 1)
+	s.nodes[1].cache.Insert(block.ID{File: 1, Idx: 0}, true, 50)
+	s.dir.Set(block.ID{File: 1, Idx: 0}, 1)
+	s.nodes[0].cache.Insert(block.ID{File: 2, Idx: 0}, false, 10)
+	s.nodes[0].cache.Insert(block.ID{File: 1, Idx: 0}, false, 20)
+
+	s.insertBlock(s.nodes[1], block.ID{File: 2, Idx: 0}, false)
+	eng.RunUntilIdle()
+
+	if s.stats.Forwards != 0 {
+		t.Fatal("globally oldest master must be dropped, not forwarded")
+	}
+	if _, ok := s.dir.Holder(victim); ok {
+		t.Fatal("directory still maps the dropped master")
+	}
+	checkConsistency(t, s)
+}
+
+func TestForwardedBlockDroppedWhenAllYounger(t *testing.T) {
+	// Race: at eviction time the peer has an older block, but by the time
+	// the forwarded master arrives everything there is younger → dropped.
+	tr := testTrace(8*1024, 8*1024, 8*1024, 8*1024)
+	eng, s := newServer(tr, Config{Nodes: 2, MemoryPerNode: 16 * 1024, Policy: PolicyBasic})
+	vic := block.ID{File: 0, Idx: 0}
+	s.nodes[0].cache.Insert(vic, true, 30)
+	s.dir.Set(vic, 0)
+	// Deliver directly into the receive path with everything younger.
+	s.nodes[1].cache.Insert(block.ID{File: 1, Idx: 0}, false, 100)
+	s.nodes[1].cache.Insert(block.ID{File: 2, Idx: 0}, false, 200)
+	s.nodes[0].cache.Remove(vic)
+	s.forwardMaster(0, 1, vic, 30)
+	eng.RunUntilIdle()
+	if s.stats.ForwardDrops != 1 {
+		t.Fatalf("forward drops = %d, want 1", s.stats.ForwardDrops)
+	}
+	if _, ok := s.dir.Holder(vic); ok {
+		t.Fatal("dropped forwarded master still in directory")
+	}
+	if s.nodes[1].cache.Contains(vic) {
+		t.Fatal("forwarded block was installed despite being oldest")
+	}
+}
+
+func TestNoCascadedEvictions(t *testing.T) {
+	// The receiver of a forwarded master drops its own oldest master; that
+	// drop must NOT forward again (§3 property 1).
+	tr := testTrace(8*1024, 8*1024, 8*1024, 8*1024)
+	eng, s := newServer(tr, Config{Nodes: 3, MemoryPerNode: 8 * 1024, Policy: PolicyBasic})
+	a := block.ID{File: 0, Idx: 0}
+	b := block.ID{File: 1, Idx: 0}
+	s.nodes[1].cache.Insert(b, true, 5) // node 1 full with an old master
+	s.dir.Set(b, 1)
+	// Node 2 holds something even older so a cascade would have a target.
+	s.nodes[2].cache.Insert(block.ID{File: 2, Idx: 0}, true, 1)
+	s.dir.Set(block.ID{File: 2, Idx: 0}, 2)
+
+	s.forwardMaster(0, 1, a, 10) // a (age 10) arrives at node 1, displacing b (age 5)
+	eng.RunUntilIdle()
+
+	if s.stats.Forwards != 1 {
+		t.Fatalf("forwards = %d, want exactly 1 (no cascade)", s.stats.Forwards)
+	}
+	if _, ok := s.dir.Holder(b); ok {
+		t.Fatal("displaced master must be dropped, not re-forwarded")
+	}
+	if !s.nodes[1].cache.IsMaster(a) {
+		t.Fatal("forwarded master not installed")
+	}
+}
+
+func TestPolicyMasterPreservesMasters(t *testing.T) {
+	tr := testTrace(8*1024, 8*1024, 8*1024)
+	_, s := newServer(tr, Config{Nodes: 2, MemoryPerNode: 16 * 1024, Policy: PolicyMaster})
+	m := block.ID{File: 0, Idx: 0}
+	nm := block.ID{File: 1, Idx: 0}
+	s.nodes[0].cache.Insert(m, true, 5) // master, oldest
+	s.dir.Set(m, 0)
+	s.nodes[0].cache.Insert(nm, false, 50) // younger non-master
+	s.insertBlock(s.nodes[0], block.ID{File: 2, Idx: 0}, false)
+	if !s.nodes[0].cache.IsMaster(m) {
+		t.Fatal("master evicted while a non-master was held")
+	}
+	if s.nodes[0].cache.Contains(nm) {
+		t.Fatal("non-master survived")
+	}
+}
+
+func TestPolicyMasterFallsBackToGlobalLRU(t *testing.T) {
+	// Only masters held → behave like Basic (global LRU with forwarding).
+	tr := testTrace(8*1024, 8*1024, 8*1024)
+	eng, s := newServer(tr, Config{Nodes: 2, MemoryPerNode: 16 * 1024, Policy: PolicyMaster})
+	m1 := block.ID{File: 0, Idx: 0}
+	m2 := block.ID{File: 1, Idx: 0}
+	s.nodes[0].cache.Insert(m1, true, 5)
+	s.dir.Set(m1, 0)
+	s.nodes[0].cache.Insert(m2, true, 50)
+	s.dir.Set(m2, 0)
+	// Peer full with an older block → forwarding target.
+	s.nodes[1].cache.Insert(block.ID{File: 2, Idx: 0}, false, 1)
+	s.nodes[1].cache.Insert(block.ID{File: 2, Idx: 1}, false, 2)
+	s.insertBlock(s.nodes[0], block.ID{File: 2, Idx: 0}, false)
+	eng.RunUntilIdle()
+	if s.stats.Forwards != 1 {
+		t.Fatalf("forwards = %d, want 1", s.stats.Forwards)
+	}
+}
+
+func TestForwardToPeerWithFreeSpace(t *testing.T) {
+	tr := testTrace(8*1024, 8*1024, 8*1024)
+	eng, s := newServer(tr, Config{Nodes: 2, MemoryPerNode: 16 * 1024, Policy: PolicyBasic})
+	m := block.ID{File: 0, Idx: 0}
+	s.nodes[0].cache.Insert(m, true, 5)
+	s.dir.Set(m, 0)
+	s.nodes[0].cache.Insert(block.ID{File: 1, Idx: 0}, true, 50)
+	s.dir.Set(block.ID{File: 1, Idx: 0}, 0)
+	// Node 1 is empty: it should receive the forwarded master without
+	// dropping anything.
+	s.insertBlock(s.nodes[0], block.ID{File: 2, Idx: 0}, false)
+	eng.RunUntilIdle()
+	if !s.nodes[1].cache.IsMaster(m) {
+		t.Fatal("master not forwarded to empty peer")
+	}
+	if s.nodes[1].cache.Len() != 1 {
+		t.Fatalf("peer evicted something despite free space: len=%d", s.nodes[1].cache.Len())
+	}
+	checkConsistency(t, s)
+}
+
+// Property-style soak: a random workload on a small cluster leaves the
+// directory and caches mutually consistent and never exceeds capacity.
+func TestRandomWorkloadConsistency(t *testing.T) {
+	for _, policy := range Policies {
+		policy := policy
+		t.Run(policy.String(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(42))
+			sizes := make([]int64, 40)
+			for i := range sizes {
+				sizes[i] = int64(rng.Intn(64*1024) + 512)
+			}
+			tr := testTrace(sizes...)
+			eng, s := newServer(tr, Config{Nodes: 4, MemoryPerNode: 96 * 1024, Policy: policy})
+			inflight := 0
+			for i := 0; i < 400; i++ {
+				node := rng.Intn(4)
+				f := block.FileID(rng.Intn(len(sizes)))
+				inflight++
+				s.Dispatch(node, f, func() { inflight-- })
+				if i%7 == 0 {
+					eng.RunUntilIdle()
+				}
+			}
+			eng.RunUntilIdle()
+			if inflight != 0 {
+				t.Fatalf("%d requests never completed", inflight)
+			}
+			st := s.CacheStats()
+			if st.Accesses == 0 || st.LocalHits+st.RemoteHits+st.DiskReads != st.Accesses {
+				t.Fatalf("access accounting inconsistent: %+v", st)
+			}
+			checkConsistency(t, s)
+			for i := 0; i < 4; i++ {
+				if s.NodeCache(i).Len() > s.NodeCache(i).Cap() {
+					t.Fatalf("node %d over capacity", i)
+				}
+			}
+		})
+	}
+}
+
+func TestWholeFileModeServes(t *testing.T) {
+	tr := testTrace(40*1024, 40*1024) // 5 blocks each
+	eng, s := newServer(tr, Config{Nodes: 2, MemoryPerNode: 1 << 20, Policy: PolicyMaster, WholeFile: true})
+	done := 0
+	s.Dispatch(0, 0, func() { done++ })
+	eng.RunUntilIdle()
+	if done != 1 {
+		t.Fatal("whole-file request did not complete")
+	}
+	// All 5 blocks present as masters after one batched home read.
+	for i := int32(0); i < 5; i++ {
+		if !s.NodeCache(0).IsMaster(block.ID{File: 0, Idx: i}) {
+			t.Fatalf("block %d missing after whole-file fetch", i)
+		}
+	}
+	// The home disk must have served it as one contiguous read.
+	if got := s.Hardware().Disks[0].Reads(); got != 1 {
+		t.Fatalf("disk reads = %d, want 1 contiguous run", got)
+	}
+	// Second node fetches the whole file from peer memory in one exchange.
+	s.Dispatch(1, 0, func() { done++ })
+	eng.RunUntilIdle()
+	if done != 2 {
+		t.Fatal("second request did not complete")
+	}
+	for i := int32(0); i < 5; i++ {
+		if !s.NodeCache(1).Contains(block.ID{File: 0, Idx: i}) {
+			t.Fatalf("block %d not replicated to node 1", i)
+		}
+	}
+	checkConsistency(t, s)
+}
+
+func TestWholeFileCoalescesWithInflight(t *testing.T) {
+	tr := testTrace(40 * 1024)
+	eng, s := newServer(tr, Config{Nodes: 1, MemoryPerNode: 1 << 20, Policy: PolicyMaster, WholeFile: true})
+	done := 0
+	s.Dispatch(0, 0, func() { done++ })
+	s.Dispatch(0, 0, func() { done++ })
+	eng.RunUntilIdle()
+	if done != 2 {
+		t.Fatalf("completed %d of 2", done)
+	}
+	if got := s.Hardware().Disks[0].Reads(); got != 1 {
+		t.Fatalf("disk reads = %d, want 1 (no duplicate whole-file fetch)", got)
+	}
+}
+
+func TestHintDirectoryEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	sizes := make([]int64, 30)
+	for i := range sizes {
+		sizes[i] = int64(rng.Intn(32*1024) + 512)
+	}
+	tr := testTrace(sizes...)
+	eng, s := newServer(tr, Config{
+		Nodes: 4, MemoryPerNode: 64 * 1024, Policy: PolicyMaster, HintAccuracy: 0.9,
+	})
+	done := 0
+	for i := 0; i < 300; i++ {
+		s.Dispatch(rng.Intn(4), block.FileID(rng.Intn(len(sizes))), func() { done++ })
+		if i%11 == 0 {
+			eng.RunUntilIdle()
+		}
+	}
+	eng.RunUntilIdle()
+	if done != 300 {
+		t.Fatalf("completed %d of 300 with hint directory", done)
+	}
+	checkConsistency(t, s)
+}
+
+var _ = trace.File{}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/block"
+)
+
+func TestNChancePolicyName(t *testing.T) {
+	if PolicyNChance.String() != "cc-nchance" {
+		t.Fatal("name wrong")
+	}
+	if PolicyNChance.DiskScheduler() != PolicySched.DiskScheduler() {
+		t.Fatal("nchance should use the scheduled disk queue")
+	}
+}
+
+func TestNChanceRecirculatesThenDrops(t *testing.T) {
+	tr := testTrace(8*1024, 8*1024, 8*1024)
+	eng, s := newServer(tr, Config{
+		Nodes: 2, MemoryPerNode: 8 * 1024, Policy: PolicyNChance, NChance: 1,
+	})
+	m := block.ID{File: 0, Idx: 0}
+	s.nodes[0].cache.Insert(m, true, 5)
+	s.dir.Set(m, 0)
+	// Displace it: with one chance, it is forwarded to the only peer.
+	s.insertBlock(s.nodes[0], block.ID{File: 1, Idx: 0}, false)
+	eng.RunUntilIdle()
+	if s.stats.Forwards != 1 {
+		t.Fatalf("forwards = %d, want 1", s.stats.Forwards)
+	}
+	if !s.nodes[1].cache.IsMaster(m) {
+		t.Fatal("recirculated master not installed at peer")
+	}
+	// Displace it again at node 1: the budget is spent, so it is dropped.
+	s.insertBlock(s.nodes[1], block.ID{File: 2, Idx: 0}, false)
+	eng.RunUntilIdle()
+	if s.stats.Forwards != 1 {
+		t.Fatalf("forwards = %d after budget exhausted, want still 1", s.stats.Forwards)
+	}
+	if _, ok := s.dir.Holder(m); ok {
+		t.Fatal("exhausted master still in directory")
+	}
+}
+
+func TestNChanceAccessResetsBudget(t *testing.T) {
+	tr := testTrace(8*1024, 8*1024, 8*1024)
+	eng, s := newServer(tr, Config{
+		Nodes: 2, MemoryPerNode: 16 * 1024, Policy: PolicyNChance, NChance: 1,
+	})
+	m := block.ID{File: 0, Idx: 0}
+	s.recirc[m] = 0 // budget spent
+	s.nodes[0].cache.Insert(m, true, 5)
+	s.dir.Set(m, 0)
+	// A request that hits the block resets the budget.
+	s.Dispatch(0, 0, nil)
+	eng.RunUntilIdle()
+	if _, tracked := s.recirc[m]; tracked {
+		t.Fatal("access did not reset the recirculation budget")
+	}
+}
+
+func TestNChanceEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	sizes := make([]int64, 30)
+	for i := range sizes {
+		sizes[i] = int64(rng.Intn(32*1024) + 512)
+	}
+	tr := testTrace(sizes...)
+	eng, s := newServer(tr, Config{Nodes: 4, MemoryPerNode: 64 * 1024, Policy: PolicyNChance})
+	done := 0
+	for i := 0; i < 400; i++ {
+		s.Dispatch(rng.Intn(4), block.FileID(rng.Intn(30)), func() { done++ })
+		if i%9 == 0 {
+			eng.RunUntilIdle()
+		}
+	}
+	eng.RunUntilIdle()
+	if done != 400 {
+		t.Fatalf("completed %d of 400", done)
+	}
+	if s.stats.Forwards == 0 {
+		t.Fatal("n-chance never recirculated under pressure")
+	}
+	checkConsistency(t, s)
+}
+
+func TestNChanceSingleNodeDrops(t *testing.T) {
+	tr := testTrace(8*1024, 8*1024)
+	eng, s := newServer(tr, Config{Nodes: 1, MemoryPerNode: 8 * 1024, Policy: PolicyNChance})
+	m := block.ID{File: 0, Idx: 0}
+	s.nodes[0].cache.Insert(m, true, 5)
+	s.dir.Set(m, 0)
+	s.insertBlock(s.nodes[0], block.ID{File: 1, Idx: 0}, false)
+	eng.RunUntilIdle()
+	if s.stats.Forwards != 0 {
+		t.Fatal("single-node cluster forwarded")
+	}
+	if _, ok := s.dir.Holder(m); ok {
+		t.Fatal("master not dropped")
+	}
+}

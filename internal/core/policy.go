@@ -1,0 +1,70 @@
+// Package core implements the paper's contribution: a block-based
+// cooperative caching middleware layer for cluster-based servers (§3), with
+// the three variants evaluated in §5:
+//
+//   - PolicyBasic: classic cooperative caching. An approximate global-LRU
+//     replacement scheme in which a node evicts its locally oldest block;
+//     an evicted master gets a second chance — if some peer holds an older
+//     block, the master is forwarded there (never cascading), otherwise it
+//     is dropped. The disk queue is FIFO.
+//   - PolicySched: identical replacement, but the disk request queue uses a
+//     stream-preserving scheduler, fixing the §5 interleaving pathology.
+//   - PolicyMaster: PolicySched plus the paper's key modification — never
+//     evict a master copy while still holding any non-master copy; evict
+//     the oldest non-master instead. Memory thus first holds the working
+//     set of master copies before any replicas are kept.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/disk"
+)
+
+// Policy selects the cooperative caching variant.
+type Policy int
+
+const (
+	// PolicyBasic is traditional cooperative caching with a FIFO disk queue.
+	PolicyBasic Policy = iota
+	// PolicySched adds stream-preserving disk scheduling.
+	PolicySched
+	// PolicyMaster adds master-copy preservation (the paper's modification).
+	PolicyMaster
+	// PolicyNChance replaces the paper's replacement with Dahlin et al.'s
+	// classic N-chance forwarding from client-side cooperative caching
+	// (§2's related work): an evicted master (singlet) is forwarded to a
+	// *random* peer with a recirculation budget of N; each re-eviction
+	// spends one chance (cascades allowed, bounded by the budget) and an
+	// access resets it. Including it quantifies the paper's claim that
+	// client-side algorithms need modification for the server setting.
+	PolicyNChance
+)
+
+// String names the policy with the labels used in the paper's figures.
+func (p Policy) String() string {
+	switch p {
+	case PolicyBasic:
+		return "cc-basic"
+	case PolicySched:
+		return "cc-sched"
+	case PolicyMaster:
+		return "cc-master"
+	case PolicyNChance:
+		return "cc-nchance"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// DiskScheduler reports the disk queue discipline the policy uses.
+func (p Policy) DiskScheduler() disk.Scheduler {
+	if p == PolicyBasic {
+		return disk.FIFO
+	}
+	return disk.Sequential
+}
+
+// Policies lists all variants in figure order (N-chance is an extension,
+// not one of the paper's three curves).
+var Policies = []Policy{PolicyBasic, PolicySched, PolicyMaster, PolicyNChance}

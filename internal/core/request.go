@@ -1,0 +1,172 @@
+package core
+
+import (
+	"repro/internal/block"
+)
+
+// fetchWindow bounds how many block fetches one request keeps in flight
+// (8 blocks = one 64 KB extent, a readahead-sized window). Pipelining is
+// what makes a cold file's blocks arrive at its home disk as a back-to-back
+// stream: under the FIFO queue those streams interleave and pay a
+// positioning seek almost per block (the §5 pathology), while the scheduled
+// queue reassembles them.
+const fetchWindow = 8
+
+// request is one in-flight client request: a state machine advanced by
+// service-center completions.
+type request struct {
+	s        *Server
+	n        *ccNode
+	file     block.FileID
+	size     int64
+	nblocks  int32
+	next     int32 // next block index to examine
+	inflight int   // outstanding fetches
+	finished bool
+	done     func()
+}
+
+// step issues block work until the window is full or the file is exhausted,
+// then serves the response once every block has been materialized.
+func (r *request) step() {
+	s := r.s
+	if r.finished {
+		return
+	}
+	for r.next < r.nblocks && r.inflight < fetchWindow {
+		b := block.ID{File: r.file, Idx: r.next}
+		r.next++
+		s.stats.Accesses++
+		if r.n.cache.Touch(b, s.eng.Now()) {
+			s.stats.LocalHits++
+			if s.recirc != nil {
+				delete(s.recirc, b) // an access resets the N-chance budget
+			}
+			continue
+		}
+		r.inflight++
+		advance := func(o outcome) {
+			switch o {
+			case outRemote:
+				s.stats.RemoteHits++
+			case outDisk:
+				s.stats.DiskReads++
+			}
+			r.inflight--
+			r.step()
+		}
+		if fs, inflight := r.n.pending[b]; inflight {
+			// Coalesce with the fetch another request already started.
+			fs.waiters = append(fs.waiters, advance)
+			continue
+		}
+		if s.cfg.WholeFile {
+			s.fetchWholeFile(r.n, b, r.nblocks, advance)
+		} else {
+			s.fetchBlock(r.n, b, advance)
+		}
+	}
+	if r.next >= r.nblocks && r.inflight == 0 {
+		r.finished = true
+		r.serve()
+	}
+}
+
+// serve sends the response: CPU serving time, then the reply leaves through
+// the node's bus, NIC and the router.
+func (r *request) serve() {
+	node := r.s.hwc.Nodes[r.n.idx]
+	node.CPU.Do(r.s.p.ServeTime(r.size), func() {
+		r.s.hwc.Net.Send(node, nil, r.size, r.done)
+	})
+}
+
+// fetchBlock obtains one missing block per the §3 protocol: consult the
+// global directory for the master copy; fetch a non-master copy from its
+// holder; if the master is not in memory anywhere (or vanished in flight),
+// ask the file's home node to read it from disk, making this node the new
+// master holder.
+func (s *Server) fetchBlock(n *ccNode, b block.ID, cb func(outcome)) {
+	fs := &fetchState{}
+	n.pending[b] = fs
+
+	complete := func(o outcome) {
+		delete(n.pending, b)
+		cb(o)
+		for _, w := range fs.waiters {
+			w(o)
+		}
+	}
+
+	if m, ok := s.loc.Locate(n.idx, b); ok && m != n.idx {
+		s.fetchFromPeer(n, b, m, complete)
+		return
+	}
+	s.fetchFromHome(n, b, complete)
+}
+
+// fetchFromPeer asks node m for a copy of b. If m no longer holds it (the
+// race the paper's §3 optimism explicitly allows, and the common case for a
+// stale hint), m replies with a miss and the fetch falls back to the home
+// node's disk.
+func (s *Server) fetchFromPeer(n *ccNode, b block.ID, m int, complete func(outcome)) {
+	peerHW := s.hwc.Nodes[m]
+	nodeHW := s.hwc.Nodes[n.idx]
+	s.hwc.Net.SendMsg(nodeHW, peerHW, func() {
+		peerHW.CPU.Do(s.p.ServePeerBlock, func() {
+			if s.nodes[m].cache.Touch(b, s.eng.Now()) {
+				if s.recirc != nil {
+					delete(s.recirc, b) // an access resets the N-chance budget
+				}
+				s.hwc.Net.Send(peerHW, nodeHW, int64(s.cfg.Geometry.Size), func() {
+					nodeHW.CPU.Do(s.p.CacheNewBlock, func() {
+						s.insertBlock(n, b, false)
+						complete(outRemote)
+					})
+				})
+				return
+			}
+			// Master discarded while the request traveled: reply miss, then
+			// read through the home node. The miss reply corrects the
+			// directory if it still names this peer.
+			s.stats.RaceMisses++
+			if h, stillOk := s.dir.Holder(b); stillOk && h == m {
+				s.dir.Drop(b)
+			}
+			s.hwc.Net.SendMsg(peerHW, nodeHW, func() {
+				s.fetchFromHome(n, b, complete)
+			})
+		})
+	})
+}
+
+// fetchFromHome reads b's master copy from the file's home disk and installs
+// this node as the master holder.
+func (s *Server) fetchFromHome(n *ccNode, b block.ID, complete func(outcome)) {
+	h := int(s.homes[b.File])
+	nodeHW := s.hwc.Nodes[n.idx]
+	if h == n.idx {
+		s.hwc.Disks[h].Read(b.File, b.Idx, 1, func() {
+			nodeHW.Bus.Do(s.p.BusTransfer(int64(s.cfg.Geometry.Size)), func() {
+				nodeHW.CPU.Do(s.p.CacheNewBlock, func() {
+					s.insertBlock(n, b, true)
+					complete(outDisk)
+				})
+			})
+		})
+		return
+	}
+	homeHW := s.hwc.Nodes[h]
+	s.hwc.Net.SendMsg(nodeHW, homeHW, func() {
+		homeHW.CPU.Do(s.p.ServePeerBlock, func() {
+			s.hwc.Disks[h].Read(b.File, b.Idx, 1, func() {
+				s.hwc.Net.Send(homeHW, nodeHW, int64(s.cfg.Geometry.Size), func() {
+					nodeHW.CPU.Do(s.p.CacheNewBlock, func() {
+						s.insertBlock(n, b, true)
+						complete(outDisk)
+					})
+				})
+			})
+		})
+	})
+}

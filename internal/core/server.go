@@ -1,0 +1,175 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/block"
+	"repro/internal/cache"
+	"repro/internal/cluster"
+	"repro/internal/directory"
+	"repro/internal/hw"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Config parameterizes a cooperative caching server.
+type Config struct {
+	// Nodes is the cluster size (4–32 in the paper).
+	Nodes int
+	// MemoryPerNode is each node's cache size in bytes (4–512 MB in the
+	// paper's sweeps).
+	MemoryPerNode int64
+	// Policy selects the CC variant.
+	Policy Policy
+	// HintAccuracy, if in (0,1), replaces the perfect directory with the
+	// hint-based model at that accuracy (§6 future work; Sarkar & Hartman
+	// report ≈0.98). 0 or 1 means the paper's perfect directory.
+	HintAccuracy float64
+	// WholeFile enables the §6 whole-file adaptation: all missing blocks of
+	// a request are fetched in batched per-source exchanges instead of
+	// block-at-a-time.
+	WholeFile bool
+	// DisableForwarding drops evicted masters instead of giving them the
+	// §3 second chance (ablation of the eviction-forwarding design choice).
+	DisableForwarding bool
+	// NChance is the recirculation budget for PolicyNChance (0: the
+	// classic default of 2).
+	NChance int
+	// Geometry is the block/extent layout; zero value means the default
+	// 8 KB / 64 KB.
+	Geometry block.Geometry
+}
+
+// Server is a simulated cluster web server built on the cooperative caching
+// middleware. It implements cluster.Backend.
+type Server struct {
+	cfg   Config
+	hwc   *cluster.Hardware
+	eng   *sim.Engine
+	p     *hw.Params
+	tr    *trace.Trace
+	dir   *directory.Perfect
+	loc   directory.Locator
+	nodes []*ccNode
+	homes []int16 // file -> home node (global file-to-node mapping, §3)
+	// recirc tracks remaining N-chance recirculations for forwarded
+	// masters (PolicyNChance only); an access resets by deleting the entry.
+	recirc map[block.ID]int8
+	stats  cluster.CacheStats
+}
+
+// ccNode is the per-node middleware state.
+type ccNode struct {
+	idx     int
+	cache   *cache.BlockCache
+	pending map[block.ID]*fetchState
+}
+
+// fetchState tracks one in-flight block fetch; concurrent requests for the
+// same block on the same node coalesce onto it instead of issuing duplicate
+// protocol messages.
+type fetchState struct {
+	waiters []func(outcome)
+}
+
+// outcome classifies how a missing block was obtained.
+type outcome int
+
+const (
+	outRemote outcome = iota // served from a peer's memory
+	outDisk                  // read from a disk (local or home)
+)
+
+// New builds a CC server over a fresh hardware substrate on eng, serving
+// the file set of tr.
+func New(eng *sim.Engine, p *hw.Params, tr *trace.Trace, cfg Config) *Server {
+	if cfg.Nodes <= 0 {
+		panic("core: config needs Nodes > 0")
+	}
+	if cfg.MemoryPerNode <= 0 {
+		panic("core: config needs MemoryPerNode > 0")
+	}
+	if cfg.Geometry == (block.Geometry{}) {
+		cfg.Geometry = block.DefaultGeometry
+	}
+	if err := cfg.Geometry.Validate(); err != nil {
+		panic(err)
+	}
+	hwc := cluster.NewHardware(eng, p, cfg.Geometry, cfg.Nodes, cfg.Policy.DiskScheduler())
+	s := &Server{
+		cfg: cfg,
+		hwc: hwc,
+		eng: eng,
+		p:   p,
+		tr:  tr,
+		dir: directory.NewPerfect(),
+	}
+	s.loc = s.dir
+	if cfg.HintAccuracy > 0 && cfg.HintAccuracy < 1 {
+		s.loc = directory.NewHints(s.dir, eng.Rand(), cfg.HintAccuracy)
+	}
+	if cfg.Policy == PolicyNChance {
+		if s.cfg.NChance == 0 {
+			s.cfg.NChance = 2
+		}
+		s.recirc = make(map[block.ID]int8)
+	}
+	blocksPerNode := int(cfg.MemoryPerNode / int64(cfg.Geometry.Size))
+	if blocksPerNode < 1 {
+		panic(fmt.Sprintf("core: memory %d smaller than one block", cfg.MemoryPerNode))
+	}
+	s.nodes = make([]*ccNode, cfg.Nodes)
+	for i := range s.nodes {
+		s.nodes[i] = &ccNode{
+			idx:     i,
+			cache:   cache.NewBlockCache(blocksPerNode),
+			pending: make(map[block.ID]*fetchState),
+		}
+	}
+	// Files are distributed across all nodes; every node knows the global
+	// file-to-node mapping (§3). Round-robin by ID gives an even spread that
+	// is independent of popularity (trace generation scatters popularity
+	// over IDs).
+	s.homes = make([]int16, len(tr.Files))
+	for i := range s.homes {
+		s.homes[i] = int16(i % cfg.Nodes)
+	}
+	return s
+}
+
+// Hardware implements cluster.Backend.
+func (s *Server) Hardware() *cluster.Hardware { return s.hwc }
+
+// CacheStats implements cluster.Backend.
+func (s *Server) CacheStats() cluster.CacheStats { return s.stats }
+
+// ResetStats implements cluster.Backend.
+func (s *Server) ResetStats() { s.stats = cluster.CacheStats{} }
+
+// Directory exposes the underlying master directory (tests, tools).
+func (s *Server) Directory() *directory.Perfect { return s.dir }
+
+// Home reports the home node of file f.
+func (s *Server) Home(f block.FileID) int { return int(s.homes[f]) }
+
+// NodeCache exposes node i's block cache (tests, tools).
+func (s *Server) NodeCache(i int) *cache.BlockCache { return s.nodes[i].cache }
+
+// Dispatch implements cluster.Backend: a client request for file arrives at
+// node (round-robin DNS picks it), crosses the router and the node's NIC,
+// is parsed, has its blocks materialized through the cooperative cache, and
+// the response is sent back to the client.
+func (s *Server) Dispatch(node int, file block.FileID, done func()) {
+	if node < 0 || node >= len(s.nodes) {
+		panic(fmt.Sprintf("core: dispatch to node %d of %d", node, len(s.nodes)))
+	}
+	n := s.nodes[node]
+	size := s.tr.Size(file)
+	nblocks := s.cfg.Geometry.Count(size)
+	r := &request{s: s, n: n, file: file, size: size, nblocks: nblocks, done: done}
+	s.hwc.Net.Send(nil, s.hwc.Nodes[node], int64(s.p.MsgHeader), func() {
+		s.hwc.Nodes[node].CPU.Do(s.p.ParseTime, func() {
+			s.hwc.Nodes[node].CPU.Do(s.p.FileReqTime(int(nblocks)), r.step)
+		})
+	})
+}

@@ -1,0 +1,240 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/block"
+	"repro/internal/hw"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// testTrace builds a file set with the given sizes (bytes).
+func testTrace(sizes ...int64) *trace.Trace {
+	tr := &trace.Trace{Name: "test"}
+	for i, sz := range sizes {
+		tr.Files = append(tr.Files, trace.File{ID: block.FileID(i), Size: sz})
+	}
+	return tr
+}
+
+var testParams = hw.DefaultParams()
+
+func newServer(tr *trace.Trace, cfg Config) (*sim.Engine, *Server) {
+	eng := sim.NewEngine(1)
+	return eng, New(eng, &testParams, tr, cfg)
+}
+
+// checkConsistency verifies, at idle, that the directory and node caches
+// agree: every directory entry points to a node caching that block as a
+// master, and every cached master is in the directory.
+func checkConsistency(t *testing.T, s *Server) {
+	t.Helper()
+	for i := range s.nodes {
+		c := s.nodes[i].cache
+		for f := range s.tr.Files {
+			nb := s.cfg.Geometry.Count(s.tr.Files[f].Size)
+			for idx := int32(0); idx < nb; idx++ {
+				b := block.ID{File: block.FileID(f), Idx: idx}
+				if c.IsMaster(b) {
+					holder, ok := s.dir.Holder(b)
+					if !ok || holder != i {
+						t.Errorf("node %d holds master %v but directory says %d,%v", i, b, holder, ok)
+					}
+				}
+			}
+		}
+	}
+	// Directory entries must be backed by a cached master.
+	for f := range s.tr.Files {
+		nb := s.cfg.Geometry.Count(s.tr.Files[f].Size)
+		for idx := int32(0); idx < nb; idx++ {
+			b := block.ID{File: block.FileID(f), Idx: idx}
+			if holder, ok := s.dir.Holder(b); ok {
+				if !s.nodes[holder].cache.IsMaster(b) {
+					t.Errorf("directory maps %v to node %d, which does not hold it as master", b, holder)
+				}
+			}
+		}
+	}
+}
+
+func TestSingleRequestColdRead(t *testing.T) {
+	tr := testTrace(20 * 1024) // 3 blocks
+	eng, s := newServer(tr, Config{Nodes: 2, MemoryPerNode: 1 << 20, Policy: PolicyBasic})
+	served := false
+	var rt sim.Time
+	s.Dispatch(0, 0, func() { served = true; rt = eng.Now() })
+	eng.RunUntilIdle()
+	if !served {
+		t.Fatal("request never completed")
+	}
+	st := s.CacheStats()
+	if st.Accesses != 3 || st.DiskReads != 3 || st.LocalHits != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// All three blocks should now be masters at node 0 (file 0 homed at 0).
+	for i := int32(0); i < 3; i++ {
+		if !s.NodeCache(0).IsMaster(block.ID{File: 0, Idx: i}) {
+			t.Fatalf("block %d not cached as master", i)
+		}
+	}
+	// A cold 3-block read pays positioning + metadata + transfer: ≥ 14 ms.
+	if rt < sim.Time(14*sim.Millisecond) {
+		t.Fatalf("cold response at %v, faster than the disk model allows", rt)
+	}
+	checkConsistency(t, s)
+}
+
+func TestWarmRequestAllLocalHits(t *testing.T) {
+	tr := testTrace(20 * 1024)
+	eng, s := newServer(tr, Config{Nodes: 2, MemoryPerNode: 1 << 20, Policy: PolicyBasic})
+	s.Dispatch(0, 0, nil)
+	eng.RunUntilIdle()
+	s.ResetStats()
+	var t0, t1 sim.Time
+	t0 = eng.Now()
+	s.Dispatch(0, 0, func() { t1 = eng.Now() })
+	eng.RunUntilIdle()
+	st := s.CacheStats()
+	if st.Accesses != 3 || st.LocalHits != 3 {
+		t.Fatalf("warm stats = %+v", st)
+	}
+	if s.Hardware().Disks[0].Reads() != 0 {
+		// ResetStats on server does not clear hardware; check via delta
+		// instead: no new disk reads should have occurred. Reads() counts
+		// since creation, so compare against the cold count (3 blocks may
+		// arrive as fewer reads if coalesced; just ensure warm time is
+		// sub-millisecond-ish).
+	}
+	if rt := t1.Sub(t0); rt > 2*sim.Millisecond {
+		t.Fatalf("warm response took %v, want ~sub-ms CPU+NIC only", rt)
+	}
+}
+
+func TestRemoteFetchFromPeer(t *testing.T) {
+	tr := testTrace(8 * 1024) // 1 block, homed at node 0
+	eng, s := newServer(tr, Config{Nodes: 2, MemoryPerNode: 1 << 20, Policy: PolicyBasic})
+	s.Dispatch(0, 0, nil) // node 0 now holds the master
+	eng.RunUntilIdle()
+	s.ResetStats()
+	s.Dispatch(1, 0, nil) // node 1 should fetch from node 0's memory
+	eng.RunUntilIdle()
+	st := s.CacheStats()
+	if st.RemoteHits != 1 || st.DiskReads != 0 {
+		t.Fatalf("stats = %+v, want one remote hit", st)
+	}
+	b := block.ID{File: 0, Idx: 0}
+	if !s.NodeCache(1).Contains(b) || s.NodeCache(1).IsMaster(b) {
+		t.Fatal("node 1 should hold a non-master copy")
+	}
+	if !s.NodeCache(0).IsMaster(b) {
+		t.Fatal("node 0 should still hold the master")
+	}
+	checkConsistency(t, s)
+}
+
+func TestHomeReadRemoteHome(t *testing.T) {
+	tr := testTrace(1024, 8*1024) // file 1 homed at node 1
+	eng, s := newServer(tr, Config{Nodes: 2, MemoryPerNode: 1 << 20, Policy: PolicyBasic})
+	s.Dispatch(0, 1, nil) // node 0 requests file 1: home read at node 1's disk
+	eng.RunUntilIdle()
+	st := s.CacheStats()
+	if st.DiskReads != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if s.Hardware().Disks[1].Reads() != 1 || s.Hardware().Disks[0].Reads() != 0 {
+		t.Fatal("read did not go to the home node's disk")
+	}
+	b := block.ID{File: 1, Idx: 0}
+	if !s.NodeCache(0).IsMaster(b) {
+		t.Fatal("requester did not become master holder")
+	}
+	if s.NodeCache(1).Contains(b) {
+		t.Fatal("home node should not cache the block it served from disk")
+	}
+	checkConsistency(t, s)
+}
+
+func TestPendingCoalescing(t *testing.T) {
+	tr := testTrace(8 * 1024)
+	eng, s := newServer(tr, Config{Nodes: 1, MemoryPerNode: 1 << 20, Policy: PolicyBasic})
+	done := 0
+	s.Dispatch(0, 0, func() { done++ })
+	s.Dispatch(0, 0, func() { done++ })
+	s.Dispatch(0, 0, func() { done++ })
+	eng.RunUntilIdle()
+	if done != 3 {
+		t.Fatalf("completed %d of 3", done)
+	}
+	if got := s.Hardware().Disks[0].Reads(); got != 1 {
+		t.Fatalf("disk reads = %d, want 1 (concurrent fetches must coalesce)", got)
+	}
+	st := s.CacheStats()
+	if st.Accesses != 3 || st.DiskReads != 3 {
+		// Three accesses, one physical read; all three classified as disk.
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestRaceFallbackToHome(t *testing.T) {
+	tr := testTrace(8 * 1024)
+	eng, s := newServer(tr, Config{Nodes: 2, MemoryPerNode: 1 << 20, Policy: PolicyBasic})
+	// Fabricate the §3 race: directory claims node 1 holds the master, but
+	// node 1 has nothing.
+	b := block.ID{File: 0, Idx: 0}
+	s.dir.Set(b, 1)
+	served := false
+	s.Dispatch(0, 0, func() { served = true })
+	eng.RunUntilIdle()
+	if !served {
+		t.Fatal("request never completed")
+	}
+	st := s.CacheStats()
+	if st.RaceMisses != 1 || st.DiskReads != 1 {
+		t.Fatalf("stats = %+v, want race miss + disk read", st)
+	}
+	if !s.NodeCache(0).IsMaster(b) {
+		t.Fatal("requester did not recover mastership via home read")
+	}
+	checkConsistency(t, s)
+}
+
+func TestConfigValidation(t *testing.T) {
+	tr := testTrace(1024)
+	eng := sim.NewEngine(1)
+	assertPanics(t, "no nodes", func() { New(eng, &testParams, tr, Config{MemoryPerNode: 1 << 20}) })
+	assertPanics(t, "no memory", func() { New(eng, &testParams, tr, Config{Nodes: 1}) })
+	assertPanics(t, "tiny memory", func() {
+		New(eng, &testParams, tr, Config{Nodes: 1, MemoryPerNode: 100})
+	})
+	s := New(eng, &testParams, tr, Config{Nodes: 1, MemoryPerNode: 1 << 20})
+	assertPanics(t, "bad node", func() { s.Dispatch(5, 0, nil) })
+}
+
+func assertPanics(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: no panic", name)
+		}
+	}()
+	fn()
+}
+
+func TestPolicyStrings(t *testing.T) {
+	if PolicyBasic.String() != "cc-basic" || PolicyMaster.String() != "cc-master" {
+		t.Fatal("policy names wrong")
+	}
+	if PolicyBasic.DiskScheduler() == PolicySched.DiskScheduler() {
+		t.Fatal("basic and sched must differ in disk scheduling")
+	}
+}
+
+func TestHomeMapping(t *testing.T) {
+	tr := testTrace(1024, 1024, 1024, 1024)
+	_, s := newServer(tr, Config{Nodes: 3, MemoryPerNode: 1 << 20})
+	if s.Home(0) != 0 || s.Home(1) != 1 || s.Home(2) != 2 || s.Home(3) != 0 {
+		t.Fatal("round-robin home mapping broken")
+	}
+}

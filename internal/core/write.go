@@ -1,0 +1,96 @@
+package core
+
+import (
+	"repro/internal/block"
+)
+
+// DispatchWrite delivers a whole-file update to the cluster (the §6 "writes
+// as well as reads" extension, simulated): the entry node parses the
+// request, invalidates every cached block of the file cluster-wide
+// (write-invalidate keeps the read protocol untouched), writes the new
+// content through to the file's home disk, and acknowledges the client.
+// The writer does not cache the new content (no write-allocate): the next
+// read faults it back in through the normal §3 protocol.
+func (s *Server) DispatchWrite(node int, file block.FileID, done func()) {
+	n := s.nodes[node]
+	nodeHW := s.hwc.Nodes[node]
+	size := s.tr.Size(file)
+	nblocks := s.cfg.Geometry.Count(size)
+
+	s.hwc.Net.Send(nil, nodeHW, size, func() {
+		nodeHW.CPU.Do(s.p.ParseTime+s.p.FileReqTime(int(nblocks)), func() {
+			s.invalidateFile(n, file, nblocks, func() {
+				s.writeHome(n, file, nblocks, size, func() {
+					s.hwc.Net.Send(nodeHW, nil, int64(s.p.MsgHeader), done)
+				})
+			})
+		})
+	})
+}
+
+// invalidateFile drops every cached block of the file on every node. The
+// entry node invalidates locally for free-ish (CPU cost), peers each get
+// one control message and acknowledge.
+func (s *Server) invalidateFile(n *ccNode, file block.FileID, nblocks int32, doneAll func()) {
+	s.dropFileBlocks(n.idx, file, nblocks)
+	remaining := len(s.nodes) - 1
+	if remaining == 0 {
+		doneAll()
+		return
+	}
+	nodeHW := s.hwc.Nodes[n.idx]
+	for i := range s.nodes {
+		if i == n.idx {
+			continue
+		}
+		peer := i
+		peerHW := s.hwc.Nodes[peer]
+		s.hwc.Net.SendMsg(nodeHW, peerHW, func() {
+			peerHW.CPU.Do(s.p.ProcessEvictedMaster, func() {
+				s.dropFileBlocks(peer, file, nblocks)
+				s.hwc.Net.SendMsg(peerHW, nodeHW, func() {
+					remaining--
+					if remaining == 0 {
+						doneAll()
+					}
+				})
+			})
+		})
+	}
+}
+
+// dropFileBlocks removes all of the file's blocks from one node's cache,
+// clearing directory entries for dropped masters.
+func (s *Server) dropFileBlocks(node int, file block.FileID, nblocks int32) {
+	c := s.nodes[node].cache
+	for i := int32(0); i < nblocks; i++ {
+		b := block.ID{File: file, Idx: i}
+		if present, master := c.Remove(b); present && master {
+			if holder, ok := s.dir.Holder(b); ok && holder == node {
+				s.dir.Drop(b)
+			}
+		}
+		if s.recirc != nil {
+			delete(s.recirc, b)
+		}
+	}
+}
+
+// writeHome persists the file at its home disk: the content travels to the
+// home node (unless local) and is written as one contiguous run. The disk
+// model's read cost doubles as the write cost (seek + rotation + transfer).
+func (s *Server) writeHome(n *ccNode, file block.FileID, nblocks int32, size int64, done func()) {
+	h := int(s.homes[file])
+	if h == n.idx {
+		s.hwc.Nodes[h].Bus.Do(s.p.BusTransfer(size), func() {
+			s.hwc.Disks[h].Read(file, 0, nblocks, done)
+		})
+		return
+	}
+	homeHW := s.hwc.Nodes[h]
+	s.hwc.Net.Send(s.hwc.Nodes[n.idx], homeHW, size, func() {
+		homeHW.CPU.Do(s.p.ServePeerBlock, func() {
+			s.hwc.Disks[h].Read(file, 0, nblocks, done)
+		})
+	})
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/block"
+)
+
+func TestDispatchWriteInvalidatesClusterWide(t *testing.T) {
+	tr := testTrace(24 * 1024) // 3 blocks
+	eng, s := newServer(tr, Config{Nodes: 3, MemoryPerNode: 1 << 20, Policy: PolicyMaster})
+	// Warm all three nodes with the file.
+	for i := 0; i < 3; i++ {
+		s.Dispatch(i, 0, nil)
+		eng.RunUntilIdle()
+	}
+	for i := 0; i < 3; i++ {
+		if !s.NodeCache(i).Contains(block.ID{File: 0, Idx: 0}) {
+			t.Fatalf("node %d not warmed", i)
+		}
+	}
+	done := false
+	s.DispatchWrite(1, 0, func() { done = true })
+	eng.RunUntilIdle()
+	if !done {
+		t.Fatal("write never acknowledged")
+	}
+	// No node holds any block of the file; the directory forgot it.
+	for i := 0; i < 3; i++ {
+		for idx := int32(0); idx < 3; idx++ {
+			if s.NodeCache(i).Contains(block.ID{File: 0, Idx: idx}) {
+				t.Fatalf("node %d still caches block %d after write", i, idx)
+			}
+		}
+	}
+	for idx := int32(0); idx < 3; idx++ {
+		if _, ok := s.dir.Holder(block.ID{File: 0, Idx: idx}); ok {
+			t.Fatalf("directory still maps block %d", idx)
+		}
+	}
+	checkConsistency(t, s)
+}
+
+func TestDispatchWriteHitsHomeDisk(t *testing.T) {
+	tr := testTrace(1024, 16*1024) // file 1 homed at node 1
+	eng, s := newServer(tr, Config{Nodes: 2, MemoryPerNode: 1 << 20, Policy: PolicyMaster})
+	s.DispatchWrite(0, 1, nil)
+	eng.RunUntilIdle()
+	if got := s.Hardware().Disks[1].Reads(); got != 1 {
+		t.Fatalf("home disk accesses = %d, want 1 (the write)", got)
+	}
+	if got := s.Hardware().Disks[0].Reads(); got != 0 {
+		t.Fatalf("non-home disk accessed: %d", got)
+	}
+}
+
+func TestDispatchWriteLocalHome(t *testing.T) {
+	tr := testTrace(8 * 1024) // homed at node 0
+	eng, s := newServer(tr, Config{Nodes: 1, MemoryPerNode: 1 << 20, Policy: PolicyMaster})
+	done := false
+	s.DispatchWrite(0, 0, func() { done = true })
+	eng.RunUntilIdle()
+	if !done {
+		t.Fatal("single-node write never acknowledged")
+	}
+}
+
+func TestReadAfterWriteFaultsBackIn(t *testing.T) {
+	tr := testTrace(16 * 1024)
+	eng, s := newServer(tr, Config{Nodes: 2, MemoryPerNode: 1 << 20, Policy: PolicyMaster})
+	s.Dispatch(0, 0, nil)
+	eng.RunUntilIdle()
+	s.DispatchWrite(1, 0, nil)
+	eng.RunUntilIdle()
+	s.ResetStats()
+	s.Dispatch(0, 0, nil)
+	eng.RunUntilIdle()
+	st := s.CacheStats()
+	if st.DiskReads != 2 {
+		t.Fatalf("read after write: %+v, want 2 disk reads (write-invalidate, no allocate)", st)
+	}
+	checkConsistency(t, s)
+}
+
+func TestMixedReadWriteWorkload(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	sizes := make([]int64, 20)
+	for i := range sizes {
+		sizes[i] = int64(rng.Intn(32*1024) + 512)
+	}
+	tr := testTrace(sizes...)
+	eng, s := newServer(tr, Config{Nodes: 4, MemoryPerNode: 128 * 1024, Policy: PolicyMaster})
+	done := 0
+	for i := 0; i < 300; i++ {
+		f := block.FileID(rng.Intn(20))
+		node := rng.Intn(4)
+		if rng.Intn(5) == 0 {
+			s.DispatchWrite(node, f, func() { done++ })
+		} else {
+			s.Dispatch(node, f, func() { done++ })
+		}
+		if i%11 == 0 {
+			eng.RunUntilIdle()
+		}
+	}
+	eng.RunUntilIdle()
+	if done != 300 {
+		t.Fatalf("completed %d of 300 mixed ops", done)
+	}
+	checkConsistency(t, s)
+}

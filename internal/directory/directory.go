@@ -1,0 +1,94 @@
+// Package directory implements the global master-block directory of the
+// cooperative caching layer: the perfect, zero-cost directory the paper's
+// simulations assume (§3), plus the hint-based variant of Sarkar & Hartman
+// that the paper names as future work (§6).
+package directory
+
+import (
+	"fmt"
+
+	"repro/internal/block"
+)
+
+// NoNode marks the absence of a holder.
+const NoNode = -1
+
+// Locator is the lookup interface the caching core uses to find the master
+// copy of a block. Implementations: *Perfect (instantaneous global
+// knowledge) and *Hints (per-node possibly-stale views).
+type Locator interface {
+	// Locate reports which node is believed to hold the master of id, from
+	// the perspective of node asker. ok is false if no master is known.
+	Locate(asker int, id block.ID) (node int, ok bool)
+}
+
+// Perfect is the paper's optimistic global directory: every lookup sees the
+// true current holder, and maintenance costs nothing. Note the limit the
+// paper itself points out: the answer is true at lookup time, but the master
+// may be discarded while the request travels, so a fetch can still miss.
+type Perfect struct {
+	masters map[block.ID]int16
+	// prev remembers the previous holder of a moved master; the hint-based
+	// simulation model uses it as the stale answer.
+	prev map[block.ID]int16
+
+	lookups uint64
+	moves   uint64
+}
+
+// NewPerfect returns an empty directory.
+func NewPerfect() *Perfect {
+	return &Perfect{
+		masters: make(map[block.ID]int16),
+		prev:    make(map[block.ID]int16),
+	}
+}
+
+// Locate implements Locator.
+func (d *Perfect) Locate(_ int, id block.ID) (int, bool) {
+	d.lookups++
+	n, ok := d.masters[id]
+	return int(n), ok
+}
+
+// Holder reports the true current master holder (same as Locate for the
+// perfect directory, without counting a lookup).
+func (d *Perfect) Holder(id block.ID) (int, bool) {
+	n, ok := d.masters[id]
+	return int(n), ok
+}
+
+// Set records that node now holds the master of id.
+func (d *Perfect) Set(id block.ID, node int) {
+	if node < 0 || node > 1<<15-1 {
+		panic(fmt.Sprintf("directory: node %d out of range", node))
+	}
+	if old, ok := d.masters[id]; ok && int(old) != node {
+		d.prev[id] = old
+		d.moves++
+	}
+	d.masters[id] = int16(node)
+}
+
+// Drop records that the master of id left memory entirely.
+func (d *Perfect) Drop(id block.ID) {
+	if old, ok := d.masters[id]; ok {
+		d.prev[id] = old
+	}
+	delete(d.masters, id)
+}
+
+// Prev reports the previous holder of id's master, if it ever moved.
+func (d *Perfect) Prev(id block.ID) (int, bool) {
+	n, ok := d.prev[id]
+	return int(n), ok
+}
+
+// Size reports how many masters are currently recorded.
+func (d *Perfect) Size() int { return len(d.masters) }
+
+// Lookups reports the number of Locate calls.
+func (d *Perfect) Lookups() uint64 { return d.lookups }
+
+// Moves reports how many times a master changed holder.
+func (d *Perfect) Moves() uint64 { return d.moves }

@@ -1,0 +1,138 @@
+package directory
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/block"
+)
+
+func bid(f, i int) block.ID { return block.ID{File: block.FileID(f), Idx: int32(i)} }
+
+func TestPerfectSetLocateDrop(t *testing.T) {
+	d := NewPerfect()
+	if _, ok := d.Locate(0, bid(1, 0)); ok {
+		t.Fatal("empty directory located a master")
+	}
+	d.Set(bid(1, 0), 3)
+	n, ok := d.Locate(0, bid(1, 0))
+	if !ok || n != 3 {
+		t.Fatalf("Locate = %d,%v", n, ok)
+	}
+	d.Drop(bid(1, 0))
+	if _, ok := d.Locate(0, bid(1, 0)); ok {
+		t.Fatal("dropped master still located")
+	}
+	if d.Size() != 0 {
+		t.Fatalf("Size = %d", d.Size())
+	}
+	if d.Lookups() != 3 {
+		t.Fatalf("Lookups = %d", d.Lookups())
+	}
+}
+
+func TestPerfectTracksMoves(t *testing.T) {
+	d := NewPerfect()
+	d.Set(bid(1, 0), 1)
+	d.Set(bid(1, 0), 2)
+	if d.Moves() != 1 {
+		t.Fatalf("Moves = %d", d.Moves())
+	}
+	prev, ok := d.Prev(bid(1, 0))
+	if !ok || prev != 1 {
+		t.Fatalf("Prev = %d,%v", prev, ok)
+	}
+	// Re-setting to the same node is not a move.
+	d.Set(bid(1, 0), 2)
+	if d.Moves() != 1 {
+		t.Fatalf("Moves after same-node set = %d", d.Moves())
+	}
+}
+
+func TestPerfectRejectsBadNode(t *testing.T) {
+	d := NewPerfect()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative node accepted")
+		}
+	}()
+	d.Set(bid(1, 0), -2)
+}
+
+func TestHintsPerfectAccuracy(t *testing.T) {
+	d := NewPerfect()
+	h := NewHints(d, rand.New(rand.NewSource(1)), 1.0)
+	d.Set(bid(1, 0), 1)
+	d.Set(bid(1, 0), 2)
+	for i := 0; i < 100; i++ {
+		n, ok := h.Locate(0, bid(1, 0))
+		if !ok || n != 2 {
+			t.Fatalf("accuracy=1 hint returned %d,%v", n, ok)
+		}
+	}
+	if h.StaleRate() != 0 {
+		t.Fatalf("StaleRate = %f", h.StaleRate())
+	}
+}
+
+func TestHintsStaleRate(t *testing.T) {
+	d := NewPerfect()
+	h := NewHints(d, rand.New(rand.NewSource(1)), 0.9)
+	d.Set(bid(1, 0), 1)
+	d.Set(bid(1, 0), 2) // moved: prev = 1
+	stale := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		node, ok := h.Locate(0, bid(1, 0))
+		if !ok {
+			t.Fatal("lookup failed")
+		}
+		if node == 1 {
+			stale++
+		} else if node != 2 {
+			t.Fatalf("unexpected node %d", node)
+		}
+	}
+	rate := float64(stale) / n
+	if rate < 0.07 || rate > 0.13 {
+		t.Fatalf("stale rate = %f, want ~0.10", rate)
+	}
+	if h.Lookups() != n {
+		t.Fatalf("Lookups = %d", h.Lookups())
+	}
+}
+
+func TestHintsNeverMovedIsAccurate(t *testing.T) {
+	d := NewPerfect()
+	h := NewHints(d, rand.New(rand.NewSource(1)), 0.5)
+	d.Set(bid(1, 0), 4)
+	for i := 0; i < 100; i++ {
+		n, ok := h.Locate(0, bid(1, 0))
+		if !ok || n != 4 {
+			t.Fatal("hint for never-moved master was wrong")
+		}
+	}
+}
+
+func TestHintsStaleOnDropped(t *testing.T) {
+	d := NewPerfect()
+	h := NewHints(d, rand.New(rand.NewSource(1)), 0.0) // always stale
+	d.Set(bid(1, 0), 1)
+	d.Drop(bid(1, 0))
+	n, ok := h.Locate(0, bid(1, 0))
+	if !ok || n != 1 {
+		t.Fatalf("dropped master with stale hint: %d,%v (want claimed at 1)", n, ok)
+	}
+}
+
+func TestHintsRejectsBadAccuracy(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("accuracy 2 accepted")
+		}
+	}()
+	NewHints(NewPerfect(), rand.New(rand.NewSource(1)), 2)
+}
+
+var _ Locator = (*Perfect)(nil)
+var _ Locator = (*Hints)(nil)

@@ -1,0 +1,68 @@
+package directory
+
+import (
+	"math/rand"
+
+	"repro/internal/block"
+)
+
+// Hints models the hint-based directory of Sarkar & Hartman over the true
+// directory: each lookup is correct with probability Accuracy (they report
+// ≈98% achievable with hints piggybacked on existing messages at ≈0.4%
+// overhead); otherwise it returns the *previous* holder of the master — the
+// characteristic failure mode of stale hints. When a hint is wrong the
+// caching core pays the extra forwarding hop a real hint protocol pays.
+//
+// This is the simulation-side model; the live middleware in
+// internal/middleware implements an actual hint protocol with piggybacked
+// updates, whose measured accuracy can be compared against this model.
+type Hints struct {
+	truth    *Perfect
+	rng      *rand.Rand
+	accuracy float64
+
+	lookups uint64
+	stale   uint64
+}
+
+// NewHints wraps the true directory with per-lookup staleness.
+func NewHints(truth *Perfect, rng *rand.Rand, accuracy float64) *Hints {
+	if accuracy < 0 || accuracy > 1 {
+		panic("directory: accuracy out of [0,1]")
+	}
+	return &Hints{truth: truth, rng: rng, accuracy: accuracy}
+}
+
+// Locate implements Locator. A stale lookup returns the previous holder if
+// one exists (otherwise the truth — a block that never moved cannot have a
+// stale hint).
+func (h *Hints) Locate(asker int, id block.ID) (int, bool) {
+	h.lookups++
+	node, ok := h.truth.Holder(id)
+	if !ok {
+		// A stale hint can also claim presence for a dropped master.
+		if prev, had := h.truth.Prev(id); had && h.rng.Float64() > h.accuracy {
+			h.stale++
+			return prev, true
+		}
+		return NoNode, false
+	}
+	if h.rng.Float64() > h.accuracy {
+		if prev, had := h.truth.Prev(id); had && prev != node {
+			h.stale++
+			return prev, true
+		}
+	}
+	return node, true
+}
+
+// StaleRate reports the observed fraction of stale lookups.
+func (h *Hints) StaleRate() float64 {
+	if h.lookups == 0 {
+		return 0
+	}
+	return float64(h.stale) / float64(h.lookups)
+}
+
+// Lookups reports the number of Locate calls.
+func (h *Hints) Lookups() uint64 { return h.lookups }

@@ -1,0 +1,257 @@
+// Package disk models a single disk drive: a seek/rotation/transfer cost
+// model over a 64 KB-extent file layout, with either a FIFO request queue
+// (the paper's original model, in which interleaved request streams pay
+// heavy seek penalties) or a stream-preserving scheduler (the paper's fix,
+// yielding its disk-scheduled CC variant).
+package disk
+
+import (
+	"fmt"
+
+	"repro/internal/block"
+	"repro/internal/hw"
+	"repro/internal/sim"
+)
+
+// Scheduler selects the queue discipline for pending disk requests.
+type Scheduler int
+
+const (
+	// FIFO serves requests strictly in arrival order. Interleaved streams
+	// pay a positioning seek on nearly every access — the behaviour the
+	// paper identifies as CC-Basic's first bottleneck.
+	FIFO Scheduler = iota
+	// Sequential prefers the queued request that continues the current head
+	// position (same file, next block), falling back to the oldest request.
+	// An aging bound prevents starvation. This is the "simple scheduling
+	// algorithm in our queue of disk requests" of §5.
+	Sequential
+)
+
+// String names the scheduler.
+func (s Scheduler) String() string {
+	switch s {
+	case FIFO:
+		return "fifo"
+	case Sequential:
+		return "sequential"
+	default:
+		return fmt.Sprintf("Scheduler(%d)", int(s))
+	}
+}
+
+// Request is a read of Count consecutive blocks of a file starting at
+// block Start. Done fires when the data is in memory.
+type Request struct {
+	File  block.FileID
+	Start int32
+	Count int32
+	Done  func()
+
+	arrived sim.Time
+}
+
+// Disk models one drive attached to a node.
+type Disk struct {
+	eng   Engine
+	p     *hw.Params
+	geom  block.Geometry
+	sched Scheduler
+
+	// maxRun bounds how many consecutive continuation picks the Sequential
+	// scheduler may make before it must serve the FIFO head, so the head's
+	// wait is bounded by one run regardless of queue depth.
+	maxRun int
+	runLen int
+
+	queue []Request
+	busy  bool
+
+	// Head position: the block that would continue the current stream.
+	lastFile  block.FileID
+	lastBlock int32
+	hasPos    bool
+
+	// statistics
+	busyTime   sim.Duration
+	lastStart  sim.Time
+	statsSince sim.Time
+	reads      uint64
+	seeks      uint64
+	seqReads   uint64
+	blocksRead uint64
+	maxQueue   int
+}
+
+// Engine is the subset of the simulation engine the disk needs; it is
+// satisfied by *sim.Engine.
+type Engine interface {
+	Now() sim.Time
+	Schedule(d sim.Duration, fn func())
+}
+
+// New returns a disk attached to eng using the cost model in p and the
+// on-disk layout geom.
+func New(eng Engine, p *hw.Params, geom block.Geometry, sched Scheduler) *Disk {
+	return &Disk{
+		eng:    eng,
+		p:      p,
+		geom:   geom,
+		sched:  sched,
+		maxRun: 16,
+	}
+}
+
+// SetMaxRun overrides the Sequential scheduler's starvation bound: the
+// maximum number of continuation picks between FIFO-head services.
+func (d *Disk) SetMaxRun(n int) { d.maxRun = n }
+
+// Submit queues a read request. If the disk is idle it starts immediately.
+func (d *Disk) Submit(r Request) {
+	if r.Count <= 0 {
+		panic("disk: request with non-positive block count")
+	}
+	r.arrived = d.eng.Now()
+	if !d.busy {
+		d.start(r)
+		return
+	}
+	d.queue = append(d.queue, r)
+	if len(d.queue) > d.maxQueue {
+		d.maxQueue = len(d.queue)
+	}
+}
+
+// Read is shorthand for a single-extent-run read.
+func (d *Disk) Read(f block.FileID, start, count int32, done func()) {
+	d.Submit(Request{File: f, Start: start, Count: count, Done: done})
+}
+
+// cost computes the service time of r given the current head position, and
+// whether it required a positioning seek.
+func (d *Disk) cost(r Request) (sim.Duration, bool) {
+	sequential := d.hasPos && r.File == d.lastFile && r.Start == d.lastBlock+1
+	var t sim.Duration
+	seeked := false
+	if !sequential {
+		t += d.p.DiskSeek + d.p.DiskRotation
+		seeked = true
+	}
+	// Metadata seek for every extent accessed, except that continuing a
+	// stream within the same extent costs nothing extra (§4.2: an extra
+	// seek for metadata on every 64 KB access).
+	firstExt := d.geom.Extent(r.Start)
+	lastExt := d.geom.Extent(r.Start + r.Count - 1)
+	extents := int(lastExt - firstExt + 1)
+	if sequential && r.Start%int32(d.geom.ExtentBlocks) != 0 {
+		extents-- // still inside the extent the head is on
+	}
+	if extents < 0 {
+		extents = 0
+	}
+	t += sim.Duration(extents) * d.p.DiskMetaSeek
+	t += d.p.DiskTransfer(int64(r.Count) * int64(d.geom.Size))
+	return t, seeked
+}
+
+func (d *Disk) start(r Request) {
+	d.busy = true
+	d.lastStart = d.eng.Now()
+	t, seeked := d.cost(r)
+	if seeked {
+		d.seeks++
+	} else {
+		d.seqReads++
+	}
+	d.reads++
+	d.blocksRead += uint64(r.Count)
+	d.lastFile = r.File
+	d.lastBlock = r.Start + r.Count - 1
+	d.hasPos = true
+	d.eng.Schedule(t, func() { d.finish(r) })
+}
+
+func (d *Disk) finish(r Request) {
+	d.busyTime += d.eng.Now().Sub(d.lastStart)
+	d.busy = false
+	if len(d.queue) > 0 {
+		next := d.pick()
+		d.start(next)
+	}
+	if r.Done != nil {
+		r.Done()
+	}
+}
+
+// pick removes and returns the next request according to the scheduler.
+func (d *Disk) pick() Request {
+	idx := 0
+	if d.sched == Sequential && d.runLen < d.maxRun && d.hasPos {
+		for i, r := range d.queue {
+			if r.File == d.lastFile && r.Start == d.lastBlock+1 {
+				idx = i
+				break
+			}
+		}
+	}
+	if idx == 0 {
+		d.runLen = 0
+	} else {
+		d.runLen++
+	}
+	r := d.queue[idx]
+	copy(d.queue[idx:], d.queue[idx+1:])
+	d.queue = d.queue[:len(d.queue)-1]
+	return r
+}
+
+// Busy reports whether a request is in service.
+func (d *Disk) Busy() bool { return d.busy }
+
+// QueueLen reports the number of waiting requests.
+func (d *Disk) QueueLen() int { return len(d.queue) }
+
+// Reads reports completed request count since the last ResetStats.
+func (d *Disk) Reads() uint64 { return d.reads }
+
+// Seeks reports how many served requests required a positioning seek.
+func (d *Disk) Seeks() uint64 { return d.seeks }
+
+// SequentialReads reports how many served requests continued a stream.
+func (d *Disk) SequentialReads() uint64 { return d.seqReads }
+
+// BlocksRead reports the total blocks transferred.
+func (d *Disk) BlocksRead() uint64 { return d.blocksRead }
+
+// MaxQueueLen reports the deepest queue observed.
+func (d *Disk) MaxQueueLen() int { return d.maxQueue }
+
+// ResetStats restarts utilization accounting at the current virtual time.
+func (d *Disk) ResetStats() {
+	now := d.eng.Now()
+	d.busyTime = 0
+	d.statsSince = now
+	d.reads, d.seeks, d.seqReads, d.blocksRead = 0, 0, 0, 0
+	d.maxQueue = 0
+	if d.busy {
+		d.lastStart = now
+	}
+}
+
+// Utilization reports the busy fraction since the last ResetStats.
+func (d *Disk) Utilization() float64 {
+	now := d.eng.Now()
+	window := now.Sub(d.statsSince)
+	if window <= 0 {
+		return 0
+	}
+	busy := d.busyTime
+	if d.busy {
+		busy += now.Sub(d.lastStart)
+	}
+	u := float64(busy) / float64(window)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}

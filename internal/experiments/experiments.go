@@ -1,0 +1,232 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5): one runner per figure, all built on the same harness so
+// identical (trace, variant, cluster, memory) points are computed once and
+// shared across figures, exactly as the paper reuses its simulation sweep.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/l2s"
+	"repro/internal/lard"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Variant names a server under test.
+type Variant string
+
+// The four servers of Figure 2.
+const (
+	VariantL2S    Variant = "l2s"
+	VariantBasic  Variant = "cc-basic"
+	VariantSched  Variant = "cc-sched"
+	VariantMaster Variant = "cc-master"
+)
+
+// Variants lists all servers in figure order.
+var Variants = []Variant{VariantL2S, VariantBasic, VariantSched, VariantMaster}
+
+// CCPolicy maps a CC variant to its policy; ok is false for L2S.
+func (v Variant) CCPolicy() (core.Policy, bool) {
+	switch v {
+	case VariantBasic:
+		return core.PolicyBasic, true
+	case VariantSched:
+		return core.PolicySched, true
+	case VariantMaster:
+		return core.PolicyMaster, true
+	case VariantNChance:
+		return core.PolicyNChance, true
+	default:
+		return 0, false
+	}
+}
+
+// Options tune the harness. The zero value gives the defaults used by
+// cmd/ccbench.
+type Options struct {
+	// Seed makes runs reproducible.
+	Seed int64
+	// Scale overrides the per-trace request scale; 0 derives it from
+	// TargetRequests.
+	Scale float64
+	// TargetRequests is the approximate request count per run when Scale
+	// is 0 (default 60000). The file set is never scaled.
+	TargetRequests int
+	// Clients is the closed-loop client count (0: workload default).
+	Clients int
+	// WarmupFrac is passed to the workload driver (0: default 0.4).
+	WarmupFrac float64
+	// MemoriesMB is the per-node memory sweep (default 4–512 MB, the
+	// paper's x-axis).
+	MemoriesMB []int
+	// HintAccuracy, if in (0,1), runs CC variants with the hint-based
+	// directory model instead of the perfect directory.
+	HintAccuracy float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.TargetRequests == 0 {
+		o.TargetRequests = 60000
+	}
+	if len(o.MemoriesMB) == 0 {
+		o.MemoriesMB = []int{4, 8, 16, 32, 64, 128, 256, 512}
+	}
+	return o
+}
+
+// scaleFor derives the request scale for a preset.
+func (o Options) scaleFor(p trace.Preset) float64 {
+	if o.Scale > 0 {
+		return o.Scale
+	}
+	s := float64(o.TargetRequests) / float64(p.NumRequests)
+	if s > 1 {
+		return 1
+	}
+	return s
+}
+
+// Point is one measured configuration.
+type Point struct {
+	Trace      string
+	Variant    Variant
+	Nodes      int
+	MemMB      int
+	Throughput float64 // requests/s
+	MeanRespMs float64
+	P95RespMs  float64
+	LocalRate  float64
+	RemoteRate float64
+	HitRate    float64
+	DiskRate   float64
+	Util       cluster.Utilization
+	MaxDisk    float64
+	Requests   int
+}
+
+// String formats the point as one sweep row.
+func (p Point) String() string {
+	return fmt.Sprintf("%-9s %-10s n=%-2d mem=%-4dMB tput=%8.0f req/s resp=%6.2fms hit=%5.1f%% (local %5.1f%% remote %5.1f%%) disk=%5.1f%% util cpu/disk/nic=%4.2f/%4.2f/%4.2f",
+		p.Trace, p.Variant, p.Nodes, p.MemMB, p.Throughput, p.MeanRespMs,
+		p.HitRate*100, p.LocalRate*100, p.RemoteRate*100, p.DiskRate*100,
+		p.Util.CPU, p.Util.Disk, p.Util.NIC)
+}
+
+// Harness memoizes traces and measured points across figure runners.
+type Harness struct {
+	Opt    Options
+	params hw.Params
+	traces map[string]*trace.Trace
+	stacks map[string]*trace.StackAnalysis
+	points map[pointKey]Point
+}
+
+type pointKey struct {
+	trace   string
+	variant Variant
+	nodes   int
+	memMB   int
+}
+
+// NewHarness builds a harness with the given options.
+func NewHarness(opt Options) *Harness {
+	return &Harness{
+		Opt:    opt.withDefaults(),
+		params: hw.DefaultParams(),
+		traces: make(map[string]*trace.Trace),
+		stacks: make(map[string]*trace.StackAnalysis),
+		points: make(map[pointKey]Point),
+	}
+}
+
+// Params exposes the Table 1 constants in use.
+func (h *Harness) Params() *hw.Params { return &h.params }
+
+// Trace returns (generating on first use) the workload for preset.
+func (h *Harness) Trace(p trace.Preset) *trace.Trace {
+	if tr, ok := h.traces[p.Name]; ok {
+		return tr
+	}
+	tr := p.Generate(h.Opt.Seed, h.Opt.scaleFor(p))
+	h.traces[p.Name] = tr
+	return tr
+}
+
+// Stack returns (computing on first use) the LRU stack-distance profile of
+// the preset's workload — the "theoretical maximum" reference of §5.
+func (h *Harness) Stack(p trace.Preset) *trace.StackAnalysis {
+	if sa, ok := h.stacks[p.Name]; ok {
+		return sa
+	}
+	sa := trace.AnalyzeStack(h.Trace(p))
+	h.stacks[p.Name] = sa
+	return sa
+}
+
+// Point measures (or returns the memoized) configuration.
+func (h *Harness) Point(p trace.Preset, v Variant, nodes, memMB int) Point {
+	key := pointKey{p.Name, v, nodes, memMB}
+	if pt, ok := h.points[key]; ok {
+		return pt
+	}
+	pt := h.run(p, v, nodes, memMB)
+	h.points[key] = pt
+	return pt
+}
+
+func (h *Harness) run(p trace.Preset, v Variant, nodes, memMB int) Point {
+	tr := h.Trace(p)
+	eng := sim.NewEngine(h.Opt.Seed)
+	mem := int64(memMB) << 20
+
+	var backend cluster.Backend
+	if policy, isCC := v.CCPolicy(); isCC {
+		backend = core.New(eng, &h.params, tr, core.Config{
+			Nodes:         nodes,
+			MemoryPerNode: mem,
+			Policy:        policy,
+			HintAccuracy:  h.Opt.HintAccuracy,
+		})
+	} else if v == VariantLARD || v == VariantLARDR {
+		backend = lard.New(eng, &h.params, tr, lard.Config{
+			Nodes:         nodes,
+			MemoryPerNode: mem,
+			Replication:   v == VariantLARDR,
+		})
+	} else {
+		backend = l2s.New(eng, &h.params, tr, l2s.Config{
+			Nodes:         nodes,
+			MemoryPerNode: mem,
+		})
+	}
+
+	res := workload.Run(eng, backend, tr, workload.Config{
+		Clients:    h.Opt.Clients,
+		WarmupFrac: h.Opt.WarmupFrac,
+	})
+	return Point{
+		Trace:      p.Name,
+		Variant:    v,
+		Nodes:      nodes,
+		MemMB:      memMB,
+		Throughput: res.Throughput,
+		MeanRespMs: res.Responses.Mean().Millis(),
+		P95RespMs:  res.Responses.Percentile(0.95).Millis(),
+		LocalRate:  res.Cache.LocalRate(),
+		RemoteRate: res.Cache.RemoteRate(),
+		HitRate:    res.Cache.HitRate(),
+		DiskRate:   res.Cache.DiskRate(),
+		Util:       res.Util,
+		MaxDisk:    res.MaxDiskUtil,
+		Requests:   res.Requests,
+	}
+}

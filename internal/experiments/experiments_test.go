@@ -1,0 +1,194 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// fastOpts keeps shape tests quick: a reduced request stream and a coarse
+// memory sweep. The qualitative orderings asserted here are scale-robust;
+// cmd/ccbench regenerates the full figures.
+func fastOpts() Options {
+	return Options{
+		Seed:           1,
+		TargetRequests: 40000,
+		MemoriesMB:     []int{8, 64},
+	}
+}
+
+func TestVariantMapping(t *testing.T) {
+	if _, ok := VariantL2S.CCPolicy(); ok {
+		t.Fatal("l2s mapped to a CC policy")
+	}
+	for _, v := range Variants[1:] {
+		if _, ok := v.CCPolicy(); !ok {
+			t.Fatalf("%s did not map to a CC policy", v)
+		}
+	}
+}
+
+func TestPointMemoization(t *testing.T) {
+	h := NewHarness(Options{TargetRequests: 2000, MemoriesMB: []int{8}})
+	a := h.Point(trace.Calgary, VariantMaster, 4, 8)
+	b := h.Point(trace.Calgary, VariantMaster, 4, 8)
+	if a != b {
+		t.Fatal("memoized point differs")
+	}
+	if len(h.points) != 1 {
+		t.Fatalf("points cached = %d, want 1", len(h.points))
+	}
+}
+
+func TestSection5Orderings(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	h := NewHarness(fastOpts())
+	for _, mem := range h.Opt.MemoriesMB {
+		l2s := h.Point(trace.Rutgers, VariantL2S, 8, mem)
+		basic := h.Point(trace.Rutgers, VariantBasic, 8, mem)
+		sched := h.Point(trace.Rutgers, VariantSched, 8, mem)
+		master := h.Point(trace.Rutgers, VariantMaster, 8, mem)
+
+		// §5: Basic lags significantly; scheduling helps; master-preserving
+		// replacement recovers most of L2S's throughput.
+		if !(basic.Throughput < sched.Throughput) {
+			t.Errorf("mem=%d: basic (%.0f) not below sched (%.0f)", mem, basic.Throughput, sched.Throughput)
+		}
+		if !(sched.Throughput < master.Throughput) {
+			t.Errorf("mem=%d: sched (%.0f) not below master (%.0f)", mem, sched.Throughput, master.Throughput)
+		}
+		if master.Throughput < 0.6*l2s.Throughput {
+			t.Errorf("mem=%d: master (%.0f) below 60%% of L2S (%.0f)", mem, master.Throughput, l2s.Throughput)
+		}
+		// Master hit rate approaches L2S's (Figure 4) and its hits are
+		// mostly remote at small memories (§5).
+		if master.HitRate < l2s.HitRate-0.05 {
+			t.Errorf("mem=%d: master hit %.2f far below l2s %.2f", mem, master.HitRate, l2s.HitRate)
+		}
+		// (Remote-dominance needs memory scarce relative to the touched
+		// working set; at this reduced request scale that is the 8 MB point.)
+		if mem <= 8 && master.RemoteRate < master.LocalRate {
+			t.Errorf("mem=%d: master hits not mostly remote (local %.2f remote %.2f)",
+				mem, master.LocalRate, master.RemoteRate)
+		}
+		// L2S never fetches from peer memory.
+		if l2s.RemoteRate != 0 {
+			t.Errorf("l2s remote rate = %f", l2s.RemoteRate)
+		}
+		// CC response time is somewhat worse than L2S (Figure 5), never
+		// dramatically better.
+		if master.MeanRespMs < 0.8*l2s.MeanRespMs {
+			t.Errorf("mem=%d: master response %.1fms implausibly beats l2s %.1fms",
+				mem, master.MeanRespMs, l2s.MeanRespMs)
+		}
+	}
+}
+
+func TestBasicDiskBottleneckImbalance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	// §5: under CC-Basic "one disk is always the performance bottleneck
+	// because of interleaving" — the busiest disk saturates while the mean
+	// lags. The scheduled variants even the load out: their mean-to-max
+	// gap must be clearly smaller.
+	h := NewHarness(Options{TargetRequests: 40000, MemoriesMB: []int{16}})
+	gap := func(v Variant) float64 {
+		pt := h.Point(trace.Rutgers, v, 8, 16)
+		return pt.MaxDisk - pt.Util.Disk
+	}
+	basic, master := gap(VariantBasic), gap(VariantMaster)
+	if basic <= master {
+		t.Fatalf("FIFO disk imbalance (%.3f) not above scheduled (%.3f)", basic, master)
+	}
+	if pt := h.Point(trace.Rutgers, VariantBasic, 8, 16); pt.MaxDisk < 0.95 {
+		t.Fatalf("basic's busiest disk at %.2f, expected saturated", pt.MaxDisk)
+	}
+}
+
+func TestFigure6ANetworkMostlyIdle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	h := NewHarness(fastOpts())
+	fig := h.Figure6A(trace.Rutgers, 8)
+	nic := fig.SeriesFor("nic")
+	disk := fig.SeriesFor("disk")
+	if nic == nil || disk == nil {
+		t.Fatal("missing series")
+	}
+	for i := range nic.X {
+		if nic.Y[i] > 50 {
+			t.Errorf("NIC utilization %.0f%% at %dMB; §5 says the network is mostly idle", nic.Y[i], nic.X[i])
+		}
+		if disk.Y[i] < nic.Y[i] {
+			t.Errorf("disk (%.0f%%) below NIC (%.0f%%) at %dMB", disk.Y[i], nic.Y[i], nic.X[i])
+		}
+	}
+}
+
+func TestFigure6BScaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	h := NewHarness(Options{TargetRequests: 30000})
+	fig := h.Figure6B(trace.Rutgers, []int{4, 8}, 32)
+	s := fig.Series[0]
+	if len(s.Y) != 2 {
+		t.Fatalf("series has %d points", len(s.Y))
+	}
+	if s.Y[1] <= s.Y[0] {
+		t.Errorf("throughput did not scale: 4 nodes %.0f, 8 nodes %.0f", s.Y[0], s.Y[1])
+	}
+}
+
+func TestFigureFormat(t *testing.T) {
+	f := &Figure{
+		Name: "Figure X", Title: "demo", XLabel: "MB", YLabel: "req/s",
+		Series: []Series{{Variant: VariantL2S, X: []int{4, 8}, Y: []float64{1, 2}}},
+	}
+	out := f.Format()
+	for _, want := range []string{"Figure X", "l2s", "req/s", "1.00", "2.00"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format() missing %q:\n%s", want, out)
+		}
+	}
+	if f.SeriesFor(VariantBasic) != nil {
+		t.Error("SeriesFor found absent variant")
+	}
+}
+
+func TestTable2AndFigure1(t *testing.T) {
+	h := NewHarness(Options{TargetRequests: 5000})
+	rows := h.Table2()
+	if len(rows) != 4 {
+		t.Fatalf("Table 2 has %d rows", len(rows))
+	}
+	for i, p := range trace.Presets {
+		if rows[i].Name != p.Name || rows[i].NumFiles != p.NumFiles {
+			t.Errorf("row %d = %+v", i, rows[i])
+		}
+	}
+	pts := h.Figure1(trace.Rutgers, 20)
+	if len(pts) == 0 || pts[len(pts)-1].CumReqFrac < 0.999 {
+		t.Fatal("Figure 1 CDF malformed")
+	}
+}
+
+func TestScaleFor(t *testing.T) {
+	o := Options{TargetRequests: 50000}.withDefaults()
+	if s := o.scaleFor(trace.Rutgers); s <= 0 || s > 1 {
+		t.Fatalf("scale = %f", s)
+	}
+	o2 := Options{Scale: 0.5}.withDefaults()
+	if s := o2.scaleFor(trace.Rutgers); s != 0.5 {
+		t.Fatalf("explicit scale not honored: %f", s)
+	}
+	tiny := trace.Preset{Name: "t", NumFiles: 1, FileSetBytes: 1, NumRequests: 10}
+	if s := o.scaleFor(tiny); s != 1 {
+		t.Fatalf("scale for tiny trace = %f, want clamped to 1", s)
+	}
+}

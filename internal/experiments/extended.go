@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/block"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Extended variants beyond the paper's Figure 2: the LARD family of
+// Pai et al. [17], the origin of the conventional wisdom the paper
+// re-examines.
+const (
+	VariantLARD    Variant = "lard"
+	VariantLARDR   Variant = "lard-r"
+	VariantNChance Variant = "cc-nchance"
+)
+
+// ExtendedVariants lists the servers of the extended comparison.
+var ExtendedVariants = []Variant{VariantL2S, VariantLARD, VariantLARDR, VariantNChance, VariantMaster}
+
+// Extended compares L2S, LARD, LARD/R, and cc-master across the memory
+// sweep — placing the paper's result in the wider locality-aware design
+// space. It is not one of the paper's figures; EXPERIMENTS.md reports it as
+// an extension.
+func (h *Harness) Extended(p trace.Preset, nodes int) *Figure {
+	f := &Figure{
+		Name:   fmt.Sprintf("Extended (%s, %d nodes)", p.Name, nodes),
+		Title:  "throughput: L2S vs LARD vs LARD/R vs cc-master",
+		XLabel: "MB/node",
+		YLabel: "requests/s",
+	}
+	for _, v := range ExtendedVariants {
+		s := Series{Variant: v}
+		for _, mem := range h.Opt.MemoriesMB {
+			pt := h.extPoint(p, v, nodes, mem)
+			s.X = append(s.X, mem)
+			s.Y = append(s.Y, pt.Throughput)
+		}
+		f.Series = append(f.Series, s)
+	}
+	return f
+}
+
+// extPoint measures (memoized) any variant including the LARD family.
+// Kept as a name for the extended runners; Harness.Point now routes every
+// variant.
+func (h *Harness) extPoint(p trace.Preset, v Variant, nodes, memMB int) Point {
+	return h.Point(p, v, nodes, memMB)
+}
+
+// HotspotResult reports the §5 conjecture experiment: cc-master with
+// round-robin DNS versus with the hottest files' requests forced through
+// one node, concentrating their master copies there.
+type HotspotResult struct {
+	Baseline     Point
+	Concentrated Point
+	// HotFiles is how many files were pinned, covering HotReqFrac of all
+	// requests.
+	HotFiles   int
+	HotReqFrac float64
+	// HotNodeCPU/Disk are the pinned node's utilizations in the
+	// concentrated run.
+	HotNodeCPU  float64
+	HotNodeDisk float64
+}
+
+// Hotspot runs the forced-concentration experiment on cc-master: the files
+// drawing hotFrac of all requests are pinned to node 0.
+func (h *Harness) Hotspot(p trace.Preset, nodes, memMB int, hotFrac float64) HotspotResult {
+	tr := h.Trace(p)
+	hot := hottestFiles(tr, hotFrac)
+
+	run := func(hs *workload.Hotspot) (Point, *core.Server) {
+		eng := sim.NewEngine(h.Opt.Seed)
+		backend := core.New(eng, &h.params, tr, core.Config{
+			Nodes:         nodes,
+			MemoryPerNode: int64(memMB) << 20,
+			Policy:        core.PolicyMaster,
+		})
+		res := workload.Run(eng, backend, tr, workload.Config{
+			Clients:    h.Opt.Clients,
+			WarmupFrac: h.Opt.WarmupFrac,
+			Hotspot:    hs,
+		})
+		return Point{
+			Trace: p.Name, Variant: VariantMaster, Nodes: nodes, MemMB: memMB,
+			Throughput: res.Throughput,
+			MeanRespMs: res.Responses.Mean().Millis(),
+			HitRate:    res.Cache.HitRate(),
+			Util:       res.Util,
+			MaxDisk:    res.MaxDiskUtil,
+			Requests:   res.Requests,
+		}, backend
+	}
+
+	baseline, _ := run(nil)
+	conc, backend := run(&workload.Hotspot{Node: 0, Files: hot})
+	hw := backend.Hardware()
+
+	var reqFrac float64
+	total := len(tr.Requests)
+	for _, f := range tr.Requests {
+		if hot[f] {
+			reqFrac++
+		}
+	}
+	if total > 0 {
+		reqFrac /= float64(total)
+	}
+	return HotspotResult{
+		Baseline:     baseline,
+		Concentrated: conc,
+		HotFiles:     len(hot),
+		HotReqFrac:   reqFrac,
+		HotNodeCPU:   hw.Nodes[0].CPU.Utilization(),
+		HotNodeDisk:  hw.Disks[0].Utilization(),
+	}
+}
+
+// hottestFiles returns the smallest popularity-ranked file set covering
+// frac of all requests.
+func hottestFiles(tr *trace.Trace, frac float64) map[block.FileID]bool {
+	counts := make(map[block.FileID]int64)
+	for _, f := range tr.Requests {
+		counts[f]++
+	}
+	type fc struct {
+		f block.FileID
+		c int64
+	}
+	order := make([]fc, 0, len(counts))
+	for f, c := range counts {
+		order = append(order, fc{f, c})
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if order[a].c != order[b].c {
+			return order[a].c > order[b].c
+		}
+		return order[a].f < order[b].f
+	})
+	target := int64(frac * float64(len(tr.Requests)))
+	hot := make(map[block.FileID]bool)
+	var cum int64
+	for _, e := range order {
+		if cum >= target {
+			break
+		}
+		hot[e.f] = true
+		cum += e.c
+	}
+	return hot
+}

@@ -1,0 +1,228 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+// Series is one curve of a figure: a variant's metric across the sweep.
+type Series struct {
+	Variant Variant
+	X       []int // memory MB or node count
+	Y       []float64
+}
+
+// Figure is a reproduced plot: named curves over a shared x-axis.
+type Figure struct {
+	Name   string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// Format renders the figure as an aligned text table (x down, one column
+// per series), the harness's stand-in for the paper's plots.
+func (f *Figure) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", f.Name, f.Title)
+	fmt.Fprintf(&b, "%-10s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, " %12s", s.Variant)
+	}
+	fmt.Fprintf(&b, "   (%s)\n", f.YLabel)
+	if len(f.Series) == 0 {
+		return b.String()
+	}
+	for i, x := range f.Series[0].X {
+		fmt.Fprintf(&b, "%-10d", x)
+		for _, s := range f.Series {
+			fmt.Fprintf(&b, " %12.2f", s.Y[i])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// SeriesFor returns the curve of variant v; nil if absent.
+func (f *Figure) SeriesFor(v Variant) *Series {
+	for i := range f.Series {
+		if f.Series[i].Variant == v {
+			return &f.Series[i]
+		}
+	}
+	return nil
+}
+
+// Figure2 reproduces one panel of Figure 2: throughput (requests/s) versus
+// per-node memory on an 8-node cluster, for L2S and the three CC variants.
+func (h *Harness) Figure2(p trace.Preset, nodes int) *Figure {
+	f := &Figure{
+		Name:   fmt.Sprintf("Figure 2 (%s, %d nodes)", p.Name, nodes),
+		Title:  "throughput vs per-node memory",
+		XLabel: "MB/node",
+		YLabel: "requests/s",
+	}
+	for _, v := range Variants {
+		s := Series{Variant: v}
+		for _, mem := range h.Opt.MemoriesMB {
+			pt := h.Point(p, v, nodes, mem)
+			s.X = append(s.X, mem)
+			s.Y = append(s.Y, pt.Throughput)
+		}
+		f.Series = append(f.Series, s)
+	}
+	return f
+}
+
+// Figure3 reproduces Figure 3: CC throughput normalized against L2S.
+// The paper shows Calgary on 4 nodes and Rutgers on 8.
+func (h *Harness) Figure3(p trace.Preset, nodes int) *Figure {
+	f := &Figure{
+		Name:   fmt.Sprintf("Figure 3 (%s, %d nodes)", p.Name, nodes),
+		Title:  "CC throughput normalized to L2S",
+		XLabel: "MB/node",
+		YLabel: "fraction of L2S",
+	}
+	for _, v := range Variants[1:] { // CC variants only
+		s := Series{Variant: v}
+		for _, mem := range h.Opt.MemoriesMB {
+			base := h.Point(p, VariantL2S, nodes, mem).Throughput
+			pt := h.Point(p, v, nodes, mem)
+			s.X = append(s.X, mem)
+			s.Y = append(s.Y, ratio(pt.Throughput, base))
+		}
+		f.Series = append(f.Series, s)
+	}
+	return f
+}
+
+// Figure4 reproduces Figure 4: cluster-memory hit rate versus per-node
+// memory (Rutgers, 8 nodes in the paper). CC hits count local + remote.
+func (h *Harness) Figure4(p trace.Preset, nodes int) *Figure {
+	f := &Figure{
+		Name:   fmt.Sprintf("Figure 4 (%s, %d nodes)", p.Name, nodes),
+		Title:  "hit rate vs per-node memory",
+		XLabel: "MB/node",
+		YLabel: "hit rate (%)",
+	}
+	for _, v := range Variants {
+		s := Series{Variant: v}
+		for _, mem := range h.Opt.MemoriesMB {
+			pt := h.Point(p, v, nodes, mem)
+			s.X = append(s.X, mem)
+			s.Y = append(s.Y, pt.HitRate*100)
+		}
+		f.Series = append(f.Series, s)
+	}
+	// The "theoretical maximum" §5 judges hit rates against: an ideal
+	// single LRU over the aggregate cluster memory (stack-distance
+	// analysis of the trace).
+	sa := h.Stack(p)
+	ideal := Series{Variant: "ideal-lru"}
+	for _, mem := range h.Opt.MemoriesMB {
+		ideal.X = append(ideal.X, mem)
+		ideal.Y = append(ideal.Y, sa.HitRate(int64(mem)<<20*int64(nodes))*100)
+	}
+	f.Series = append(f.Series, ideal)
+	return f
+}
+
+// Figure5 reproduces Figure 5: CC average response time normalized against
+// L2S (Calgary 4 nodes; Rutgers 8 nodes in the paper).
+func (h *Harness) Figure5(p trace.Preset, nodes int) *Figure {
+	f := &Figure{
+		Name:   fmt.Sprintf("Figure 5 (%s, %d nodes)", p.Name, nodes),
+		Title:  "CC mean response time normalized to L2S",
+		XLabel: "MB/node",
+		YLabel: "ratio to L2S",
+	}
+	for _, v := range Variants[1:] {
+		s := Series{Variant: v}
+		for _, mem := range h.Opt.MemoriesMB {
+			base := h.Point(p, VariantL2S, nodes, mem).MeanRespMs
+			pt := h.Point(p, v, nodes, mem)
+			s.X = append(s.X, mem)
+			s.Y = append(s.Y, ratio(pt.MeanRespMs, base))
+		}
+		f.Series = append(f.Series, s)
+	}
+	return f
+}
+
+// Figure6A reproduces Figure 6(a): the master-preserving CC server's mean
+// resource utilization (disk, CPU, NIC) versus per-node memory.
+func (h *Harness) Figure6A(p trace.Preset, nodes int) *Figure {
+	f := &Figure{
+		Name:   fmt.Sprintf("Figure 6a (%s, %d nodes)", p.Name, nodes),
+		Title:  "cc-master resource utilization vs per-node memory",
+		XLabel: "MB/node",
+		YLabel: "utilization (%)",
+	}
+	resources := []struct {
+		name Variant
+		get  func(Point) float64
+	}{
+		{"disk", func(pt Point) float64 { return pt.Util.Disk }},
+		{"cpu", func(pt Point) float64 { return pt.Util.CPU }},
+		{"nic", func(pt Point) float64 { return pt.Util.NIC }},
+	}
+	for _, r := range resources {
+		s := Series{Variant: r.name}
+		for _, mem := range h.Opt.MemoriesMB {
+			pt := h.Point(p, VariantMaster, nodes, mem)
+			s.X = append(s.X, mem)
+			s.Y = append(s.Y, r.get(pt)*100)
+		}
+		f.Series = append(f.Series, s)
+	}
+	return f
+}
+
+// Figure6B reproduces Figure 6(b): cc-master throughput versus cluster size
+// at a fixed 32 MB per node (4–32 nodes in the paper).
+func (h *Harness) Figure6B(p trace.Preset, nodeCounts []int, memMB int) *Figure {
+	if len(nodeCounts) == 0 {
+		nodeCounts = []int{4, 8, 16, 32}
+	}
+	if memMB == 0 {
+		memMB = 32
+	}
+	f := &Figure{
+		Name:   fmt.Sprintf("Figure 6b (%s, %dMB/node)", p.Name, memMB),
+		Title:  "cc-master throughput vs cluster size",
+		XLabel: "nodes",
+		YLabel: "requests/s",
+	}
+	s := Series{Variant: VariantMaster}
+	for _, n := range nodeCounts {
+		pt := h.Point(p, VariantMaster, n, memMB)
+		s.X = append(s.X, n)
+		s.Y = append(s.Y, pt.Throughput)
+	}
+	f.Series = append(f.Series, s)
+	return f
+}
+
+// Table2 reproduces Table 2 from the generated traces.
+func (h *Harness) Table2() []trace.Stats {
+	var out []trace.Stats
+	for _, p := range trace.Presets {
+		out = append(out, trace.Characterize(h.Trace(p)))
+	}
+	return out
+}
+
+// Figure1 reproduces Figure 1's CDF curves for a preset.
+func (h *Harness) Figure1(p trace.Preset, points int) []trace.CDFPoint {
+	return trace.CDF(h.Trace(p), points)
+}
+
+func ratio(x, base float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return x / base
+}

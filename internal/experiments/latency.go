@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// LatencyPoint is one point of a latency-versus-load curve.
+type LatencyPoint struct {
+	OfferedRate float64 // requests/s offered (Poisson)
+	Throughput  float64 // requests/s completed in the measured window
+	MeanRespMs  float64
+	P95RespMs   float64
+}
+
+// LatencyCurve drives cc-master with open-loop Poisson arrivals at each
+// offered rate and reports the response-time curve — the queueing-theoretic
+// view underneath the paper's closed-loop maximum-throughput numbers: mean
+// response time stays near the service time until the offered load
+// approaches the (disk- or CPU-bound) capacity, then grows sharply.
+func (h *Harness) LatencyCurve(p trace.Preset, nodes, memMB int, rates []float64) []LatencyPoint {
+	if len(rates) == 0 {
+		panic("experiments: LatencyCurve needs offered rates")
+	}
+	tr := h.Trace(p)
+	var out []LatencyPoint
+	for _, rate := range rates {
+		if rate <= 0 {
+			panic(fmt.Sprintf("experiments: non-positive rate %v", rate))
+		}
+		eng := sim.NewEngine(h.Opt.Seed)
+		backend := core.New(eng, &h.params, tr, core.Config{
+			Nodes:         nodes,
+			MemoryPerNode: int64(memMB) << 20,
+			Policy:        core.PolicyMaster,
+		})
+		res := workload.Run(eng, backend, tr, workload.Config{
+			WarmupFrac:   h.Opt.WarmupFrac,
+			OpenLoopRate: rate,
+		})
+		out = append(out, LatencyPoint{
+			OfferedRate: rate,
+			Throughput:  res.Throughput,
+			MeanRespMs:  res.Responses.Mean().Millis(),
+			P95RespMs:   res.Responses.Percentile(0.95).Millis(),
+		})
+	}
+	return out
+}

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestLatencyCurveShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	h := NewHarness(Options{TargetRequests: 20000})
+	pts := h.LatencyCurve(trace.Calgary, 8, 256, []float64{500, 2000, 8000})
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for i, pt := range pts {
+		if pt.Throughput <= 0 || pt.MeanRespMs <= 0 {
+			t.Fatalf("point %d empty: %+v", i, pt)
+		}
+		if pt.P95RespMs < pt.MeanRespMs*0.5 {
+			t.Fatalf("point %d: P95 %f below half the mean %f", i, pt.P95RespMs, pt.MeanRespMs)
+		}
+	}
+	// Queueing: response time is nondecreasing in offered load, and the
+	// lightly loaded point is near the no-contention service time (a few
+	// ms, not tens).
+	if pts[2].MeanRespMs < pts[0].MeanRespMs {
+		t.Fatalf("latency decreased with load: %v", pts)
+	}
+	if pts[0].MeanRespMs > 50 {
+		t.Fatalf("light-load latency %.1fms implausibly high", pts[0].MeanRespMs)
+	}
+	// At light load, completed throughput tracks the offered rate.
+	if ratio := pts[0].Throughput / pts[0].OfferedRate; ratio < 0.8 || ratio > 1.25 {
+		t.Fatalf("light-load throughput %f vs offered %f", pts[0].Throughput, pts[0].OfferedRate)
+	}
+}
+
+func TestLatencyCurveValidation(t *testing.T) {
+	h := NewHarness(Options{TargetRequests: 1000})
+	assertPanicsExp(t, "no rates", func() { h.LatencyCurve(trace.Calgary, 2, 8, nil) })
+	assertPanicsExp(t, "bad rate", func() { h.LatencyCurve(trace.Calgary, 2, 8, []float64{-1}) })
+}
+
+func assertPanicsExp(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: no panic", name)
+		}
+	}()
+	fn()
+}

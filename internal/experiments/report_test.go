@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestFigureMarkdown(t *testing.T) {
+	f := &Figure{
+		Name: "Figure X", Title: "demo", XLabel: "MB", YLabel: "req/s",
+		Series: []Series{
+			{Variant: VariantL2S, X: []int{4, 8}, Y: []float64{1.5, 2.5}},
+			{Variant: VariantMaster, X: []int{4, 8}, Y: []float64{1.25, 2.25}},
+		},
+	}
+	md := f.Markdown()
+	for _, want := range []string{
+		"### Figure X — demo",
+		"| MB | l2s | cc-master |",
+		"| 4 | 1.50 | 1.25 |",
+		"| 8 | 2.50 | 2.25 |",
+		"(req/s)",
+	} {
+		if !strings.Contains(md, want) {
+			t.Errorf("Markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestWriteReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	h := NewHarness(Options{TargetRequests: 3000, MemoriesMB: []int{16}})
+	var b strings.Builder
+	err := WriteReport(&b, h, ReportConfig{
+		Traces: []trace.Preset{trace.Calgary},
+		Nodes:  4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# Reproduction report",
+		"## Table 2",
+		"Figure 2 (calgary, 4 nodes)",
+		"Figure 4 (rutgers, 4 nodes)",
+		"Figure 6b",
+		"ideal-lru",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	if strings.Contains(out, "Extended") {
+		t.Error("extended section present without opting in")
+	}
+}

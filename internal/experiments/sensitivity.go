@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+// SensitivityRow is the cross-seed statistics of the headline ratio
+// (cc-master throughput / L2S throughput) at one memory point.
+type SensitivityRow struct {
+	MemMB int
+	Mean  float64
+	Stdev float64
+	Min   float64
+	Max   float64
+	Seeds int
+}
+
+// SeedSensitivity reruns the cc-master-vs-L2S comparison under each seed
+// (fresh trace + fresh simulation) and reports the spread of the headline
+// ratio — the reproducibility check a careful reader of the paper would
+// ask for, since the original reports single runs.
+func SeedSensitivity(opt Options, p trace.Preset, nodes int, seeds []int64) []SensitivityRow {
+	if len(seeds) == 0 {
+		panic("experiments: SeedSensitivity needs seeds")
+	}
+	opt = opt.withDefaults()
+	ratios := make([][]float64, len(opt.MemoriesMB))
+	for _, seed := range seeds {
+		o := opt
+		o.Seed = seed
+		h := NewHarness(o)
+		for i, mem := range o.MemoriesMB {
+			l2s := h.Point(p, VariantL2S, nodes, mem).Throughput
+			master := h.Point(p, VariantMaster, nodes, mem).Throughput
+			if l2s > 0 {
+				ratios[i] = append(ratios[i], master/l2s)
+			}
+		}
+	}
+	rows := make([]SensitivityRow, len(opt.MemoriesMB))
+	for i, mem := range opt.MemoriesMB {
+		rows[i] = summarize(mem, ratios[i])
+	}
+	return rows
+}
+
+func summarize(mem int, xs []float64) SensitivityRow {
+	row := SensitivityRow{MemMB: mem, Seeds: len(xs)}
+	if len(xs) == 0 {
+		return row
+	}
+	row.Min, row.Max = xs[0], xs[0]
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < row.Min {
+			row.Min = x
+		}
+		if x > row.Max {
+			row.Max = x
+		}
+	}
+	row.Mean = sum / float64(len(xs))
+	if len(xs) > 1 {
+		var ss float64
+		for _, x := range xs {
+			d := x - row.Mean
+			ss += d * d
+		}
+		row.Stdev = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	return row
+}
+
+// FormatSensitivity renders the rows as an aligned table.
+func FormatSensitivity(p trace.Preset, nodes int, rows []SensitivityRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Seed sensitivity — cc-master/L2S throughput ratio (%s, %d nodes)\n", p.Name, nodes)
+	fmt.Fprintf(&b, "%-10s %-8s %-8s %-8s %-8s %-6s\n", "MB/node", "mean", "stdev", "min", "max", "seeds")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10d %-8.3f %-8.3f %-8.3f %-8.3f %-6d\n",
+			r.MemMB, r.Mean, r.Stdev, r.Min, r.Max, r.Seeds)
+	}
+	return b.String()
+}

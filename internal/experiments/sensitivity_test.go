@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestSeedSensitivity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	rows := SeedSensitivity(Options{TargetRequests: 8000, MemoriesMB: []int{16}},
+		trace.Calgary, 4, []int64{1, 2, 3})
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	r := rows[0]
+	if r.Seeds != 3 || r.Mean <= 0 {
+		t.Fatalf("row = %+v", r)
+	}
+	if r.Min > r.Mean || r.Max < r.Mean {
+		t.Fatalf("min/mean/max inconsistent: %+v", r)
+	}
+	// Different seeds give a modest spread, not wild divergence: the
+	// headline ratio is a property of the workload shape, not the seed.
+	if r.Stdev > 0.3*r.Mean {
+		t.Fatalf("ratio unstable across seeds: %+v", r)
+	}
+	out := FormatSensitivity(trace.Calgary, 4, rows)
+	if !strings.Contains(out, "calgary") || !strings.Contains(out, "stdev") {
+		t.Fatalf("format: %q", out)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	r := summarize(8, []float64{1, 2, 3})
+	if r.Mean != 2 || r.Min != 1 || r.Max != 3 || r.Seeds != 3 {
+		t.Fatalf("summarize = %+v", r)
+	}
+	if r.Stdev < 0.99 || r.Stdev > 1.01 {
+		t.Fatalf("stdev = %f, want 1", r.Stdev)
+	}
+	empty := summarize(8, nil)
+	if empty.Seeds != 0 || empty.Mean != 0 {
+		t.Fatalf("empty = %+v", empty)
+	}
+}
+
+func TestSeedSensitivityPanicsOnNoSeeds(t *testing.T) {
+	assertPanicsExp(t, "no seeds", func() {
+		SeedSensitivity(Options{}, trace.Calgary, 2, nil)
+	})
+}

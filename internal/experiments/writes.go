@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// WritePoint is one point of the write-fraction sweep.
+type WritePoint struct {
+	WriteFrac  float64
+	Throughput float64
+	MeanRespMs float64
+	HitRate    float64
+}
+
+// WriteCurve sweeps the fraction of whole-file updates in the request
+// stream and measures cc-master with the simulated write-invalidate
+// protocol (§6's write extension): throughput degrades with write share as
+// invalidations destroy cached state and every update pays a home disk
+// write.
+func (h *Harness) WriteCurve(p trace.Preset, nodes, memMB int, fracs []float64) []WritePoint {
+	if len(fracs) == 0 {
+		panic("experiments: WriteCurve needs write fractions")
+	}
+	tr := h.Trace(p)
+	var out []WritePoint
+	for _, frac := range fracs {
+		if frac < 0 || frac >= 1 {
+			panic(fmt.Sprintf("experiments: write fraction %v out of [0,1)", frac))
+		}
+		eng := sim.NewEngine(h.Opt.Seed)
+		backend := core.New(eng, &h.params, tr, core.Config{
+			Nodes:         nodes,
+			MemoryPerNode: int64(memMB) << 20,
+			Policy:        core.PolicyMaster,
+		})
+		res := workload.Run(eng, backend, tr, workload.Config{
+			Clients:    h.Opt.Clients,
+			WarmupFrac: h.Opt.WarmupFrac,
+			WriteFrac:  frac,
+		})
+		out = append(out, WritePoint{
+			WriteFrac:  frac,
+			Throughput: res.Throughput,
+			MeanRespMs: res.Responses.Mean().Millis(),
+			HitRate:    res.Cache.HitRate(),
+		})
+	}
+	return out
+}

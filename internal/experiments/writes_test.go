@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestWriteCurveShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	h := NewHarness(Options{TargetRequests: 20000})
+	pts := h.WriteCurve(trace.Calgary, 4, 64, []float64{0, 0.1, 0.3})
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for i, pt := range pts {
+		if pt.Throughput <= 0 {
+			t.Fatalf("point %d empty: %+v", i, pt)
+		}
+	}
+	// Invalidations destroy cached state and every write pays a disk
+	// access: throughput and hit rate must fall as the write share grows.
+	if pts[2].Throughput >= pts[0].Throughput {
+		t.Fatalf("throughput did not degrade with writes: %+v", pts)
+	}
+	if pts[2].HitRate >= pts[0].HitRate {
+		t.Fatalf("hit rate did not degrade with writes: %+v", pts)
+	}
+}
+
+func TestWriteCurveValidation(t *testing.T) {
+	h := NewHarness(Options{TargetRequests: 1000})
+	assertPanicsExp(t, "no fracs", func() { h.WriteCurve(trace.Calgary, 2, 8, nil) })
+	assertPanicsExp(t, "bad frac", func() { h.WriteCurve(trace.Calgary, 2, 8, []float64{1.0}) })
+}

@@ -1,0 +1,125 @@
+// Package httpfront is the web-server layer of the paper's motivating
+// scenario: an off-the-shelf HTTP front end over the cooperative caching
+// middleware. Each request enters the cluster at the next node round-robin
+// (as round-robin DNS would choose) and the middleware supplies the content
+// from cluster memory wherever possible.
+package httpfront
+
+import (
+	"fmt"
+	"hash/fnv"
+	"mime"
+	"net/http"
+	"path"
+	"strconv"
+	"sync"
+
+	"repro/internal/block"
+	"repro/internal/middleware"
+)
+
+// Resolver maps a URL path to a file ID. ok is false for unknown paths.
+type Resolver interface {
+	Resolve(urlPath string) (f block.FileID, ok bool)
+}
+
+// PathTable is a static Resolver backed by a map.
+type PathTable struct {
+	mu sync.RWMutex
+	m  map[string]block.FileID
+}
+
+// NewPathTable builds a resolver from path → file ID entries. Paths should
+// begin with "/".
+func NewPathTable(entries map[string]block.FileID) *PathTable {
+	cp := make(map[string]block.FileID, len(entries))
+	for p, f := range entries {
+		cp[p] = f
+	}
+	return &PathTable{m: cp}
+}
+
+// Resolve implements Resolver.
+func (t *PathTable) Resolve(p string) (block.FileID, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	f, ok := t.m[p]
+	return f, ok
+}
+
+// Add registers (or replaces) a path.
+func (t *PathTable) Add(p string, f block.FileID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.m[p] = f
+}
+
+// Gateway serves HTTP from a middleware cluster.
+type Gateway struct {
+	client  *middleware.Client
+	resolve Resolver
+}
+
+// New builds a gateway over client using resolver.
+func New(client *middleware.Client, resolver Resolver) *Gateway {
+	return &Gateway{client: client, resolve: resolver}
+}
+
+// ServeHTTP implements http.Handler: resolves the path, reads the file
+// through the cluster (round-robin entry node), and replies with
+// ETag-based conditional-GET support.
+func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		w.Header().Set("Allow", "GET, HEAD")
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	f, ok := g.resolve.Resolve(r.URL.Path)
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	body, err := g.client.Read(f)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("middleware read: %v", err), http.StatusBadGateway)
+		return
+	}
+
+	etag := contentETag(body)
+	w.Header().Set("ETag", etag)
+	if r.Header.Get("If-None-Match") == etag {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	ct := mime.TypeByExtension(path.Ext(r.URL.Path))
+	if ct == "" {
+		ct = http.DetectContentType(body)
+	}
+	w.Header().Set("Content-Type", ct)
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	if r.Method == http.MethodHead {
+		return
+	}
+	w.Write(body) //nolint:errcheck // best-effort response body
+}
+
+// contentETag derives a strong validator from the content.
+func contentETag(body []byte) string {
+	h := fnv.New64a()
+	h.Write(body) //nolint:errcheck // hash writes cannot fail
+	return fmt.Sprintf("%q", strconv.FormatUint(h.Sum64(), 16))
+}
+
+// StatsHandler reports aggregated cluster statistics as plain text.
+func StatsHandler(client *middleware.Client) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s, err := client.ClusterStats()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		fmt.Fprintf(w, "accesses=%d local=%d remote=%d disk=%d races=%d forwards=%d hit=%.1f%% blocks=%d masters=%d writes=%d\n",
+			s.Accesses, s.LocalHits, s.RemoteHits, s.DiskReads, s.RaceMisses,
+			s.Forwards, s.HitRate()*100, s.StoreLen, s.StoreMasters, s.Writes)
+	})
+}

@@ -1,0 +1,163 @@
+package httpfront
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/block"
+	"repro/internal/core"
+	"repro/internal/middleware"
+)
+
+// startGateway spins a 2-node live cluster plus a gateway over it.
+func startGateway(t *testing.T) (*httptest.Server, *middleware.Client) {
+	t.Helper()
+	geom := block.Geometry{Size: 1024, ExtentBlocks: 8}
+	sizes := map[block.FileID]int64{0: 2500, 1: 100}
+	nodes := make([]*middleware.Node, 2)
+	addrs := make([]string, 2)
+	for i := range nodes {
+		n, err := middleware.Start(middleware.Config{
+			ID: i, CapacityBlocks: 32, Policy: core.PolicyMaster,
+			Geometry: geom, Source: middleware.NewMemSource(geom, sizes),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = n
+		addrs[i] = n.Addr()
+	}
+	for _, n := range nodes {
+		n.SetAddrs(addrs)
+	}
+	client, err := middleware.DialCluster(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := NewPathTable(map[string]block.FileID{
+		"/index.html": 0,
+		"/tiny.txt":   1,
+	})
+	mux := http.NewServeMux()
+	mux.Handle("/", New(client, table))
+	mux.Handle("/stats", StatsHandler(client))
+	srv := httptest.NewServer(mux)
+	t.Cleanup(func() {
+		srv.Close()
+		client.Close()
+		for _, n := range nodes {
+			n.Close()
+		}
+	})
+	return srv, client
+}
+
+func TestGatewayServesContent(t *testing.T) {
+	srv, _ := startGateway(t)
+	resp, err := http.Get(srv.URL + "/index.html")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if len(body) != 2500 {
+		t.Fatalf("body = %d bytes, want 2500", len(body))
+	}
+	if resp.Header.Get("ETag") == "" {
+		t.Fatal("no ETag")
+	}
+	if resp.Header.Get("Content-Length") != "2500" {
+		t.Fatalf("Content-Length = %q", resp.Header.Get("Content-Length"))
+	}
+}
+
+func TestGatewayConditionalGet(t *testing.T) {
+	srv, _ := startGateway(t)
+	resp, err := http.Get(srv.URL + "/tiny.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	etag := resp.Header.Get("ETag")
+	resp.Body.Close()
+
+	req, _ := http.NewRequest(http.MethodGet, srv.URL+"/tiny.txt", nil)
+	req.Header.Set("If-None-Match", etag)
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotModified {
+		t.Fatalf("conditional GET status = %d, want 304", resp2.StatusCode)
+	}
+}
+
+func TestGatewayNotFoundAndMethods(t *testing.T) {
+	srv, _ := startGateway(t)
+	resp, err := http.Get(srv.URL + "/missing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing path status = %d", resp.StatusCode)
+	}
+	post, err := http.Post(srv.URL+"/index.html", "text/plain", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+	if post.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST status = %d", post.StatusCode)
+	}
+}
+
+func TestGatewayHead(t *testing.T) {
+	srv, _ := startGateway(t)
+	resp, err := http.Head(srv.URL + "/index.html")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("HEAD status = %d", resp.StatusCode)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if len(body) != 0 {
+		t.Fatal("HEAD returned a body")
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	srv, _ := startGateway(t)
+	if _, err := http.Get(srv.URL + "/index.html"); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "accesses=") {
+		t.Fatalf("stats body: %s", body)
+	}
+}
+
+func TestPathTableAdd(t *testing.T) {
+	tab := NewPathTable(nil)
+	if _, ok := tab.Resolve("/x"); ok {
+		t.Fatal("empty table resolved a path")
+	}
+	tab.Add("/x", 7)
+	f, ok := tab.Resolve("/x")
+	if !ok || f != 7 {
+		t.Fatalf("Resolve = %d,%v", f, ok)
+	}
+}

@@ -1,0 +1,63 @@
+package hw
+
+import (
+	"repro/internal/sim"
+)
+
+// Network models the cluster LAN: every intra-cluster message crosses the
+// sender's bus and NIC, a shared router (modeled on the Cisco 7600 forwarding
+// path, which also routes new client requests per §4.2), the wire latency,
+// and the receiver's NIC and bus. The same network fields client requests
+// and intra-cluster traffic, as in the paper.
+type Network struct {
+	eng    *sim.Engine
+	p      *Params
+	Router *sim.ServiceCenter
+}
+
+// NewNetwork builds the shared LAN.
+func NewNetwork(eng *sim.Engine, p *Params, queueBound int) *Network {
+	return &Network{
+		eng:    eng,
+		p:      p,
+		Router: sim.NewServiceCenter(eng, "lan.router", queueBound),
+	}
+}
+
+// Send moves size bytes from node src to node dst and invokes done when the
+// last byte has crossed dst's bus into memory. Either src or dst may be nil
+// to model traffic entering or leaving the cluster (client requests and
+// responses), in which case the corresponding NIC/bus stages are skipped.
+func (n *Network) Send(src, dst *Node, size int64, done func()) {
+	xfer := n.p.NetTransfer(size)
+	bus := n.p.BusTransfer(size)
+
+	deliver := func() {
+		if dst == nil {
+			if done != nil {
+				done()
+			}
+			return
+		}
+		dst.NIC.Do(xfer, func() {
+			dst.Bus.Do(bus, done)
+		})
+	}
+	route := func() {
+		n.Router.Do(n.p.RouterFwd, func() {
+			n.eng.Schedule(n.p.NetLatency, deliver)
+		})
+	}
+	if src == nil {
+		route()
+		return
+	}
+	src.Bus.Do(bus, func() {
+		src.NIC.Do(xfer, route)
+	})
+}
+
+// SendMsg sends a control message (header-sized) between nodes.
+func (n *Network) SendMsg(src, dst *Node, done func()) {
+	n.Send(src, dst, int64(n.p.MsgHeader), done)
+}

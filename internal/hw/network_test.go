@@ -1,0 +1,120 @@
+package hw
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func testCluster(t *testing.T, n int) (*sim.Engine, *Network, []*Node) {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	net := NewNetwork(eng, &defaultParams, 0)
+	nodes := make([]*Node, n)
+	for i := range nodes {
+		nodes[i] = NewNode(eng, i, 0)
+	}
+	return eng, net, nodes
+}
+
+var defaultParams = DefaultParams()
+
+func TestSendDelivers(t *testing.T) {
+	eng, net, nodes := testCluster(t, 2)
+	delivered := false
+	net.Send(nodes[0], nodes[1], 8192, func() { delivered = true })
+	end := eng.RunUntilIdle()
+	if !delivered {
+		t.Fatal("message not delivered")
+	}
+	// Lower bound: latency + transfer; upper bound: a generous 1 ms.
+	min := defaultParams.NetLatency + defaultParams.NetTransfer(8192)
+	if end < sim.Time(min) {
+		t.Fatalf("delivery at %v, faster than physics %v", end, min)
+	}
+	if end > sim.Time(sim.Millisecond) {
+		t.Fatalf("delivery at %v, expected < 1ms for 8KB", end)
+	}
+}
+
+func TestSendFromOutside(t *testing.T) {
+	eng, net, nodes := testCluster(t, 1)
+	delivered := false
+	net.Send(nil, nodes[0], 512, func() { delivered = true })
+	eng.RunUntilIdle()
+	if !delivered {
+		t.Fatal("external message not delivered")
+	}
+	if nodes[0].NIC.Served() != 1 {
+		t.Fatalf("receiver NIC served %d, want 1", nodes[0].NIC.Served())
+	}
+}
+
+func TestSendToOutside(t *testing.T) {
+	eng, net, nodes := testCluster(t, 1)
+	delivered := false
+	net.Send(nodes[0], nil, 512, func() { delivered = true })
+	eng.RunUntilIdle()
+	if !delivered {
+		t.Fatal("outbound message not delivered")
+	}
+	if nodes[0].NIC.Served() != 1 {
+		t.Fatalf("sender NIC served %d, want 1", nodes[0].NIC.Served())
+	}
+	if net.Router.Served() != 1 {
+		t.Fatalf("router served %d, want 1", net.Router.Served())
+	}
+}
+
+func TestNICSerializesTransfers(t *testing.T) {
+	eng, net, nodes := testCluster(t, 2)
+	done := 0
+	var last sim.Time
+	for i := 0; i < 4; i++ {
+		net.Send(nodes[0], nodes[1], 131072, func() {
+			done++
+			last = eng.Now()
+		})
+	}
+	eng.RunUntilIdle()
+	if done != 4 {
+		t.Fatalf("delivered %d, want 4", done)
+	}
+	// Four 1 ms transfers must serialize on the sender NIC: ≥ 4 ms total.
+	if last < sim.Time(4*sim.Millisecond) {
+		t.Fatalf("4×128KiB finished at %v, expected ≥ 4ms (NIC serialization)", last)
+	}
+}
+
+func TestSendMsgHeaderSized(t *testing.T) {
+	eng, net, nodes := testCluster(t, 2)
+	var at sim.Time
+	net.SendMsg(nodes[0], nodes[1], func() { at = eng.Now() })
+	eng.RunUntilIdle()
+	// A 64-byte control message should arrive in well under 100 µs.
+	if at > sim.Time(100*sim.Microsecond) {
+		t.Fatalf("control message took %v", at)
+	}
+}
+
+func TestRouterIsShared(t *testing.T) {
+	eng, net, nodes := testCluster(t, 4)
+	for i := 0; i < 4; i++ {
+		net.SendMsg(nodes[i], nodes[(i+1)%4], nil)
+	}
+	eng.RunUntilIdle()
+	if net.Router.Served() != 4 {
+		t.Fatalf("router served %d, want 4", net.Router.Served())
+	}
+}
+
+func TestNodeResetStats(t *testing.T) {
+	eng := sim.NewEngine(1)
+	n := NewNode(eng, 0, 0)
+	n.CPU.Do(10*sim.Millisecond, nil)
+	eng.RunUntilIdle()
+	n.ResetStats()
+	if u := n.CPU.Utilization(); u != 0 {
+		t.Fatalf("utilization after reset = %f", u)
+	}
+}

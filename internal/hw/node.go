@@ -1,0 +1,38 @@
+package hw
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Node is the hardware of one cluster node: a CPU, a NIC, and a memory bus,
+// each a service center with a finite queue, per §4.2 ("each node is
+// comprised of a CPU, NIC, and disk, all connected by a bus"; the disk model
+// lives in internal/disk because its queue discipline is policy-dependent).
+type Node struct {
+	ID  int
+	CPU *sim.ServiceCenter
+	NIC *sim.ServiceCenter
+	Bus *sim.ServiceCenter
+}
+
+// NewNode builds node hardware attached to eng. queueBound bounds each
+// center's queue (0 = unbounded; the simulator defaults to unbounded and
+// relies on the closed-loop workload to bound outstanding work, which
+// matches the paper's finite-queue service centers under closed-loop load).
+func NewNode(eng *sim.Engine, id int, queueBound int) *Node {
+	return &Node{
+		ID:  id,
+		CPU: sim.NewServiceCenter(eng, fmt.Sprintf("node%d.cpu", id), queueBound),
+		NIC: sim.NewServiceCenter(eng, fmt.Sprintf("node%d.nic", id), queueBound),
+		Bus: sim.NewServiceCenter(eng, fmt.Sprintf("node%d.bus", id), queueBound),
+	}
+}
+
+// ResetStats restarts utilization accounting on every center.
+func (n *Node) ResetStats() {
+	n.CPU.ResetStats()
+	n.NIC.ResetStats()
+	n.Bus.ResetStats()
+}

@@ -1,0 +1,74 @@
+package hw
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestDefaultParamsTable1(t *testing.T) {
+	p := DefaultParams()
+	if p.ParseTime != sim.Milliseconds(0.1) {
+		t.Errorf("ParseTime = %v", p.ParseTime)
+	}
+	if p.ServePeerBlock != sim.Milliseconds(0.07) {
+		t.Errorf("ServePeerBlock = %v", p.ServePeerBlock)
+	}
+	if p.DiskSeek != sim.Milliseconds(8.5) || p.DiskRotation != sim.Milliseconds(4.17) {
+		t.Errorf("disk positioning = %v + %v", p.DiskSeek, p.DiskRotation)
+	}
+}
+
+func TestServeTime(t *testing.T) {
+	p := DefaultParams()
+	// 11.5 KB at 115 KB/ms beyond the base → 0.1 + 0.1 = 0.2 ms.
+	got := p.ServeTime(11.5 * 1024)
+	want := sim.Milliseconds(0.2)
+	if diff := got - want; diff < -sim.Microsecond || diff > sim.Microsecond {
+		t.Fatalf("ServeTime(11.5KB) = %v, want ~%v", got, want)
+	}
+}
+
+func TestFileReqTime(t *testing.T) {
+	p := DefaultParams()
+	got := p.FileReqTime(7)
+	want := sim.Milliseconds(0.03 + 7*0.01)
+	if diff := got - want; diff < -sim.Microsecond || diff > sim.Microsecond {
+		t.Fatalf("FileReqTime(7) = %v, want %v", got, want)
+	}
+}
+
+func TestDiskTransferRate(t *testing.T) {
+	p := DefaultParams()
+	// 30 KB at 30 KB/ms = 1 ms.
+	got := p.DiskTransfer(30 * 1024)
+	if diff := got - sim.Millisecond; diff < -sim.Microsecond || diff > sim.Microsecond {
+		t.Fatalf("DiskTransfer(30KB) = %v, want ~1ms", got)
+	}
+}
+
+func TestNetTransferGigabit(t *testing.T) {
+	p := DefaultParams()
+	// 131.072 KiB at 1 Gb/s (2^30 b/s) = 1 ms.
+	got := p.NetTransfer(134218)
+	if diff := got - sim.Millisecond; diff < -sim.Microsecond || diff > sim.Microsecond {
+		t.Fatalf("NetTransfer(131.072KiB) = %v, want ~1ms", got)
+	}
+	// An 8 KB block should take ~61 µs on the wire: network clearly faster
+	// than disk, the trend §5 builds on.
+	blk := p.NetTransfer(8192)
+	if blk > sim.Milliseconds(0.1) {
+		t.Fatalf("8KB net transfer = %v, expected well under 0.1ms", blk)
+	}
+}
+
+func TestDiskSlowerThanNetwork(t *testing.T) {
+	// The paper's central trade-off: fetching a block from a peer's memory
+	// (network) must be far cheaper than a disk read.
+	p := DefaultParams()
+	disk := p.DiskSeek + p.DiskRotation + p.DiskMetaSeek + p.DiskTransfer(8192)
+	net := 2*p.NetLatency + p.NetTransfer(8192) + p.ServePeerBlock
+	if disk < 10*net {
+		t.Fatalf("disk %v not >> network %v; Table 1 reconstruction broken", disk, net)
+	}
+}

@@ -1,0 +1,287 @@
+// Package lard implements Locality-Aware Request Distribution (Pai et al.,
+// ASPLOS 1998) — the paper's reference [17] and the origin of the
+// "conventional wisdom" that cooperative caching cannot match locality-
+// conscious servers. A front-end switch routes each request by content to
+// a back-end; back-ends cache whole files in *independent* local LRU
+// caches (no cooperation), so locality comes entirely from routing:
+//
+//   - Basic LARD: each target (file) is assigned to one back-end, chosen
+//     least-loaded at first access. The assignment moves to a least-loaded
+//     node when the current server is overloaded (load > Thigh while some
+//     node is under Tlow, or load ≥ 2·Thigh).
+//   - LARD/R (replication): instead of moving, the target's server *set*
+//     grows under overload and shrinks after an idle period, spreading the
+//     hottest targets over several back-ends.
+//
+// Including LARD alongside L2S lets the harness place the paper's result in
+// the broader locality-aware design space.
+package lard
+
+import (
+	"repro/internal/block"
+	"repro/internal/cache"
+	"repro/internal/cluster"
+	"repro/internal/disk"
+	"repro/internal/hw"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Config parameterizes a LARD cluster.
+type Config struct {
+	// Nodes is the number of back-ends (the front-end is additional).
+	Nodes int
+	// MemoryPerNode is each back-end's file cache size in bytes.
+	MemoryPerNode int64
+	// Replication selects LARD/R.
+	Replication bool
+	// TLow and THigh are the load thresholds (active requests per
+	// back-end). Zero means the ASPLOS defaults of 25 and 65.
+	TLow, THigh int
+	// ShrinkAfter is how long a LARD/R server set must go without growth
+	// before it drops a member (zero: the paper's 20 s).
+	ShrinkAfter sim.Duration
+	// Geometry is the on-disk layout. Zero value: 8 KB / 64 KB.
+	Geometry block.Geometry
+}
+
+// Server is a simulated LARD cluster; it implements cluster.Backend.
+type Server struct {
+	cfg      Config
+	hwc      *cluster.Hardware
+	eng      *sim.Engine
+	p        *hw.Params
+	tr       *trace.Trace
+	frontCPU *sim.ServiceCenter
+	nodes    []*backend
+	assign   []serverSet
+	load     []int
+	rrTie    int
+	stats    cluster.CacheStats
+}
+
+// serverSet is a target's current server assignment.
+type serverSet struct {
+	members   []int16
+	lastGrown sim.Time
+}
+
+type backend struct {
+	idx     int
+	cache   *cache.FileCache
+	pending map[block.FileID][]func()
+}
+
+// New builds a LARD server over a fresh hardware substrate on eng.
+func New(eng *sim.Engine, p *hw.Params, tr *trace.Trace, cfg Config) *Server {
+	if cfg.Nodes <= 0 {
+		panic("lard: config needs Nodes > 0")
+	}
+	if cfg.MemoryPerNode <= 0 {
+		panic("lard: config needs MemoryPerNode > 0")
+	}
+	if cfg.Geometry == (block.Geometry{}) {
+		cfg.Geometry = block.DefaultGeometry
+	}
+	if cfg.TLow == 0 {
+		cfg.TLow = 25
+	}
+	if cfg.THigh == 0 {
+		cfg.THigh = 65
+	}
+	if cfg.ShrinkAfter == 0 {
+		cfg.ShrinkAfter = 20 * sim.Second
+	}
+	hwc := cluster.NewHardware(eng, p, cfg.Geometry, cfg.Nodes, disk.Sequential)
+	s := &Server{
+		cfg:      cfg,
+		hwc:      hwc,
+		eng:      eng,
+		p:        p,
+		tr:       tr,
+		frontCPU: sim.NewServiceCenter(eng, "lard.frontend", 0),
+		nodes:    make([]*backend, cfg.Nodes),
+		assign:   make([]serverSet, len(tr.Files)),
+		load:     make([]int, cfg.Nodes),
+	}
+	for i := range s.nodes {
+		// Back-end caches are independent: a private registry per node
+		// makes the shared FileCache behave as plain local LRU.
+		s.nodes[i] = &backend{
+			idx:     i,
+			cache:   cache.NewFileCache(cfg.MemoryPerNode, cache.NewCopyRegistry()),
+			pending: make(map[block.FileID][]func()),
+		}
+	}
+	return s
+}
+
+// Hardware implements cluster.Backend.
+func (s *Server) Hardware() *cluster.Hardware { return s.hwc }
+
+// CacheStats implements cluster.Backend.
+func (s *Server) CacheStats() cluster.CacheStats { return s.stats }
+
+// ResetStats implements cluster.Backend.
+func (s *Server) ResetStats() { s.stats = cluster.CacheStats{} }
+
+// Servers reports the back-ends currently assigned to file f (tests).
+func (s *Server) Servers(f block.FileID) []int16 { return s.assign[f].members }
+
+// NodeCache exposes back-end i's cache (tests).
+func (s *Server) NodeCache(i int) *cache.FileCache { return s.nodes[i].cache }
+
+// Dispatch implements cluster.Backend. The entry node is irrelevant: every
+// request passes through the front-end switch, which routes by content and
+// hands the connection off to a back-end.
+func (s *Server) Dispatch(_ int, file block.FileID, done func()) {
+	s.hwc.Net.Send(nil, nil, int64(s.p.MsgHeader), func() {
+		s.frontCPU.Do(s.p.HandoffTime, func() {
+			target := s.route(file)
+			s.load[target]++
+			s.stats.Handoffs++
+			s.hwc.Net.Send(nil, s.hwc.Nodes[target], int64(s.p.MsgHeader), func() {
+				s.hwc.Nodes[target].CPU.Do(s.p.ParseTime, func() {
+					s.serveAt(target, file, func() {
+						s.load[target]--
+						if done != nil {
+							done()
+						}
+					})
+				})
+			})
+		})
+	})
+}
+
+// route applies the LARD (or LARD/R) assignment rules.
+func (s *Server) route(file block.FileID) int {
+	set := &s.assign[file]
+	if len(set.members) == 0 {
+		t := s.leastLoaded(nil)
+		set.members = append(set.members, int16(t))
+		set.lastGrown = s.eng.Now()
+		return t
+	}
+	if !s.cfg.Replication {
+		t := int(set.members[0])
+		if s.shouldMove(t) {
+			nt := s.leastLoaded(nil)
+			if nt != t {
+				set.members[0] = int16(nt)
+				s.stats.Replications++ // reassignments, for LARD
+				t = nt
+			}
+		}
+		return t
+	}
+	// LARD/R: pick the least-loaded member; grow the set under overload,
+	// shrink it after sustained calm.
+	t := int(set.members[0])
+	for _, m := range set.members[1:] {
+		if s.load[m] < s.load[t] {
+			t = int(m)
+		}
+	}
+	now := s.eng.Now()
+	if s.shouldMove(t) && len(set.members) < s.cfg.Nodes {
+		nt := s.leastLoaded(set.members)
+		if nt >= 0 {
+			set.members = append(set.members, int16(nt))
+			set.lastGrown = now
+			s.stats.Replications++
+			return nt
+		}
+	}
+	if len(set.members) > 1 && now.Sub(set.lastGrown) > s.cfg.ShrinkAfter {
+		set.members = set.members[:len(set.members)-1]
+		set.lastGrown = now
+	}
+	return t
+}
+
+// shouldMove reports whether target t's load violates the LARD thresholds.
+func (s *Server) shouldMove(t int) bool {
+	if s.load[t] >= 2*s.cfg.THigh {
+		return true
+	}
+	if s.load[t] <= s.cfg.THigh {
+		return false
+	}
+	for i, l := range s.load {
+		if i != t && l < s.cfg.TLow {
+			return true
+		}
+	}
+	return false
+}
+
+// leastLoaded picks the node with minimum outstanding load, rotating the
+// starting index so ties spread assignments across the cluster instead of
+// clumping on node 0.
+func (s *Server) leastLoaded(exclude []int16) int {
+	best := -1
+	n := len(s.nodes)
+	for k := 0; k < n; k++ {
+		i := (s.rrTie + k) % n
+		skip := false
+		for _, e := range exclude {
+			if int(e) == i {
+				skip = true
+				break
+			}
+		}
+		if skip {
+			continue
+		}
+		if best < 0 || s.load[i] < s.load[best] {
+			best = i
+		}
+	}
+	s.rrTie++
+	return best
+}
+
+// serveAt serves file at back-end t from its local cache or local disk
+// (every file resides on every back-end's disk, as in the LARD testbed).
+func (s *Server) serveAt(t int, file block.FileID, done func()) {
+	n := s.nodes[t]
+	s.stats.Accesses++
+	size := s.tr.Size(file)
+	if n.cache.Touch(file, s.eng.Now()) {
+		s.stats.LocalHits++
+		s.reply(t, size, done)
+		return
+	}
+	if waiters, ok := n.pending[file]; ok {
+		s.stats.DiskReads++
+		n.pending[file] = append(waiters, func() { s.reply(t, size, done) })
+		return
+	}
+	s.stats.DiskReads++
+	n.pending[file] = nil
+	nblocks := s.cfg.Geometry.Count(size)
+	nodeHW := s.hwc.Nodes[t]
+	s.hwc.Disks[t].Read(file, 0, nblocks, func() {
+		nodeHW.Bus.Do(s.p.BusTransfer(size), func() {
+			nodeHW.CPU.Do(s.p.FileReqTime(int(nblocks)), func() {
+				n.cache.Insert(file, size, s.eng.Now())
+				waiters := n.pending[file]
+				delete(n.pending, file)
+				s.reply(t, size, done)
+				for _, w := range waiters {
+					w()
+				}
+			})
+		})
+	})
+}
+
+func (s *Server) reply(t int, size int64, done func()) {
+	nodeHW := s.hwc.Nodes[t]
+	nodeHW.CPU.Do(s.p.ServeTime(size), func() {
+		s.hwc.Net.Send(nodeHW, nil, size, done)
+	})
+}
+
+var _ cluster.Backend = (*Server)(nil)

@@ -1,0 +1,179 @@
+package lard
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/block"
+	"repro/internal/hw"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+var testParams = hw.DefaultParams()
+
+func testTrace(sizes ...int64) *trace.Trace {
+	tr := &trace.Trace{Name: "test"}
+	for i, sz := range sizes {
+		tr.Files = append(tr.Files, trace.File{ID: block.FileID(i), Size: sz})
+	}
+	return tr
+}
+
+func newServer(tr *trace.Trace, cfg Config) (*sim.Engine, *Server) {
+	eng := sim.NewEngine(1)
+	return eng, New(eng, &testParams, tr, cfg)
+}
+
+func TestColdAndWarmRequest(t *testing.T) {
+	tr := testTrace(20 * 1024)
+	eng, s := newServer(tr, Config{Nodes: 4, MemoryPerNode: 1 << 20})
+	done := 0
+	s.Dispatch(0, 0, func() { done++ })
+	eng.RunUntilIdle()
+	target := int(s.Servers(0)[0])
+	s.Dispatch(2, 0, func() { done++ }) // entry node is irrelevant
+	eng.RunUntilIdle()
+	if done != 2 {
+		t.Fatalf("served %d of 2", done)
+	}
+	st := s.CacheStats()
+	if st.DiskReads != 1 || st.LocalHits != 1 {
+		t.Fatalf("stats = %+v, want 1 disk + 1 hit", st)
+	}
+	if !s.NodeCache(target).Contains(0) {
+		t.Fatal("file not cached at its assigned back-end")
+	}
+	if st.Handoffs != 2 {
+		t.Fatalf("handoffs = %d, want 2 (every request goes through the front-end)", st.Handoffs)
+	}
+}
+
+func TestLocalityRouting(t *testing.T) {
+	// Distinct files spread over back-ends; repeats always hit the same
+	// back-end's memory.
+	tr := testTrace(8*1024, 8*1024, 8*1024, 8*1024, 8*1024, 8*1024, 8*1024, 8*1024)
+	eng, s := newServer(tr, Config{Nodes: 4, MemoryPerNode: 1 << 20})
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 120; i++ {
+		s.Dispatch(0, block.FileID(rng.Intn(8)), nil)
+		if i%4 == 0 {
+			eng.RunUntilIdle()
+		}
+	}
+	eng.RunUntilIdle()
+	var physical uint64
+	for i := 0; i < 4; i++ {
+		physical += s.Hardware().Disks[i].Reads()
+	}
+	if physical != 8 {
+		t.Fatalf("physical disk reads = %d, want 8 (one per file)", physical)
+	}
+	// Each file cached exactly once.
+	for f := 0; f < 8; f++ {
+		copies := 0
+		for n := 0; n < 4; n++ {
+			if s.NodeCache(n).Contains(block.FileID(f)) {
+				copies++
+			}
+		}
+		if copies != 1 {
+			t.Errorf("file %d has %d copies", f, copies)
+		}
+	}
+}
+
+func TestBasicLARDReassignsUnderOverload(t *testing.T) {
+	tr := testTrace(8 * 1024)
+	eng, s := newServer(tr, Config{Nodes: 2, MemoryPerNode: 1 << 20, TLow: 1, THigh: 2})
+	s.Dispatch(0, 0, nil)
+	eng.RunUntilIdle()
+	first := int(s.Servers(0)[0])
+	// Pile on load without draining: load crosses 2·THigh → reassignment.
+	for i := 0; i < 16; i++ {
+		s.Dispatch(0, 0, nil)
+	}
+	eng.RunUntilIdle()
+	st := s.CacheStats()
+	if st.Replications == 0 {
+		t.Fatal("no reassignment under overload")
+	}
+	if len(s.Servers(0)) != 1 {
+		t.Fatalf("basic LARD must keep a single server, got %v", s.Servers(0))
+	}
+	_ = first
+}
+
+func TestLARDRGrowsAndShrinks(t *testing.T) {
+	tr := testTrace(8 * 1024)
+	eng, s := newServer(tr, Config{
+		Nodes: 4, MemoryPerNode: 1 << 20, Replication: true,
+		TLow: 1, THigh: 2, ShrinkAfter: 50 * sim.Millisecond,
+	})
+	for i := 0; i < 32; i++ {
+		s.Dispatch(0, 0, nil)
+	}
+	eng.RunUntilIdle()
+	if s.CacheStats().Replications == 0 {
+		t.Fatal("LARD/R never replicated under overload")
+	}
+	grown := len(s.Servers(0))
+	if grown < 2 {
+		t.Fatalf("server set = %v, want ≥2 members", s.Servers(0))
+	}
+	// Calm traffic after the shrink window: the set contracts.
+	for i := 0; i < 6; i++ {
+		s.Dispatch(0, 0, nil)
+		eng.RunUntilIdle()
+		eng.Schedule(60*sim.Millisecond, func() {})
+		eng.RunUntilIdle()
+	}
+	if len(s.Servers(0)) >= grown {
+		t.Fatalf("server set did not shrink: %d -> %d", grown, len(s.Servers(0)))
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	tr := testTrace(1024)
+	eng := sim.NewEngine(1)
+	for name, cfg := range map[string]Config{
+		"no nodes":  {MemoryPerNode: 1},
+		"no memory": {Nodes: 1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			New(eng, &testParams, tr, cfg)
+		}()
+	}
+}
+
+func TestRandomWorkload(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	sizes := make([]int64, 40)
+	for i := range sizes {
+		sizes[i] = int64(rng.Intn(48*1024) + 512)
+	}
+	tr := testTrace(sizes...)
+	for _, repl := range []bool{false, true} {
+		eng, s := newServer(tr, Config{Nodes: 4, MemoryPerNode: 256 * 1024, Replication: repl})
+		done := 0
+		for i := 0; i < 500; i++ {
+			s.Dispatch(0, block.FileID(rng.Intn(40)), func() { done++ })
+			if i%7 == 0 {
+				eng.RunUntilIdle()
+			}
+		}
+		eng.RunUntilIdle()
+		if done != 500 {
+			t.Fatalf("replication=%v: served %d of 500", repl, done)
+		}
+		st := s.CacheStats()
+		if st.LocalHits+st.DiskReads != st.Accesses {
+			t.Fatalf("replication=%v: accounting %+v", repl, st)
+		}
+	}
+}

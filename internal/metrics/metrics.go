@@ -1,0 +1,77 @@
+// Package metrics provides the measurement accumulators used by the
+// workload driver: response-time statistics and throughput computation for
+// the steady-state window after cache warmup (§4.3: throughput is measured
+// only after the caches have been warmed).
+package metrics
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// ResponseTimes accumulates per-request response times.
+type ResponseTimes struct {
+	samples []sim.Duration
+	sum     sim.Duration
+	min     sim.Duration
+	max     sim.Duration
+	sorted  bool
+}
+
+// Add records one response time.
+func (r *ResponseTimes) Add(d sim.Duration) {
+	if len(r.samples) == 0 || d < r.min {
+		r.min = d
+	}
+	if d > r.max {
+		r.max = d
+	}
+	r.samples = append(r.samples, d)
+	r.sum += d
+	r.sorted = false
+}
+
+// Count reports the number of samples.
+func (r *ResponseTimes) Count() int { return len(r.samples) }
+
+// Mean reports the average response time (0 with no samples).
+func (r *ResponseTimes) Mean() sim.Duration {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	return r.sum / sim.Duration(len(r.samples))
+}
+
+// Min reports the fastest response.
+func (r *ResponseTimes) Min() sim.Duration { return r.min }
+
+// Max reports the slowest response.
+func (r *ResponseTimes) Max() sim.Duration { return r.max }
+
+// Percentile reports the p-quantile (p in [0,1]) by nearest rank.
+func (r *ResponseTimes) Percentile(p float64) sim.Duration {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("metrics: percentile %v out of [0,1]", p))
+	}
+	if !r.sorted {
+		sort.Slice(r.samples, func(i, j int) bool { return r.samples[i] < r.samples[j] })
+		r.sorted = true
+	}
+	idx := int(p * float64(len(r.samples)-1))
+	return r.samples[idx]
+}
+
+// Throughput reports completed requests per second of virtual time over the
+// window [start, end].
+func Throughput(completed int, start, end sim.Time) float64 {
+	window := end.Sub(start).Seconds()
+	if window <= 0 {
+		return 0
+	}
+	return float64(completed) / window
+}

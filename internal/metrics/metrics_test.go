@@ -1,0 +1,98 @@
+package metrics
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestResponseTimesBasics(t *testing.T) {
+	var r ResponseTimes
+	if r.Mean() != 0 || r.Count() != 0 || r.Percentile(0.5) != 0 {
+		t.Fatal("empty accumulator not zero")
+	}
+	for _, d := range []sim.Duration{10, 20, 30} {
+		r.Add(d * sim.Millisecond)
+	}
+	if r.Count() != 3 {
+		t.Fatalf("Count = %d", r.Count())
+	}
+	if r.Mean() != 20*sim.Millisecond {
+		t.Fatalf("Mean = %v", r.Mean())
+	}
+	if r.Min() != 10*sim.Millisecond || r.Max() != 30*sim.Millisecond {
+		t.Fatalf("Min/Max = %v/%v", r.Min(), r.Max())
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	var r ResponseTimes
+	for i := 1; i <= 100; i++ {
+		r.Add(sim.Duration(i))
+	}
+	if p := r.Percentile(0); p != 1 {
+		t.Fatalf("P0 = %v", p)
+	}
+	if p := r.Percentile(1); p != 100 {
+		t.Fatalf("P100 = %v", p)
+	}
+	if p := r.Percentile(0.5); p < 49 || p > 51 {
+		t.Fatalf("P50 = %v", p)
+	}
+	// Adding after sorting must keep results correct.
+	r.Add(sim.Duration(1000))
+	if p := r.Percentile(1); p != 1000 {
+		t.Fatalf("P100 after re-add = %v", p)
+	}
+}
+
+func TestPercentileBoundsPanic(t *testing.T) {
+	var r ResponseTimes
+	r.Add(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for p=2")
+		}
+	}()
+	r.Percentile(2)
+}
+
+func TestThroughput(t *testing.T) {
+	got := Throughput(500, sim.Time(0), sim.Time(2*sim.Second))
+	if got != 250 {
+		t.Fatalf("Throughput = %f", got)
+	}
+	if Throughput(10, 5, 5) != 0 {
+		t.Fatal("zero window should give zero throughput")
+	}
+}
+
+// Property: mean is always within [min, max] and percentiles are monotone.
+func TestStatsProperty(t *testing.T) {
+	f := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var r ResponseTimes
+		for _, v := range raw {
+			r.Add(sim.Duration(v))
+		}
+		m := r.Mean()
+		if m < r.Min() || m > r.Max() {
+			return false
+		}
+		last := sim.Duration(-1)
+		for _, p := range []float64{0, 0.25, 0.5, 0.75, 0.95, 1} {
+			q := r.Percentile(p)
+			if q < last {
+				return false
+			}
+			last = q
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

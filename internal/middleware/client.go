@@ -1,0 +1,150 @@
+package middleware
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/block"
+)
+
+// Client talks to a middleware cluster. Reads are spread over the nodes
+// round-robin, playing the role of the round-robin DNS in front of the
+// paper's web server.
+type Client struct {
+	addrs []string
+	mu    sync.Mutex
+	conns []*conn
+	rr    atomic.Uint32
+}
+
+// DialCluster returns a client for the given node addresses (index = node
+// ID). Connections are established lazily.
+func DialCluster(addrs []string) (*Client, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("middleware: no cluster addresses")
+	}
+	return &Client{
+		addrs: append([]string(nil), addrs...),
+		conns: make([]*conn, len(addrs)),
+	}, nil
+}
+
+func (c *Client) conn(i int) (*conn, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conns[i] != nil {
+		return c.conns[i], nil
+	}
+	nc, err := net.Dial("tcp", c.addrs[i])
+	if err != nil {
+		return nil, err
+	}
+	stamp := func(f *Frame) {
+		f.Sender = -1
+		f.OldestAge = noAge
+	}
+	c.conns[i] = newConn(nc, nil, nil, stamp)
+	return c.conns[i], nil
+}
+
+// next picks the next node round-robin.
+func (c *Client) next() int {
+	return int(c.rr.Add(1)-1) % len(c.addrs)
+}
+
+func (c *Client) roundTrip(node int, f *Frame) (*Frame, error) {
+	cc, err := c.conn(node)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := cc.roundTrip(f)
+	if err == errConnClosed {
+		c.mu.Lock()
+		c.conns[node] = nil
+		c.mu.Unlock()
+		cc, err = c.conn(node)
+		if err != nil {
+			return nil, err
+		}
+		return cc.roundTrip(f)
+	}
+	return resp, err
+}
+
+// Read fetches the whole content of file f through the cluster.
+func (c *Client) Read(f block.FileID) ([]byte, error) {
+	return c.ReadVia(c.next(), f)
+}
+
+// ReadVia fetches file f entering the cluster at a specific node.
+func (c *Client) ReadVia(node int, f block.FileID) ([]byte, error) {
+	resp, err := c.roundTrip(node, &Frame{Type: MsgReadFile, File: f})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Type != MsgFileData {
+		return nil, fmt.Errorf("middleware: unexpected reply %d", resp.Type)
+	}
+	return resp.Payload, nil
+}
+
+// Write updates one block of a file through the cluster (write-invalidate;
+// see Node.WriteBlock).
+func (c *Client) Write(f block.FileID, idx int32, data []byte) error {
+	_, err := c.roundTrip(c.next(), &Frame{Type: MsgWriteBlock, File: f, Idx: idx, Payload: data})
+	return err
+}
+
+// NodeStats fetches the statistics of one node.
+func (c *Client) NodeStats(node int) (Stats, error) {
+	resp, err := c.roundTrip(node, &Frame{Type: MsgStats})
+	if err != nil {
+		return Stats{}, err
+	}
+	var s Stats
+	if err := json.Unmarshal(resp.Payload, &s); err != nil {
+		return Stats{}, err
+	}
+	return s, nil
+}
+
+// ClusterStats sums the statistics of all nodes.
+func (c *Client) ClusterStats() (Stats, error) {
+	var sum Stats
+	sum.HintAccuracy = 1
+	for i := range c.addrs {
+		s, err := c.NodeStats(i)
+		if err != nil {
+			return Stats{}, err
+		}
+		sum.Accesses += s.Accesses
+		sum.LocalHits += s.LocalHits
+		sum.RemoteHits += s.RemoteHits
+		sum.DiskReads += s.DiskReads
+		sum.RaceMisses += s.RaceMisses
+		sum.Forwards += s.Forwards
+		sum.ForwardsRejected += s.ForwardsRejected
+		sum.Invalidations += s.Invalidations
+		sum.Writes += s.Writes
+		sum.StoreLen += s.StoreLen
+		sum.StoreMasters += s.StoreMasters
+		if s.HintAccuracy < sum.HintAccuracy {
+			sum.HintAccuracy = s.HintAccuracy
+		}
+	}
+	return sum, nil
+}
+
+// Close tears down all connections.
+func (c *Client) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, cc := range c.conns {
+		if cc != nil {
+			cc.close()
+		}
+	}
+}

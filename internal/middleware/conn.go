@@ -1,0 +1,164 @@
+package middleware
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// errConnClosed is returned for round trips on a closed connection.
+var errConnClosed = errors.New("middleware: connection closed")
+
+// isResponse classifies frame types that answer a prior request.
+func isResponse(t MsgType) bool {
+	switch t {
+	case MsgBlockData, MsgBlockMiss, MsgFileData, MsgDirResult, MsgForwardAck,
+		MsgAck, MsgErr, MsgStatsReply:
+		return true
+	}
+	return false
+}
+
+// conn is a multiplexed protocol connection: concurrent round trips are
+// correlated by request ID, incoming requests are dispatched to handle, and
+// every received frame is offered to observe (piggyback processing).
+type conn struct {
+	nc  net.Conn
+	br  *bufio.Reader
+	wmu sync.Mutex // serializes frame writes
+
+	pmu     sync.Mutex
+	pending map[uint32]chan *Frame
+	reqSeq  uint32
+	closed  bool
+
+	// handle processes an incoming request and returns the response (nil
+	// for one-way messages). It runs on a fresh goroutine per request.
+	handle func(*Frame) *Frame
+	// observe sees every incoming frame before dispatch (may be nil).
+	observe func(*Frame)
+	// stamp decorates every outgoing frame (sender id, piggybacked age);
+	// may be nil.
+	stamp func(*Frame)
+
+	closeOnce sync.Once
+	done      chan struct{}
+}
+
+func newConn(nc net.Conn, handle func(*Frame) *Frame, observe, stamp func(*Frame)) *conn {
+	c := &conn{
+		nc:      nc,
+		br:      bufio.NewReaderSize(nc, 64*1024),
+		pending: make(map[uint32]chan *Frame),
+		handle:  handle,
+		observe: observe,
+		stamp:   stamp,
+		done:    make(chan struct{}),
+	}
+	go c.readLoop()
+	return c
+}
+
+// write sends one frame.
+func (c *conn) write(f *Frame) error {
+	if c.stamp != nil {
+		c.stamp(f)
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return WriteFrame(c.nc, f)
+}
+
+// roundTrip sends a request and waits for its response.
+func (c *conn) roundTrip(f *Frame) (*Frame, error) {
+	ch := make(chan *Frame, 1)
+	c.pmu.Lock()
+	if c.closed {
+		c.pmu.Unlock()
+		return nil, errConnClosed
+	}
+	c.reqSeq++
+	id := c.reqSeq
+	c.pending[id] = ch
+	c.pmu.Unlock()
+
+	f.Req = id
+	if err := c.write(f); err != nil {
+		c.pmu.Lock()
+		delete(c.pending, id)
+		c.pmu.Unlock()
+		return nil, err
+	}
+	select {
+	case resp := <-ch:
+		if resp == nil {
+			return nil, errConnClosed
+		}
+		if err := resp.Err(); err != nil {
+			return nil, err
+		}
+		return resp, nil
+	case <-c.done:
+		return nil, errConnClosed
+	}
+}
+
+func (c *conn) readLoop() {
+	defer c.close()
+	for {
+		f, err := ReadFrame(c.br)
+		if err != nil {
+			return
+		}
+		if c.observe != nil {
+			c.observe(f)
+		}
+		if isResponse(f.Type) {
+			c.pmu.Lock()
+			ch, ok := c.pending[f.Req]
+			if ok {
+				delete(c.pending, f.Req)
+			}
+			c.pmu.Unlock()
+			if ok {
+				ch <- f
+			}
+			continue
+		}
+		if c.handle == nil {
+			continue
+		}
+		go func(req *Frame) {
+			resp := c.handle(req)
+			if resp == nil {
+				return
+			}
+			resp.Req = req.Req
+			if err := c.write(resp); err != nil {
+				c.close()
+			}
+		}(f)
+	}
+}
+
+// close tears down the connection and fails outstanding round trips.
+func (c *conn) close() {
+	c.closeOnce.Do(func() {
+		close(c.done)
+		c.nc.Close()
+		c.pmu.Lock()
+		c.closed = true
+		for id, ch := range c.pending {
+			delete(c.pending, id)
+			ch <- nil
+		}
+		c.pmu.Unlock()
+	})
+}
+
+// errFrame builds a MsgErr response.
+func errFrame(format string, args ...any) *Frame {
+	return &Frame{Type: MsgErr, Payload: []byte(fmt.Sprintf(format, args...))}
+}

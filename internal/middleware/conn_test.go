@@ -1,0 +1,131 @@
+package middleware
+
+import (
+	"net"
+	"sync"
+	"testing"
+)
+
+// pipePair builds two connected conns over an in-memory duplex link, with
+// the given handler on the "server" side.
+func pipePair(t *testing.T, handle func(*Frame) *Frame) (client, server *conn) {
+	t.Helper()
+	cn, sn := net.Pipe()
+	client = newConn(cn, nil, nil, nil)
+	server = newConn(sn, handle, nil, nil)
+	t.Cleanup(func() {
+		client.close()
+		server.close()
+	})
+	return client, server
+}
+
+func TestConnRoundTrip(t *testing.T) {
+	client, _ := pipePair(t, func(f *Frame) *Frame {
+		if f.Type != MsgGetBlock {
+			return errFrame("unexpected type %d", f.Type)
+		}
+		return &Frame{Type: MsgBlockData, File: f.File, Idx: f.Idx, Payload: []byte("data")}
+	})
+	resp, err := client.roundTrip(&Frame{Type: MsgGetBlock, File: 1, Idx: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Type != MsgBlockData || string(resp.Payload) != "data" {
+		t.Fatalf("resp = %+v", resp)
+	}
+}
+
+func TestConnConcurrentRoundTrips(t *testing.T) {
+	client, _ := pipePair(t, func(f *Frame) *Frame {
+		// Echo the request's Idx so responses are distinguishable.
+		return &Frame{Type: MsgAck, Idx: f.Idx, Aux: int64(f.Idx) * 10}
+	})
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int32) {
+			defer wg.Done()
+			resp, err := client.roundTrip(&Frame{Type: MsgGetBlock, Idx: i})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if resp.Idx != i || resp.Aux != int64(i)*10 {
+				errs <- errContentMismatch
+			}
+		}(int32(i))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestConnErrorResponse(t *testing.T) {
+	client, _ := pipePair(t, func(f *Frame) *Frame {
+		return errFrame("nope")
+	})
+	if _, err := client.roundTrip(&Frame{Type: MsgGetBlock}); err == nil {
+		t.Fatal("error response not surfaced")
+	}
+}
+
+func TestConnCloseFailsPending(t *testing.T) {
+	stall := make(chan struct{})
+	client, server := pipePair(t, func(f *Frame) *Frame {
+		<-stall
+		return &Frame{Type: MsgAck}
+	})
+	done := make(chan error, 1)
+	go func() {
+		_, err := client.roundTrip(&Frame{Type: MsgGetBlock})
+		done <- err
+	}()
+	// Let the request reach the server, then kill the connection.
+	server.close()
+	if err := <-done; err == nil {
+		t.Fatal("round trip on closed conn succeeded")
+	}
+	close(stall)
+	// Further round trips fail fast.
+	if _, err := client.roundTrip(&Frame{Type: MsgGetBlock}); err == nil {
+		t.Fatal("round trip after close succeeded")
+	}
+}
+
+func TestConnOneWayMessagesIgnoredWithoutHandler(t *testing.T) {
+	client, server := pipePair(t, nil)
+	// The server has no handler: a request frame must be dropped without
+	// wedging the read loop.
+	if err := server.write(&Frame{Type: MsgInvalidate}); err != nil {
+		t.Fatal(err)
+	}
+	_ = client
+}
+
+func TestConnStampApplied(t *testing.T) {
+	cn, sn := net.Pipe()
+	var got *Frame
+	ready := make(chan struct{})
+	server := newConn(sn, func(f *Frame) *Frame {
+		got = f
+		close(ready)
+		return &Frame{Type: MsgAck}
+	}, nil, nil)
+	client := newConn(cn, nil, nil, func(f *Frame) {
+		f.Sender = 42
+		f.OldestAge = 777
+	})
+	defer server.close()
+	defer client.close()
+	if _, err := client.roundTrip(&Frame{Type: MsgGetBlock}); err != nil {
+		t.Fatal(err)
+	}
+	<-ready
+	if got.Sender != 42 || got.OldestAge != 777 {
+		t.Fatalf("stamp not applied: %+v", got)
+	}
+}

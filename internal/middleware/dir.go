@@ -1,0 +1,239 @@
+package middleware
+
+import (
+	"math"
+	"sync"
+
+	"repro/internal/block"
+)
+
+// dirServer is the central master-block directory, hosted on one node of
+// the cluster (the live stand-in for the paper's zero-cost perfect
+// directory; its real message costs are what the hint mode then removes).
+type dirServer struct {
+	mu      sync.Mutex
+	masters map[block.ID]int32
+}
+
+func newDirServer() *dirServer {
+	return &dirServer{masters: make(map[block.ID]int32)}
+}
+
+func (d *dirServer) lookup(id block.ID) (int32, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n, ok := d.masters[id]
+	return n, ok
+}
+
+func (d *dirServer) update(id block.ID, node int32) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.masters[id] = node
+}
+
+// drop removes the entry, but only if it still names ifNode (compare-and-
+// delete, so a stale drop cannot erase a newer claim). ifNode < 0 drops
+// unconditionally.
+func (d *dirServer) drop(id block.ID, ifNode int32) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if ifNode >= 0 {
+		if cur, ok := d.masters[id]; !ok || cur != ifNode {
+			return
+		}
+	}
+	delete(d.masters, id)
+}
+
+func (d *dirServer) size() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.masters)
+}
+
+// locator is the node-side interface for master location.
+type locator interface {
+	// Lookup reports the believed master holder.
+	Lookup(id block.ID) (node int32, ok bool, err error)
+	// Update records this claim of mastership.
+	Update(id block.ID, node int32) error
+	// Drop forgets the master, conditioned on it still naming ifNode
+	// (ifNode < 0: unconditional).
+	Drop(id block.ID, ifNode int32) error
+	// Miss reports that a lookup's answer proved wrong (hint maintenance).
+	Miss(id block.ID, node int32)
+}
+
+// centralLocator talks to the dirServer, over the network or directly when
+// co-located.
+type centralLocator struct {
+	n *Node
+}
+
+func (c *centralLocator) Lookup(id block.ID) (int32, bool, error) {
+	if srv := c.n.dirSrv; srv != nil {
+		node, ok := srv.lookup(id)
+		return node, ok, nil
+	}
+	resp, err := c.n.roundTripTo(c.n.cfg.DirNode, &Frame{Type: MsgDirLookup, File: id.File, Idx: id.Idx})
+	if err != nil {
+		return 0, false, err
+	}
+	return int32(resp.Aux), resp.Flags != 0, nil
+}
+
+func (c *centralLocator) Update(id block.ID, node int32) error {
+	if srv := c.n.dirSrv; srv != nil {
+		srv.update(id, node)
+		return nil
+	}
+	_, err := c.n.roundTripTo(c.n.cfg.DirNode, &Frame{Type: MsgDirUpdate, File: id.File, Idx: id.Idx, Aux: int64(node)})
+	return err
+}
+
+func (c *centralLocator) Drop(id block.ID, ifNode int32) error {
+	if srv := c.n.dirSrv; srv != nil {
+		srv.drop(id, ifNode)
+		return nil
+	}
+	_, err := c.n.roundTripTo(c.n.cfg.DirNode, &Frame{Type: MsgDirDrop, File: id.File, Idx: id.Idx, Aux: int64(ifNode)})
+	return err
+}
+
+func (c *centralLocator) Miss(id block.ID, node int32) {
+	// The central directory is corrected by the follow-up Update/Drop of
+	// the home read; nothing to do here.
+}
+
+// hintLocator is the §6 hint-based directory: a purely local, possibly
+// stale map maintained from observed protocol traffic, costing no lookup
+// messages. Wrong or absent hints fall back to the home node. Accuracy is
+// measured so deployments can compare against Sarkar & Hartman's ≈98%.
+type hintLocator struct {
+	mu      sync.Mutex
+	hints   map[block.ID]int32
+	lookups uint64
+	misses  uint64
+}
+
+func newHintLocator() *hintLocator {
+	return &hintLocator{hints: make(map[block.ID]int32)}
+}
+
+func (h *hintLocator) Lookup(id block.ID) (int32, bool, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.lookups++
+	n, ok := h.hints[id]
+	return n, ok, nil
+}
+
+func (h *hintLocator) Update(id block.ID, node int32) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.hints[id] = node
+	return nil
+}
+
+func (h *hintLocator) Drop(id block.ID, ifNode int32) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if cur, ok := h.hints[id]; ok && (ifNode < 0 || cur == ifNode) {
+		delete(h.hints, id)
+	}
+	return nil
+}
+
+func (h *hintLocator) Miss(id block.ID, node int32) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.misses++
+	if cur, ok := h.hints[id]; ok && cur == node {
+		delete(h.hints, id)
+	}
+}
+
+// Accuracy reports the observed fraction of hint lookups that were not
+// later contradicted (1 when no lookups happened yet).
+func (h *hintLocator) Accuracy() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.lookups == 0 {
+		return 1
+	}
+	return 1 - float64(h.misses)/float64(h.lookups)
+}
+
+// noAge is the OldestAge piggyback value for an empty cache or a client.
+const noAge = math.MaxInt64
+
+// DirectoryMode selects how the live middleware locates master copies.
+type DirectoryMode int
+
+const (
+	// DirCentral hosts the whole directory on one node (Config.DirNode) —
+	// the closest live analogue of the paper's single global directory.
+	DirCentral DirectoryMode = iota
+	// DirPartitioned spreads the directory over all nodes by block hash
+	// (xFS-style manager maps): each lookup costs at most one RPC to the
+	// block's manager, and no node is a directory bottleneck.
+	DirPartitioned
+	// DirHints uses purely local, possibly stale hints (§6 future work;
+	// Sarkar & Hartman).
+	DirHints
+)
+
+// partitionedLocator routes directory operations to the block's manager
+// node, determined by a stable hash of the block ID.
+type partitionedLocator struct {
+	n *Node
+}
+
+// manager reports the node managing id's directory entry.
+func (p *partitionedLocator) manager(id block.ID) int {
+	cs := p.n.clusterSize()
+	if cs == 0 {
+		return p.n.cfg.ID // membership not installed yet: stay local
+	}
+	h := uint32(id.File)*2654435761 + uint32(id.Idx)*40503
+	return int(h % uint32(cs))
+}
+
+func (p *partitionedLocator) Lookup(id block.ID) (int32, bool, error) {
+	m := p.manager(id)
+	if m == p.n.cfg.ID {
+		node, ok := p.n.dirSrv.lookup(id)
+		return node, ok, nil
+	}
+	resp, err := p.n.roundTripTo(m, &Frame{Type: MsgDirLookup, File: id.File, Idx: id.Idx})
+	if err != nil {
+		return 0, false, err
+	}
+	return int32(resp.Aux), resp.Flags != 0, nil
+}
+
+func (p *partitionedLocator) Update(id block.ID, node int32) error {
+	m := p.manager(id)
+	if m == p.n.cfg.ID {
+		p.n.dirSrv.update(id, node)
+		return nil
+	}
+	_, err := p.n.roundTripTo(m, &Frame{Type: MsgDirUpdate, File: id.File, Idx: id.Idx, Aux: int64(node)})
+	return err
+}
+
+func (p *partitionedLocator) Drop(id block.ID, ifNode int32) error {
+	m := p.manager(id)
+	if m == p.n.cfg.ID {
+		p.n.dirSrv.drop(id, ifNode)
+		return nil
+	}
+	_, err := p.n.roundTripTo(m, &Frame{Type: MsgDirDrop, File: id.File, Idx: id.Idx, Aux: int64(ifNode)})
+	return err
+}
+
+func (p *partitionedLocator) Miss(id block.ID, node int32) {
+	// As with the central directory, the follow-up Update/Drop corrects
+	// the manager's entry.
+}

@@ -1,0 +1,120 @@
+package middleware
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/block"
+	"repro/internal/core"
+)
+
+// TestPeerFailureFallsBackToHome kills the node holding a master copy; a
+// read locating that master must degrade to a home disk read instead of
+// failing.
+func TestPeerFailureFallsBackToHome(t *testing.T) {
+	// File 0 homes at node 0 (0 % 3). Reading it via node 2 makes node 2
+	// the master holder.
+	sizes := map[block.FileID]int64{0: 2048}
+	nodes, client := startCluster(t, 3, 64, core.PolicyMaster, false, sizes)
+	want := expect(testGeom, 0, 2048)
+	if got, err := client.ReadVia(2, 0); err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("prime read: %v", err)
+	}
+	if !nodes[2].store.IsMaster(block.ID{File: 0, Idx: 0}) {
+		t.Fatal("node 2 did not become master holder")
+	}
+
+	// Kill the master holder.
+	nodes[2].Close()
+
+	// Node 1 locates the master at (dead) node 2; the fetch must fall back
+	// to the home node's disk and still return correct content.
+	got, err := client.ReadVia(1, 0)
+	if err != nil {
+		t.Fatalf("read after peer failure: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("content mismatch after peer failure")
+	}
+	if nodes[1].Stats().RaceMisses == 0 {
+		t.Fatal("failure path not recorded as a miss")
+	}
+}
+
+// TestDirectoryFailureFallsBackToHome kills the directory node; reads on
+// the surviving nodes degrade to home reads (for files homed on survivors).
+func TestDirectoryFailureFallsBackToHome(t *testing.T) {
+	// 3 nodes; directory on node 0. File 1 homes at node 1, file 2 at 2.
+	sizes := map[block.FileID]int64{1: 2048, 2: 2048}
+	nodes, client := startCluster(t, 3, 64, core.PolicyMaster, false, sizes)
+	nodes[0].Close() // directory gone
+
+	for _, f := range []block.FileID{1, 2} {
+		got, err := client.ReadVia(int(f), f) // entry node = home node
+		if err != nil {
+			t.Fatalf("read of %d with dead directory: %v", f, err)
+		}
+		if !bytes.Equal(got, expect(testGeom, f, 2048)) {
+			t.Fatalf("content mismatch for %d", f)
+		}
+	}
+}
+
+// TestNodeRestartRejoins restarts a node on its old address; the survivors'
+// lazy redial lets the cluster resume serving through it.
+func TestNodeRestartRejoins(t *testing.T) {
+	sizes := map[block.FileID]int64{0: 2048, 1: 2048, 2: 2048}
+	nodes, client := startCluster(t, 3, 64, core.PolicyMaster, false, sizes)
+	addrs := make([]string, 3)
+	for i, n := range nodes {
+		addrs[i] = n.Addr()
+	}
+	// Warm everything, then kill node 2 and bring a fresh node up on the
+	// same address (cold cache, same identity).
+	for f := block.FileID(0); f < 3; f++ {
+		if _, err := client.Read(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nodes[2].Close()
+	restarted, err := Start(Config{
+		ID: 2, Listen: addrs[2], CapacityBlocks: 64, Policy: core.PolicyMaster,
+		Geometry: testGeom, Source: NewMemSource(testGeom, sizes),
+	})
+	if err != nil {
+		t.Fatalf("restart on %s: %v", addrs[2], err)
+	}
+	defer restarted.Close()
+	restarted.SetAddrs(addrs)
+
+	// Every file is still readable through every entry node, including the
+	// restarted one (file 2 homes on node 2: its disk content survives).
+	for f := block.FileID(0); f < 3; f++ {
+		for entry := 0; entry < 3; entry++ {
+			got, err := client.ReadVia(entry, f)
+			if err != nil {
+				t.Fatalf("file %d via node %d after restart: %v", f, entry, err)
+			}
+			if !bytes.Equal(got, expect(testGeom, f, 2048)) {
+				t.Fatalf("file %d via node %d: content mismatch after restart", f, entry)
+			}
+		}
+	}
+}
+
+// TestParallelReadLargeFile exercises the windowed fetch path on a file
+// with more blocks than the window.
+func TestParallelReadLargeFile(t *testing.T) {
+	const size = 40 * 1024 // 40 blocks of 1 KB
+	sizes := map[block.FileID]int64{0: size}
+	_, client := startCluster(t, 3, 128, core.PolicyMaster, false, sizes)
+	for entry := 0; entry < 3; entry++ {
+		got, err := client.ReadVia(entry, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, expect(testGeom, 0, size)) {
+			t.Fatalf("content mismatch via node %d", entry)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package middleware
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/block"
+	"repro/internal/core"
+)
+
+func TestFrameHintDeltasRoundTrip(t *testing.T) {
+	f := &Frame{
+		Type: MsgAck,
+		Hints: []HintDelta{
+			{File: 1, Idx: 2, Node: 3},
+			{File: 4, Idx: 5, Node: 6},
+		},
+		Payload: []byte("body"),
+	}
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Hints) != 2 || got.Hints[0] != f.Hints[0] || got.Hints[1] != f.Hints[1] {
+		t.Fatalf("hints = %+v", got.Hints)
+	}
+	if !bytes.Equal(got.Payload, f.Payload) {
+		t.Fatal("payload corrupted by hint section")
+	}
+}
+
+func TestFrameTooManyHintsRejected(t *testing.T) {
+	f := &Frame{Type: MsgAck, Hints: make([]HintDelta, maxHintDeltas+1)}
+	if err := WriteFrame(&bytes.Buffer{}, f); err == nil {
+		t.Fatal("oversized hint section accepted")
+	}
+}
+
+// TestHintRedirectAvoidsDisk verifies the probable-owner chain: once a
+// node holds the master, a second node's home read is redirected to that
+// holder instead of hitting the disk again.
+func TestHintRedirectAvoidsDisk(t *testing.T) {
+	// File 0 homes at node 0. Node 1 reads it first (becoming master
+	// holder); the home learns this. Node 2's later read goes to the home,
+	// which redirects it to node 1 — a remote memory hit, not a disk read.
+	sizes := map[block.FileID]int64{0: 2048}
+	nodes, client := startCluster(t, 3, 64, core.PolicyMaster, true, sizes)
+	want := expect(testGeom, 0, 2048)
+
+	if got, err := client.ReadVia(1, 0); err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("prime read: %v", err)
+	}
+	if got, err := client.ReadVia(2, 0); err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("second read: %v", err)
+	}
+	var disk, remote uint64
+	for _, n := range nodes {
+		disk += n.Stats().DiskReads
+		remote += n.Stats().RemoteHits
+	}
+	if disk != 2 {
+		t.Fatalf("disk reads = %d, want 2 (one per block; redirect must avoid refetch)", disk)
+	}
+	if remote != 2 {
+		t.Fatalf("remote hits = %d, want 2 (node 2 served from node 1's memory)", remote)
+	}
+}
+
+// TestHintRedirectForceOnStale: the home's hint points at a node that lost
+// the block; the requester falls back to a forced disk read.
+func TestHintRedirectForceOnStale(t *testing.T) {
+	sizes := map[block.FileID]int64{0: 1024}
+	nodes, client := startCluster(t, 3, 64, core.PolicyMaster, true, sizes)
+	if _, err := client.ReadVia(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Node 1 silently drops its copy (simulating eviction without the
+	// home learning).
+	nodes[1].store.Remove(block.ID{File: 0, Idx: 0})
+	got, err := client.ReadVia(2, 0)
+	if err != nil {
+		t.Fatalf("read after stale redirect: %v", err)
+	}
+	if !bytes.Equal(got, expect(testGeom, 0, 1024)) {
+		t.Fatal("content mismatch")
+	}
+	if nodes[2].Stats().DiskReads != 1 {
+		t.Fatalf("node 2 disk reads = %d, want 1 (forced read)", nodes[2].Stats().DiskReads)
+	}
+}
+
+// TestHintDeltasSpreadOnTraffic: node A's knowledge of a master location
+// reaches node B purely through piggybacked deltas on unrelated traffic.
+func TestHintDeltasSpreadOnTraffic(t *testing.T) {
+	sizes := map[block.FileID]int64{0: 1024, 1: 1024, 2: 1024}
+	nodes, client := startCluster(t, 3, 64, core.PolicyMaster, true, sizes)
+	// Node 1 reads file 0 (homed at node 0): node 1 is now master holder
+	// and has the fact in its piggyback ring.
+	if _, err := client.ReadVia(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Unrelated traffic from node 1 to node 2: node 1 serves node 2's
+	// request for file 2 (homed at node 2 → node 2 reads locally)... so
+	// instead make node 2 fetch file 0's sibling knowledge by having node
+	// 1 request something homed at node 2; the request frame carries the
+	// deltas.
+	if _, err := client.ReadVia(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Node 2 should now know that file 0's master is at node 1.
+	holder, ok, _ := nodes[2].hints.Lookup(block.ID{File: 0, Idx: 0})
+	if !ok || holder != 1 {
+		t.Fatalf("delta did not spread: holder=%d ok=%v", holder, ok)
+	}
+}

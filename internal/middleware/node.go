@@ -1,0 +1,535 @@
+package middleware
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/block"
+	"repro/internal/core"
+)
+
+// Config parameterizes one live middleware node.
+type Config struct {
+	// ID is this node's index in the cluster.
+	ID int
+	// Listen is the TCP address to listen on (e.g. "127.0.0.1:0").
+	Listen string
+	// DirMode selects how masters are located (see DirectoryMode).
+	DirMode DirectoryMode
+	// DirNode hosts the central directory (DirCentral only).
+	DirNode int
+	// Hints is a shorthand for DirMode = DirHints (kept for convenience).
+	Hints bool
+	// CapacityBlocks is the local cache size in blocks.
+	CapacityBlocks int
+	// Policy is the replacement policy (PolicyMaster recommended; this is
+	// the paper's headline variant).
+	Policy core.Policy
+	// Geometry is the block layout (zero value: 8 KB blocks).
+	Geometry block.Geometry
+	// Source is this node's backing store. FileSize must answer for every
+	// file in the cluster (the global file-to-node mapping of §3 includes
+	// sizes); ReadBlock/WriteBlock are only invoked for files homed here.
+	Source BlockSource
+	// Readahead, if positive, asynchronously prefetches that many
+	// subsequent blocks of a file after a miss — the live counterpart of
+	// the request-scheduling/prefetching remedy §5 suggests for the
+	// interleaving pathology.
+	Readahead int
+}
+
+// Node is a live cooperative caching node: a TCP server cooperating with
+// its peers to manage the cluster's memory as a single block cache.
+type Node struct {
+	cfg  Config
+	geom block.Geometry
+	ln   net.Listener
+
+	store  *Store
+	dirSrv *dirServer // non-nil when this node hosts the directory
+	loc    locator
+	hints  *hintLocator // non-nil in hint mode
+
+	mu       sync.Mutex
+	addrs    []string
+	peers    []*conn
+	peerAges []atomic.Int64
+	accepted map[*conn]struct{}
+	closed   bool
+
+	pmu     sync.Mutex
+	pending map[block.ID]chan struct{}
+
+	// hintMu guards hintRing, the recent locally observed directory
+	// deltas piggybacked on outgoing frames (hint mode only).
+	hintMu   sync.Mutex
+	hintRing []HintDelta
+
+	c counters
+}
+
+// counters holds the node's statistics.
+type counters struct {
+	accesses, localHits, remoteHits, diskReads, raceMisses atomic.Uint64
+	forwards, forwardsRejected, invalidations, writes      atomic.Uint64
+	prefetches                                             atomic.Uint64
+}
+
+// Stats is a snapshot of a node's behaviour (JSON-encodable for the
+// MsgStats RPC).
+type Stats struct {
+	Node             int
+	Accesses         uint64
+	LocalHits        uint64
+	RemoteHits       uint64
+	DiskReads        uint64
+	RaceMisses       uint64
+	Forwards         uint64
+	ForwardsRejected uint64
+	Invalidations    uint64
+	Writes           uint64
+	Prefetches       uint64
+	StoreLen         int
+	StoreMasters     int
+	HintAccuracy     float64
+}
+
+// HitRate is the fraction of block accesses served from cluster memory.
+func (s Stats) HitRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.LocalHits+s.RemoteHits) / float64(s.Accesses)
+}
+
+// Start validates cfg, begins listening, and returns the node. Call
+// SetAddrs once every node of the cluster is up, then the node is fully
+// operational.
+func Start(cfg Config) (*Node, error) {
+	if cfg.CapacityBlocks <= 0 {
+		return nil, fmt.Errorf("middleware: CapacityBlocks must be positive")
+	}
+	if cfg.Source == nil {
+		return nil, fmt.Errorf("middleware: Source is required")
+	}
+	if cfg.Geometry == (block.Geometry{}) {
+		cfg.Geometry = block.DefaultGeometry
+	}
+	if err := cfg.Geometry.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Listen == "" {
+		cfg.Listen = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", cfg.Listen)
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{
+		cfg:      cfg,
+		geom:     cfg.Geometry,
+		ln:       ln,
+		store:    NewStore(cfg.CapacityBlocks, cfg.Policy),
+		accepted: make(map[*conn]struct{}),
+		pending:  make(map[block.ID]chan struct{}),
+	}
+	if cfg.Hints {
+		cfg.DirMode = DirHints
+		n.cfg.DirMode = DirHints
+	}
+	switch cfg.DirMode {
+	case DirHints:
+		n.hints = newHintLocator()
+		n.loc = &ringHintLocator{n: n}
+	case DirPartitioned:
+		// Every node manages a hash slice of the block space (xFS-style
+		// manager maps): no single directory bottleneck.
+		n.dirSrv = newDirServer()
+		n.loc = &partitionedLocator{n: n}
+	case DirCentral:
+		if cfg.ID == cfg.DirNode {
+			n.dirSrv = newDirServer()
+		}
+		n.loc = &centralLocator{n: n}
+	default:
+		ln.Close()
+		return nil, fmt.Errorf("middleware: unknown directory mode %d", cfg.DirMode)
+	}
+	go n.acceptLoop()
+	return n, nil
+}
+
+// Addr reports the node's listen address.
+func (n *Node) Addr() string { return n.ln.Addr().String() }
+
+// ID reports the node's cluster index.
+func (n *Node) ID() int { return n.cfg.ID }
+
+// SetAddrs installs the cluster membership (index = node ID). It must be
+// called before the node serves requests that involve peers.
+func (n *Node) SetAddrs(addrs []string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.addrs = append([]string(nil), addrs...)
+	n.peers = make([]*conn, len(addrs))
+	n.peerAges = make([]atomic.Int64, len(addrs))
+	for i := range n.peerAges {
+		n.peerAges[i].Store(noAge)
+	}
+}
+
+// Close shuts the node down.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	peers := append([]*conn(nil), n.peers...)
+	acc := make([]*conn, 0, len(n.accepted))
+	for c := range n.accepted {
+		acc = append(acc, c)
+	}
+	n.mu.Unlock()
+	err := n.ln.Close()
+	for _, c := range peers {
+		if c != nil {
+			c.close()
+		}
+	}
+	for _, c := range acc {
+		c.close()
+	}
+	return err
+}
+
+// Stats snapshots the node's counters.
+func (n *Node) Stats() Stats {
+	s := Stats{
+		Node:             n.cfg.ID,
+		Accesses:         n.c.accesses.Load(),
+		LocalHits:        n.c.localHits.Load(),
+		RemoteHits:       n.c.remoteHits.Load(),
+		DiskReads:        n.c.diskReads.Load(),
+		RaceMisses:       n.c.raceMisses.Load(),
+		Forwards:         n.c.forwards.Load(),
+		ForwardsRejected: n.c.forwardsRejected.Load(),
+		Invalidations:    n.c.invalidations.Load(),
+		Writes:           n.c.writes.Load(),
+		Prefetches:       n.c.prefetches.Load(),
+		StoreLen:         n.store.Len(),
+		StoreMasters:     n.store.Masters(),
+		HintAccuracy:     1,
+	}
+	if n.hints != nil {
+		s.HintAccuracy = n.hints.Accuracy()
+	}
+	return s
+}
+
+// --- connection plumbing ---
+
+func (n *Node) acceptLoop() {
+	for {
+		nc, err := n.ln.Accept()
+		if err != nil {
+			return
+		}
+		c := newConn(nc, n.handle, n.observe, n.stamp)
+		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			c.close()
+			return
+		}
+		n.accepted[c] = struct{}{}
+		n.mu.Unlock()
+	}
+}
+
+// stamp decorates outgoing frames with identity, the oldest-age piggyback,
+// and (in hint mode) the most recent directory deltas.
+func (n *Node) stamp(f *Frame) {
+	f.Sender = int32(n.cfg.ID)
+	if age, ok := n.store.OldestAge(); ok {
+		f.OldestAge = age
+	} else {
+		f.OldestAge = noAge
+	}
+	if n.hints != nil && f.Hints == nil {
+		n.hintMu.Lock()
+		if len(n.hintRing) > 0 {
+			f.Hints = append([]HintDelta(nil), n.hintRing...)
+		}
+		n.hintMu.Unlock()
+	}
+}
+
+// observe harvests piggybacked peer ages and hint deltas.
+func (n *Node) observe(f *Frame) {
+	if f.Sender < 0 {
+		return
+	}
+	n.mu.Lock()
+	ok := int(f.Sender) < len(n.peerAges)
+	n.mu.Unlock()
+	if ok {
+		n.peerAges[f.Sender].Store(f.OldestAge)
+	}
+	if n.hints != nil {
+		for _, d := range f.Hints {
+			if d.Node >= 0 && int(d.Node) != n.cfg.ID {
+				n.hints.Update(block.ID{File: d.File, Idx: d.Idx}, d.Node) //nolint:errcheck // local map
+			}
+		}
+	}
+}
+
+// noteHint records a locally observed directory fact and queues it for
+// piggybacked spreading.
+func (n *Node) noteHint(id block.ID, holder int32) {
+	if n.hints == nil {
+		return
+	}
+	n.hints.Update(id, holder) //nolint:errcheck // local map
+	n.hintMu.Lock()
+	n.hintRing = append(n.hintRing, HintDelta{File: id.File, Idx: id.Idx, Node: holder})
+	if len(n.hintRing) > maxHintDeltas {
+		n.hintRing = n.hintRing[len(n.hintRing)-maxHintDeltas:]
+	}
+	n.hintMu.Unlock()
+}
+
+// ringHintLocator is the hint-mode locator: lookups are local; updates also
+// enter the piggyback ring so the knowledge spreads.
+type ringHintLocator struct{ n *Node }
+
+func (r *ringHintLocator) Lookup(id block.ID) (int32, bool, error) {
+	return r.n.hints.Lookup(id)
+}
+
+func (r *ringHintLocator) Update(id block.ID, node int32) error {
+	r.n.noteHint(id, node)
+	return nil
+}
+
+func (r *ringHintLocator) Drop(id block.ID, ifNode int32) error {
+	return r.n.hints.Drop(id, ifNode)
+}
+
+func (r *ringHintLocator) Miss(id block.ID, node int32) {
+	r.n.hints.Miss(id, node)
+}
+
+// peer returns (dialing lazily) the connection to node i.
+func (n *Node) peer(i int) (*conn, error) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil, errConnClosed
+	}
+	if n.addrs == nil {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("middleware: node %d has no cluster membership (SetAddrs not called)", n.cfg.ID)
+	}
+	if i < 0 || i >= len(n.addrs) {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("middleware: peer %d out of range", i)
+	}
+	if c := n.peers[i]; c != nil {
+		n.mu.Unlock()
+		return c, nil
+	}
+	addr := n.addrs[i]
+	n.mu.Unlock()
+
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := newConn(nc, n.handle, n.observe, n.stamp)
+	n.mu.Lock()
+	if n.peers[i] != nil {
+		// Lost the dial race; keep the established one.
+		n.mu.Unlock()
+		c.close()
+		return n.peers[i], nil
+	}
+	n.peers[i] = c
+	n.mu.Unlock()
+	return c, nil
+}
+
+// roundTripTo sends a request to node i and awaits the response. When a
+// connection has died (peer restart), one redial is attempted.
+func (n *Node) roundTripTo(i int, f *Frame) (*Frame, error) {
+	c, err := n.peer(i)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.roundTrip(f)
+	if err == errConnClosed {
+		n.mu.Lock()
+		if n.peers[i] == c {
+			n.peers[i] = nil
+		}
+		n.mu.Unlock()
+		c2, err2 := n.peer(i)
+		if err2 != nil {
+			return nil, err2
+		}
+		return c2.roundTrip(f)
+	}
+	return resp, err
+}
+
+// home reports the home node of file f (round-robin over the membership,
+// the global file-to-node mapping of §3).
+func (n *Node) home(f block.FileID) (int, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if len(n.addrs) == 0 {
+		return 0, fmt.Errorf("middleware: no cluster membership")
+	}
+	return int(f) % len(n.addrs), nil
+}
+
+func (n *Node) clusterSize() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.addrs)
+}
+
+// --- request handling ---
+
+func (n *Node) handle(f *Frame) *Frame {
+	switch f.Type {
+	case MsgGetBlock:
+		return n.handleGetBlock(f)
+	case MsgReadFile:
+		data, err := n.ReadFile(f.File)
+		if err != nil {
+			return errFrame("read file %d: %v", f.File, err)
+		}
+		return &Frame{Type: MsgFileData, File: f.File, Payload: data}
+	case MsgReadRange:
+		off, length := unpackRange(f.Aux)
+		size, err := n.cfg.Source.FileSize(f.File)
+		if err != nil {
+			return errFrame("read range %d: %v", f.File, err)
+		}
+		data, err := n.ReadRange(f.File, off, length)
+		if err != nil {
+			return errFrame("read range %d: %v", f.File, err)
+		}
+		return &Frame{Type: MsgFileData, File: f.File, Aux: size, Payload: data}
+	case MsgDirLookup, MsgDirUpdate, MsgDirDrop:
+		return n.handleDir(f)
+	case MsgForward:
+		return n.handleForward(f)
+	case MsgWriteBlock:
+		if err := n.WriteBlock(f.ID(), f.Payload); err != nil {
+			return errFrame("write %v: %v", f.ID(), err)
+		}
+		return &Frame{Type: MsgAck}
+	case MsgInvalidate:
+		n.handleInvalidate(f.ID())
+		return &Frame{Type: MsgAck}
+	case MsgPutBlock:
+		if err := n.cfg.Source.WriteBlock(f.File, f.Idx, f.Payload); err != nil {
+			return errFrame("put %v: %v", f.ID(), err)
+		}
+		return &Frame{Type: MsgAck}
+	case MsgStats:
+		payload, err := json.Marshal(n.Stats())
+		if err != nil {
+			return errFrame("stats: %v", err)
+		}
+		return &Frame{Type: MsgStatsReply, Payload: payload}
+	default:
+		return errFrame("unknown message type %d", f.Type)
+	}
+}
+
+func (n *Node) handleGetBlock(f *Frame) *Frame {
+	id := f.ID()
+	if f.Flags&FlagMaster != 0 {
+		// Home read. In hint mode the home acts as the probable-owner
+		// chain's anchor: if it believes another node holds the master, it
+		// redirects the requester there instead of reading disk (Sarkar &
+		// Hartman's forwarding), unless the requester forces a disk read
+		// after a failed redirect.
+		if n.hints != nil && f.Flags&FlagForce == 0 {
+			if holder, ok, _ := n.hints.Lookup(id); ok &&
+				holder != int32(n.cfg.ID) && holder != f.Sender {
+				return &Frame{Type: MsgBlockMiss, Flags: FlagMaster, File: f.File, Idx: f.Idx, Aux: int64(holder)}
+			}
+		}
+		data, err := n.cfg.Source.ReadBlock(f.File, f.Idx)
+		if err != nil {
+			return errFrame("home read %v: %v", id, err)
+		}
+		if f.Sender >= 0 {
+			// The home learns the new master location from this exchange.
+			n.noteHint(id, f.Sender)
+		}
+		return &Frame{Type: MsgBlockData, Flags: FlagMaster, File: f.File, Idx: f.Idx, Payload: data}
+	}
+	if data, ok := n.store.Get(id); ok {
+		return &Frame{Type: MsgBlockData, File: f.File, Idx: f.Idx, Payload: data}
+	}
+	return &Frame{Type: MsgBlockMiss, File: f.File, Idx: f.Idx}
+}
+
+func (n *Node) handleDir(f *Frame) *Frame {
+	if n.dirSrv == nil {
+		return errFrame("node %d does not host the directory", n.cfg.ID)
+	}
+	id := f.ID()
+	switch f.Type {
+	case MsgDirLookup:
+		node, ok := n.dirSrv.lookup(id)
+		r := &Frame{Type: MsgDirResult, File: f.File, Idx: f.Idx, Aux: int64(node)}
+		if ok {
+			r.Flags = 1
+		}
+		return r
+	case MsgDirUpdate:
+		n.dirSrv.update(id, int32(f.Aux))
+	case MsgDirDrop:
+		n.dirSrv.drop(id, int32(f.Aux))
+	}
+	return &Frame{Type: MsgAck}
+}
+
+func (n *Node) handleForward(f *Frame) *Frame {
+	id := f.ID()
+	accepted, displaced := n.store.AcceptForward(id, f.Payload, f.Aux)
+	if displaced != nil && displaced.Master {
+		// The block we discarded to make room was a master: the cluster
+		// forgets it (no cascaded forwarding, §3).
+		n.loc.Drop(displaced.ID, int32(n.cfg.ID)) //nolint:errcheck // best effort
+	}
+	if accepted {
+		n.noteHint(id, int32(n.cfg.ID))
+	}
+	r := &Frame{Type: MsgForwardAck, File: f.File, Idx: f.Idx}
+	if accepted {
+		r.Flags = 1
+	}
+	return r
+}
+
+func (n *Node) handleInvalidate(id block.ID) {
+	n.c.invalidations.Add(1)
+	if present, master := n.store.Remove(id); present && master {
+		n.loc.Drop(id, int32(n.cfg.ID)) //nolint:errcheck // best effort
+	}
+	if n.hints != nil {
+		n.hints.Drop(id, -1) //nolint:errcheck // local map
+	}
+}

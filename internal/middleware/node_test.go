@@ -1,0 +1,295 @@
+package middleware
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"repro/internal/block"
+	"repro/internal/core"
+)
+
+// startCluster spins up k live nodes on loopback sharing a synthetic file
+// set, returning the nodes and a connected client. Cleanup is registered on
+// t.
+func startCluster(t *testing.T, k int, capacityBlocks int, policy core.Policy, hints bool, sizes map[block.FileID]int64) ([]*Node, *Client) {
+	t.Helper()
+	geom := block.Geometry{Size: 1024, ExtentBlocks: 8} // small blocks keep tests light
+	nodes := make([]*Node, k)
+	addrs := make([]string, k)
+	for i := 0; i < k; i++ {
+		n, err := Start(Config{
+			ID:             i,
+			Hints:          hints,
+			CapacityBlocks: capacityBlocks,
+			Policy:         policy,
+			Geometry:       geom,
+			Source:         NewMemSource(geom, sizes),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = n
+		addrs[i] = n.Addr()
+	}
+	for _, n := range nodes {
+		n.SetAddrs(addrs)
+	}
+	client, err := DialCluster(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		client.Close()
+		for _, n := range nodes {
+			n.Close()
+		}
+	})
+	return nodes, client
+}
+
+// expect reconstructs the synthetic content of a whole file.
+func expect(geom block.Geometry, f block.FileID, size int64) []byte {
+	var out []byte
+	for i := int32(0); i < geom.Count(size); i++ {
+		out = append(out, SyntheticBlock(f, i, blockLen(geom, size, i))...)
+	}
+	return out
+}
+
+var testGeom = block.Geometry{Size: 1024, ExtentBlocks: 8}
+
+func TestLiveReadSingleFile(t *testing.T) {
+	sizes := map[block.FileID]int64{0: 3500}
+	_, client := startCluster(t, 3, 64, core.PolicyMaster, false, sizes)
+	got, err := client.Read(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, expect(testGeom, 0, 3500)) {
+		t.Fatal("content mismatch")
+	}
+}
+
+func TestLiveReadsAllNodesAllFiles(t *testing.T) {
+	sizes := map[block.FileID]int64{}
+	for f := 0; f < 12; f++ {
+		sizes[block.FileID(f)] = int64(500 + f*700)
+	}
+	_, client := startCluster(t, 4, 128, core.PolicyMaster, false, sizes)
+	for f := 0; f < 12; f++ {
+		for node := 0; node < 4; node++ {
+			got, err := client.ReadVia(node, block.FileID(f))
+			if err != nil {
+				t.Fatalf("file %d via node %d: %v", f, node, err)
+			}
+			if !bytes.Equal(got, expect(testGeom, block.FileID(f), sizes[block.FileID(f)])) {
+				t.Fatalf("file %d via node %d: content mismatch", f, node)
+			}
+		}
+	}
+	st, err := client.ClusterStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Accesses == 0 || st.LocalHits+st.RemoteHits == 0 {
+		t.Fatalf("no cache activity: %+v", st)
+	}
+	// Re-reads must be memory hits: disk reads happen once per block.
+	var totalBlocks uint64
+	for f, sz := range sizes {
+		totalBlocks += uint64(testGeom.Count(sz))
+		_ = f
+	}
+	if st.DiskReads > totalBlocks+st.RaceMisses {
+		t.Fatalf("disk reads %d exceed unique blocks %d", st.DiskReads, totalBlocks)
+	}
+}
+
+func TestLiveSingleMasterPerBlock(t *testing.T) {
+	sizes := map[block.FileID]int64{0: 4096, 1: 4096, 2: 4096}
+	nodes, client := startCluster(t, 3, 64, core.PolicyMaster, false, sizes)
+	for f := 0; f < 3; f++ {
+		for i := 0; i < 3; i++ {
+			if _, err := client.ReadVia(i, block.FileID(f)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for f := 0; f < 3; f++ {
+		for idx := int32(0); idx < testGeom.Count(4096); idx++ {
+			id := block.ID{File: block.FileID(f), Idx: idx}
+			masters := 0
+			for _, n := range nodes {
+				if n.store.IsMaster(id) {
+					masters++
+				}
+			}
+			if masters != 1 {
+				t.Errorf("block %v has %d masters, want 1", id, masters)
+			}
+		}
+	}
+}
+
+func TestLiveRemoteHitServesFromPeerMemory(t *testing.T) {
+	sizes := map[block.FileID]int64{5: 2048}
+	nodes, client := startCluster(t, 2, 64, core.PolicyMaster, false, sizes)
+	if _, err := client.ReadVia(0, 5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.ReadVia(1, 5); err != nil {
+		t.Fatal(err)
+	}
+	s0, s1 := nodes[0].Stats(), nodes[1].Stats()
+	if s1.RemoteHits == 0 {
+		t.Fatalf("node 1 should have remote hits: %+v", s1)
+	}
+	if got := s0.DiskReads + s1.DiskReads; got != 2 {
+		t.Fatalf("disk reads = %d, want 2 (one per block, no refetch)", got)
+	}
+}
+
+func TestLiveEvictionForwarding(t *testing.T) {
+	// Tiny caches force evictions; master forwarding should move masters to
+	// peers rather than dropping them whenever peers hold older blocks.
+	sizes := map[block.FileID]int64{}
+	for f := 0; f < 30; f++ {
+		sizes[block.FileID(f)] = 1024
+	}
+	nodes, client := startCluster(t, 3, 8, core.PolicyBasic, false, sizes)
+	// Phase 1: node 1 fills with blocks that then sit idle (old ages).
+	for f := 0; f < 8; f++ {
+		if _, err := client.ReadVia(1, block.FileID(f)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Phase 2: node 0 churns through the rest; the masters it evicts are
+	// younger than node 1's idle content, so they must be forwarded there
+	// rather than dropped (§3 second chance).
+	for round := 0; round < 3; round++ {
+		for f := 8; f < 30; f++ {
+			if _, err := client.ReadVia(0, block.FileID(f)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	var forwards uint64
+	for _, n := range nodes {
+		forwards += n.Stats().Forwards + n.Stats().ForwardsRejected
+	}
+	if forwards == 0 {
+		t.Fatal("no eviction forwarding happened under memory pressure")
+	}
+	// Every cache must respect capacity.
+	for i, n := range nodes {
+		if n.store.Len() > 8 {
+			t.Fatalf("node %d over capacity: %d", i, n.store.Len())
+		}
+	}
+}
+
+func TestLiveHintMode(t *testing.T) {
+	sizes := map[block.FileID]int64{}
+	for f := 0; f < 10; f++ {
+		sizes[block.FileID(f)] = 2048
+	}
+	nodes, client := startCluster(t, 3, 64, core.PolicyMaster, true, sizes)
+	for round := 0; round < 4; round++ {
+		for f := 0; f < 10; f++ {
+			got, err := client.Read(block.FileID(f))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, expect(testGeom, block.FileID(f), 2048)) {
+				t.Fatalf("round %d file %d: content mismatch", round, f)
+			}
+		}
+	}
+	// Hint accuracy is tracked and sane.
+	for i, n := range nodes {
+		if acc := n.Stats().HintAccuracy; acc < 0 || acc > 1 {
+			t.Fatalf("node %d hint accuracy = %f", i, acc)
+		}
+	}
+}
+
+func TestLiveConcurrentReaders(t *testing.T) {
+	sizes := map[block.FileID]int64{}
+	for f := 0; f < 20; f++ {
+		sizes[block.FileID(f)] = int64(1024 + f*512)
+	}
+	_, client := startCluster(t, 4, 32, core.PolicyMaster, false, sizes)
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				f := block.FileID((w*25 + i) % 20)
+				got, err := client.Read(f)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !bytes.Equal(got, expect(testGeom, f, sizes[f])) {
+					errs <- errContentMismatch
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+var errContentMismatch = &contentErr{}
+
+type contentErr struct{}
+
+func (*contentErr) Error() string { return "content mismatch under concurrency" }
+
+func TestLiveStatsRPC(t *testing.T) {
+	sizes := map[block.FileID]int64{0: 1024}
+	nodes, client := startCluster(t, 2, 16, core.PolicyMaster, false, sizes)
+	if _, err := client.Read(0); err != nil {
+		t.Fatal(err)
+	}
+	s, err := client.NodeStats(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Node != 0 {
+		t.Fatalf("stats for node %d", s.Node)
+	}
+	local := nodes[0].Stats()
+	if s.Accesses != local.Accesses {
+		t.Fatalf("RPC stats %d != local %d", s.Accesses, local.Accesses)
+	}
+}
+
+func TestStartValidation(t *testing.T) {
+	if _, err := Start(Config{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+	if _, err := Start(Config{CapacityBlocks: 4}); err == nil {
+		t.Fatal("missing source accepted")
+	}
+}
+
+func TestPeerBeforeMembershipFails(t *testing.T) {
+	geom := testGeom
+	n, err := Start(Config{ID: 0, CapacityBlocks: 4, Geometry: geom,
+		Source: NewMemSource(geom, map[block.FileID]int64{0: 1024})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	if _, err := n.home(0); err == nil {
+		t.Fatal("home mapping without membership should fail")
+	}
+}

@@ -1,0 +1,152 @@
+package middleware
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/block"
+	"repro/internal/core"
+)
+
+// startPartitioned spins a cluster in partitioned-directory mode.
+func startPartitioned(t *testing.T, k, capacity int, sizes map[block.FileID]int64) ([]*Node, *Client) {
+	t.Helper()
+	geom := block.Geometry{Size: 1024, ExtentBlocks: 8}
+	nodes := make([]*Node, k)
+	addrs := make([]string, k)
+	for i := 0; i < k; i++ {
+		n, err := Start(Config{
+			ID:             i,
+			DirMode:        DirPartitioned,
+			CapacityBlocks: capacity,
+			Policy:         core.PolicyMaster,
+			Geometry:       geom,
+			Source:         NewMemSource(geom, sizes),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = n
+		addrs[i] = n.Addr()
+	}
+	for _, n := range nodes {
+		n.SetAddrs(addrs)
+	}
+	client, err := DialCluster(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		client.Close()
+		for _, n := range nodes {
+			n.Close()
+		}
+	})
+	return nodes, client
+}
+
+func TestPartitionedDirectoryReads(t *testing.T) {
+	sizes := map[block.FileID]int64{}
+	for f := 0; f < 12; f++ {
+		sizes[block.FileID(f)] = int64(1024 + 700*f)
+	}
+	_, client := startPartitioned(t, 3, 128, sizes)
+	for round := 0; round < 2; round++ {
+		for f := 0; f < 12; f++ {
+			got, err := client.Read(block.FileID(f))
+			if err != nil {
+				t.Fatalf("round %d file %d: %v", round, f, err)
+			}
+			if !bytes.Equal(got, expect(testGeom, block.FileID(f), sizes[block.FileID(f)])) {
+				t.Fatalf("round %d file %d: content mismatch", round, f)
+			}
+		}
+	}
+	st, err := client.ClusterStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.RemoteHits+st.LocalHits == 0 {
+		t.Fatal("no cache hits with partitioned directory")
+	}
+}
+
+func TestPartitionedSingleMaster(t *testing.T) {
+	sizes := map[block.FileID]int64{0: 4096, 1: 4096}
+	nodes, client := startPartitioned(t, 3, 64, sizes)
+	for f := 0; f < 2; f++ {
+		for entry := 0; entry < 3; entry++ {
+			if _, err := client.ReadVia(entry, block.FileID(f)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for f := 0; f < 2; f++ {
+		for idx := int32(0); idx < testGeom.Count(4096); idx++ {
+			id := block.ID{File: block.FileID(f), Idx: idx}
+			masters := 0
+			for _, n := range nodes {
+				if n.store.IsMaster(id) {
+					masters++
+				}
+			}
+			if masters != 1 {
+				t.Errorf("block %v has %d masters", id, masters)
+			}
+		}
+	}
+}
+
+func TestPartitionedManagersSpread(t *testing.T) {
+	sizes := map[block.FileID]int64{}
+	for f := 0; f < 40; f++ {
+		sizes[block.FileID(f)] = 1024
+	}
+	nodes, client := startPartitioned(t, 4, 256, sizes)
+	for f := 0; f < 40; f++ {
+		if _, err := client.Read(block.FileID(f)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Directory entries must be spread over multiple managers, not on one
+	// node.
+	withEntries := 0
+	for _, n := range nodes {
+		if n.dirSrv.size() > 0 {
+			withEntries++
+		}
+	}
+	if withEntries < 3 {
+		t.Fatalf("directory entries on %d nodes, want spread over ≥3", withEntries)
+	}
+}
+
+func TestPartitionedWrites(t *testing.T) {
+	sizes := map[block.FileID]int64{0: 2048}
+	_, client := startPartitioned(t, 3, 64, sizes)
+	if _, err := client.Read(0); err != nil {
+		t.Fatal(err)
+	}
+	v := bytes.Repeat([]byte{0x3C}, 1024)
+	if err := client.Write(0, 1, v); err != nil {
+		t.Fatal(err)
+	}
+	got, err := client.Read(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[1024:], v) {
+		t.Fatal("write not visible in partitioned mode")
+	}
+}
+
+func TestBadDirModeRejected(t *testing.T) {
+	geom := testGeom
+	_, err := Start(Config{
+		ID: 0, DirMode: DirectoryMode(99), CapacityBlocks: 4, Geometry: geom,
+		Source: NewMemSource(geom, map[block.FileID]int64{0: 1024}),
+	})
+	if err == nil {
+		t.Fatal("bad directory mode accepted")
+	}
+}

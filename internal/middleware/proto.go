@@ -1,0 +1,234 @@
+// Package middleware is a working TCP implementation of the cooperative
+// caching layer the paper simulates: N nodes on a LAN (or one machine) pool
+// their memories into a single block cache with master-copy tracking, a
+// global directory, eviction forwarding, and the master-preserving
+// replacement policy. It also implements the paper's §6 future work: a
+// hint-based directory mode and a write(-invalidate) protocol.
+//
+// The wire protocol is deliberately small: length-prefixed binary frames
+// over long-lived TCP connections, with request/response correlation IDs so
+// many operations multiplex over one connection. Every frame piggybacks the
+// sender's oldest-block age, giving each node the peer-age knowledge the
+// replacement algorithm needs (§3) without dedicated traffic — the same
+// trick Sarkar & Hartman use for hints.
+package middleware
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/block"
+)
+
+// MsgType identifies a frame.
+type MsgType uint8
+
+// Frame types.
+const (
+	// MsgGetBlock asks a node for one block. Flags carry wantMaster for
+	// home reads.
+	MsgGetBlock MsgType = iota + 1
+	// MsgBlockData returns block content; Flags carry isMaster.
+	MsgBlockData
+	// MsgBlockMiss reports the block is not available at the target.
+	MsgBlockMiss
+	// MsgReadFile asks a node to return a whole file (client entry point).
+	MsgReadFile
+	// MsgFileData returns whole-file content.
+	MsgFileData
+	// MsgDirLookup/MsgDirResult/MsgDirUpdate/MsgDirDrop are the central
+	// directory RPCs.
+	MsgDirLookup
+	MsgDirResult
+	MsgDirUpdate
+	MsgDirDrop
+	// MsgForward ships an evicted master to a peer (§3 second chance).
+	MsgForward
+	// MsgForwardAck acknowledges a forward (accepted or dropped).
+	MsgForwardAck
+	// MsgWriteBlock writes one block through the cluster (client entry).
+	MsgWriteBlock
+	// MsgInvalidate discards any cached copy of a block (write protocol).
+	MsgInvalidate
+	// MsgPutBlock stores block content on the home node's disk.
+	MsgPutBlock
+	// MsgAck is a generic success reply.
+	MsgAck
+	// MsgErr carries an error string.
+	MsgErr
+	// MsgStats asks a node for its counters (introspection).
+	MsgStats
+	// MsgStatsReply returns encoded Stats.
+	MsgStatsReply
+	// MsgReadRange asks a node for a byte range of a file: Aux packs the
+	// offset (high 40 bits) and length (low 24 bits) via packRange.
+	MsgReadRange
+)
+
+// packRange encodes a byte range into an Aux value (offset < 2^39,
+// length < 2^24 — a 16 MB range cap, far above any sensible request).
+func packRange(off int64, n int) int64 {
+	return off<<24 | int64(n)
+}
+
+// unpackRange decodes packRange.
+func unpackRange(aux int64) (off int64, n int) {
+	return aux >> 24, int(aux & (1<<24 - 1))
+}
+
+// maxRangeLen bounds one MsgReadRange request.
+const maxRangeLen = 1<<24 - 1
+
+// Flag bits for Frame.Flags.
+const (
+	// FlagMaster marks block data as the master copy / requests a master.
+	FlagMaster uint8 = 1 << iota
+	// FlagForce, on a home read, demands a disk read even when the home
+	// holds a hint pointing elsewhere (breaks probable-owner redirect
+	// loops in hint mode).
+	FlagForce
+)
+
+// HintDelta is one piggybacked directory update: "the master of this block
+// is (believed to be) at Node". Frames carry a few recent deltas so
+// location knowledge spreads on existing traffic, as in Sarkar & Hartman's
+// hint-based cooperative caching.
+type HintDelta struct {
+	File block.FileID
+	Idx  int32
+	Node int32
+}
+
+// maxHintDeltas bounds the deltas piggybacked per frame.
+const maxHintDeltas = 8
+
+// Frame is one protocol message.
+type Frame struct {
+	Type  MsgType
+	Flags uint8
+	// Req correlates responses to requests on a multiplexed connection.
+	Req uint32
+	// Sender is the node ID of the sender (-1 for clients).
+	Sender int32
+	// OldestAge piggybacks the sender's oldest cached block age in unix
+	// nanoseconds (math.MaxInt64 when its cache is empty or it is a client).
+	OldestAge int64
+	// File and Idx identify the block (or file, with Idx unused).
+	File block.FileID
+	Idx  int32
+	// Aux carries a message-specific integer (directory node, block age...).
+	Aux int64
+	// Hints are piggybacked directory deltas (hint mode only; ≤
+	// maxHintDeltas).
+	Hints []HintDelta
+	// Payload is the block/file content or error text.
+	Payload []byte
+}
+
+// header layout: type(1) flags(1) req(4) sender(4) oldest(8) file(4) idx(4)
+// aux(8) nhints(1) plen(4) = 39 bytes; hint deltas (12 bytes each) follow
+// the header, then the payload.
+const headerLen = 39
+
+// maxPayload bounds a frame payload (64 MB covers any file in the traces).
+const maxPayload = 64 << 20
+
+// WriteFrame encodes f to w.
+func WriteFrame(w io.Writer, f *Frame) error {
+	if len(f.Payload) > maxPayload {
+		return fmt.Errorf("middleware: payload %d exceeds limit", len(f.Payload))
+	}
+	if len(f.Hints) > maxHintDeltas {
+		return fmt.Errorf("middleware: %d hint deltas exceed limit %d", len(f.Hints), maxHintDeltas)
+	}
+	var hdr [headerLen]byte
+	hdr[0] = byte(f.Type)
+	hdr[1] = f.Flags
+	binary.BigEndian.PutUint32(hdr[2:], f.Req)
+	binary.BigEndian.PutUint32(hdr[6:], uint32(f.Sender))
+	binary.BigEndian.PutUint64(hdr[10:], uint64(f.OldestAge))
+	binary.BigEndian.PutUint32(hdr[18:], uint32(f.File))
+	binary.BigEndian.PutUint32(hdr[22:], uint32(f.Idx))
+	binary.BigEndian.PutUint64(hdr[26:], uint64(f.Aux))
+	hdr[34] = byte(len(f.Hints))
+	binary.BigEndian.PutUint32(hdr[35:], uint32(len(f.Payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(f.Hints) > 0 {
+		deltas := make([]byte, 12*len(f.Hints))
+		for i, h := range f.Hints {
+			binary.BigEndian.PutUint32(deltas[12*i:], uint32(h.File))
+			binary.BigEndian.PutUint32(deltas[12*i+4:], uint32(h.Idx))
+			binary.BigEndian.PutUint32(deltas[12*i+8:], uint32(h.Node))
+		}
+		if _, err := w.Write(deltas); err != nil {
+			return err
+		}
+	}
+	if len(f.Payload) > 0 {
+		if _, err := w.Write(f.Payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadFrame decodes one frame from r.
+func ReadFrame(r io.Reader) (*Frame, error) {
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	f := &Frame{
+		Type:      MsgType(hdr[0]),
+		Flags:     hdr[1],
+		Req:       binary.BigEndian.Uint32(hdr[2:]),
+		Sender:    int32(binary.BigEndian.Uint32(hdr[6:])),
+		OldestAge: int64(binary.BigEndian.Uint64(hdr[10:])),
+		File:      block.FileID(binary.BigEndian.Uint32(hdr[18:])),
+		Idx:       int32(binary.BigEndian.Uint32(hdr[22:])),
+		Aux:       int64(binary.BigEndian.Uint64(hdr[26:])),
+	}
+	nhints := int(hdr[34])
+	plen := binary.BigEndian.Uint32(hdr[35:])
+	if nhints > maxHintDeltas {
+		return nil, fmt.Errorf("middleware: frame carries %d hint deltas", nhints)
+	}
+	if plen > maxPayload {
+		return nil, fmt.Errorf("middleware: frame payload %d exceeds limit", plen)
+	}
+	if nhints > 0 {
+		deltas := make([]byte, 12*nhints)
+		if _, err := io.ReadFull(r, deltas); err != nil {
+			return nil, err
+		}
+		f.Hints = make([]HintDelta, nhints)
+		for i := range f.Hints {
+			f.Hints[i] = HintDelta{
+				File: block.FileID(binary.BigEndian.Uint32(deltas[12*i:])),
+				Idx:  int32(binary.BigEndian.Uint32(deltas[12*i+4:])),
+				Node: int32(binary.BigEndian.Uint32(deltas[12*i+8:])),
+			}
+		}
+	}
+	if plen > 0 {
+		f.Payload = make([]byte, plen)
+		if _, err := io.ReadFull(r, f.Payload); err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// ID returns the block identifier of the frame.
+func (f *Frame) ID() block.ID { return block.ID{File: f.File, Idx: f.Idx} }
+
+// Err extracts the error of a MsgErr frame.
+func (f *Frame) Err() error {
+	if f.Type != MsgErr {
+		return nil
+	}
+	return fmt.Errorf("middleware: remote error: %s", f.Payload)
+}

@@ -1,0 +1,131 @@
+package middleware
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/block"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	f := &Frame{
+		Type:      MsgBlockData,
+		Flags:     FlagMaster,
+		Req:       42,
+		Sender:    3,
+		OldestAge: 123456789,
+		File:      7,
+		Idx:       9,
+		Aux:       -5,
+		Payload:   []byte("hello blocks"),
+	}
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != f.Type || got.Flags != f.Flags || got.Req != f.Req ||
+		got.Sender != f.Sender || got.OldestAge != f.OldestAge ||
+		got.File != f.File || got.Idx != f.Idx || got.Aux != f.Aux ||
+		!bytes.Equal(got.Payload, f.Payload) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, f)
+	}
+	if got.ID() != (block.ID{File: 7, Idx: 9}) {
+		t.Fatalf("ID() = %v", got.ID())
+	}
+}
+
+func TestFrameRoundTripProperty(t *testing.T) {
+	f := func(typ uint8, flags uint8, req uint32, sender int32, age int64, file int32, idx int32, aux int64, payload []byte) bool {
+		in := &Frame{
+			Type: MsgType(typ), Flags: flags, Req: req, Sender: sender,
+			OldestAge: age, File: block.FileID(file), Idx: idx, Aux: aux, Payload: payload,
+		}
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, in); err != nil {
+			return false
+		}
+		out, err := ReadFrame(&buf)
+		if err != nil {
+			return false
+		}
+		return out.Type == in.Type && out.Flags == in.Flags && out.Req == in.Req &&
+			out.Sender == in.Sender && out.OldestAge == in.OldestAge &&
+			out.File == in.File && out.Idx == in.Idx && out.Aux == in.Aux &&
+			bytes.Equal(out.Payload, in.Payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadFrameRejectsHugePayload(t *testing.T) {
+	var buf bytes.Buffer
+	f := &Frame{Type: MsgAck}
+	if err := WriteFrame(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Corrupt the payload length field to exceed the limit.
+	raw[35], raw[36], raw[37], raw[38] = 0xFF, 0xFF, 0xFF, 0xFF
+	if _, err := ReadFrame(bytes.NewReader(raw)); err == nil {
+		t.Fatal("oversized payload length accepted")
+	}
+}
+
+func TestWriteFrameRejectsHugePayload(t *testing.T) {
+	f := &Frame{Type: MsgBlockData, Payload: make([]byte, maxPayload+1)}
+	if err := WriteFrame(&bytes.Buffer{}, f); err == nil {
+		t.Fatal("oversized payload accepted")
+	}
+}
+
+func TestReadFrameShortInput(t *testing.T) {
+	if _, err := ReadFrame(strings.NewReader("tiny")); err == nil {
+		t.Fatal("short input accepted")
+	}
+}
+
+func TestErrFrame(t *testing.T) {
+	f := errFrame("boom %d", 7)
+	if f.Type != MsgErr {
+		t.Fatal("wrong type")
+	}
+	if err := f.Err(); err == nil || !strings.Contains(err.Error(), "boom 7") {
+		t.Fatalf("Err() = %v", err)
+	}
+	ok := &Frame{Type: MsgAck}
+	if ok.Err() != nil {
+		t.Fatal("MsgAck reported an error")
+	}
+}
+
+func TestIsResponse(t *testing.T) {
+	for _, typ := range []MsgType{MsgBlockData, MsgBlockMiss, MsgFileData, MsgDirResult, MsgForwardAck, MsgAck, MsgErr, MsgStatsReply} {
+		if !isResponse(typ) {
+			t.Errorf("type %d should be a response", typ)
+		}
+	}
+	for _, typ := range []MsgType{MsgGetBlock, MsgReadFile, MsgDirLookup, MsgForward, MsgWriteBlock, MsgInvalidate, MsgPutBlock, MsgStats} {
+		if isResponse(typ) {
+			t.Errorf("type %d should be a request", typ)
+		}
+	}
+}
+
+func TestSyntheticBlockDeterministic(t *testing.T) {
+	a := SyntheticBlock(1, 2, 100)
+	b := SyntheticBlock(1, 2, 100)
+	if !bytes.Equal(a, b) {
+		t.Fatal("synthetic content not deterministic")
+	}
+	c := SyntheticBlock(1, 3, 100)
+	if bytes.Equal(a, c) {
+		t.Fatal("different blocks have identical content")
+	}
+}

@@ -1,0 +1,139 @@
+package middleware
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"repro/internal/block"
+	"repro/internal/core"
+)
+
+func TestReadRangeNode(t *testing.T) {
+	sizes := map[block.FileID]int64{0: 2500}
+	nodes, _ := startCluster(t, 2, 64, core.PolicyMaster, false, sizes)
+	full := expect(testGeom, 0, 2500)
+
+	cases := []struct {
+		off int64
+		n   int
+	}{
+		{0, 100},     // within first block
+		{1000, 100},  // spanning a block boundary
+		{2400, 100},  // exactly to EOF
+		{2400, 1000}, // clamped at EOF
+		{0, 2500},    // whole file
+		{2500, 10},   // empty at EOF
+		{1024, 1024}, // exactly one block
+	}
+	for _, c := range cases {
+		got, err := nodes[0].ReadRange(0, c.off, c.n)
+		if err != nil {
+			t.Fatalf("ReadRange(%d, %d): %v", c.off, c.n, err)
+		}
+		wantLen := c.n
+		if rem := int(2500 - c.off); wantLen > rem {
+			wantLen = rem
+		}
+		if len(got) != wantLen {
+			t.Fatalf("ReadRange(%d, %d) = %d bytes, want %d", c.off, c.n, len(got), wantLen)
+		}
+		if !bytes.Equal(got, full[c.off:c.off+int64(wantLen)]) {
+			t.Fatalf("ReadRange(%d, %d): content mismatch", c.off, c.n)
+		}
+	}
+	if _, err := nodes[0].ReadRange(0, -1, 10); err == nil {
+		t.Fatal("negative offset accepted")
+	}
+	if _, err := nodes[0].ReadRange(0, 3000, 10); err == nil {
+		t.Fatal("offset beyond EOF accepted")
+	}
+}
+
+func TestReadRangeTouchesOnlyCoveredBlocks(t *testing.T) {
+	sizes := map[block.FileID]int64{0: 10 * 1024} // 10 blocks
+	nodes, _ := startCluster(t, 1, 64, core.PolicyMaster, false, sizes)
+	if _, err := nodes[0].ReadRange(0, 3*1024, 1024); err != nil {
+		t.Fatal(err)
+	}
+	if got := nodes[0].Stats().DiskReads; got != 1 {
+		t.Fatalf("disk reads = %d, want 1 (only the covered block)", got)
+	}
+}
+
+func TestFileReaderInterfaces(t *testing.T) {
+	sizes := map[block.FileID]int64{7: 5000}
+	_, client := startCluster(t, 3, 64, core.PolicyMaster, false, sizes)
+	fr, err := client.Open(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Size() != 5000 {
+		t.Fatalf("Size = %d", fr.Size())
+	}
+	full := expect(testGeom, 7, 5000)
+
+	// io.ReaderAt semantics.
+	buf := make([]byte, 1000)
+	n, err := fr.ReadAt(buf, 2000)
+	if err != nil || n != 1000 || !bytes.Equal(buf, full[2000:3000]) {
+		t.Fatalf("ReadAt: n=%d err=%v", n, err)
+	}
+	// Short read at EOF.
+	n, err = fr.ReadAt(buf, 4500)
+	if err != io.EOF || n != 500 {
+		t.Fatalf("ReadAt near EOF: n=%d err=%v", n, err)
+	}
+	if _, err := fr.ReadAt(buf, 6000); err != io.EOF {
+		t.Fatalf("ReadAt past EOF: %v", err)
+	}
+
+	// io.Reader + io.Seeker: stream the whole file and compare.
+	if _, err := fr.Seek(0, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(fr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, full) {
+		t.Fatal("streamed content mismatch")
+	}
+
+	// Seek semantics.
+	if pos, err := fr.Seek(-100, io.SeekEnd); err != nil || pos != 4900 {
+		t.Fatalf("SeekEnd: %d, %v", pos, err)
+	}
+	if _, err := fr.Seek(-1, io.SeekStart); err == nil {
+		t.Fatal("negative seek accepted")
+	}
+	if _, err := fr.Seek(0, 99); err == nil {
+		t.Fatal("bad whence accepted")
+	}
+}
+
+func TestOpenUnknownFile(t *testing.T) {
+	sizes := map[block.FileID]int64{0: 1024}
+	_, client := startCluster(t, 2, 64, core.PolicyMaster, false, sizes)
+	if _, err := client.Open(99); err == nil {
+		t.Fatal("unknown file opened")
+	}
+}
+
+func TestPackRange(t *testing.T) {
+	for _, c := range []struct {
+		off int64
+		n   int
+	}{{0, 0}, {1, 2}, {1 << 38, maxRangeLen}, {123456789, 8192}} {
+		off, n := unpackRange(packRange(c.off, c.n))
+		if off != c.off || n != c.n {
+			t.Errorf("pack/unpack(%d,%d) = (%d,%d)", c.off, c.n, off, n)
+		}
+	}
+}
+
+var (
+	_ io.ReaderAt = (*FileReader)(nil)
+	_ io.Reader   = (*FileReader)(nil)
+	_ io.Seeker   = (*FileReader)(nil)
+)

@@ -1,0 +1,268 @@
+package middleware
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/block"
+)
+
+// readWindow bounds a single ReadFile's concurrent block fetches — the live
+// counterpart of the simulator's pipelined fetch window (one 64 KB extent).
+const readWindow = 8
+
+// ReadFile materializes a whole file through the cooperative cache and
+// returns its content. Missing blocks are fetched through a bounded
+// concurrent window, so a cold file's blocks stream from its sources in
+// parallel. This is the node-side implementation of the client's Read (and
+// what a web server built on the middleware calls per request).
+func (n *Node) ReadFile(f block.FileID) ([]byte, error) {
+	size, err := n.cfg.Source.FileSize(f)
+	if err != nil {
+		return nil, err
+	}
+	nblocks := n.geom.Count(size)
+	out := make([]byte, size)
+
+	var (
+		wg       sync.WaitGroup
+		sem      = make(chan struct{}, readWindow)
+		mu       sync.Mutex
+		firstErr error
+	)
+	for i := int32(0); i < nblocks; i++ {
+		mu.Lock()
+		failed := firstErr != nil
+		mu.Unlock()
+		if failed {
+			break
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int32) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			data, err := n.GetBlock(block.ID{File: f, Idx: i})
+			off := int64(i) * int64(n.geom.Size)
+			want := blockLen(n.geom, size, i)
+			if err == nil && len(data) != want {
+				err = fmt.Errorf("middleware: block %d:%d is %d bytes, want %d", f, i, len(data), want)
+			}
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			copy(out[off:], data)
+		}(i)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// GetBlock returns the content of one block, implementing the §3 protocol:
+// local cache, then the master copy located through the directory (central
+// or hints), then a master read through the file's home node. Concurrent
+// misses for the same block coalesce into one fetch.
+func (n *Node) GetBlock(id block.ID) ([]byte, error) {
+	return n.getBlock(id, true)
+}
+
+// getBlock is GetBlock with control over readahead triggering (prefetch
+// fetches must not recursively spawn further readahead windows).
+func (n *Node) getBlock(id block.ID, triggerRA bool) ([]byte, error) {
+	for {
+		n.c.accesses.Add(1)
+		if data, ok := n.store.Get(id); ok {
+			n.c.localHits.Add(1)
+			return data, nil
+		}
+		// Coalesce concurrent fetches of the same block.
+		n.pmu.Lock()
+		if ch, inflight := n.pending[id]; inflight {
+			n.pmu.Unlock()
+			<-ch
+			// Re-check the cache; if the block was already evicted again
+			// (or the fetch failed), loop and fetch for ourselves.
+			continue
+		}
+		ch := make(chan struct{})
+		n.pending[id] = ch
+		n.pmu.Unlock()
+
+		data, err := n.fetchBlock(id)
+
+		n.pmu.Lock()
+		delete(n.pending, id)
+		n.pmu.Unlock()
+		close(ch)
+		if err == nil && triggerRA && n.cfg.Readahead > 0 {
+			go n.readahead(id)
+		}
+		return data, err
+	}
+}
+
+// readahead prefetches the next blocks of the file after a miss; prefetched
+// blocks count in the prefetch statistic (and, like any access, in the
+// access counters).
+func (n *Node) readahead(after block.ID) {
+	size, err := n.cfg.Source.FileSize(after.File)
+	if err != nil {
+		return
+	}
+	nb := n.geom.Count(size)
+	for i := after.Idx + 1; i <= after.Idx+int32(n.cfg.Readahead) && i < nb; i++ {
+		id := block.ID{File: after.File, Idx: i}
+		if n.store.Contains(id) {
+			continue
+		}
+		if _, err := n.getBlock(id, false); err != nil {
+			return
+		}
+		n.c.prefetches.Add(1)
+	}
+}
+
+// fetchBlock obtains a missing block from a peer or through the home node.
+func (n *Node) fetchBlock(id block.ID) ([]byte, error) {
+	self := int32(n.cfg.ID)
+	if m, ok, err := n.loc.Lookup(id); err == nil && ok && m != self {
+		resp, err := n.roundTripTo(int(m), &Frame{Type: MsgGetBlock, File: id.File, Idx: id.Idx})
+		if err == nil && resp.Type == MsgBlockData {
+			n.c.remoteHits.Add(1)
+			n.insertBlock(id, resp.Payload, false)
+			return resp.Payload, nil
+		}
+		// The master vanished while the request traveled (§3's explicitly
+		// tolerated race) or the hint was stale: correct and fall through
+		// to the home node.
+		n.c.raceMisses.Add(1)
+		n.loc.Miss(id, m)
+		if err == nil && n.hints == nil {
+			// Central mode: clear the stale entry if it still names m.
+			n.loc.Drop(id, m) //nolint:errcheck // best effort
+		}
+	}
+	// A failed directory lookup (directory node unreachable) also lands
+	// here: availability degrades to home reads instead of failing the
+	// request.
+	return n.fetchFromHome(id)
+}
+
+// fetchFromHome reads the master copy via the file's home node and installs
+// this node as the master holder. In hint mode the home may instead
+// redirect to the probable owner; a failed redirect forces the disk read.
+func (n *Node) fetchFromHome(id block.ID) ([]byte, error) {
+	home, err := n.home(id.File)
+	if err != nil {
+		return nil, err
+	}
+	var data []byte
+	if home == n.cfg.ID {
+		data, err = n.cfg.Source.ReadBlock(id.File, id.Idx)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		flags := FlagMaster
+		for {
+			resp, err := n.roundTripTo(home, &Frame{
+				Type: MsgGetBlock, Flags: flags, File: id.File, Idx: id.Idx,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if resp.Type == MsgBlockMiss && resp.Aux >= 0 && flags&FlagForce == 0 {
+				// Probable-owner redirect: try the hinted holder; on
+				// success this is a remote memory hit, not a disk read.
+				if d, ok := n.fetchRedirected(id, int(resp.Aux)); ok {
+					return d, nil
+				}
+				flags |= FlagForce
+				continue
+			}
+			if resp.Type != MsgBlockData {
+				return nil, fmt.Errorf("middleware: home %d returned %d for %v", home, resp.Type, id)
+			}
+			data = resp.Payload
+			break
+		}
+	}
+	n.c.diskReads.Add(1)
+	n.insertBlock(id, data, true)
+	n.loc.Update(id, int32(n.cfg.ID)) //nolint:errcheck // next miss self-corrects via home
+	return data, nil
+}
+
+// fetchRedirected follows a home redirect to the probable master holder.
+func (n *Node) fetchRedirected(id block.ID, holder int) ([]byte, bool) {
+	if holder == n.cfg.ID || holder >= n.clusterSize() {
+		return nil, false
+	}
+	resp, err := n.roundTripTo(holder, &Frame{Type: MsgGetBlock, File: id.File, Idx: id.Idx})
+	if err != nil || resp.Type != MsgBlockData {
+		if n.hints != nil {
+			n.hints.Miss(id, int32(holder))
+		}
+		return nil, false
+	}
+	n.c.remoteHits.Add(1)
+	n.insertBlock(id, resp.Payload, false)
+	n.noteHint(id, int32(holder))
+	return resp.Payload, true
+}
+
+// insertBlock caches content and handles the eviction it may cause: a
+// displaced master gets the §3 second chance — forwarded to the peer whose
+// (piggyback-known) oldest block is older, dropped if it is the globally
+// oldest.
+func (n *Node) insertBlock(id block.ID, data []byte, master bool) {
+	ev := n.store.Insert(id, data, master)
+	if ev == nil || !ev.Master {
+		return
+	}
+	go n.forwardEvicted(ev)
+}
+
+func (n *Node) forwardEvicted(ev *Evicted) {
+	self := int32(n.cfg.ID)
+	target := -1
+	var oldest int64
+	for i := 0; i < n.clusterSize(); i++ {
+		if i == n.cfg.ID {
+			continue
+		}
+		age := n.peerAges[i].Load()
+		if age >= ev.Age {
+			continue // peer holds nothing older (or age unknown)
+		}
+		if target < 0 || age < oldest {
+			target, oldest = i, age
+		}
+	}
+	if target < 0 {
+		// Globally oldest as far as this node knows: drop it.
+		n.loc.Drop(ev.ID, self) //nolint:errcheck // best effort
+		return
+	}
+	// Optimistically repoint the directory, then ship the block.
+	n.loc.Update(ev.ID, int32(target)) //nolint:errcheck // corrected below
+	resp, err := n.roundTripTo(target, &Frame{
+		Type: MsgForward, File: ev.ID.File, Idx: ev.ID.Idx, Aux: ev.Age, Payload: ev.Data,
+	})
+	if err != nil || resp.Flags == 0 {
+		// Rejected (everything there was younger) or failed: the cluster
+		// forgets this master.
+		n.c.forwardsRejected.Add(1)
+		n.loc.Drop(ev.ID, int32(target)) //nolint:errcheck // best effort
+		return
+	}
+	n.c.forwards.Add(1)
+}

@@ -1,0 +1,74 @@
+package middleware
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/block"
+	"repro/internal/core"
+)
+
+func TestReadaheadPrefetchesSequentialBlocks(t *testing.T) {
+	geom := block.Geometry{Size: 1024, ExtentBlocks: 8}
+	sizes := map[block.FileID]int64{0: 10 * 1024}
+	n, err := Start(Config{
+		ID: 0, CapacityBlocks: 64, Policy: core.PolicyMaster,
+		Geometry: geom, Source: NewMemSource(geom, sizes), Readahead: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	n.SetAddrs([]string{n.Addr()})
+
+	if _, err := n.GetBlock(block.ID{File: 0, Idx: 0}); err != nil {
+		t.Fatal(err)
+	}
+	// The prefetcher runs asynchronously; poll for the window.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		ok := true
+		for i := int32(1); i <= 4; i++ {
+			if !n.store.Contains(block.ID{File: 0, Idx: i}) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("readahead window never materialized")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Blocks beyond the window were not prefetched (no cascade).
+	time.Sleep(10 * time.Millisecond)
+	if n.store.Contains(block.ID{File: 0, Idx: 6}) {
+		t.Fatal("readahead cascaded beyond its window")
+	}
+	if n.Stats().Prefetches != 4 {
+		t.Fatalf("prefetches = %d, want 4", n.Stats().Prefetches)
+	}
+}
+
+func TestReadaheadOffByDefault(t *testing.T) {
+	geom := block.Geometry{Size: 1024, ExtentBlocks: 8}
+	sizes := map[block.FileID]int64{0: 4 * 1024}
+	n, err := Start(Config{
+		ID: 0, CapacityBlocks: 16, Policy: core.PolicyMaster,
+		Geometry: geom, Source: NewMemSource(geom, sizes),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	n.SetAddrs([]string{n.Addr()})
+	if _, err := n.GetBlock(block.ID{File: 0, Idx: 0}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(10 * time.Millisecond)
+	if n.store.Contains(block.ID{File: 0, Idx: 1}) {
+		t.Fatal("prefetch happened with Readahead=0")
+	}
+}

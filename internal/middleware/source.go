@@ -1,0 +1,204 @@
+package middleware
+
+import (
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/block"
+)
+
+// BlockSource is a node's backing store: the "disk" holding the files whose
+// home this node is. The simulator models it; the live middleware reads it.
+type BlockSource interface {
+	// FileSize reports the size of file f, or an error if unknown.
+	FileSize(f block.FileID) (int64, error)
+	// ReadBlock returns the content of block (f, idx); short for the final
+	// block of a file.
+	ReadBlock(f block.FileID, idx int32) ([]byte, error)
+	// WriteBlock persists content for block (f, idx), extending the file
+	// if needed. Sources backing read-only deployments may return an error.
+	WriteBlock(f block.FileID, idx int32, data []byte) error
+}
+
+// MemSource is an in-memory BlockSource with deterministic synthetic
+// content, used by tests, benchmarks, and the quickstart example. Content
+// is a function of (file, offset) so any node can verify integrity.
+type MemSource struct {
+	geom  block.Geometry
+	mu    sync.RWMutex
+	sizes map[block.FileID]int64
+	// overrides holds blocks modified by WriteBlock.
+	overrides map[block.ID][]byte
+}
+
+// NewMemSource builds a synthetic source with the given file sizes.
+func NewMemSource(geom block.Geometry, sizes map[block.FileID]int64) *MemSource {
+	cp := make(map[block.FileID]int64, len(sizes))
+	for f, s := range sizes {
+		cp[f] = s
+	}
+	return &MemSource{geom: geom, sizes: cp, overrides: make(map[block.ID][]byte)}
+}
+
+// FileSize implements BlockSource.
+func (m *MemSource) FileSize(f block.FileID) (int64, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	size, ok := m.sizes[f]
+	if !ok {
+		return 0, fmt.Errorf("middleware: unknown file %d", f)
+	}
+	return size, nil
+}
+
+// SyntheticBlock is the deterministic content of block (f, idx) of the
+// given length: a keyed byte pattern any reader can recompute.
+func SyntheticBlock(f block.FileID, idx int32, n int) []byte {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d:%d", f, idx)
+	seed := h.Sum64()
+	out := make([]byte, n)
+	state := seed
+	for i := range out {
+		state = state*6364136223846793005 + 1442695040888963407
+		out[i] = byte(state >> 56)
+	}
+	return out
+}
+
+// ReadBlock implements BlockSource.
+func (m *MemSource) ReadBlock(f block.FileID, idx int32) ([]byte, error) {
+	size, err := m.FileSize(f)
+	if err != nil {
+		return nil, err
+	}
+	n := blockLen(m.geom, size, idx)
+	if n < 0 {
+		return nil, fmt.Errorf("middleware: block %d:%d out of range", f, idx)
+	}
+	m.mu.RLock()
+	ov, ok := m.overrides[block.ID{File: f, Idx: idx}]
+	m.mu.RUnlock()
+	if ok {
+		out := make([]byte, len(ov))
+		copy(out, ov)
+		return out, nil
+	}
+	return SyntheticBlock(f, idx, n), nil
+}
+
+// WriteBlock implements BlockSource.
+func (m *MemSource) WriteBlock(f block.FileID, idx int32, data []byte) error {
+	if _, err := m.FileSize(f); err != nil {
+		return err
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	m.mu.Lock()
+	m.overrides[block.ID{File: f, Idx: idx}] = cp
+	m.mu.Unlock()
+	return nil
+}
+
+// blockLen reports the length of block idx of a file of size bytes, or -1
+// if out of range.
+func blockLen(geom block.Geometry, size int64, idx int32) int {
+	if idx < 0 || idx >= geom.Count(size) {
+		return -1
+	}
+	start := int64(idx) * int64(geom.Size)
+	n := size - start
+	if n > int64(geom.Size) {
+		n = int64(geom.Size)
+	}
+	if n < 0 {
+		n = 0
+	}
+	return int(n)
+}
+
+// DirSource serves files from a directory on the local filesystem: file f
+// is <dir>/<name[f]>. It is the deployment-shaped source for the examples.
+type DirSource struct {
+	geom  block.Geometry
+	dir   string
+	mu    sync.RWMutex
+	names map[block.FileID]string
+}
+
+// NewDirSource builds a filesystem-backed source. names maps file IDs to
+// paths relative to dir.
+func NewDirSource(geom block.Geometry, dir string, names map[block.FileID]string) *DirSource {
+	cp := make(map[block.FileID]string, len(names))
+	for f, n := range names {
+		cp[f] = n
+	}
+	return &DirSource{geom: geom, dir: dir, names: cp}
+}
+
+func (d *DirSource) path(f block.FileID) (string, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	name, ok := d.names[f]
+	if !ok {
+		return "", fmt.Errorf("middleware: unknown file %d", f)
+	}
+	return filepath.Join(d.dir, name), nil
+}
+
+// FileSize implements BlockSource.
+func (d *DirSource) FileSize(f block.FileID) (int64, error) {
+	p, err := d.path(f)
+	if err != nil {
+		return 0, err
+	}
+	fi, err := os.Stat(p)
+	if err != nil {
+		return 0, err
+	}
+	return fi.Size(), nil
+}
+
+// ReadBlock implements BlockSource.
+func (d *DirSource) ReadBlock(f block.FileID, idx int32) ([]byte, error) {
+	p, err := d.path(f)
+	if err != nil {
+		return nil, err
+	}
+	size, err := d.FileSize(f)
+	if err != nil {
+		return nil, err
+	}
+	n := blockLen(d.geom, size, idx)
+	if n < 0 {
+		return nil, fmt.Errorf("middleware: block %d:%d out of range", f, idx)
+	}
+	fh, err := os.Open(p)
+	if err != nil {
+		return nil, err
+	}
+	defer fh.Close()
+	buf := make([]byte, n)
+	if _, err := fh.ReadAt(buf, int64(idx)*int64(d.geom.Size)); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// WriteBlock implements BlockSource.
+func (d *DirSource) WriteBlock(f block.FileID, idx int32, data []byte) error {
+	p, err := d.path(f)
+	if err != nil {
+		return err
+	}
+	fh, err := os.OpenFile(p, os.O_WRONLY, 0)
+	if err != nil {
+		return err
+	}
+	defer fh.Close()
+	_, err = fh.WriteAt(data, int64(idx)*int64(d.geom.Size))
+	return err
+}

@@ -1,0 +1,113 @@
+package middleware
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/block"
+)
+
+func TestMemSourceReadBlock(t *testing.T) {
+	geom := block.Geometry{Size: 1024, ExtentBlocks: 8}
+	m := NewMemSource(geom, map[block.FileID]int64{0: 2500})
+	size, err := m.FileSize(0)
+	if err != nil || size != 2500 {
+		t.Fatalf("FileSize = %d, %v", size, err)
+	}
+	b0, err := m.ReadBlock(0, 0)
+	if err != nil || len(b0) != 1024 {
+		t.Fatalf("block 0: %d bytes, %v", len(b0), err)
+	}
+	b2, err := m.ReadBlock(0, 2)
+	if err != nil || len(b2) != 2500-2048 {
+		t.Fatalf("final block: %d bytes, %v", len(b2), err)
+	}
+	if _, err := m.ReadBlock(0, 3); err == nil {
+		t.Fatal("out-of-range block accepted")
+	}
+	if _, err := m.ReadBlock(9, 0); err == nil {
+		t.Fatal("unknown file accepted")
+	}
+}
+
+func TestMemSourceWriteOverrides(t *testing.T) {
+	geom := block.Geometry{Size: 1024, ExtentBlocks: 8}
+	m := NewMemSource(geom, map[block.FileID]int64{0: 2048})
+	orig, _ := m.ReadBlock(0, 1)
+	newData := bytes.Repeat([]byte{9}, 1024)
+	if err := m.WriteBlock(0, 1, newData); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.ReadBlock(0, 1)
+	if err != nil || !bytes.Equal(got, newData) {
+		t.Fatal("override not returned")
+	}
+	if bytes.Equal(orig, got) {
+		t.Fatal("write had no effect")
+	}
+	if err := m.WriteBlock(5, 0, newData); err == nil {
+		t.Fatal("write to unknown file accepted")
+	}
+}
+
+func TestDirSource(t *testing.T) {
+	dir := t.TempDir()
+	content := bytes.Repeat([]byte("abcdefgh"), 300) // 2400 bytes
+	if err := os.WriteFile(filepath.Join(dir, "a.dat"), content, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	geom := block.Geometry{Size: 1024, ExtentBlocks: 8}
+	d := NewDirSource(geom, dir, map[block.FileID]string{3: "a.dat"})
+
+	size, err := d.FileSize(3)
+	if err != nil || size != 2400 {
+		t.Fatalf("FileSize = %d, %v", size, err)
+	}
+	b1, err := d.ReadBlock(3, 1)
+	if err != nil || !bytes.Equal(b1, content[1024:2048]) {
+		t.Fatalf("block 1 mismatch: %v", err)
+	}
+	last, err := d.ReadBlock(3, 2)
+	if err != nil || !bytes.Equal(last, content[2048:]) {
+		t.Fatalf("final short block mismatch: %v", err)
+	}
+	if _, err := d.ReadBlock(3, 9); err == nil {
+		t.Fatal("out-of-range accepted")
+	}
+	if _, err := d.FileSize(0); err == nil {
+		t.Fatal("unknown file accepted")
+	}
+
+	// Write-back.
+	blk := bytes.Repeat([]byte{'Z'}, 1024)
+	if err := d.WriteBlock(3, 0, blk); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.ReadBlock(3, 0)
+	if err != nil || !bytes.Equal(got, blk) {
+		t.Fatal("write-back not visible")
+	}
+}
+
+func TestBlockLen(t *testing.T) {
+	geom := block.Geometry{Size: 1024, ExtentBlocks: 8}
+	cases := []struct {
+		size int64
+		idx  int32
+		want int
+	}{
+		{2048, 0, 1024},
+		{2048, 1, 1024},
+		{2048, 2, -1},
+		{2500, 2, 452},
+		{100, 0, 100},
+		{100, -1, -1},
+	}
+	for _, c := range cases {
+		if got := blockLen(geom, c.size, c.idx); got != c.want {
+			t.Errorf("blockLen(%d, %d) = %d, want %d", c.size, c.idx, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package middleware
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/block"
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Evicted describes a block pushed out of the store. Master victims carry
+// their data so the node layer can forward them to a peer (§3).
+type Evicted struct {
+	ID     block.ID
+	Master bool
+	Age    int64
+	Data   []byte
+}
+
+// Store is the thread-safe in-memory block store of a live node: the
+// BlockCache replacement structure plus the actual payloads. Ages are
+// wall-clock nanoseconds guarded to be per-store monotone: comparable
+// across nodes to the accuracy of their clocks, which is all the
+// *approximate* global LRU of §3 requires.
+type Store struct {
+	mu     sync.Mutex
+	policy core.Policy
+	c      *cache.BlockCache
+	data   map[block.ID][]byte
+	clock  int64
+}
+
+// NewStore builds a store holding at most capacity blocks under the given
+// replacement policy (PolicyBasic/PolicySched share replacement; disk
+// scheduling does not apply to the live store).
+func NewStore(capacity int, policy core.Policy) *Store {
+	return &Store{
+		policy: policy,
+		c:      cache.NewBlockCache(capacity),
+		data:   make(map[block.ID][]byte, capacity),
+	}
+}
+
+// tick returns the current access age. Callers hold s.mu.
+func (s *Store) tick() sim.Time {
+	now := time.Now().UnixNano()
+	if now <= s.clock {
+		now = s.clock + 1
+	}
+	s.clock = now
+	return sim.Time(now)
+}
+
+// Get returns the cached content of id (touching LRU state) and whether it
+// was present.
+func (s *Store) Get(id block.ID) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.c.Touch(id, s.tick()) {
+		return nil, false
+	}
+	return s.data[id], true
+}
+
+// Contains reports presence without touching.
+func (s *Store) Contains(id block.ID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.c.Contains(id)
+}
+
+// IsMaster reports whether id is held as a master copy.
+func (s *Store) IsMaster(id block.ID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.c.IsMaster(id)
+}
+
+// Len reports the number of cached blocks.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.c.Len()
+}
+
+// Masters reports the number of cached master copies.
+func (s *Store) Masters() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.c.Masters()
+}
+
+// OldestAge reports the logical age of the oldest block; ok is false when
+// the store is empty.
+func (s *Store) OldestAge() (int64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	age, ok := s.c.OldestAge()
+	return int64(age), ok
+}
+
+// Insert caches id, evicting per the policy if full. The returned eviction
+// (nil if none, or the block was already present) tells the node layer what
+// left memory; the caller decides forwarding.
+func (s *Store) Insert(id block.ID, data []byte, master bool) *Evicted {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.c.Contains(id) {
+		if master {
+			s.c.Promote(id)
+		}
+		s.data[id] = data
+		return nil
+	}
+	var ev *Evicted
+	if s.c.Full() {
+		ev = s.evictOneLocked()
+	}
+	s.c.Insert(id, master, s.tick())
+	s.data[id] = data
+	return ev
+}
+
+// evictOneLocked applies the replacement policy. Callers hold s.mu.
+func (s *Store) evictOneLocked() *Evicted {
+	if _, oldestMaster, _, ok := s.c.Oldest(); ok &&
+		s.policy == core.PolicyMaster && oldestMaster && s.c.NonMasters() > 0 {
+		id, age, _ := s.c.EvictOldestNonMaster()
+		ev := &Evicted{ID: id, Master: false, Age: int64(age)}
+		delete(s.data, id)
+		return ev
+	}
+	id, master, age, ok := s.c.EvictOldest()
+	if !ok {
+		return nil
+	}
+	ev := &Evicted{ID: id, Master: master, Age: int64(age)}
+	if master {
+		ev.Data = s.data[id]
+	}
+	delete(s.data, id)
+	return ev
+}
+
+// AcceptForward applies the §3 arrival rules for a forwarded master:
+// dropped if everything local is younger (accepted=false); otherwise the
+// local oldest is discarded outright (never re-forwarded — no cascades) and
+// the block is installed with its original age. displaced reports what was
+// discarded to make room (its directory entry must be dropped if a master).
+func (s *Store) AcceptForward(id block.ID, data []byte, age int64) (accepted bool, displaced *Evicted) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.c.Contains(id) {
+		s.c.Promote(id)
+		s.data[id] = data
+		return true, nil
+	}
+	if s.c.Full() {
+		if oldest, ok := s.c.OldestAge(); ok && int64(oldest) >= age {
+			return false, nil
+		}
+		vid, vMaster, vAge, _ := s.c.EvictOldest()
+		displaced = &Evicted{ID: vid, Master: vMaster, Age: int64(vAge)}
+		delete(s.data, vid)
+	}
+	s.c.Insert(id, true, sim.Time(age))
+	s.data[id] = data
+	return true, displaced
+}
+
+// Remove discards id; reports presence and master role.
+func (s *Store) Remove(id block.ID) (present, master bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	present, master = s.c.Remove(id)
+	if present {
+		delete(s.data, id)
+	}
+	return present, master
+}

@@ -1,0 +1,141 @@
+package middleware
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/block"
+	"repro/internal/core"
+)
+
+func sid(f, i int) block.ID { return block.ID{File: block.FileID(f), Idx: int32(i)} }
+
+func TestStoreInsertGet(t *testing.T) {
+	s := NewStore(2, core.PolicyMaster)
+	if ev := s.Insert(sid(1, 0), []byte("a"), true); ev != nil {
+		t.Fatalf("eviction on non-full insert: %+v", ev)
+	}
+	data, ok := s.Get(sid(1, 0))
+	if !ok || !bytes.Equal(data, []byte("a")) {
+		t.Fatal("Get mismatch")
+	}
+	if !s.IsMaster(sid(1, 0)) || s.Masters() != 1 || s.Len() != 1 {
+		t.Fatal("master accounting wrong")
+	}
+	if _, ok := s.Get(sid(9, 9)); ok {
+		t.Fatal("phantom hit")
+	}
+}
+
+func TestStoreEvictionReturnsMasterData(t *testing.T) {
+	s := NewStore(2, core.PolicyBasic)
+	s.Insert(sid(1, 0), []byte("old-master"), true)
+	s.Insert(sid(2, 0), []byte("b"), false)
+	ev := s.Insert(sid(3, 0), []byte("c"), false)
+	if ev == nil || !ev.Master || ev.ID != sid(1, 0) {
+		t.Fatalf("eviction = %+v, want old master", ev)
+	}
+	if !bytes.Equal(ev.Data, []byte("old-master")) {
+		t.Fatal("master eviction lost its data")
+	}
+}
+
+func TestStoreMasterPolicyPrefersNonMaster(t *testing.T) {
+	s := NewStore(2, core.PolicyMaster)
+	s.Insert(sid(1, 0), []byte("m"), true)  // oldest, master
+	s.Insert(sid(2, 0), []byte("r"), false) // younger replica
+	ev := s.Insert(sid(3, 0), []byte("c"), false)
+	if ev == nil || ev.Master || ev.ID != sid(2, 0) {
+		t.Fatalf("eviction = %+v, want the non-master", ev)
+	}
+	if !s.IsMaster(sid(1, 0)) {
+		t.Fatal("master was lost")
+	}
+}
+
+func TestStoreBasicPolicyEvictsOldest(t *testing.T) {
+	s := NewStore(2, core.PolicyBasic)
+	s.Insert(sid(1, 0), []byte("m"), true)
+	s.Insert(sid(2, 0), []byte("r"), false)
+	ev := s.Insert(sid(3, 0), []byte("c"), false)
+	if ev == nil || ev.ID != sid(1, 0) || !ev.Master {
+		t.Fatalf("eviction = %+v, want oldest (the master)", ev)
+	}
+}
+
+func TestAcceptForwardRules(t *testing.T) {
+	s := NewStore(2, core.PolicyMaster)
+	s.Insert(sid(1, 0), []byte("x"), false)
+	s.Insert(sid(2, 0), []byte("y"), false)
+
+	// The destination's oldest block is older than the forwarded age:
+	// accepted, displacing that oldest block (which is exactly when the
+	// forwarder chooses this destination).
+	young := s.clock + 1000
+	acc, displaced := s.AcceptForward(sid(3, 0), []byte("f"), young)
+	if !acc || displaced == nil || displaced.ID != sid(1, 0) {
+		t.Fatalf("accept=%v displaced=%+v", acc, displaced)
+	}
+	if !s.IsMaster(sid(3, 0)) {
+		t.Fatal("forwarded block not master")
+	}
+
+	// Everything at the destination is younger than the forwarded block:
+	// dropped (§3 property 2).
+	oldest, _ := s.OldestAge()
+	acc, displaced = s.AcceptForward(sid(4, 0), []byte("g"), oldest-10)
+	if acc || displaced != nil {
+		t.Fatalf("forward should be rejected: accept=%v displaced=%+v", acc, displaced)
+	}
+	if s.Contains(sid(4, 0)) {
+		t.Fatal("rejected forward was cached")
+	}
+}
+
+func TestAcceptForwardPromotesExistingCopy(t *testing.T) {
+	s := NewStore(2, core.PolicyMaster)
+	s.Insert(sid(1, 0), []byte("x"), false)
+	acc, displaced := s.AcceptForward(sid(1, 0), []byte("x2"), 1)
+	if !acc || displaced != nil {
+		t.Fatalf("accept=%v displaced=%+v", acc, displaced)
+	}
+	if !s.IsMaster(sid(1, 0)) {
+		t.Fatal("existing copy not promoted")
+	}
+	data, _ := s.Get(sid(1, 0))
+	if !bytes.Equal(data, []byte("x2")) {
+		t.Fatal("payload not refreshed")
+	}
+}
+
+func TestAcceptForwardIntoFreeSpace(t *testing.T) {
+	s := NewStore(2, core.PolicyMaster)
+	acc, displaced := s.AcceptForward(sid(1, 0), []byte("x"), 5)
+	if !acc || displaced != nil {
+		t.Fatalf("forward into empty store: accept=%v displaced=%+v", acc, displaced)
+	}
+}
+
+func TestStoreRemove(t *testing.T) {
+	s := NewStore(2, core.PolicyMaster)
+	s.Insert(sid(1, 0), []byte("x"), true)
+	present, master := s.Remove(sid(1, 0))
+	if !present || !master || s.Len() != 0 {
+		t.Fatal("Remove wrong")
+	}
+	if present, _ := s.Remove(sid(1, 0)); present {
+		t.Fatal("double remove")
+	}
+}
+
+func TestStoreReinsertRefreshesPayload(t *testing.T) {
+	s := NewStore(2, core.PolicyMaster)
+	s.Insert(sid(1, 0), []byte("v1"), false)
+	if ev := s.Insert(sid(1, 0), []byte("v2"), true); ev != nil {
+		t.Fatal("re-insert evicted")
+	}
+	data, _ := s.Get(sid(1, 0))
+	if !bytes.Equal(data, []byte("v2")) || !s.IsMaster(sid(1, 0)) {
+		t.Fatal("re-insert did not refresh")
+	}
+}

@@ -1,0 +1,69 @@
+package middleware
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/block"
+)
+
+// WriteBlock implements the paper's §6 write extension with a
+// write-invalidate protocol: every cached copy in the cluster is
+// invalidated, the content is written through to the home node's backing
+// store, and the writer becomes the new master holder. Per-block semantics
+// are last-writer-wins; ordering across concurrent writers of the same
+// block is not defined (the paper leaves full write protocols to future
+// work).
+func (n *Node) WriteBlock(id block.ID, data []byte) error {
+	size, err := n.cfg.Source.FileSize(id.File)
+	if err != nil {
+		return err
+	}
+	if want := blockLen(n.geom, size, id.Idx); want < 0 || len(data) != want {
+		return fmt.Errorf("middleware: write of %d bytes to %v (block is %d bytes)", len(data), id, want)
+	}
+	n.c.writes.Add(1)
+
+	// 1. Invalidate every cached copy cluster-wide (including our own; the
+	// new content is installed below).
+	n.handleInvalidate(id)
+	var wg sync.WaitGroup
+	errs := make([]error, n.clusterSize())
+	for i := 0; i < n.clusterSize(); i++ {
+		if i == n.cfg.ID {
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = n.roundTripTo(i, &Frame{Type: MsgInvalidate, File: id.File, Idx: id.Idx})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("middleware: invalidate %v at node %d: %w", id, i, err)
+		}
+	}
+
+	// 2. Write through to the home node's disk.
+	home, err := n.home(id.File)
+	if err != nil {
+		return err
+	}
+	if home == n.cfg.ID {
+		if err := n.cfg.Source.WriteBlock(id.File, id.Idx, data); err != nil {
+			return err
+		}
+	} else {
+		if _, err := n.roundTripTo(home, &Frame{
+			Type: MsgPutBlock, File: id.File, Idx: id.Idx, Payload: data,
+		}); err != nil {
+			return err
+		}
+	}
+
+	// 3. The writer holds the new master copy.
+	n.insertBlock(id, data, true)
+	return n.loc.Update(id, int32(n.cfg.ID))
+}

@@ -1,0 +1,119 @@
+package middleware
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/block"
+	"repro/internal/core"
+)
+
+func TestWriteInvalidateReadBack(t *testing.T) {
+	sizes := map[block.FileID]int64{0: 3 * 1024}
+	nodes, client := startCluster(t, 3, 64, core.PolicyMaster, false, sizes)
+
+	// Warm every node's cache with the file.
+	for i := 0; i < 3; i++ {
+		if _, err := client.ReadVia(i, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Overwrite the middle block.
+	newData := bytes.Repeat([]byte{0xAB}, 1024)
+	if err := client.Write(0, 1, newData); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every entry node must observe the new content (stale copies were
+	// invalidated cluster-wide).
+	want := append(append(append([]byte{},
+		SyntheticBlock(0, 0, 1024)...),
+		newData...),
+		SyntheticBlock(0, 2, 1024)...)
+	for i := 0; i < 3; i++ {
+		got, err := client.ReadVia(i, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("node %d returned stale content after write", i)
+		}
+	}
+
+	var inval uint64
+	for _, n := range nodes {
+		inval += n.Stats().Invalidations
+	}
+	if inval == 0 {
+		t.Fatal("no invalidations recorded")
+	}
+}
+
+func TestWritePersistsAtHome(t *testing.T) {
+	sizes := map[block.FileID]int64{1: 2048}
+	nodes, client := startCluster(t, 2, 64, core.PolicyMaster, false, sizes)
+	newData := bytes.Repeat([]byte{0x5C}, 1024)
+	if err := client.Write(1, 0, newData); err != nil {
+		t.Fatal(err)
+	}
+	// The home node's backing store must hold the new bytes (write-through).
+	home := nodes[1%2] // file 1 homes at node 1 of 2
+	got, err := home.cfg.Source.ReadBlock(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, newData) {
+		t.Fatal("write did not reach the home backing store")
+	}
+}
+
+func TestWriteRejectsWrongLength(t *testing.T) {
+	sizes := map[block.FileID]int64{0: 2048}
+	_, client := startCluster(t, 2, 64, core.PolicyMaster, false, sizes)
+	if err := client.Write(0, 0, []byte("short")); err == nil {
+		t.Fatal("short write accepted")
+	}
+	if err := client.Write(0, 9, bytes.Repeat([]byte{1}, 1024)); err == nil {
+		t.Fatal("out-of-range block accepted")
+	}
+}
+
+func TestWriteThenWriteAgain(t *testing.T) {
+	sizes := map[block.FileID]int64{0: 1024}
+	_, client := startCluster(t, 3, 64, core.PolicyMaster, false, sizes)
+	v1 := bytes.Repeat([]byte{1}, 1024)
+	v2 := bytes.Repeat([]byte{2}, 1024)
+	if err := client.Write(0, 0, v1); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Write(0, 0, v2); err != nil {
+		t.Fatal(err)
+	}
+	got, err := client.Read(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, v2) {
+		t.Fatal("second write lost")
+	}
+}
+
+func TestWriteWorksInHintMode(t *testing.T) {
+	sizes := map[block.FileID]int64{0: 2048}
+	_, client := startCluster(t, 3, 64, core.PolicyMaster, true, sizes)
+	if _, err := client.Read(0); err != nil {
+		t.Fatal(err)
+	}
+	v := bytes.Repeat([]byte{7}, 1024)
+	if err := client.Write(0, 1, v); err != nil {
+		t.Fatal(err)
+	}
+	got, err := client.Read(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[1024:], v) {
+		t.Fatal("hint-mode write not visible")
+	}
+}

@@ -1,0 +1,170 @@
+package sim
+
+// Job is a unit of work submitted to a ServiceCenter: a service demand plus a
+// completion callback invoked when the center finishes serving it.
+type Job struct {
+	// Service is how long the job occupies the server.
+	Service Duration
+	// Done is invoked (at the virtual completion time) when the job has been
+	// served. It may be nil.
+	Done func()
+	// Dropped is invoked instead of Done if the job is rejected because the
+	// center's queue is full. It may be nil.
+	Dropped func()
+}
+
+// ServiceCenter models a hardware component (CPU, NIC, bus, router) as a
+// single server with a FIFO queue of bounded length, per §4.2's "hardware
+// components as service centers with finite queues".
+//
+// Utilization statistics are accumulated so experiments can report the
+// resource utilization plots of Figure 6(a).
+type ServiceCenter struct {
+	Name string
+
+	eng      *Engine
+	queue    []Job
+	maxQueue int // 0 means unbounded
+	busy     bool
+
+	// statistics
+	busyTime   Duration
+	lastStart  Time
+	statsSince Time
+	served     uint64
+	dropped    uint64
+	queueArea  float64 // integral of queue length over time
+	lastQEvent Time
+	maxSeen    int
+}
+
+// NewServiceCenter returns a center attached to eng. maxQueue bounds the
+// number of waiting jobs (not counting the one in service); 0 means
+// unbounded.
+func NewServiceCenter(eng *Engine, name string, maxQueue int) *ServiceCenter {
+	return &ServiceCenter{Name: name, eng: eng, maxQueue: maxQueue}
+}
+
+// Submit offers a job to the center. If the server is idle the job starts
+// immediately; otherwise it waits in FIFO order. If the queue is full the
+// job is dropped and its Dropped callback fires on the next event.
+func (c *ServiceCenter) Submit(j Job) {
+	if j.Service < 0 {
+		panic("sim: negative service demand")
+	}
+	if !c.busy {
+		c.start(j)
+		return
+	}
+	if c.maxQueue > 0 && len(c.queue) >= c.maxQueue {
+		c.dropped++
+		if j.Dropped != nil {
+			c.eng.Schedule(0, j.Dropped)
+		}
+		return
+	}
+	c.accountQueue()
+	c.queue = append(c.queue, j)
+	if len(c.queue) > c.maxSeen {
+		c.maxSeen = len(c.queue)
+	}
+}
+
+// Do is shorthand for Submit with only a completion callback.
+func (c *ServiceCenter) Do(service Duration, done func()) {
+	c.Submit(Job{Service: service, Done: done})
+}
+
+func (c *ServiceCenter) start(j Job) {
+	c.busy = true
+	c.lastStart = c.eng.Now()
+	c.eng.Schedule(j.Service, func() { c.finish(j) })
+}
+
+func (c *ServiceCenter) finish(j Job) {
+	c.busyTime += c.eng.Now().Sub(c.lastStart)
+	c.served++
+	c.busy = false
+	if len(c.queue) > 0 {
+		c.accountQueue()
+		next := c.queue[0]
+		// Shift rather than re-slice forever so the backing array is reused.
+		copy(c.queue, c.queue[1:])
+		c.queue = c.queue[:len(c.queue)-1]
+		c.start(next)
+	}
+	if j.Done != nil {
+		j.Done()
+	}
+}
+
+func (c *ServiceCenter) accountQueue() {
+	now := c.eng.Now()
+	c.queueArea += float64(len(c.queue)) * float64(now.Sub(c.lastQEvent))
+	c.lastQEvent = now
+}
+
+// Busy reports whether a job is currently in service.
+func (c *ServiceCenter) Busy() bool { return c.busy }
+
+// QueueLen reports the number of waiting jobs.
+func (c *ServiceCenter) QueueLen() int { return len(c.queue) }
+
+// Served reports the number of completed jobs.
+func (c *ServiceCenter) Served() uint64 { return c.served }
+
+// DroppedCount reports the number of rejected jobs.
+func (c *ServiceCenter) DroppedCount() uint64 { return c.dropped }
+
+// ResetStats restarts utilization accounting at the current virtual time.
+// Experiments call this at the end of cache warmup so reported utilizations
+// reflect steady state only.
+func (c *ServiceCenter) ResetStats() {
+	now := c.eng.Now()
+	c.busyTime = 0
+	c.statsSince = now
+	c.served = 0
+	c.dropped = 0
+	c.queueArea = 0
+	c.lastQEvent = now
+	c.maxSeen = 0
+	if c.busy {
+		// Attribute the in-flight job's remaining service to the new window.
+		c.lastStart = now
+	}
+}
+
+// Utilization reports the fraction of time since the last ResetStats that
+// the server was busy, in [0,1].
+func (c *ServiceCenter) Utilization() float64 {
+	now := c.eng.Now()
+	window := now.Sub(c.statsSince)
+	if window <= 0 {
+		return 0
+	}
+	busy := c.busyTime
+	if c.busy {
+		busy += now.Sub(c.lastStart)
+	}
+	u := float64(busy) / float64(window)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// MeanQueueLen reports the time-averaged queue length since the last
+// ResetStats.
+func (c *ServiceCenter) MeanQueueLen() float64 {
+	now := c.eng.Now()
+	window := now.Sub(c.statsSince)
+	if window <= 0 {
+		return 0
+	}
+	area := c.queueArea + float64(len(c.queue))*float64(now.Sub(c.lastQEvent))
+	return area / float64(window)
+}
+
+// MaxQueueLen reports the maximum queue length observed since the last
+// ResetStats.
+func (c *ServiceCenter) MaxQueueLen() int { return c.maxSeen }

@@ -1,0 +1,154 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestServiceCenterFIFO(t *testing.T) {
+	e := NewEngine(1)
+	c := NewServiceCenter(e, "cpu", 0)
+	var done []int
+	var times []Time
+	for i := 0; i < 5; i++ {
+		i := i
+		c.Do(10*Millisecond, func() {
+			done = append(done, i)
+			times = append(times, e.Now())
+		})
+	}
+	e.RunUntilIdle()
+	for i := range done {
+		if done[i] != i {
+			t.Fatalf("completion order %v not FIFO", done)
+		}
+		want := Time(Duration(i+1) * 10 * Millisecond)
+		if times[i] != want {
+			t.Fatalf("job %d finished at %v, want %v", i, times[i], want)
+		}
+	}
+}
+
+func TestServiceCenterIdleStartsImmediately(t *testing.T) {
+	e := NewEngine(1)
+	c := NewServiceCenter(e, "cpu", 0)
+	var finished Time
+	e.Schedule(5*Millisecond, func() {
+		c.Do(2*Millisecond, func() { finished = e.Now() })
+	})
+	e.RunUntilIdle()
+	if want := Time(7 * Millisecond); finished != want {
+		t.Fatalf("finished at %v, want %v", finished, want)
+	}
+}
+
+func TestServiceCenterQueueBound(t *testing.T) {
+	e := NewEngine(1)
+	c := NewServiceCenter(e, "nic", 2)
+	served, dropped := 0, 0
+	for i := 0; i < 5; i++ {
+		c.Submit(Job{
+			Service: Millisecond,
+			Done:    func() { served++ },
+			Dropped: func() { dropped++ },
+		})
+	}
+	e.RunUntilIdle()
+	// 1 in service + 2 queued accepted; 2 dropped.
+	if served != 3 || dropped != 2 {
+		t.Fatalf("served=%d dropped=%d, want 3/2", served, dropped)
+	}
+	if c.DroppedCount() != 2 {
+		t.Fatalf("DroppedCount=%d, want 2", c.DroppedCount())
+	}
+}
+
+func TestServiceCenterUtilization(t *testing.T) {
+	e := NewEngine(1)
+	c := NewServiceCenter(e, "disk", 0)
+	c.Do(30*Millisecond, nil)
+	e.Schedule(100*Millisecond, func() {}) // extend the clock to 100ms
+	e.RunUntilIdle()
+	u := c.Utilization()
+	if u < 0.29 || u > 0.31 {
+		t.Fatalf("utilization = %f, want ~0.30", u)
+	}
+}
+
+func TestServiceCenterUtilizationSaturated(t *testing.T) {
+	e := NewEngine(1)
+	c := NewServiceCenter(e, "disk", 0)
+	for i := 0; i < 10; i++ {
+		c.Do(10*Millisecond, nil)
+	}
+	e.RunUntilIdle()
+	if u := c.Utilization(); u < 0.999 {
+		t.Fatalf("saturated utilization = %f, want ~1", u)
+	}
+	if c.Served() != 10 {
+		t.Fatalf("served = %d, want 10", c.Served())
+	}
+}
+
+func TestResetStatsMidService(t *testing.T) {
+	e := NewEngine(1)
+	c := NewServiceCenter(e, "cpu", 0)
+	c.Do(40*Millisecond, nil)
+	e.Schedule(20*Millisecond, func() { c.ResetStats() })
+	e.Schedule(60*Millisecond, func() {}) // window [20,60], busy [20,40]
+	e.RunUntilIdle()
+	u := c.Utilization()
+	if u < 0.49 || u > 0.51 {
+		t.Fatalf("post-reset utilization = %f, want ~0.5", u)
+	}
+}
+
+func TestMeanQueueLen(t *testing.T) {
+	e := NewEngine(1)
+	c := NewServiceCenter(e, "cpu", 0)
+	// Three jobs of 10ms each submitted at t=0: queue holds 2 for 10ms,
+	// 1 for 10ms, 0 for 10ms → mean over 30ms = 1.0.
+	for i := 0; i < 3; i++ {
+		c.Do(10*Millisecond, nil)
+	}
+	e.RunUntilIdle()
+	m := c.MeanQueueLen()
+	if m < 0.99 || m > 1.01 {
+		t.Fatalf("mean queue len = %f, want ~1.0", m)
+	}
+	if c.MaxQueueLen() != 2 {
+		t.Fatalf("max queue len = %d, want 2", c.MaxQueueLen())
+	}
+}
+
+func TestNegativeServicePanics(t *testing.T) {
+	e := NewEngine(1)
+	c := NewServiceCenter(e, "cpu", 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative service demand did not panic")
+		}
+	}()
+	c.Do(-1, nil)
+}
+
+// Property: total virtual completion time of a FIFO center equals the sum of
+// service demands (single server, work-conserving), and all jobs complete.
+func TestServiceCenterWorkConserving(t *testing.T) {
+	f := func(raw []uint16) bool {
+		e := NewEngine(1)
+		c := NewServiceCenter(e, "cpu", 0)
+		var sum Duration
+		n := 0
+		for _, r := range raw {
+			d := Duration(r) * Microsecond
+			sum += d
+			c.Do(d, func() { n++ })
+		}
+		end := e.RunUntilIdle()
+		return n == len(raw) && end == Time(sum)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,138 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Event is a scheduled callback. Events with equal timestamps fire in
+// scheduling order (FIFO tie-break via the sequence number), which keeps the
+// simulation deterministic.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+// Engine is a discrete-event simulation engine: a virtual clock plus a
+// min-heap of pending events. It is not safe for concurrent use; a single
+// goroutine owns a simulation run.
+type Engine struct {
+	now    Time
+	seq    uint64
+	heap   []event
+	rng    *rand.Rand
+	nSteps uint64
+	halted bool
+}
+
+// NewEngine returns an engine whose random source is seeded with seed.
+// The same seed yields an identical event order and identical results.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random source.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Steps reports how many events have been dispatched so far.
+func (e *Engine) Steps() uint64 { return e.nSteps }
+
+// Schedule runs fn after delay of virtual time. A negative delay is an error
+// in the caller; Schedule panics to surface the bug immediately.
+func (e *Engine) Schedule(delay Duration, fn func()) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: Schedule with negative delay %d", delay))
+	}
+	e.push(event{at: e.now.Add(delay), seq: e.seq, fn: fn})
+	e.seq++
+}
+
+// At runs fn at absolute virtual time t, which must not be in the past.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: At(%v) before now (%v)", t, e.now))
+	}
+	e.push(event{at: t, seq: e.seq, fn: fn})
+	e.seq++
+}
+
+// Halt stops the run loop after the current event returns. Pending events
+// remain queued; Run may be called again to resume.
+func (e *Engine) Halt() { e.halted = true }
+
+// Pending reports the number of queued events.
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// Run dispatches events until the queue is empty, Halt is called, or the
+// virtual clock would pass until (until <= 0 means no limit). It returns the
+// time of the last dispatched event.
+func (e *Engine) Run(until Time) Time {
+	e.halted = false
+	for len(e.heap) > 0 && !e.halted {
+		ev := e.heap[0]
+		if until > 0 && ev.at > until {
+			e.now = until
+			break
+		}
+		e.pop()
+		if ev.at < e.now {
+			panic("sim: event heap returned event in the past")
+		}
+		e.now = ev.at
+		e.nSteps++
+		ev.fn()
+	}
+	return e.now
+}
+
+// RunUntilIdle dispatches every pending event (including events scheduled by
+// other events) and returns the final virtual time.
+func (e *Engine) RunUntilIdle() Time { return e.Run(0) }
+
+// push inserts ev into the binary min-heap ordered by (at, seq).
+func (e *Engine) push(ev event) {
+	e.heap = append(e.heap, ev)
+	i := len(e.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !less(e.heap[i], e.heap[parent]) {
+			break
+		}
+		e.heap[i], e.heap[parent] = e.heap[parent], e.heap[i]
+		i = parent
+	}
+}
+
+// pop removes the minimum event.
+func (e *Engine) pop() {
+	n := len(e.heap) - 1
+	e.heap[0] = e.heap[n]
+	e.heap = e.heap[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && less(e.heap[l], e.heap[smallest]) {
+			smallest = l
+		}
+		if r < n && less(e.heap[r], e.heap[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		e.heap[i], e.heap[smallest] = e.heap[smallest], e.heap[i]
+		i = smallest
+	}
+}
+
+func less(a, b event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}

@@ -1,0 +1,211 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	e.Schedule(30*Millisecond, func() { got = append(got, 3) })
+	e.Schedule(10*Millisecond, func() { got = append(got, 1) })
+	e.Schedule(20*Millisecond, func() { got = append(got, 2) })
+	e.RunUntilIdle()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestScheduleFIFOTieBreak(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5*Millisecond, func() { got = append(got, i) })
+	}
+	e.RunUntilIdle()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-time events fired out of order: %v", got)
+		}
+	}
+}
+
+func TestNowAdvancesMonotonically(t *testing.T) {
+	e := NewEngine(7)
+	rng := rand.New(rand.NewSource(42))
+	var last Time = -1
+	for i := 0; i < 1000; i++ {
+		e.Schedule(Duration(rng.Int63n(int64(Second))), func() {
+			if e.Now() < last {
+				t.Fatalf("time went backwards: %v < %v", e.Now(), last)
+			}
+			last = e.Now()
+		})
+	}
+	e.RunUntilIdle()
+	if e.Steps() != 1000 {
+		t.Fatalf("dispatched %d events, want 1000", e.Steps())
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := NewEngine(1)
+	depth := 0
+	var recurse func()
+	recurse = func() {
+		depth++
+		if depth < 100 {
+			e.Schedule(Millisecond, recurse)
+		}
+	}
+	e.Schedule(0, recurse)
+	end := e.RunUntilIdle()
+	if depth != 100 {
+		t.Fatalf("depth = %d, want 100", depth)
+	}
+	if want := Time(99 * Millisecond); end != want {
+		t.Fatalf("end time = %v, want %v", end, want)
+	}
+}
+
+func TestRunUntilBound(t *testing.T) {
+	e := NewEngine(1)
+	fired := 0
+	for i := 1; i <= 10; i++ {
+		e.Schedule(Duration(i)*Millisecond, func() { fired++ })
+	}
+	e.Run(Time(5 * Millisecond))
+	if fired != 5 {
+		t.Fatalf("fired %d events by t=5ms, want 5", fired)
+	}
+	if e.Pending() != 5 {
+		t.Fatalf("pending = %d, want 5", e.Pending())
+	}
+	e.RunUntilIdle()
+	if fired != 10 {
+		t.Fatalf("fired %d events total, want 10", fired)
+	}
+}
+
+func TestHaltStopsDispatch(t *testing.T) {
+	e := NewEngine(1)
+	fired := 0
+	for i := 1; i <= 10; i++ {
+		e.Schedule(Duration(i)*Millisecond, func() {
+			fired++
+			if fired == 3 {
+				e.Halt()
+			}
+		})
+	}
+	e.RunUntilIdle()
+	if fired != 3 {
+		t.Fatalf("fired %d, want 3 (halted)", fired)
+	}
+	e.RunUntilIdle()
+	if fired != 10 {
+		t.Fatalf("resume fired %d, want 10", fired)
+	}
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Schedule(-1) did not panic")
+		}
+	}()
+	NewEngine(1).Schedule(-1, func() {})
+}
+
+func TestAtAbsolute(t *testing.T) {
+	e := NewEngine(1)
+	var at Time
+	e.At(Time(3*Millisecond), func() { at = e.Now() })
+	e.RunUntilIdle()
+	if at != Time(3*Millisecond) {
+		t.Fatalf("At fired at %v, want 3ms", at)
+	}
+}
+
+func TestAtPastPanics(t *testing.T) {
+	e := NewEngine(1)
+	e.Schedule(5*Millisecond, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("At in the past did not panic")
+			}
+		}()
+		e.At(Time(Millisecond), func() {})
+	})
+	e.RunUntilIdle()
+}
+
+// Property: for any set of delays, events fire in nondecreasing timestamp
+// order and every event fires exactly once.
+func TestEventOrderProperty(t *testing.T) {
+	f := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		e := NewEngine(1)
+		fired := make([]Time, 0, len(raw))
+		delays := make([]Duration, len(raw))
+		for i, r := range raw {
+			delays[i] = Duration(r % 1_000_000_000)
+			e.Schedule(delays[i], func() { fired = append(fired, e.Now()) })
+		}
+		e.RunUntilIdle()
+		if len(fired) != len(raw) {
+			return false
+		}
+		if !sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] }) {
+			return false
+		}
+		// Each fire time must equal its delay (engine started at t=0): compare
+		// multisets.
+		want := make([]int64, len(delays))
+		got := make([]int64, len(fired))
+		for i := range delays {
+			want[i] = int64(delays[i])
+			got[i] = int64(fired[i])
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := range want {
+			if want[i] != got[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterministicRand(t *testing.T) {
+	a, b := NewEngine(99), NewEngine(99)
+	for i := 0; i < 100; i++ {
+		if a.Rand().Int63() != b.Rand().Int63() {
+			t.Fatal("same-seed engines diverged")
+		}
+	}
+}
+
+func BenchmarkEngineScheduleRun(b *testing.B) {
+	e := NewEngine(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(Duration(i%1000)*Microsecond, func() {})
+		if i%1024 == 1023 {
+			e.RunUntilIdle()
+		}
+	}
+	e.RunUntilIdle()
+}

@@ -1,0 +1,37 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// A service center serializes jobs like a single disk or CPU: three jobs
+// submitted together finish back-to-back.
+func ExampleServiceCenter() {
+	eng := sim.NewEngine(1)
+	cpu := sim.NewServiceCenter(eng, "cpu", 0)
+	for i := 1; i <= 3; i++ {
+		i := i
+		cpu.Do(10*sim.Millisecond, func() {
+			fmt.Printf("job %d done at %v\n", i, eng.Now())
+		})
+	}
+	eng.RunUntilIdle()
+	// Output:
+	// job 1 done at t=0.010000s
+	// job 2 done at t=0.020000s
+	// job 3 done at t=0.030000s
+}
+
+// The engine dispatches events in timestamp order regardless of
+// scheduling order.
+func ExampleEngine_Schedule() {
+	eng := sim.NewEngine(1)
+	eng.Schedule(2*sim.Millisecond, func() { fmt.Println("second") })
+	eng.Schedule(1*sim.Millisecond, func() { fmt.Println("first") })
+	eng.RunUntilIdle()
+	// Output:
+	// first
+	// second
+}

@@ -1,0 +1,70 @@
+// Package sim implements a deterministic discrete-event simulation engine.
+//
+// The engine models the cluster hardware described in §4.2 of the paper:
+// components are service centers with finite queues, driven by an event
+// heap over a virtual clock. All times are virtual nanoseconds; nothing in
+// this package reads the wall clock, so runs with the same seed are
+// bit-for-bit reproducible.
+package sim
+
+import "fmt"
+
+// Time is a point in virtual time, in nanoseconds since the start of the
+// simulation.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration int64
+
+// Common durations.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Milliseconds converts a duration expressed in (possibly fractional)
+// milliseconds into a Duration. It is the conversion used for every Table 1
+// constant.
+func Milliseconds(ms float64) Duration {
+	return Duration(ms * float64(Millisecond))
+}
+
+// Microseconds converts a duration expressed in (possibly fractional)
+// microseconds into a Duration.
+func Microseconds(us float64) Duration {
+	return Duration(us * float64(Microsecond))
+}
+
+// Seconds reports d as fractional seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Millis reports d as fractional milliseconds.
+func (d Duration) Millis() float64 { return float64(d) / float64(Millisecond) }
+
+// String formats the duration in engineering units.
+func (d Duration) String() string {
+	switch {
+	case d >= Second:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	case d >= Millisecond:
+		return fmt.Sprintf("%.3fms", d.Millis())
+	case d >= Microsecond:
+		return fmt.Sprintf("%.3fus", float64(d)/float64(Microsecond))
+	default:
+		return fmt.Sprintf("%dns", int64(d))
+	}
+}
+
+// Add returns the time d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration between t and earlier time u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Seconds reports t as fractional seconds since the simulation start.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// String formats the time as seconds.
+func (t Time) String() string { return fmt.Sprintf("t=%.6fs", t.Seconds()) }

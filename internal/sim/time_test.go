@@ -1,0 +1,51 @@
+package sim
+
+import "testing"
+
+func TestMilliseconds(t *testing.T) {
+	cases := []struct {
+		ms   float64
+		want Duration
+	}{
+		{1, Millisecond},
+		{0.1, 100 * Microsecond},
+		{0.038, 38 * Microsecond},
+		{2.5, 2500 * Microsecond},
+	}
+	for _, c := range cases {
+		if got := Milliseconds(c.ms); got != c.want {
+			t.Errorf("Milliseconds(%v) = %v, want %v", c.ms, got, c.want)
+		}
+	}
+}
+
+func TestDurationString(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{2 * Second, "2.000s"},
+		{3 * Millisecond, "3.000ms"},
+		{40 * Microsecond, "40.000us"},
+		{5, "5ns"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(c.d), got, c.want)
+		}
+	}
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	t0 := Time(10 * Millisecond)
+	t1 := t0.Add(5 * Millisecond)
+	if t1 != Time(15*Millisecond) {
+		t.Fatalf("Add: got %v", t1)
+	}
+	if d := t1.Sub(t0); d != 5*Millisecond {
+		t.Fatalf("Sub: got %v", d)
+	}
+	if s := Time(1500 * Millisecond).Seconds(); s != 1.5 {
+		t.Fatalf("Seconds: got %v", s)
+	}
+}

@@ -1,0 +1,156 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/block"
+)
+
+// The binary trace format lets generated workloads be saved and replayed
+// byte-identically across machines and runs:
+//
+//	magic "CCTR" | version u16 | nameLen u16 | name |
+//	nFiles u32 | sizes (varint each) |
+//	nRequests u32 | file IDs (varint-delta each)
+const (
+	traceMagic   = "CCTR"
+	traceVersion = 1
+)
+
+// WriteBinary serializes t.
+func WriteBinary(w io.Writer, t *Trace) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(traceMagic); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	writeU16 := func(v uint16) error {
+		binary.BigEndian.PutUint16(buf[:2], v)
+		_, err := bw.Write(buf[:2])
+		return err
+	}
+	writeU32 := func(v uint32) error {
+		binary.BigEndian.PutUint32(buf[:4], v)
+		_, err := bw.Write(buf[:4])
+		return err
+	}
+	writeUvarint := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	if err := writeU16(traceVersion); err != nil {
+		return err
+	}
+	if len(t.Name) > 1<<16-1 {
+		return fmt.Errorf("trace: name too long")
+	}
+	if err := writeU16(uint16(len(t.Name))); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(t.Name); err != nil {
+		return err
+	}
+	if err := writeU32(uint32(len(t.Files))); err != nil {
+		return err
+	}
+	for _, f := range t.Files {
+		if err := writeUvarint(uint64(f.Size)); err != nil {
+			return err
+		}
+	}
+	if err := writeU32(uint32(len(t.Requests))); err != nil {
+		return err
+	}
+	for _, id := range t.Requests {
+		if err := writeUvarint(uint64(id)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary deserializes a trace written by WriteBinary.
+func ReadBinary(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(magic) != traceMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", magic)
+	}
+	readU16 := func() (uint16, error) {
+		b := make([]byte, 2)
+		if _, err := io.ReadFull(br, b); err != nil {
+			return 0, err
+		}
+		return binary.BigEndian.Uint16(b), nil
+	}
+	readU32 := func() (uint32, error) {
+		b := make([]byte, 4)
+		if _, err := io.ReadFull(br, b); err != nil {
+			return 0, err
+		}
+		return binary.BigEndian.Uint32(b), nil
+	}
+	ver, err := readU16()
+	if err != nil {
+		return nil, err
+	}
+	if ver != traceVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", ver)
+	}
+	nameLen, err := readU16()
+	if err != nil {
+		return nil, err
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, err
+	}
+	t := &Trace{Name: string(name)}
+	nFiles, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	// Sanity caps keep a corrupt header from demanding a giant allocation
+	// before the varint stream inevitably fails.
+	const maxFiles, maxRequests = 1 << 26, 1 << 29
+	if nFiles > maxFiles {
+		return nil, fmt.Errorf("trace: implausible file count %d", nFiles)
+	}
+	t.Files = make([]File, nFiles)
+	for i := range t.Files {
+		size, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: file %d size: %w", i, err)
+		}
+		t.Files[i] = File{ID: block.FileID(i), Size: int64(size)}
+	}
+	nReq, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	if nReq > maxRequests {
+		return nil, fmt.Errorf("trace: implausible request count %d", nReq)
+	}
+	t.Requests = make([]block.FileID, nReq)
+	for i := range t.Requests {
+		id, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: request %d: %w", i, err)
+		}
+		t.Requests[i] = block.FileID(id)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

@@ -1,0 +1,127 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/block"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	tr := Calgary.Generate(1, 0.01)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != tr.Name || len(got.Files) != len(tr.Files) || len(got.Requests) != len(tr.Requests) {
+		t.Fatalf("shape mismatch: %s %d/%d", got.Name, len(got.Files), len(got.Requests))
+	}
+	for i := range tr.Files {
+		if got.Files[i] != tr.Files[i] {
+			t.Fatalf("file %d differs", i)
+		}
+	}
+	for i := range tr.Requests {
+		if got.Requests[i] != tr.Requests[i] {
+			t.Fatalf("request %d differs", i)
+		}
+	}
+}
+
+func TestBinaryRoundTripProperty(t *testing.T) {
+	f := func(name string, sizes []uint32, reqSeed []uint16) bool {
+		if len(sizes) == 0 {
+			return true
+		}
+		if len(name) > 1000 {
+			name = name[:1000]
+		}
+		tr := &Trace{Name: name}
+		for i, s := range sizes {
+			tr.Files = append(tr.Files, File{ID: block.FileID(i), Size: int64(s)})
+		}
+		for _, r := range reqSeed {
+			tr.Requests = append(tr.Requests, block.FileID(int(r)%len(sizes)))
+		}
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, tr); err != nil {
+			return false
+		}
+		got, err := ReadBinary(&buf)
+		if err != nil {
+			return false
+		}
+		if got.Name != tr.Name || len(got.Files) != len(tr.Files) || len(got.Requests) != len(tr.Requests) {
+			return false
+		}
+		for i := range tr.Requests {
+			if got.Requests[i] != tr.Requests[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadBinaryRejectsGarbage(t *testing.T) {
+	if _, err := ReadBinary(strings.NewReader("not a trace at all")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ReadBinary(strings.NewReader("CC")); err == nil {
+		t.Fatal("short input accepted")
+	}
+	// Valid magic, bad version.
+	var buf bytes.Buffer
+	buf.WriteString("CCTR")
+	buf.Write([]byte{0xFF, 0xFF})
+	if _, err := ReadBinary(&buf); err == nil {
+		t.Fatal("bad version accepted")
+	}
+}
+
+func TestWriteBinaryValidates(t *testing.T) {
+	bad := &Trace{Name: "x"} // empty file set
+	if err := WriteBinary(&bytes.Buffer{}, bad); err == nil {
+		t.Fatal("invalid trace written")
+	}
+}
+
+func TestTemporalBiasIncreasesLocality(t *testing.T) {
+	// Measure re-reference rate within a short window with and without
+	// temporal bias.
+	reref := func(bias float64) float64 {
+		p := Calgary
+		p.TemporalBias = bias
+		tr := p.Generate(1, 0.05)
+		const win = 64
+		hits := 0
+		recent := make(map[block.FileID]int)
+		for i, f := range tr.Requests {
+			if last, ok := recent[f]; ok && i-last <= win {
+				hits++
+			}
+			recent[f] = i
+		}
+		return float64(hits) / float64(len(tr.Requests))
+	}
+	base := reref(0)
+	biased := reref(0.5)
+	if biased <= base+0.1 {
+		t.Fatalf("temporal bias had no effect: base=%.3f biased=%.3f", base, biased)
+	}
+}
+
+func TestTemporalBiasValidation(t *testing.T) {
+	p := Calgary
+	p.TemporalBias = 1.5
+	assertPanics(t, "bias out of range", func() { p.Generate(1, 0.001) })
+}

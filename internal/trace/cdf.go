@@ -1,0 +1,87 @@
+package trace
+
+import "sort"
+
+// CDFPoint is one point of the Figure 1 curves: after taking the hottest
+// files covering FileFrac of the file set (sorted by decreasing request
+// frequency), CumReqFrac of all requests hit those files and they occupy
+// CumMB of memory.
+type CDFPoint struct {
+	FileFrac   float64
+	CumReqFrac float64
+	CumMB      float64
+}
+
+// CDF computes the Figure 1 curves for t at the given number of sample
+// points (plus the final point at 100% of files).
+func CDF(t *Trace, points int) []CDFPoint {
+	counts := requestCounts(t)
+	order := popularityOrder(t, counts)
+
+	n := len(order)
+	totalReq := float64(len(t.Requests))
+	if totalReq == 0 {
+		totalReq = 1
+	}
+	var out []CDFPoint
+	var cumReq int64
+	var cumBytes int64
+	next := 1
+	step := n / points
+	if step < 1 {
+		step = 1
+	}
+	for i, id := range order {
+		cumReq += counts[id]
+		cumBytes += t.Files[id].Size
+		if i+1 == next*step || i == n-1 {
+			out = append(out, CDFPoint{
+				FileFrac:   float64(i+1) / float64(n),
+				CumReqFrac: float64(cumReq) / totalReq,
+				CumMB:      float64(cumBytes) / (1 << 20),
+			})
+			next++
+		}
+	}
+	return out
+}
+
+// BytesForCoverage reports how many bytes of the hottest files are needed to
+// cover frac of all requests — e.g. Figure 1's observation that 494 MB
+// covers 99% of the Rutgers trace's requests.
+func BytesForCoverage(t *Trace, frac float64) int64 {
+	counts := requestCounts(t)
+	order := popularityOrder(t, counts)
+	target := int64(frac * float64(len(t.Requests)))
+	var cumReq, cumBytes int64
+	for _, id := range order {
+		cumReq += counts[id]
+		cumBytes += t.Files[id].Size
+		if cumReq >= target {
+			break
+		}
+	}
+	return cumBytes
+}
+
+func requestCounts(t *Trace) []int64 {
+	counts := make([]int64, len(t.Files))
+	for _, id := range t.Requests {
+		counts[id]++
+	}
+	return counts
+}
+
+func popularityOrder(t *Trace, counts []int64) []int {
+	order := make([]int, len(t.Files))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if counts[order[a]] != counts[order[b]] {
+			return counts[order[a]] > counts[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	return order
+}

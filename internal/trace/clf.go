@@ -1,0 +1,98 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/block"
+)
+
+// ParseCLF reads a web server access log in Common Log Format
+// ("host ident user [date] \"METHOD /path PROTO\" status bytes") and builds
+// a Trace: each distinct successfully served path becomes a file (sized by
+// the largest response observed for it) and each GET of it becomes a
+// request. This lets the original Calgary/Clarknet/NASA/Rutgers traces be
+// dropped into the harness when available; the synthetic presets are the
+// offline substitute.
+func ParseCLF(name string, r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+
+	type info struct {
+		id   block.FileID
+		size int64
+	}
+	byPath := make(map[string]*info)
+	t := &Trace{Name: name}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		path, status, size, ok := parseCLFLine(sc.Text())
+		if !ok {
+			continue // malformed or non-GET lines are skipped, as in the characterization studies
+		}
+		if status != 200 && status != 304 {
+			continue
+		}
+		fi, seen := byPath[path]
+		if !seen {
+			fi = &info{id: block.FileID(len(t.Files))}
+			byPath[path] = fi
+			t.Files = append(t.Files, File{ID: fi.id})
+		}
+		if size > fi.size {
+			fi.size = size
+			t.Files[fi.id].Size = size
+		}
+		t.Requests = append(t.Requests, fi.id)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: reading CLF at line %d: %w", lineNo, err)
+	}
+	if len(t.Files) == 0 {
+		return nil, fmt.Errorf("trace: no usable requests in CLF input")
+	}
+	return t, nil
+}
+
+// parseCLFLine extracts (path, status, bytes) from one CLF line. ok is false
+// for lines that are malformed or not GETs.
+func parseCLFLine(line string) (path string, status int, size int64, ok bool) {
+	// The request field is the first quoted string.
+	q1 := strings.IndexByte(line, '"')
+	if q1 < 0 {
+		return "", 0, 0, false
+	}
+	q2 := strings.IndexByte(line[q1+1:], '"')
+	if q2 < 0 {
+		return "", 0, 0, false
+	}
+	req := line[q1+1 : q1+1+q2]
+	rest := strings.Fields(line[q1+q2+2:])
+	if len(rest) < 2 {
+		return "", 0, 0, false
+	}
+	parts := strings.Fields(req)
+	if len(parts) < 2 || parts[0] != "GET" {
+		return "", 0, 0, false
+	}
+	path = parts[1]
+	if i := strings.IndexByte(path, '?'); i >= 0 {
+		path = path[:i]
+	}
+	st, err := strconv.Atoi(rest[0])
+	if err != nil {
+		return "", 0, 0, false
+	}
+	var sz int64
+	if rest[1] != "-" {
+		sz, err = strconv.ParseInt(rest[1], 10, 64)
+		if err != nil || sz < 0 {
+			return "", 0, 0, false
+		}
+	}
+	return path, st, sz, true
+}

@@ -1,0 +1,48 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadBinary hardens the trace decoder: arbitrary input must yield an
+// error or a valid trace, never a panic or runaway allocation.
+func FuzzReadBinary(f *testing.F) {
+	var buf bytes.Buffer
+	tr := &Trace{Name: "seed", Files: trace2File(3, 100)}
+	tr.Requests = append(tr.Requests, 0, 1, 2, 1)
+	if err := WriteBinary(&buf, tr); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("CCTR"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("decoder returned invalid trace: %v", err)
+		}
+	})
+}
+
+// FuzzParseCLF hardens the access-log parser against arbitrary log lines.
+func FuzzParseCLF(f *testing.F) {
+	f.Add(`host - - [date] "GET /a HTTP/1.0" 200 100`)
+	f.Add(`garbage`)
+	f.Add(`h - - [d] "GET /x?q=1 HTTP/1.0" 304 -`)
+	f.Add("\"\"\"")
+	f.Fuzz(func(t *testing.T, line string) {
+		tr, err := ParseCLF("fuzz", strings.NewReader(line))
+		if err != nil {
+			return
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("parser returned invalid trace: %v", err)
+		}
+	})
+}

@@ -1,0 +1,200 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/block"
+)
+
+// Preset parameterizes a synthetic trace calibrated to one of the paper's
+// four workloads (Table 2). The generator enforces the file count, total
+// file-set size, request count, average request size, and a Zipf-like
+// popularity skew — the aggregate properties the caching experiments depend
+// on (see DESIGN.md, substitution 1).
+type Preset struct {
+	Name         string
+	NumFiles     int
+	FileSetBytes int64
+	NumRequests  int
+	// AvgReqKB is the target mean request size in KB; the generator
+	// calibrates the popularity↔size correlation to hit it.
+	AvgReqKB float64
+	// Alpha is the Zipf popularity exponent.
+	Alpha float64
+	// SizeSigma is the lognormal shape of the file size distribution.
+	SizeSigma float64
+	// TemporalBias in [0,1) mixes short-term locality into the otherwise
+	// IID request stream: with this probability a request re-references
+	// one of the last temporalWindow requests instead of sampling the
+	// Zipf distribution. The paper presets leave it 0 (popularity skew is
+	// what the experiments depend on); it is available for sensitivity
+	// studies since real traces carry temporal locality.
+	TemporalBias float64
+}
+
+// temporalWindow is the LRU-stack depth of the temporal-locality model.
+const temporalWindow = 256
+
+// Generate builds the synthetic trace. scale in (0,1] scales the request
+// count (the file set is never scaled, since working-set size versus cluster
+// memory is the experimental variable). The same seed yields an identical
+// trace.
+func (p Preset) Generate(seed int64, scale float64) *Trace {
+	if p.NumFiles <= 0 || p.FileSetBytes <= 0 || p.NumRequests <= 0 {
+		panic(fmt.Sprintf("trace: invalid preset %+v", p))
+	}
+	if scale <= 0 || scale > 1 {
+		panic(fmt.Sprintf("trace: scale %v out of (0,1]", scale))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := p.NumFiles
+
+	// 1. Raw lognormal sizes (heavy-tailed, as in the Arlitt–Williamson
+	// characterization).
+	raw := make([]float64, n)
+	for i := range raw {
+		raw[i] = math.Exp(rng.NormFloat64() * p.SizeSigma)
+	}
+
+	// 2. Assign sizes to popularity ranks with a *partial* rank correlation:
+	// a blend of sorted-by-rank and random assignment, calibrated so the
+	// expected request size hits the Table 2 target. The random component is
+	// essential for Figure 1's shape — real traces keep substantial bytes in
+	// rarely-requested files ("one-timers"), so the cold tail must retain
+	// large files.
+	z := NewZipf(n, p.Alpha)
+	avgFileKB := float64(p.FileSetBytes) / 1024 / float64(n)
+	targetRatio := p.AvgReqKB / avgFileKB
+	sizes := calibrateAssignment(rng, z, raw, targetRatio)
+
+	// 3. Normalize to the exact file-set size, with a floor so no file is
+	// degenerate.
+	var sum float64
+	for _, s := range sizes {
+		sum += s
+	}
+	factor := float64(p.FileSetBytes) / sum
+	const minSize = 128
+	byteSizes := make([]int64, n)
+	var total int64
+	for r, s := range sizes {
+		b := int64(s * factor)
+		if b < minSize {
+			b = minSize
+		}
+		byteSizes[r] = b
+		total += b
+	}
+	// Absorb rounding drift into the largest file.
+	maxIdx := 0
+	for r, b := range byteSizes {
+		if b > byteSizes[maxIdx] {
+			maxIdx = r
+		}
+	}
+	if drift := p.FileSetBytes - total; byteSizes[maxIdx]+drift >= minSize {
+		byteSizes[maxIdx] += drift
+	}
+
+	// 4. Scatter ranks over file IDs so popularity is uncorrelated with the
+	// ID-based home-node assignment.
+	rankToFile := rng.Perm(n)
+	files := make([]File, n)
+	for r, id := range rankToFile {
+		files[id] = File{ID: block.FileID(id), Size: byteSizes[r]}
+	}
+
+	// 5. Draw the request stream, optionally mixing in short-term temporal
+	// locality by re-referencing the recent-request window.
+	if p.TemporalBias < 0 || p.TemporalBias >= 1 {
+		panic(fmt.Sprintf("trace: TemporalBias %v out of [0,1)", p.TemporalBias))
+	}
+	nreq := int(float64(p.NumRequests) * scale)
+	if nreq < 1 {
+		nreq = 1
+	}
+	reqs := make([]block.FileID, nreq)
+	for i := range reqs {
+		if p.TemporalBias > 0 && i > 0 && rng.Float64() < p.TemporalBias {
+			back := rng.Intn(min(i, temporalWindow)) + 1
+			reqs[i] = reqs[i-back]
+			continue
+		}
+		reqs[i] = block.FileID(rankToFile[z.Sample(rng)])
+	}
+
+	return &Trace{Name: p.Name, Files: files, Requests: reqs}
+}
+
+// calibrateAssignment maps raw sizes onto popularity ranks so that
+// Σ p_r·size_r / mean(size) ≈ targetRatio. For blend weight w ∈ [-1,1] each
+// rank r gets the key w·(r/n) + (1−|w|)·u_r with fixed uniform noise u_r;
+// sizes sorted descending are assigned to keys sorted ascending. w=+1 gives
+// hot-files-largest, w=−1 hot-files-smallest, w=0 random. The expected
+// request size is monotone in w up to noise, so a bisection over w finds
+// the calibrated assignment.
+func calibrateAssignment(rng *rand.Rand, z *Zipf, raw []float64, targetRatio float64) []float64 {
+	n := len(raw)
+	noise := make([]float64, n)
+	for i := range noise {
+		noise[i] = rng.Float64()
+	}
+	desc := make([]float64, n)
+	copy(desc, raw)
+	sort.Sort(sort.Reverse(sort.Float64Slice(desc)))
+
+	probs := make([]float64, n)
+	for r := range probs {
+		probs[r] = z.P(r)
+	}
+	mean := 0.0
+	for _, s := range raw {
+		mean += s
+	}
+	mean /= float64(n)
+
+	order := make([]int, n)
+	keys := make([]float64, n)
+	assign := func(w float64) []float64 {
+		for r := 0; r < n; r++ {
+			keys[r] = w*float64(r)/float64(n) + (1-math.Abs(w))*noise[r]
+			order[r] = r
+		}
+		sort.Slice(order, func(a, b int) bool { return keys[order[a]] < keys[order[b]] })
+		sizes := make([]float64, n)
+		for i, r := range order {
+			sizes[r] = desc[i]
+		}
+		return sizes
+	}
+	ratio := func(sizes []float64) float64 {
+		var req float64
+		for r := 0; r < n; r++ {
+			req += probs[r] * sizes[r]
+		}
+		return req / mean
+	}
+
+	lo, hi := -1.0, 1.0
+	sizes := assign(lo)
+	if targetRatio <= ratio(sizes) {
+		return sizes
+	}
+	sizes = assign(hi)
+	if targetRatio >= ratio(sizes) {
+		return sizes
+	}
+	for i := 0; i < 40; i++ {
+		mid := (lo + hi) / 2
+		sizes = assign(mid)
+		if ratio(sizes) < targetRatio {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return assign((lo + hi) / 2)
+}

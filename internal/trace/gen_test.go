@@ -1,0 +1,188 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+// genScale keeps the calibration tests fast while leaving enough requests
+// for stable averages.
+const genScale = 0.1
+
+func TestGenerateValidates(t *testing.T) {
+	for _, p := range Presets {
+		tr := p.Generate(1, genScale)
+		if err := tr.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Calgary.Generate(7, 0.01)
+	b := Calgary.Generate(7, 0.01)
+	if len(a.Requests) != len(b.Requests) {
+		t.Fatal("request counts differ")
+	}
+	for i := range a.Requests {
+		if a.Requests[i] != b.Requests[i] {
+			t.Fatalf("request %d differs", i)
+		}
+	}
+	for i := range a.Files {
+		if a.Files[i] != b.Files[i] {
+			t.Fatalf("file %d differs", i)
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	a := Calgary.Generate(1, 0.01)
+	b := Calgary.Generate(2, 0.01)
+	same := 0
+	for i := range a.Requests {
+		if a.Requests[i] == b.Requests[i] {
+			same++
+		}
+	}
+	if same == len(a.Requests) {
+		t.Fatal("different seeds produced identical request streams")
+	}
+}
+
+func TestTable2FileSetSizes(t *testing.T) {
+	for _, p := range Presets {
+		tr := p.Generate(1, 0.01)
+		got := tr.FileSetBytes()
+		// Exact up to the minimum-size floor; allow 2%.
+		if math.Abs(float64(got-p.FileSetBytes)) > 0.02*float64(p.FileSetBytes) {
+			t.Errorf("%s: file set %d bytes, want %d", p.Name, got, p.FileSetBytes)
+		}
+		if len(tr.Files) != p.NumFiles {
+			t.Errorf("%s: %d files, want %d", p.Name, len(tr.Files), p.NumFiles)
+		}
+	}
+}
+
+func TestTable2AvgRequestSize(t *testing.T) {
+	for _, p := range Presets {
+		tr := p.Generate(1, genScale)
+		s := Characterize(tr)
+		// The popularity↔size calibration should land within 15% of the
+		// Table 2 target at this sample size.
+		if math.Abs(s.AvgReqKB-p.AvgReqKB) > 0.15*p.AvgReqKB {
+			t.Errorf("%s: avg request %.1fKB, want ~%.1fKB", p.Name, s.AvgReqKB, p.AvgReqKB)
+		}
+	}
+}
+
+func TestScaleControlsRequestCount(t *testing.T) {
+	tr := NASA.Generate(1, 0.01)
+	want := int(0.01 * float64(NASA.NumRequests))
+	if tr.Requests == nil || len(tr.Requests) != want {
+		t.Fatalf("requests = %d, want %d", len(tr.Requests), want)
+	}
+	full := Calgary.Generate(1, 1.0)
+	if len(full.Requests) != Calgary.NumRequests {
+		t.Fatalf("full-scale requests = %d, want %d", len(full.Requests), Calgary.NumRequests)
+	}
+}
+
+func TestFigure1RutgersCoverage(t *testing.T) {
+	// Figure 1: caching 99% of the Rutgers trace's requests needs ≈494 MB.
+	// Coverage must be measured on the full request stream: at reduced
+	// scales cold files receive no requests and coverage shrinks.
+	tr := Rutgers.Generate(1, 1.0)
+	got := float64(BytesForCoverage(tr, 0.99)) / (1 << 20)
+	if got < 455 || got > 535 {
+		t.Fatalf("99%% coverage needs %.0fMB, want ≈494MB (±8%%)", got)
+	}
+}
+
+func TestFigure1CDFShape(t *testing.T) {
+	tr := Rutgers.Generate(1, genScale)
+	pts := CDF(tr, 50)
+	if len(pts) == 0 {
+		t.Fatal("empty CDF")
+	}
+	// Monotone nondecreasing in both coordinates.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].CumReqFrac < pts[i-1].CumReqFrac || pts[i].CumMB < pts[i-1].CumMB {
+			t.Fatalf("CDF not monotone at %d: %+v -> %+v", i, pts[i-1], pts[i])
+		}
+	}
+	last := pts[len(pts)-1]
+	if last.CumReqFrac < 0.9999 {
+		t.Fatalf("final CumReqFrac = %f, want 1", last.CumReqFrac)
+	}
+	if math.Abs(last.CumMB-579) > 15 {
+		t.Fatalf("final CumMB = %.0f, want ≈579", last.CumMB)
+	}
+	// Popularity skew: the hottest 10% of files must draw well over 10% of
+	// requests (Figure 1's sharp initial rise).
+	for _, pt := range pts {
+		if pt.FileFrac >= 0.10 {
+			if pt.CumReqFrac < 0.4 {
+				t.Fatalf("top %.0f%% of files draw only %.0f%% of requests",
+					pt.FileFrac*100, pt.CumReqFrac*100)
+			}
+			break
+		}
+	}
+}
+
+func TestZipfDistribution(t *testing.T) {
+	z := NewZipf(1000, 0.85)
+	if z.N() != 1000 {
+		t.Fatalf("N = %d", z.N())
+	}
+	// Probabilities sum to 1 and are decreasing.
+	sum := 0.0
+	for i := 0; i < z.N(); i++ {
+		p := z.P(i)
+		if p <= 0 {
+			t.Fatalf("P(%d) = %f", i, p)
+		}
+		if i > 0 && p > z.P(i-1)+1e-12 {
+			t.Fatalf("P(%d)=%g > P(%d)=%g", i, p, i-1, z.P(i-1))
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("ΣP = %f", sum)
+	}
+}
+
+func TestZipfSampleMatchesP(t *testing.T) {
+	z := NewZipf(100, 0.85)
+	rng := newTestRand(42)
+	const n = 200000
+	counts := make([]int, 100)
+	for i := 0; i < n; i++ {
+		counts[z.Sample(rng)]++
+	}
+	for _, r := range []int{0, 1, 10, 50} {
+		want := z.P(r) * n
+		got := float64(counts[r])
+		if math.Abs(got-want) > 5*math.Sqrt(want)+10 {
+			t.Errorf("rank %d sampled %v times, expected ≈%.0f", r, got, want)
+		}
+	}
+}
+
+func TestGenerateRejectsBadArgs(t *testing.T) {
+	assertPanics(t, "zero scale", func() { Calgary.Generate(1, 0) })
+	assertPanics(t, "scale > 1", func() { Calgary.Generate(1, 1.5) })
+	assertPanics(t, "empty preset", func() { (Preset{}).Generate(1, 1) })
+	assertPanics(t, "empty zipf", func() { NewZipf(0, 1) })
+}
+
+func assertPanics(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: no panic", name)
+		}
+	}()
+	fn()
+}

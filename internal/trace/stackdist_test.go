@@ -1,0 +1,174 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/block"
+)
+
+func TestAnalyzeStackTiny(t *testing.T) {
+	// Files of 10 bytes each; sequence A B A B.
+	tr := &Trace{
+		Name:     "t",
+		Files:    trace2File(10, 10),
+		Requests: []block.FileID{0, 1, 0, 1},
+	}
+	sa := AnalyzeStack(tr)
+	if sa.cold != 2 {
+		t.Fatalf("cold = %d, want 2", sa.cold)
+	}
+	// Both reuses occupy 20 bytes (the other file + own footprint).
+	if len(sa.distances) != 2 || sa.distances[0] != 20 || sa.distances[1] != 20 {
+		t.Fatalf("distances = %v", sa.distances)
+	}
+	// A cache of 20 bytes fits both reuses: hit rate 2/4.
+	if hr := sa.HitRate(20); hr != 0.5 {
+		t.Fatalf("HitRate(20) = %f, want 0.5", hr)
+	}
+	// A cache of 10 bytes fits neither (occupancy 20 > 10).
+	if hr := sa.HitRate(10); hr != 0 {
+		t.Fatalf("HitRate(10) = %f, want 0", hr)
+	}
+	if sa.MaxHitRate() != 0.5 {
+		t.Fatalf("MaxHitRate = %f", sa.MaxHitRate())
+	}
+}
+
+// trace2File builds n files of the given size.
+func trace2File(n int, size int64) []File {
+	files := make([]File, n)
+	for i := range files {
+		files[i] = File{ID: block.FileID(i), Size: size}
+	}
+	return files
+}
+
+func TestAnalyzeStackRepeats(t *testing.T) {
+	tr := &Trace{
+		Name:     "t",
+		Files:    trace2File(3, 100),
+		Requests: []block.FileID{0, 0, 0, 0},
+	}
+	sa := AnalyzeStack(tr)
+	if sa.cold != 1 || len(sa.distances) != 3 {
+		t.Fatalf("cold=%d distances=%v", sa.cold, sa.distances)
+	}
+	// Immediate re-reference: occupancy = own size.
+	for _, d := range sa.distances {
+		if d != 100 {
+			t.Fatalf("immediate reuse occupancy = %d", d)
+		}
+	}
+	if hr := sa.HitRate(100); hr != 0.75 {
+		t.Fatalf("HitRate(100) = %f, want 0.75", hr)
+	}
+}
+
+func TestAnalyzeStackMatchesSimulatedLRU(t *testing.T) {
+	// Cross-validate against a brute-force LRU simulation on a random
+	// trace: stack-distance hit rate must equal simulated hit rate.
+	rng := rand.New(rand.NewSource(7))
+	nFiles := 30
+	files := make([]File, nFiles)
+	for i := range files {
+		files[i] = File{ID: block.FileID(i), Size: int64(rng.Intn(90) + 10)}
+	}
+	reqs := make([]block.FileID, 3000)
+	for i := range reqs {
+		reqs[i] = block.FileID(rng.Intn(nFiles))
+	}
+	tr := &Trace{Name: "rand", Files: files, Requests: reqs}
+	sa := AnalyzeStack(tr)
+
+	for _, cacheBytes := range []int64{200, 500, 1000, 2000} {
+		want := simulateLRU(tr, cacheBytes)
+		got := sa.HitRate(cacheBytes)
+		if diff := got - want; diff < -1e-9 || diff > 1e-9 {
+			t.Errorf("cache %d: stack %f vs simulated %f", cacheBytes, got, want)
+		}
+	}
+}
+
+// simulateLRU runs a plain whole-file LRU of the given byte capacity,
+// evicting on insert until the new file fits (the inclusion-property
+// variant matching the stack-distance model: a reuse hits iff the bytes
+// touched since the last access are below the capacity).
+func simulateLRU(tr *Trace, capacity int64) float64 {
+	type node struct {
+		f          block.FileID
+		prev, next *node
+	}
+	var head, tail *node // head = MRU
+	byFile := make(map[block.FileID]*node)
+	var used int64
+	hits := 0
+	remove := func(n *node) {
+		if n.prev != nil {
+			n.prev.next = n.next
+		} else {
+			head = n.next
+		}
+		if n.next != nil {
+			n.next.prev = n.prev
+		} else {
+			tail = n.prev
+		}
+		n.prev, n.next = nil, nil
+	}
+	pushFront := func(n *node) {
+		n.next = head
+		if head != nil {
+			head.prev = n
+		}
+		head = n
+		if tail == nil {
+			tail = n
+		}
+	}
+	for _, f := range tr.Requests {
+		size := tr.Files[f].Size
+		if n, ok := byFile[f]; ok {
+			hits++
+			remove(n)
+			pushFront(n)
+			continue
+		}
+		for used+size > capacity && tail != nil {
+			victim := tail
+			remove(victim)
+			delete(byFile, victim.f)
+			used -= tr.Files[victim.f].Size
+		}
+		if used+size <= capacity {
+			n := &node{f: f}
+			byFile[f] = n
+			pushFront(n)
+			used += size
+		}
+	}
+	return float64(hits) / float64(len(tr.Requests))
+}
+
+func TestAnalyzeStackEmpty(t *testing.T) {
+	sa := AnalyzeStack(&Trace{Name: "e", Files: trace2File(1, 1)})
+	if sa.HitRate(100) != 0 || sa.ColdRate() != 0 {
+		t.Fatal("empty trace should rate 0")
+	}
+}
+
+func TestRutgersTheoreticalMax(t *testing.T) {
+	// §5: CC's 96% hit rate for Rutgers at 512 MB total versus a
+	// theoretical maximum of 99% at 494 MB (Figure 1). The stack profile
+	// of the generated trace must show the same ceiling structure.
+	tr := Rutgers.Generate(1, 0.3)
+	sa := AnalyzeStack(tr)
+	at494 := sa.HitRate(494 << 20)
+	max := sa.MaxHitRate()
+	if max-at494 > 0.02 {
+		t.Fatalf("494MB hit %f far below ceiling %f", at494, max)
+	}
+	if sa.HitRate(32<<20) >= at494 {
+		t.Fatal("hit rate not increasing in cache size")
+	}
+}

@@ -1,0 +1,99 @@
+// Package trace provides the web workloads that drive the simulator: the
+// in-memory trace representation, synthetic generators calibrated to the
+// four traces of Table 2 (Calgary, Clarknet, NASA, Rutgers), a Common Log
+// Format parser for real traces, and the characterization used for Table 2
+// and Figure 1.
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/block"
+)
+
+// File describes one file of the served file set.
+type File struct {
+	ID   block.FileID
+	Size int64 // bytes
+}
+
+// Trace is a read-only request stream over a file set. Requests are whole
+// files (the web server use case of the paper).
+type Trace struct {
+	Name     string
+	Files    []File
+	Requests []block.FileID
+}
+
+// FileSetBytes reports the total size of the file set.
+func (t *Trace) FileSetBytes() int64 {
+	var sum int64
+	for _, f := range t.Files {
+		sum += f.Size
+	}
+	return sum
+}
+
+// RequestBytes reports the total bytes requested by the trace.
+func (t *Trace) RequestBytes() int64 {
+	var sum int64
+	for _, id := range t.Requests {
+		sum += t.Files[id].Size
+	}
+	return sum
+}
+
+// Size returns the size of file id.
+func (t *Trace) Size(id block.FileID) int64 { return t.Files[id].Size }
+
+// Validate checks internal consistency: file IDs dense and ordered, every
+// request within range, no empty file set.
+func (t *Trace) Validate() error {
+	if len(t.Files) == 0 {
+		return fmt.Errorf("trace %q: empty file set", t.Name)
+	}
+	for i, f := range t.Files {
+		if f.ID != block.FileID(i) {
+			return fmt.Errorf("trace %q: file %d has ID %d (must be dense)", t.Name, i, f.ID)
+		}
+		if f.Size < 0 {
+			return fmt.Errorf("trace %q: file %d has negative size", t.Name, i)
+		}
+	}
+	for i, id := range t.Requests {
+		if int(id) < 0 || int(id) >= len(t.Files) {
+			return fmt.Errorf("trace %q: request %d references file %d of %d", t.Name, i, id, len(t.Files))
+		}
+	}
+	return nil
+}
+
+// Stats summarizes a trace in the units of Table 2.
+type Stats struct {
+	Name        string
+	NumFiles    int
+	AvgFileKB   float64
+	NumRequests int
+	AvgReqKB    float64
+	FileSetMB   float64
+}
+
+// Characterize computes the Table 2 row for t.
+func Characterize(t *Trace) Stats {
+	s := Stats{Name: t.Name, NumFiles: len(t.Files), NumRequests: len(t.Requests)}
+	fileBytes := t.FileSetBytes()
+	s.FileSetMB = float64(fileBytes) / (1 << 20)
+	if s.NumFiles > 0 {
+		s.AvgFileKB = float64(fileBytes) / 1024 / float64(s.NumFiles)
+	}
+	if s.NumRequests > 0 {
+		s.AvgReqKB = float64(t.RequestBytes()) / 1024 / float64(s.NumRequests)
+	}
+	return s
+}
+
+// String formats the stats as a Table 2 row.
+func (s Stats) String() string {
+	return fmt.Sprintf("%-10s files=%-7d avgFile=%6.1fKB requests=%-8d avgReq=%6.1fKB fileSet=%7.1fMB",
+		s.Name, s.NumFiles, s.AvgFileKB, s.NumRequests, s.AvgReqKB, s.FileSetMB)
+}

@@ -1,0 +1,141 @@
+package trace
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/block"
+)
+
+func newTestRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func tinyTrace() *Trace {
+	return &Trace{
+		Name: "tiny",
+		Files: []File{
+			{ID: 0, Size: 10 * 1024},
+			{ID: 1, Size: 20 * 1024},
+			{ID: 2, Size: 30 * 1024},
+		},
+		Requests: []block.FileID{0, 0, 0, 1, 1, 2},
+	}
+}
+
+func TestValidateAcceptsGood(t *testing.T) {
+	if err := tinyTrace().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBad(t *testing.T) {
+	cases := map[string]*Trace{
+		"empty":      {Name: "x"},
+		"sparse ids": {Name: "x", Files: []File{{ID: 5, Size: 1}}},
+		"neg size":   {Name: "x", Files: []File{{ID: 0, Size: -1}}},
+		"out of range": {
+			Name:     "x",
+			Files:    []File{{ID: 0, Size: 1}},
+			Requests: []block.FileID{3},
+		},
+	}
+	for name, tr := range cases {
+		if err := tr.Validate(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestCharacterize(t *testing.T) {
+	s := Characterize(tinyTrace())
+	if s.NumFiles != 3 || s.NumRequests != 6 {
+		t.Fatalf("counts: %+v", s)
+	}
+	if s.AvgFileKB != 20 {
+		t.Fatalf("AvgFileKB = %f, want 20", s.AvgFileKB)
+	}
+	// (3·10 + 2·20 + 30)/6 KB = 100/6.
+	if want := 100.0 / 6; s.AvgReqKB < want-0.01 || s.AvgReqKB > want+0.01 {
+		t.Fatalf("AvgReqKB = %f, want %f", s.AvgReqKB, want)
+	}
+	if !strings.Contains(s.String(), "tiny") {
+		t.Fatalf("String() = %q", s.String())
+	}
+}
+
+func TestBytesForCoverageTiny(t *testing.T) {
+	tr := tinyTrace()
+	// File 0 alone covers 3/6 = 50%.
+	if got := BytesForCoverage(tr, 0.5); got != 10*1024 {
+		t.Fatalf("50%% coverage = %d bytes, want 10KB", got)
+	}
+	// 100% needs all files.
+	if got := BytesForCoverage(tr, 1.0); got != 60*1024 {
+		t.Fatalf("100%% coverage = %d bytes, want 60KB", got)
+	}
+}
+
+func TestCDFTiny(t *testing.T) {
+	pts := CDF(tinyTrace(), 3)
+	last := pts[len(pts)-1]
+	if last.CumReqFrac != 1 || last.CumMB*1024*1024 != 60*1024 {
+		t.Fatalf("final point %+v", last)
+	}
+}
+
+func TestParseCLF(t *testing.T) {
+	log := strings.Join([]string{
+		`host1 - - [01/Jul/1995:00:00:01 -0400] "GET /a.html HTTP/1.0" 200 1024`,
+		`host2 - - [01/Jul/1995:00:00:02 -0400] "GET /b.gif HTTP/1.0" 200 2048`,
+		`host1 - - [01/Jul/1995:00:00:03 -0400] "GET /a.html HTTP/1.0" 304 -`,
+		`host3 - - [01/Jul/1995:00:00:04 -0400] "GET /missing HTTP/1.0" 404 99`,
+		`host4 - - [01/Jul/1995:00:00:05 -0400] "POST /form HTTP/1.0" 200 10`,
+		`garbage line without quotes`,
+		`host5 - - [01/Jul/1995:00:00:06 -0400] "GET /a.html?q=1 HTTP/1.0" 200 1024`,
+	}, "\n")
+	tr, err := ParseCLF("test", strings.NewReader(log))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Files) != 2 {
+		t.Fatalf("files = %d, want 2 (a.html, b.gif)", len(tr.Files))
+	}
+	if len(tr.Requests) != 4 {
+		t.Fatalf("requests = %d, want 4", len(tr.Requests))
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Files[0].Size != 1024 || tr.Files[1].Size != 2048 {
+		t.Fatalf("sizes: %+v", tr.Files)
+	}
+}
+
+func TestParseCLFEmpty(t *testing.T) {
+	if _, err := ParseCLF("x", strings.NewReader("nothing useful")); err == nil {
+		t.Fatal("expected error for unusable input")
+	}
+}
+
+func TestParseCLFLine(t *testing.T) {
+	path, st, size, ok := parseCLFLine(`h - - [d] "GET /x HTTP/1.0" 200 42`)
+	if !ok || path != "/x" || st != 200 || size != 42 {
+		t.Fatalf("got %q %d %d %v", path, st, size, ok)
+	}
+	if _, _, _, ok := parseCLFLine(`h - - [d] "HEAD /x HTTP/1.0" 200 42`); ok {
+		t.Fatal("HEAD accepted")
+	}
+	if _, _, _, ok := parseCLFLine(`h - - [d] "GET /x HTTP/1.0" xyz 42`); ok {
+		t.Fatal("bad status accepted")
+	}
+}
+
+func TestPresetByName(t *testing.T) {
+	p, ok := PresetByName("rutgers")
+	if !ok || p.Name != "rutgers" {
+		t.Fatalf("lookup failed: %+v %v", p, ok)
+	}
+	if _, ok := PresetByName("nope"); ok {
+		t.Fatal("unknown preset found")
+	}
+}

@@ -1,0 +1,51 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Zipf samples ranks 0..n-1 with probability proportional to 1/(rank+1)^alpha.
+// Unlike math/rand's Zipf it supports alpha ≤ 1, the regime observed for web
+// document popularity (Arlitt & Williamson report Zipf-like slopes near or
+// below 1).
+type Zipf struct {
+	cum []float64 // cumulative probabilities, cum[n-1] == 1
+}
+
+// NewZipf builds a sampler over n ranks with exponent alpha ≥ 0.
+func NewZipf(n int, alpha float64) *Zipf {
+	if n <= 0 {
+		panic("trace: Zipf over empty domain")
+	}
+	cum := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1.0 / math.Pow(float64(i+1), alpha)
+		cum[i] = sum
+	}
+	inv := 1.0 / sum
+	for i := range cum {
+		cum[i] *= inv
+	}
+	cum[n-1] = 1.0
+	return &Zipf{cum: cum}
+}
+
+// Sample draws a rank (0 = most popular).
+func (z *Zipf) Sample(rng *rand.Rand) int {
+	u := rng.Float64()
+	return sort.SearchFloat64s(z.cum, u)
+}
+
+// P reports the probability of rank i.
+func (z *Zipf) P(i int) float64 {
+	if i == 0 {
+		return z.cum[0]
+	}
+	return z.cum[i] - z.cum[i-1]
+}
+
+// N reports the domain size.
+func (z *Zipf) N() int { return len(z.cum) }

@@ -1,0 +1,189 @@
+// Package workload drives a cluster server backend with the paper's client
+// model (§4.3): closed-loop HTTP clients that each issue a new request as
+// soon as the previous one is served (timing information in the traces is
+// ignored to measure maximum achievable throughput), requests spread over
+// the nodes by round-robin DNS, and measurement restricted to steady state
+// after cache warmup.
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/block"
+	"repro/internal/cluster"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Config parameterizes a measurement run.
+type Config struct {
+	// Clients is the number of closed-loop clients; 0 means 16 per node,
+	// enough to saturate the cluster.
+	Clients int
+	// WarmupFrac is the fraction of the request stream used to warm the
+	// caches before statistics are reset; 0 means the default of 0.4.
+	WarmupFrac float64
+	// Hotspot, if non-nil, overrides round-robin DNS for the listed files:
+	// their requests always enter the cluster at Hotspot.Node. This forces
+	// the concentration of hot content on one node that §5 conjectures
+	// about ("a forced concentration of hot files on a single node").
+	Hotspot *Hotspot
+	// OpenLoopRate, if positive, replaces the closed-loop clients with a
+	// Poisson arrival process of this many requests per second — the load
+	// model for latency-versus-load curves (the paper measures maximum
+	// throughput with closed-loop clients; open loop exposes the latency
+	// knee below saturation).
+	OpenLoopRate float64
+	// WriteFrac in [0,1) turns that fraction of requests into whole-file
+	// updates (§6's write extension). The backend must implement
+	// WriteBackend.
+	WriteFrac float64
+}
+
+// WriteBackend is implemented by servers that support the write extension.
+type WriteBackend interface {
+	cluster.Backend
+	// DispatchWrite delivers a whole-file update entering at node.
+	DispatchWrite(node int, file block.FileID, done func())
+}
+
+// Hotspot pins the entry node for a set of files.
+type Hotspot struct {
+	Node  int
+	Files map[block.FileID]bool
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	// Throughput is steady-state requests/second (virtual time).
+	Throughput float64
+	// Responses holds the response times of measured (post-warmup) requests.
+	Responses metrics.ResponseTimes
+	// Cache is the backend's steady-state cache behaviour.
+	Cache cluster.CacheStats
+	// Util is the mean per-resource utilization across nodes.
+	Util cluster.Utilization
+	// MaxDiskUtil is the busiest disk's utilization (the CC-Basic
+	// bottleneck signal of §5).
+	MaxDiskUtil float64
+	// Requests is the number of measured requests.
+	Requests int
+	// Elapsed is the virtual duration of the measured window.
+	Elapsed sim.Duration
+}
+
+// Run drives backend with the request stream of tr until exhaustion and
+// returns steady-state measurements. The engine must be the one the backend
+// was built on.
+func Run(eng *sim.Engine, backend cluster.Backend, tr *trace.Trace, cfg Config) Result {
+	nodes := backend.Hardware().N()
+	clients := cfg.Clients
+	if clients == 0 {
+		clients = 16 * nodes
+	}
+	warmFrac := cfg.WarmupFrac
+	if warmFrac == 0 {
+		warmFrac = 0.4
+	}
+	if warmFrac < 0 || warmFrac >= 1 {
+		panic(fmt.Sprintf("workload: warmup fraction %v out of [0,1)", warmFrac))
+	}
+	total := len(tr.Requests)
+	if total == 0 {
+		panic("workload: empty trace")
+	}
+	warm := int(warmFrac * float64(total))
+
+	var writer WriteBackend
+	if cfg.WriteFrac > 0 {
+		if cfg.WriteFrac >= 1 {
+			panic(fmt.Sprintf("workload: write fraction %v out of [0,1)", cfg.WriteFrac))
+		}
+		w, ok := backend.(WriteBackend)
+		if !ok {
+			panic("workload: backend does not support writes")
+		}
+		writer = w
+	}
+
+	var (
+		res       Result
+		cursor    int
+		rr        int
+		measStart sim.Time
+		measuring = warm == 0
+	)
+	if measuring {
+		backend.ResetStats()
+		backend.Hardware().ResetStats()
+	}
+
+	var next func()
+	next = func() {
+		if cursor >= total {
+			return
+		}
+		idx := cursor
+		file := tr.Requests[idx]
+		cursor++
+		node := rr % nodes // round-robin DNS
+		rr++
+		if cfg.Hotspot != nil && cfg.Hotspot.Files[file] {
+			node = cfg.Hotspot.Node
+		}
+		issued := eng.Now()
+		dispatch := backend.Dispatch
+		if writer != nil && eng.Rand().Float64() < cfg.WriteFrac {
+			dispatch = writer.DispatchWrite
+		}
+		dispatch(node, file, func() {
+			if measuring && idx >= warm {
+				res.Requests++
+				res.Responses.Add(eng.Now().Sub(issued))
+			}
+			if cfg.OpenLoopRate <= 0 {
+				next() // closed loop: a completion triggers the next request
+			}
+		})
+		// Reaching the warmup boundary at issue time starts the measured
+		// window: reset all statistics so they reflect steady state only.
+		if !measuring && cursor >= warm {
+			measuring = true
+			measStart = eng.Now()
+			backend.ResetStats()
+			backend.Hardware().ResetStats()
+		}
+	}
+
+	if cfg.OpenLoopRate > 0 {
+		// Poisson arrivals: one generator schedules issues at exponential
+		// inter-arrival times, independent of completions.
+		mean := sim.Duration(float64(sim.Second) / cfg.OpenLoopRate)
+		var arrive func()
+		arrive = func() {
+			if cursor >= total {
+				return
+			}
+			next()
+			gap := sim.Duration(eng.Rand().ExpFloat64() * float64(mean))
+			eng.Schedule(gap, arrive)
+		}
+		arrive()
+	} else {
+		if clients > total {
+			clients = total
+		}
+		for c := 0; c < clients; c++ {
+			next()
+		}
+	}
+	end := eng.RunUntilIdle()
+
+	res.Elapsed = end.Sub(measStart)
+	res.Throughput = metrics.Throughput(res.Requests, measStart, end)
+	res.Cache = backend.CacheStats()
+	res.Util = backend.Hardware().MeanUtilization()
+	res.MaxDiskUtil = backend.Hardware().MaxDiskUtilization()
+	return res
+}

@@ -1,0 +1,149 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/block"
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+var testParams = hw.DefaultParams()
+
+func smallTrace(nfiles, nreq int) *trace.Trace {
+	tr := &trace.Trace{Name: "small"}
+	for i := 0; i < nfiles; i++ {
+		tr.Files = append(tr.Files, trace.File{ID: block.FileID(i), Size: 12 * 1024})
+	}
+	for i := 0; i < nreq; i++ {
+		tr.Requests = append(tr.Requests, block.FileID(i%nfiles))
+	}
+	return tr
+}
+
+func TestRunCompletesAllRequests(t *testing.T) {
+	tr := smallTrace(10, 200)
+	eng := sim.NewEngine(1)
+	s := core.New(eng, &testParams, tr, core.Config{Nodes: 2, MemoryPerNode: 1 << 20, Policy: core.PolicyMaster})
+	res := Run(eng, s, tr, Config{Clients: 4, WarmupFrac: 0.5})
+	if res.Requests != 100 {
+		t.Fatalf("measured %d requests, want 100 (half warmup)", res.Requests)
+	}
+	if res.Throughput <= 0 {
+		t.Fatalf("throughput = %f", res.Throughput)
+	}
+	if res.Responses.Count() != 100 {
+		t.Fatalf("response samples = %d", res.Responses.Count())
+	}
+	if res.Responses.Mean() <= 0 {
+		t.Fatal("mean response not positive")
+	}
+}
+
+func TestWarmupResetsStats(t *testing.T) {
+	tr := smallTrace(4, 100)
+	eng := sim.NewEngine(1)
+	s := core.New(eng, &testParams, tr, core.Config{Nodes: 2, MemoryPerNode: 1 << 20, Policy: core.PolicyMaster})
+	res := Run(eng, s, tr, Config{Clients: 2, WarmupFrac: 0.5})
+	// With 4 hot files and a long warm phase, the measured window must be
+	// all (local or remote) memory hits: no cold misses leak through.
+	if res.Cache.DiskRate() != 0 {
+		t.Fatalf("steady-state disk rate = %f, want 0 (all warm)", res.Cache.DiskRate())
+	}
+	if res.Cache.HitRate() < 0.999 {
+		t.Fatalf("steady-state hit rate = %f", res.Cache.HitRate())
+	}
+}
+
+func TestZeroWarmupMeasuresEverything(t *testing.T) {
+	tr := smallTrace(5, 50)
+	eng := sim.NewEngine(1)
+	s := core.New(eng, &testParams, tr, core.Config{Nodes: 1, MemoryPerNode: 1 << 20, Policy: core.PolicyBasic})
+	res := Run(eng, s, tr, Config{Clients: 1, WarmupFrac: 0.0001})
+	// WarmupFrac≈0 floors to zero warmup requests.
+	if res.Requests != 50 {
+		t.Fatalf("measured %d, want 50", res.Requests)
+	}
+}
+
+func TestMoreClientsMoreThroughput(t *testing.T) {
+	run := func(clients int) float64 {
+		tr := smallTrace(20, 600)
+		eng := sim.NewEngine(1)
+		s := core.New(eng, &testParams, tr, core.Config{Nodes: 2, MemoryPerNode: 1 << 20, Policy: core.PolicyMaster})
+		return Run(eng, s, tr, Config{Clients: clients, WarmupFrac: 0.3}).Throughput
+	}
+	one, eight := run(1), run(8)
+	if eight <= one {
+		t.Fatalf("8 clients (%.0f req/s) not faster than 1 (%.0f req/s)", eight, one)
+	}
+}
+
+func TestRunPanicsOnBadInput(t *testing.T) {
+	tr := smallTrace(2, 10)
+	eng := sim.NewEngine(1)
+	s := core.New(eng, &testParams, tr, core.Config{Nodes: 1, MemoryPerNode: 1 << 20})
+	for name, cfg := range map[string]Config{
+		"warmup=1": {WarmupFrac: 1},
+		"warmup<0": {WarmupFrac: -0.5},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			Run(eng, s, tr, cfg)
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("empty trace: no panic")
+			}
+		}()
+		Run(eng, s, &trace.Trace{Name: "empty", Files: tr.Files}, Config{})
+	}()
+}
+
+func TestOpenLoopArrivals(t *testing.T) {
+	tr := smallTrace(10, 400)
+	eng := sim.NewEngine(1)
+	s := core.New(eng, &testParams, tr, core.Config{Nodes: 2, MemoryPerNode: 1 << 20, Policy: core.PolicyMaster})
+	// 1000 req/s offered over 400 requests ≈ 0.4s of virtual time.
+	res := Run(eng, s, tr, Config{WarmupFrac: 0.25, OpenLoopRate: 1000})
+	if res.Requests != 300 {
+		t.Fatalf("measured %d, want 300", res.Requests)
+	}
+	// Completed rate must track the offered rate (the system is far from
+	// saturation at 1000 req/s with warm caches).
+	if res.Throughput < 700 || res.Throughput > 1400 {
+		t.Fatalf("open-loop throughput = %f, want ≈1000", res.Throughput)
+	}
+}
+
+func TestOpenLoopLatencyGrowsWithLoad(t *testing.T) {
+	run := func(rate float64) float64 {
+		tr := smallTrace(10, 600)
+		eng := sim.NewEngine(1)
+		s := core.New(eng, &testParams, tr, core.Config{Nodes: 1, MemoryPerNode: 1 << 20, Policy: core.PolicyMaster})
+		res := Run(eng, s, tr, Config{WarmupFrac: 0.3, OpenLoopRate: rate})
+		return float64(res.Responses.Mean())
+	}
+	light, heavy := run(200), run(3000)
+	if heavy < light {
+		t.Fatalf("latency at heavy load (%f) below light load (%f)", heavy, light)
+	}
+}
+
+func TestClientsClampedToTrace(t *testing.T) {
+	tr := smallTrace(2, 3)
+	eng := sim.NewEngine(1)
+	s := core.New(eng, &testParams, tr, core.Config{Nodes: 1, MemoryPerNode: 1 << 20})
+	res := Run(eng, s, tr, Config{Clients: 100, WarmupFrac: 0.0001})
+	if res.Requests != 3 {
+		t.Fatalf("measured %d, want 3", res.Requests)
+	}
+}
