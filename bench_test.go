@@ -35,6 +35,52 @@ func benchOpts() experiments.Options {
 	}
 }
 
+// --- Simulator hot path ---
+
+// BenchmarkEngineEventLoop measures the discrete-event engine's per-event
+// cost through the two-center (CPU → disk) pipeline every simulated request
+// traverses: ns/event, allocs/event, and dispatched events/sec. Service
+// completions ride inside event values (no continuation closures), so the
+// steady-state loop should report zero allocs/op.
+func BenchmarkEngineEventLoop(b *testing.B) {
+	eng := sim.NewEngine(1)
+	cpu := sim.NewServiceCenter(eng, "cpu", 0)
+	disk := sim.NewServiceCenter(eng, "disk", 0)
+	eng.Reserve(1024)
+	// One closure allocated up front; the loop itself must not allocate.
+	toDisk := func() { disk.Do(50*sim.Microsecond, nil) }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cpu.Do(10*sim.Microsecond, toDisk)
+		if i%512 == 511 {
+			eng.RunUntilIdle()
+		}
+	}
+	eng.RunUntilIdle()
+	b.ReportMetric(float64(eng.Steps())/b.Elapsed().Seconds(), "events/s")
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(eng.Steps()), "ns/event")
+}
+
+// BenchmarkEngineEventLoopDeep stresses the heap with many concurrent
+// timers (the fan-in shape of a large cluster run) rather than the shallow
+// pipeline above.
+func BenchmarkEngineEventLoopDeep(b *testing.B) {
+	eng := sim.NewEngine(1)
+	eng.Reserve(4096)
+	nop := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Schedule(sim.Duration(i%997)*sim.Microsecond, nop)
+		if i%4096 == 4095 {
+			eng.RunUntilIdle()
+		}
+	}
+	eng.RunUntilIdle()
+	b.ReportMetric(float64(eng.Steps())/b.Elapsed().Seconds(), "events/s")
+}
+
 // --- Tables ---
 
 func BenchmarkTable1Params(b *testing.B) {
@@ -70,6 +116,7 @@ func BenchmarkFigure1CDF(b *testing.B) {
 }
 
 func benchFigure2(b *testing.B, preset trace.Preset) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		h := experiments.NewHarness(benchOpts())
 		fig := h.Figure2(preset, 8)

@@ -2,12 +2,20 @@
 // evaluation section (§5) and prints them as aligned text tables, together
 // with the §5 claim checks recorded in EXPERIMENTS.md.
 //
+// Sweep points fan out over a bounded worker pool (-parallel, default one
+// worker per CPU); results are bit-identical at any parallelism. Alongside
+// the text tables it writes BENCH_results.json (-json) with the figure data
+// and per-point wall-clock costs so the perf trajectory is trackable across
+// PRs, and -cpuprofile/-memprofile capture pprof profiles of a run.
+//
 // Usage:
 //
 //	ccbench -all                   # everything (minutes at default scale)
 //	ccbench -fig2 -trace rutgers   # one panel
 //	ccbench -fig6b
 //	ccbench -all -requests 400000  # closer to full trace scale (slow)
+//	ccbench -all -parallel 1       # serial (e.g. for clean CPU profiles)
+//	ccbench -fig2 -cpuprofile cpu.out && go tool pprof cpu.out
 package main
 
 import (
@@ -15,8 +23,11 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/trace"
@@ -26,33 +37,74 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("ccbench: ")
 	var (
-		all       = flag.Bool("all", false, "regenerate every table and figure")
-		table2    = flag.Bool("table2", false, "Table 2")
-		fig1      = flag.Bool("fig1", false, "Figure 1")
-		fig2      = flag.Bool("fig2", false, "Figure 2 (throughput vs memory, 8 nodes)")
-		fig3      = flag.Bool("fig3", false, "Figure 3 (normalized throughput)")
-		fig4      = flag.Bool("fig4", false, "Figure 4 (hit rates)")
-		fig5      = flag.Bool("fig5", false, "Figure 5 (normalized response time)")
-		fig6a     = flag.Bool("fig6a", false, "Figure 6a (resource utilization)")
-		fig6b     = flag.Bool("fig6b", false, "Figure 6b (scaling with cluster size)")
-		extended  = flag.Bool("extended", false, "extension: L2S vs LARD vs LARD/R vs cc-master")
-		hotspot   = flag.Bool("hotspot", false, "extension: §5's forced hot-file concentration conjecture")
-		latency   = flag.Bool("latency", false, "extension: open-loop latency-vs-load curve for cc-master")
-		seeds     = flag.Int("seeds", 0, "extension: cross-seed sensitivity of the headline ratio (N seeds)")
-		writes    = flag.Bool("writes", false, "extension: throughput vs write fraction (write-invalidate)")
-		traceName = flag.String("trace", "", "restrict figure 2/3/4/5 to one trace")
-		requests  = flag.Int("requests", 150000, "approximate requests per run")
-		clients   = flag.Int("clients", 0, "closed-loop clients (0: 16/node)")
-		seed      = flag.Int64("seed", 1, "simulation seed")
-		memsFlag  = flag.String("mems", "", "comma-separated per-node MB sweep (default 4,8,16,32,64,128,256,512)")
-		mdOut     = flag.String("md", "", "write a full markdown reproduction report to this file")
+		all        = flag.Bool("all", false, "regenerate every table and figure")
+		table2     = flag.Bool("table2", false, "Table 2")
+		fig1       = flag.Bool("fig1", false, "Figure 1")
+		fig2       = flag.Bool("fig2", false, "Figure 2 (throughput vs memory, 8 nodes)")
+		fig3       = flag.Bool("fig3", false, "Figure 3 (normalized throughput)")
+		fig4       = flag.Bool("fig4", false, "Figure 4 (hit rates)")
+		fig5       = flag.Bool("fig5", false, "Figure 5 (normalized response time)")
+		fig6a      = flag.Bool("fig6a", false, "Figure 6a (resource utilization)")
+		fig6b      = flag.Bool("fig6b", false, "Figure 6b (scaling with cluster size)")
+		extended   = flag.Bool("extended", false, "extension: L2S vs LARD vs LARD/R vs cc-master")
+		hotspot    = flag.Bool("hotspot", false, "extension: §5's forced hot-file concentration conjecture")
+		latency    = flag.Bool("latency", false, "extension: open-loop latency-vs-load curve for cc-master")
+		seeds      = flag.Int("seeds", 0, "extension: cross-seed sensitivity of the headline ratio (N seeds)")
+		writes     = flag.Bool("writes", false, "extension: throughput vs write fraction (write-invalidate)")
+		traceName  = flag.String("trace", "", "restrict figure 2/3/4/5 to one trace")
+		requests   = flag.Int("requests", 150000, "approximate requests per run")
+		clients    = flag.Int("clients", 0, "closed-loop clients (0: 16/node)")
+		seed       = flag.Int64("seed", 1, "simulation seed")
+		memsFlag   = flag.String("mems", "", "comma-separated per-node MB sweep (default 4,8,16,32,64,128,256,512)")
+		mdOut      = flag.String("md", "", "write a full markdown reproduction report to this file")
+		parallel   = flag.Int("parallel", 0, "concurrent sweep points (0: NumCPU, 1: serial; output is identical at any setting)")
+		maxSamples = flag.Int("maxsamples", 0, "reservoir-sample response times to this many per run (0: exact percentiles)")
+		jsonOut    = flag.String("json", "BENCH_results.json", "write machine-readable results to this file (empty: disable)")
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file")
+		notes      noteFlags
 	)
+	flag.Var(&notes, "note", "key=value annotation recorded in the -json results (repeatable)")
 	flag.Parse()
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
+	defer func() {
+		if *memProfile == "" {
+			return
+		}
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}()
+
 	opt := experiments.Options{
-		Seed:           *seed,
-		TargetRequests: *requests,
-		Clients:        *clients,
+		Seed:               *seed,
+		TargetRequests:     *requests,
+		Clients:            *clients,
+		Parallelism:        *parallel,
+		MaxResponseSamples: *maxSamples,
 	}
 	if *memsFlag != "" {
 		for _, s := range strings.Split(*memsFlag, ",") {
@@ -83,12 +135,24 @@ func main() {
 		return
 	}
 
+	started := time.Now()
+	results := experiments.NewBenchResults(opt, runtime.GOMAXPROCS(0))
+	results.Notes = notes.m
+
 	any := false
 	run := func(enabled bool, fn func()) {
 		if *all || enabled {
 			fn()
 			any = true
 		}
+	}
+	// show prints a figure and logs it (with its wall-clock cost) for the
+	// JSON results file.
+	show := func(fig func() *experiments.Figure) {
+		t0 := time.Now()
+		f := fig()
+		results.AddFigure(f, time.Since(t0))
+		fmt.Println(f.Format())
 	}
 
 	run(*table2, func() {
@@ -108,28 +172,29 @@ func main() {
 	})
 	run(*fig2, func() {
 		for _, p := range selected(*traceName) {
-			fmt.Println(h.Figure2(p, 8).Format())
+			p := p
+			show(func() *experiments.Figure { return h.Figure2(p, 8) })
 		}
 	})
 	run(*fig3, func() {
-		fmt.Println(h.Figure3(trace.Calgary, 4).Format())
-		fmt.Println(h.Figure3(trace.Rutgers, 8).Format())
+		show(func() *experiments.Figure { return h.Figure3(trace.Calgary, 4) })
+		show(func() *experiments.Figure { return h.Figure3(trace.Rutgers, 8) })
 	})
 	run(*fig4, func() {
-		fmt.Println(h.Figure4(trace.Rutgers, 8).Format())
+		show(func() *experiments.Figure { return h.Figure4(trace.Rutgers, 8) })
 	})
 	run(*fig5, func() {
-		fmt.Println(h.Figure5(trace.Calgary, 4).Format())
-		fmt.Println(h.Figure5(trace.Rutgers, 8).Format())
+		show(func() *experiments.Figure { return h.Figure5(trace.Calgary, 4) })
+		show(func() *experiments.Figure { return h.Figure5(trace.Rutgers, 8) })
 	})
 	run(*fig6a, func() {
-		fmt.Println(h.Figure6A(trace.Rutgers, 8).Format())
+		show(func() *experiments.Figure { return h.Figure6A(trace.Rutgers, 8) })
 	})
 	run(*fig6b, func() {
-		fmt.Println(h.Figure6B(trace.Rutgers, nil, 32).Format())
+		show(func() *experiments.Figure { return h.Figure6B(trace.Rutgers, nil, 32) })
 	})
 	run(*extended, func() {
-		fmt.Println(h.Extended(trace.Rutgers, 8).Format())
+		show(func() *experiments.Figure { return h.Extended(trace.Rutgers, 8) })
 	})
 	if *seeds > 0 {
 		var ss []int64
@@ -171,7 +236,32 @@ func main() {
 
 	if !any {
 		flag.Usage()
+		return
 	}
+	if *jsonOut != "" {
+		if err := results.Write(*jsonOut, h, time.Since(started)); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s (parallelism %d, %.1fs)\n",
+			*jsonOut, results.Parallelism, time.Since(started).Seconds())
+	}
+}
+
+// noteFlags collects repeated -note key=value annotations.
+type noteFlags struct{ m map[string]string }
+
+func (n *noteFlags) String() string { return fmt.Sprint(n.m) }
+
+func (n *noteFlags) Set(s string) error {
+	k, v, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("note %q not of the form key=value", s)
+	}
+	if n.m == nil {
+		n.m = make(map[string]string)
+	}
+	n.m[k] = v
+	return nil
 }
 
 func selected(name string) []trace.Preset {

@@ -6,6 +6,9 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
+	"sync"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
@@ -68,6 +71,14 @@ type Options struct {
 	// HintAccuracy, if in (0,1), runs CC variants with the hint-based
 	// directory model instead of the perfect directory.
 	HintAccuracy float64
+	// Parallelism bounds how many sweep points run concurrently (each on
+	// its own engine). 0 means runtime.NumCPU(); 1 is the serial path.
+	// Results are bit-identical at any setting.
+	Parallelism int
+	// MaxResponseSamples, if positive, switches response-time accounting to
+	// reservoir sampling with that many samples per run — bounding memory on
+	// full-scale sweeps. 0 keeps exact percentiles.
+	MaxResponseSamples int
 }
 
 func (o Options) withDefaults() Options {
@@ -121,13 +132,18 @@ func (p Point) String() string {
 		p.Util.CPU, p.Util.Disk, p.Util.NIC)
 }
 
-// Harness memoizes traces and measured points across figure runners.
+// Harness memoizes traces and measured points across figure runners. Figure
+// runners fan sweep points out over a bounded worker pool (see parallel.go);
+// mu guards the memoization maps against concurrent workers.
 type Harness struct {
 	Opt    Options
 	params hw.Params
-	traces map[string]*trace.Trace
-	stacks map[string]*trace.StackAnalysis
-	points map[pointKey]Point
+
+	mu      sync.Mutex
+	traces  map[string]*trace.Trace
+	stacks  map[string]*trace.StackAnalysis
+	points  map[pointKey]Point
+	timings map[pointKey]time.Duration
 }
 
 type pointKey struct {
@@ -140,19 +156,23 @@ type pointKey struct {
 // NewHarness builds a harness with the given options.
 func NewHarness(opt Options) *Harness {
 	return &Harness{
-		Opt:    opt.withDefaults(),
-		params: hw.DefaultParams(),
-		traces: make(map[string]*trace.Trace),
-		stacks: make(map[string]*trace.StackAnalysis),
-		points: make(map[pointKey]Point),
+		Opt:     opt.withDefaults(),
+		params:  hw.DefaultParams(),
+		traces:  make(map[string]*trace.Trace),
+		stacks:  make(map[string]*trace.StackAnalysis),
+		points:  make(map[pointKey]Point),
+		timings: make(map[pointKey]time.Duration),
 	}
 }
 
 // Params exposes the Table 1 constants in use.
 func (h *Harness) Params() *hw.Params { return &h.params }
 
-// Trace returns (generating on first use) the workload for preset.
+// Trace returns (generating on first use) the workload for preset. Generated
+// traces are immutable; concurrent sweep workers share them read-only.
 func (h *Harness) Trace(p trace.Preset) *trace.Trace {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	if tr, ok := h.traces[p.Name]; ok {
 		return tr
 	}
@@ -164,10 +184,13 @@ func (h *Harness) Trace(p trace.Preset) *trace.Trace {
 // Stack returns (computing on first use) the LRU stack-distance profile of
 // the preset's workload — the "theoretical maximum" reference of §5.
 func (h *Harness) Stack(p trace.Preset) *trace.StackAnalysis {
+	tr := h.Trace(p)
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	if sa, ok := h.stacks[p.Name]; ok {
 		return sa
 	}
-	sa := trace.AnalyzeStack(h.Trace(p))
+	sa := trace.AnalyzeStack(tr)
 	h.stacks[p.Name] = sa
 	return sa
 }
@@ -175,16 +198,70 @@ func (h *Harness) Stack(p trace.Preset) *trace.StackAnalysis {
 // Point measures (or returns the memoized) configuration.
 func (h *Harness) Point(p trace.Preset, v Variant, nodes, memMB int) Point {
 	key := pointKey{p.Name, v, nodes, memMB}
-	if pt, ok := h.points[key]; ok {
+	h.mu.Lock()
+	pt, ok := h.points[key]
+	h.mu.Unlock()
+	if ok {
 		return pt
 	}
-	pt := h.run(p, v, nodes, memMB)
+	pt = h.run(p, v, nodes, memMB)
+	h.mu.Lock()
 	h.points[key] = pt
+	h.mu.Unlock()
 	return pt
+}
+
+// PointTiming records the real (wall-clock) cost of measuring one sweep
+// point — the unit the parallel harness load-balances; cmd/ccbench persists
+// them to BENCH_results.json so the perf trajectory is trackable across PRs.
+type PointTiming struct {
+	Trace   string  `json:"trace"`
+	Variant Variant `json:"variant"`
+	Nodes   int     `json:"nodes"`
+	MemMB   int     `json:"mem_mb"`
+	WallMS  float64 `json:"wall_ms"`
+}
+
+// Timings returns the wall-clock cost of every point measured so far, in
+// deterministic (trace, variant, nodes, memMB) order.
+func (h *Harness) Timings() []PointTiming {
+	h.mu.Lock()
+	out := make([]PointTiming, 0, len(h.timings))
+	for k, d := range h.timings {
+		out = append(out, PointTiming{
+			Trace:   k.trace,
+			Variant: k.variant,
+			Nodes:   k.nodes,
+			MemMB:   k.memMB,
+			WallMS:  float64(d) / float64(time.Millisecond),
+		})
+	}
+	h.mu.Unlock()
+	sort.Slice(out, func(a, b int) bool {
+		x, y := out[a], out[b]
+		if x.Trace != y.Trace {
+			return x.Trace < y.Trace
+		}
+		if x.Variant != y.Variant {
+			return x.Variant < y.Variant
+		}
+		if x.Nodes != y.Nodes {
+			return x.Nodes < y.Nodes
+		}
+		return x.MemMB < y.MemMB
+	})
+	return out
 }
 
 func (h *Harness) run(p trace.Preset, v Variant, nodes, memMB int) Point {
 	tr := h.Trace(p)
+	started := time.Now()
+	defer func() {
+		d := time.Since(started)
+		h.mu.Lock()
+		h.timings[pointKey{p.Name, v, nodes, memMB}] = d
+		h.mu.Unlock()
+	}()
 	eng := sim.NewEngine(h.Opt.Seed)
 	mem := int64(memMB) << 20
 
@@ -210,8 +287,9 @@ func (h *Harness) run(p trace.Preset, v Variant, nodes, memMB int) Point {
 	}
 
 	res := workload.Run(eng, backend, tr, workload.Config{
-		Clients:    h.Opt.Clients,
-		WarmupFrac: h.Opt.WarmupFrac,
+		Clients:            h.Opt.Clients,
+		WarmupFrac:         h.Opt.WarmupFrac,
+		MaxResponseSamples: h.Opt.MaxResponseSamples,
 	})
 	return Point{
 		Trace:      p.Name,

@@ -34,6 +34,7 @@ func (h *Harness) Extended(p trace.Preset, nodes int) *Figure {
 		XLabel: "MB/node",
 		YLabel: "requests/s",
 	}
+	h.prefetch(p, sweepKeys(p.Name, ExtendedVariants, []int{nodes}, h.Opt.MemoriesMB))
 	for _, v := range ExtendedVariants {
 		s := Series{Variant: v}
 		for _, mem := range h.Opt.MemoriesMB {

@@ -9,9 +9,9 @@ import (
 
 // Series is one curve of a figure: a variant's metric across the sweep.
 type Series struct {
-	Variant Variant
-	X       []int // memory MB or node count
-	Y       []float64
+	Variant Variant   `json:"variant"`
+	X       []int     `json:"x"` // memory MB or node count
+	Y       []float64 `json:"y"`
 }
 
 // Figure is a reproduced plot: named curves over a shared x-axis.
@@ -65,6 +65,7 @@ func (h *Harness) Figure2(p trace.Preset, nodes int) *Figure {
 		XLabel: "MB/node",
 		YLabel: "requests/s",
 	}
+	h.prefetch(p, sweepKeys(p.Name, Variants, []int{nodes}, h.Opt.MemoriesMB))
 	for _, v := range Variants {
 		s := Series{Variant: v}
 		for _, mem := range h.Opt.MemoriesMB {
@@ -86,6 +87,8 @@ func (h *Harness) Figure3(p trace.Preset, nodes int) *Figure {
 		XLabel: "MB/node",
 		YLabel: "fraction of L2S",
 	}
+	// The normalized curves need both the CC variants and the L2S baseline.
+	h.prefetch(p, sweepKeys(p.Name, Variants, []int{nodes}, h.Opt.MemoriesMB))
 	for _, v := range Variants[1:] { // CC variants only
 		s := Series{Variant: v}
 		for _, mem := range h.Opt.MemoriesMB {
@@ -108,6 +111,7 @@ func (h *Harness) Figure4(p trace.Preset, nodes int) *Figure {
 		XLabel: "MB/node",
 		YLabel: "hit rate (%)",
 	}
+	h.prefetch(p, sweepKeys(p.Name, Variants, []int{nodes}, h.Opt.MemoriesMB))
 	for _, v := range Variants {
 		s := Series{Variant: v}
 		for _, mem := range h.Opt.MemoriesMB {
@@ -139,6 +143,7 @@ func (h *Harness) Figure5(p trace.Preset, nodes int) *Figure {
 		XLabel: "MB/node",
 		YLabel: "ratio to L2S",
 	}
+	h.prefetch(p, sweepKeys(p.Name, Variants, []int{nodes}, h.Opt.MemoriesMB))
 	for _, v := range Variants[1:] {
 		s := Series{Variant: v}
 		for _, mem := range h.Opt.MemoriesMB {
@@ -161,6 +166,7 @@ func (h *Harness) Figure6A(p trace.Preset, nodes int) *Figure {
 		XLabel: "MB/node",
 		YLabel: "utilization (%)",
 	}
+	h.prefetch(p, sweepKeys(p.Name, []Variant{VariantMaster}, []int{nodes}, h.Opt.MemoriesMB))
 	resources := []struct {
 		name Variant
 		get  func(Point) float64
@@ -196,6 +202,7 @@ func (h *Harness) Figure6B(p trace.Preset, nodeCounts []int, memMB int) *Figure 
 		XLabel: "nodes",
 		YLabel: "requests/s",
 	}
+	h.prefetch(p, sweepKeys(p.Name, []Variant{VariantMaster}, nodeCounts, []int{memMB}))
 	s := Series{Variant: VariantMaster}
 	for _, n := range nodeCounts {
 		pt := h.Point(p, VariantMaster, n, memMB)

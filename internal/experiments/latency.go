@@ -26,12 +26,17 @@ func (h *Harness) LatencyCurve(p trace.Preset, nodes, memMB int, rates []float64
 	if len(rates) == 0 {
 		panic("experiments: LatencyCurve needs offered rates")
 	}
-	tr := h.Trace(p)
-	var out []LatencyPoint
 	for _, rate := range rates {
 		if rate <= 0 {
 			panic(fmt.Sprintf("experiments: non-positive rate %v", rate))
 		}
+	}
+	tr := h.Trace(p)
+	out := make([]LatencyPoint, len(rates))
+	// Each offered rate is an independent run on its own engine; fan them
+	// out and write results by index so the curve order is deterministic.
+	forEach(h.Opt.parallelism(), len(rates), func(i int) {
+		rate := rates[i]
 		eng := sim.NewEngine(h.Opt.Seed)
 		backend := core.New(eng, &h.params, tr, core.Config{
 			Nodes:         nodes,
@@ -39,15 +44,16 @@ func (h *Harness) LatencyCurve(p trace.Preset, nodes, memMB int, rates []float64
 			Policy:        core.PolicyMaster,
 		})
 		res := workload.Run(eng, backend, tr, workload.Config{
-			WarmupFrac:   h.Opt.WarmupFrac,
-			OpenLoopRate: rate,
+			WarmupFrac:         h.Opt.WarmupFrac,
+			OpenLoopRate:       rate,
+			MaxResponseSamples: h.Opt.MaxResponseSamples,
 		})
-		out = append(out, LatencyPoint{
+		out[i] = LatencyPoint{
 			OfferedRate: rate,
 			Throughput:  res.Throughput,
 			MeanRespMs:  res.Responses.Mean().Millis(),
 			P95RespMs:   res.Responses.Percentile(0.95).Millis(),
-		})
-	}
+		}
+	})
 	return out
 }

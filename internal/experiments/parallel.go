@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/trace"
+)
+
+// parallelism resolves the effective worker count: Parallelism if positive,
+// otherwise one worker per CPU. 1 is the fully serial path.
+func (o Options) parallelism() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.NumCPU()
+}
+
+// forEach runs fn(i) for every i in [0, n) on up to par workers and waits
+// for all of them. Work is handed out through an atomic cursor so workers
+// stay busy regardless of how uneven the task costs are; callers write
+// results by index, which keeps assembly order — and therefore output —
+// independent of scheduling. par <= 1 degenerates to today's inline loop.
+func forEach(par, n int, fn func(int)) {
+	if n <= 0 {
+		return
+	}
+	if par > n {
+		par = n
+	}
+	if par <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(par)
+	for w := 0; w < par; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// sweepKeys builds the (variant × nodes × memory) grid of one figure as
+// point keys, deduplicated in deterministic order.
+func sweepKeys(traceName string, variants []Variant, nodeCounts []int, memsMB []int) []pointKey {
+	keys := make([]pointKey, 0, len(variants)*len(nodeCounts)*len(memsMB))
+	seen := make(map[pointKey]bool)
+	for _, v := range variants {
+		for _, n := range nodeCounts {
+			for _, mem := range memsMB {
+				k := pointKey{traceName, v, n, mem}
+				if !seen[k] {
+					seen[k] = true
+					keys = append(keys, k)
+				}
+			}
+		}
+	}
+	return keys
+}
+
+// prefetch measures every not-yet-cached key of a sweep concurrently and
+// memoizes the results. Each sweep point owns its engine and RNG (seeded
+// only by Options.Seed), and the shared inputs — the generated trace and the
+// Table 1 constants — are read-only during runs, so results are bit-identical
+// to the serial path at any parallelism. Figure runners call prefetch first,
+// then assemble series through the memoized Point in deterministic order.
+func (h *Harness) prefetch(p trace.Preset, keys []pointKey) {
+	// Generate the trace (and nothing else) before fanning out, so workers
+	// only ever read the memoized, immutable *trace.Trace.
+	h.Trace(p)
+
+	h.mu.Lock()
+	todo := keys[:0:0]
+	for _, k := range keys {
+		if _, ok := h.points[k]; !ok {
+			todo = append(todo, k)
+		}
+	}
+	h.mu.Unlock()
+	if len(todo) == 0 {
+		return
+	}
+
+	results := make([]Point, len(todo))
+	forEach(h.Opt.parallelism(), len(todo), func(i int) {
+		k := todo[i]
+		results[i] = h.run(p, k.variant, k.nodes, k.memMB)
+	})
+
+	h.mu.Lock()
+	for i, k := range todo {
+		h.points[k] = results[i]
+	}
+	h.mu.Unlock()
+}

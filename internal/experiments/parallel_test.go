@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, par := range []int{0, 1, 2, 8, 100} {
+		const n = 57
+		var hits [n]atomic.Int32
+		forEach(par, n, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("par=%d: index %d executed %d times, want 1", par, i, got)
+			}
+		}
+	}
+	// n = 0 must not hang or panic.
+	forEach(4, 0, func(int) { t.Fatal("fn called for empty range") })
+}
+
+// TestForEachRaceSoak hammers the worker pool with more tasks than workers
+// so `go test -race` exercises the handoff paths (now that the harness is
+// concurrent, this is the test the CI race job leans on).
+func TestForEachRaceSoak(t *testing.T) {
+	const rounds, tasks = 50, 256
+	for r := 0; r < rounds; r++ {
+		var sum atomic.Int64
+		forEach(8, tasks, func(i int) { sum.Add(int64(i)) })
+		if want := int64(tasks * (tasks - 1) / 2); sum.Load() != want {
+			t.Fatalf("round %d: sum = %d, want %d", r, sum.Load(), want)
+		}
+	}
+}
+
+// TestFigure2DeterministicAcrossParallelism is the harness's core guarantee:
+// the formatted figure is byte-identical whether sweep points run serially
+// or fan out across 8 workers, because each point owns its engine and RNG.
+func TestFigure2DeterministicAcrossParallelism(t *testing.T) {
+	opt := Options{Seed: 1, TargetRequests: 4000, MemoriesMB: []int{8, 32}}
+
+	serialOpt := opt
+	serialOpt.Parallelism = 1
+	serial := NewHarness(serialOpt).Figure2(trace.Calgary, 4).Format()
+
+	parOpt := opt
+	parOpt.Parallelism = 8
+	par := NewHarness(parOpt).Figure2(trace.Calgary, 4).Format()
+
+	if serial != par {
+		t.Fatalf("Figure2 output differs across parallelism:\n-- serial --\n%s\n-- parallel --\n%s", serial, par)
+	}
+}
+
+// TestLatencyCurveDeterministicAcrossParallelism covers the non-memoized
+// fan-out path (per-rate runs written by index).
+func TestLatencyCurveDeterministicAcrossParallelism(t *testing.T) {
+	opt := Options{Seed: 1, TargetRequests: 4000, MemoriesMB: []int{8}}
+	rates := []float64{500, 1000, 2000}
+
+	serialOpt := opt
+	serialOpt.Parallelism = 1
+	serial := NewHarness(serialOpt).LatencyCurve(trace.Calgary, 4, 8, rates)
+
+	parOpt := opt
+	parOpt.Parallelism = 8
+	par := NewHarness(parOpt).LatencyCurve(trace.Calgary, 4, 8, rates)
+
+	for i := range rates {
+		if serial[i] != par[i] {
+			t.Fatalf("latency point %d differs: serial %+v parallel %+v", i, serial[i], par[i])
+		}
+	}
+}
+
+func TestSweepKeysDedup(t *testing.T) {
+	keys := sweepKeys("tr", []Variant{VariantL2S, VariantL2S, VariantMaster}, []int{8}, []int{4, 8})
+	if len(keys) != 4 {
+		t.Fatalf("got %d keys, want 4 (duplicates removed): %+v", len(keys), keys)
+	}
+	want := []pointKey{
+		{"tr", VariantL2S, 8, 4},
+		{"tr", VariantL2S, 8, 8},
+		{"tr", VariantMaster, 8, 4},
+		{"tr", VariantMaster, 8, 8},
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("key %d = %+v, want %+v", i, keys[i], want[i])
+		}
+	}
+}
+
+func TestTimingsRecorded(t *testing.T) {
+	h := NewHarness(Options{TargetRequests: 2000, MemoriesMB: []int{8}})
+	h.Point(trace.Calgary, VariantMaster, 4, 8)
+	tm := h.Timings()
+	if len(tm) != 1 {
+		t.Fatalf("timings = %d entries, want 1", len(tm))
+	}
+	if tm[0].Trace != "calgary" || tm[0].Variant != VariantMaster || tm[0].WallMS <= 0 {
+		t.Fatalf("unexpected timing entry %+v", tm[0])
+	}
+}

@@ -28,16 +28,34 @@ func SeedSensitivity(opt Options, p trace.Preset, nodes int, seeds []int64) []Se
 		panic("experiments: SeedSensitivity needs seeds")
 	}
 	opt = opt.withDefaults()
-	ratios := make([][]float64, len(opt.MemoriesMB))
-	for _, seed := range seeds {
+	// Each seed is an independent harness (fresh trace + fresh runs), so the
+	// sweep fans out across seeds; within a seed the two variants' memory
+	// sweeps fan out through that harness's own prefetch. perSeed is indexed
+	// by seed so assembly order — and the reported spread — matches serial.
+	perSeed := make([][]float64, len(seeds))
+	forEach(opt.parallelism(), len(seeds), func(si int) {
 		o := opt
-		o.Seed = seed
+		o.Seed = seeds[si]
+		o.Parallelism = 1 // the pool is saturated at the seed level
 		h := NewHarness(o)
+		h.prefetch(p, sweepKeys(p.Name, []Variant{VariantL2S, VariantMaster}, []int{nodes}, o.MemoriesMB))
+		row := make([]float64, len(o.MemoriesMB))
 		for i, mem := range o.MemoriesMB {
 			l2s := h.Point(p, VariantL2S, nodes, mem).Throughput
 			master := h.Point(p, VariantMaster, nodes, mem).Throughput
 			if l2s > 0 {
-				ratios[i] = append(ratios[i], master/l2s)
+				row[i] = master / l2s
+			} else {
+				row[i] = -1 // sentinel: excluded below, as in the serial path
+			}
+		}
+		perSeed[si] = row
+	})
+	ratios := make([][]float64, len(opt.MemoriesMB))
+	for _, row := range perSeed {
+		for i, r := range row {
+			if r >= 0 {
+				ratios[i] = append(ratios[i], r)
 			}
 		}
 	}

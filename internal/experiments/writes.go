@@ -26,12 +26,16 @@ func (h *Harness) WriteCurve(p trace.Preset, nodes, memMB int, fracs []float64) 
 	if len(fracs) == 0 {
 		panic("experiments: WriteCurve needs write fractions")
 	}
-	tr := h.Trace(p)
-	var out []WritePoint
 	for _, frac := range fracs {
 		if frac < 0 || frac >= 1 {
 			panic(fmt.Sprintf("experiments: write fraction %v out of [0,1)", frac))
 		}
+	}
+	tr := h.Trace(p)
+	out := make([]WritePoint, len(fracs))
+	// Independent runs per write fraction: fan out, assemble by index.
+	forEach(h.Opt.parallelism(), len(fracs), func(i int) {
+		frac := fracs[i]
 		eng := sim.NewEngine(h.Opt.Seed)
 		backend := core.New(eng, &h.params, tr, core.Config{
 			Nodes:         nodes,
@@ -39,16 +43,17 @@ func (h *Harness) WriteCurve(p trace.Preset, nodes, memMB int, fracs []float64) 
 			Policy:        core.PolicyMaster,
 		})
 		res := workload.Run(eng, backend, tr, workload.Config{
-			Clients:    h.Opt.Clients,
-			WarmupFrac: h.Opt.WarmupFrac,
-			WriteFrac:  frac,
+			Clients:            h.Opt.Clients,
+			WarmupFrac:         h.Opt.WarmupFrac,
+			WriteFrac:          frac,
+			MaxResponseSamples: h.Opt.MaxResponseSamples,
 		})
-		out = append(out, WritePoint{
+		out[i] = WritePoint{
 			WriteFrac:  frac,
 			Throughput: res.Throughput,
 			MeanRespMs: res.Responses.Mean().Millis(),
 			HitRate:    res.Cache.HitRate(),
-		})
-	}
+		}
+	})
 	return out
 }

@@ -6,42 +6,98 @@ package metrics
 
 import (
 	"fmt"
+	"math/rand"
 	"sort"
 
 	"repro/internal/sim"
 )
 
+// reservoirSeed makes reservoir sampling deterministic: two runs that Add
+// the same sequence keep the same sample set. The reservoir RNG is private
+// to the accumulator, so it never perturbs a simulation's event stream.
+const reservoirSeed = 0x5ca1ab1e
+
 // ResponseTimes accumulates per-request response times.
+//
+// The zero value records every sample exactly (use Reserve to pre-size the
+// sample slice when the request count is known). NewResponseTimes builds a
+// bounded accumulator instead: a fixed-size uniform reservoir (Vitter's
+// algorithm R) that caps memory on full-scale runs. Count, Mean, Min, and
+// Max are exact in both modes; Percentile is exact in exact mode and an
+// unbiased estimate in reservoir mode.
 type ResponseTimes struct {
 	samples []sim.Duration
 	sum     sim.Duration
 	min     sim.Duration
 	max     sim.Duration
+	count   int
+	limit   int // >0: reservoir capacity
+	rng     *rand.Rand
 	sorted  bool
+}
+
+// NewResponseTimes returns a reservoir-sampling accumulator that retains at
+// most capacity samples, chosen uniformly from everything Added.
+func NewResponseTimes(capacity int) *ResponseTimes {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("metrics: reservoir capacity %d must be positive", capacity))
+	}
+	return &ResponseTimes{
+		samples: make([]sim.Duration, 0, capacity),
+		limit:   capacity,
+		rng:     rand.New(rand.NewSource(reservoirSeed)),
+	}
+}
+
+// Reserve pre-sizes the exact-mode sample slice for n expected samples, so a
+// measurement loop does not regrow it incrementally. It is a no-op in
+// reservoir mode or when enough capacity is already allocated.
+func (r *ResponseTimes) Reserve(n int) {
+	if r.limit > 0 || n <= cap(r.samples) {
+		return
+	}
+	s := make([]sim.Duration, len(r.samples), n)
+	copy(s, r.samples)
+	r.samples = s
 }
 
 // Add records one response time.
 func (r *ResponseTimes) Add(d sim.Duration) {
-	if len(r.samples) == 0 || d < r.min {
+	if r.count == 0 || d < r.min {
 		r.min = d
 	}
-	if d > r.max {
+	if r.count == 0 || d > r.max {
 		r.max = d
 	}
-	r.samples = append(r.samples, d)
+	r.count++
 	r.sum += d
+	if r.limit > 0 && len(r.samples) == r.limit {
+		// Algorithm R: the new sample replaces a random slot with
+		// probability limit/count, keeping the reservoir uniform.
+		if j := r.rng.Intn(r.count); j < r.limit {
+			r.samples[j] = d
+			r.sorted = false
+		}
+		return
+	}
+	r.samples = append(r.samples, d)
 	r.sorted = false
 }
 
-// Count reports the number of samples.
-func (r *ResponseTimes) Count() int { return len(r.samples) }
+// Count reports the number of recorded responses (all of them, even those a
+// reservoir no longer retains).
+func (r *ResponseTimes) Count() int { return r.count }
 
-// Mean reports the average response time (0 with no samples).
+// Sampled reports how many samples are retained for percentile estimation.
+func (r *ResponseTimes) Sampled() int { return len(r.samples) }
+
+// Mean reports the average response time (0 with no samples). It is exact
+// in both modes.
 func (r *ResponseTimes) Mean() sim.Duration {
-	if len(r.samples) == 0 {
+	if r.count == 0 {
 		return 0
 	}
-	return r.sum / sim.Duration(len(r.samples))
+	return r.sum / sim.Duration(r.count)
 }
 
 // Min reports the fastest response.
@@ -50,7 +106,8 @@ func (r *ResponseTimes) Min() sim.Duration { return r.min }
 // Max reports the slowest response.
 func (r *ResponseTimes) Max() sim.Duration { return r.max }
 
-// Percentile reports the p-quantile (p in [0,1]) by nearest rank.
+// Percentile reports the p-quantile (p in [0,1]) by nearest rank over the
+// retained samples.
 func (r *ResponseTimes) Percentile(p float64) sim.Duration {
 	if len(r.samples) == 0 {
 		return 0

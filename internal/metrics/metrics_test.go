@@ -58,6 +58,76 @@ func TestPercentileBoundsPanic(t *testing.T) {
 	r.Percentile(2)
 }
 
+func TestReserveKeepsSamples(t *testing.T) {
+	var r ResponseTimes
+	r.Add(5)
+	r.Reserve(1000)
+	r.Add(15)
+	if r.Count() != 2 || r.Min() != 5 || r.Max() != 15 {
+		t.Fatalf("after Reserve: count=%d min=%v max=%v", r.Count(), r.Min(), r.Max())
+	}
+	if got := cap(r.samples); got < 1000 {
+		t.Fatalf("Reserve(1000) left cap %d", got)
+	}
+	// Shrinking reserve is a no-op.
+	r.Reserve(1)
+	if cap(r.samples) < 1000 {
+		t.Fatal("Reserve shrank the slice")
+	}
+}
+
+func TestReservoirBoundsMemoryKeepsExactMoments(t *testing.T) {
+	const limit, n = 64, 10000
+	r := NewResponseTimes(limit)
+	var sum sim.Duration
+	for i := 1; i <= n; i++ {
+		d := sim.Duration(i)
+		r.Add(d)
+		sum += d
+	}
+	if r.Count() != n {
+		t.Fatalf("Count = %d, want %d", r.Count(), n)
+	}
+	if r.Sampled() != limit {
+		t.Fatalf("Sampled = %d, want %d", r.Sampled(), limit)
+	}
+	if r.Min() != 1 || r.Max() != n {
+		t.Fatalf("Min/Max = %v/%v", r.Min(), r.Max())
+	}
+	if want := sum / n; r.Mean() != want {
+		t.Fatalf("Mean = %v, want %v", r.Mean(), want)
+	}
+	// The retained samples are a uniform draw from [1, n]; the median
+	// estimate must land in the body of the distribution, not the tails.
+	med := r.Percentile(0.5)
+	if med < n/10 || med > 9*n/10 {
+		t.Fatalf("reservoir median %v implausible for uniform 1..%d", med, n)
+	}
+}
+
+func TestReservoirDeterministic(t *testing.T) {
+	a, b := NewResponseTimes(32), NewResponseTimes(32)
+	for i := 0; i < 5000; i++ {
+		d := sim.Duration(i*2654435761) % 1000003
+		a.Add(d)
+		b.Add(d)
+	}
+	for _, p := range []float64{0, 0.25, 0.5, 0.95, 1} {
+		if a.Percentile(p) != b.Percentile(p) {
+			t.Fatalf("same-input reservoirs diverged at p=%v", p)
+		}
+	}
+}
+
+func TestReservoirCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewResponseTimes(0) did not panic")
+		}
+	}()
+	NewResponseTimes(0)
+}
+
 func TestThroughput(t *testing.T) {
 	got := Throughput(500, sim.Time(0), sim.Time(2*sim.Second))
 	if got != 250 {

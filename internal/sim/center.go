@@ -38,11 +38,26 @@ type ServiceCenter struct {
 	maxSeen    int
 }
 
+// initialQueueCap pre-sizes a center's FIFO so the first burst of arrivals
+// does not grow the backing array on the hot path. Bounded queues allocate
+// their full bound up front (it is the worst case anyway, and Table 1 bounds
+// are small); unbounded queues start at this capacity and grow as needed.
+const initialQueueCap = 32
+
 // NewServiceCenter returns a center attached to eng. maxQueue bounds the
 // number of waiting jobs (not counting the one in service); 0 means
 // unbounded.
 func NewServiceCenter(eng *Engine, name string, maxQueue int) *ServiceCenter {
-	return &ServiceCenter{Name: name, eng: eng, maxQueue: maxQueue}
+	capHint := maxQueue
+	if capHint <= 0 || capHint > 4*initialQueueCap {
+		capHint = initialQueueCap
+	}
+	return &ServiceCenter{
+		Name:     name,
+		eng:      eng,
+		maxQueue: maxQueue,
+		queue:    make([]Job, 0, capHint),
+	}
 }
 
 // Submit offers a job to the center. If the server is idle the job starts
@@ -78,7 +93,9 @@ func (c *ServiceCenter) Do(service Duration, done func()) {
 func (c *ServiceCenter) start(j Job) {
 	c.busy = true
 	c.lastStart = c.eng.Now()
-	c.eng.Schedule(j.Service, func() { c.finish(j) })
+	// scheduleService carries (c, j) inside the event value instead of a
+	// heap-allocated closure — the engine's hottest path stays alloc-free.
+	c.eng.scheduleService(c, j, j.Service)
 }
 
 func (c *ServiceCenter) finish(j Job) {

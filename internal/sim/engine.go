@@ -5,18 +5,31 @@ import (
 	"math/rand"
 )
 
-// Event is a scheduled callback. Events with equal timestamps fire in
+// event is a scheduled callback. Events with equal timestamps fire in
 // scheduling order (FIFO tie-break via the sequence number), which keeps the
 // simulation deterministic.
+//
+// The common case in a run — a ServiceCenter finishing a job — is encoded
+// inline (sc + job) instead of as a heap-allocated closure, so the engine's
+// steady-state dispatch allocates nothing.
 type event struct {
 	at  Time
 	seq uint64
 	fn  func()
+	sc  *ServiceCenter // non-nil: a service-completion event for job
+	job Job
 }
+
+// heapArity is the branching factor of the event queue. A 4-ary heap is
+// shallower than a binary one (log4 vs log2 levels), trading a few extra
+// comparisons per level for roughly half the cache-missing swaps — a net win
+// for the sift-down-heavy pop path of a discrete-event loop.
+const heapArity = 4
 
 // Engine is a discrete-event simulation engine: a virtual clock plus a
 // min-heap of pending events. It is not safe for concurrent use; a single
-// goroutine owns a simulation run.
+// goroutine owns a simulation run. (Independent engines may run on separate
+// goroutines — the parallel experiment harness relies on that.)
 type Engine struct {
 	now    Time
 	seq    uint64
@@ -41,6 +54,17 @@ func (e *Engine) Rand() *rand.Rand { return e.rng }
 // Steps reports how many events have been dispatched so far.
 func (e *Engine) Steps() uint64 { return e.nSteps }
 
+// Reserve grows the event queue's capacity to hold at least n pending events
+// without reallocation. Callers that know a run's concurrency (clients ×
+// centers) can pre-size the heap once instead of growing it on the hot path.
+func (e *Engine) Reserve(n int) {
+	if cap(e.heap) < n {
+		h := make([]event, len(e.heap), n)
+		copy(h, e.heap)
+		e.heap = h
+	}
+}
+
 // Schedule runs fn after delay of virtual time. A negative delay is an error
 // in the caller; Schedule panics to surface the bug immediately.
 func (e *Engine) Schedule(delay Duration, fn func()) {
@@ -48,6 +72,16 @@ func (e *Engine) Schedule(delay Duration, fn func()) {
 		panic(fmt.Sprintf("sim: Schedule with negative delay %d", delay))
 	}
 	e.push(event{at: e.now.Add(delay), seq: e.seq, fn: fn})
+	e.seq++
+}
+
+// scheduleService enqueues c finishing j after delay, without allocating a
+// continuation closure: the (center, job) pair rides inside the event value.
+func (e *Engine) scheduleService(c *ServiceCenter, j Job, delay Duration) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: service with negative demand %d", delay))
+	}
+	e.push(event{at: e.now.Add(delay), seq: e.seq, sc: c, job: j})
 	e.seq++
 }
 
@@ -84,7 +118,11 @@ func (e *Engine) Run(until Time) Time {
 		}
 		e.now = ev.at
 		e.nSteps++
-		ev.fn()
+		if ev.sc != nil {
+			ev.sc.finish(ev.job)
+		} else {
+			ev.fn()
+		}
 	}
 	return e.now
 }
@@ -93,12 +131,12 @@ func (e *Engine) Run(until Time) Time {
 // other events) and returns the final virtual time.
 func (e *Engine) RunUntilIdle() Time { return e.Run(0) }
 
-// push inserts ev into the binary min-heap ordered by (at, seq).
+// push inserts ev into the heapArity-ary min-heap ordered by (at, seq).
 func (e *Engine) push(ev event) {
 	e.heap = append(e.heap, ev)
 	i := len(e.heap) - 1
 	for i > 0 {
-		parent := (i - 1) / 2
+		parent := (i - 1) / heapArity
 		if !less(e.heap[i], e.heap[parent]) {
 			break
 		}
@@ -111,16 +149,23 @@ func (e *Engine) push(ev event) {
 func (e *Engine) pop() {
 	n := len(e.heap) - 1
 	e.heap[0] = e.heap[n]
+	e.heap[n] = event{} // release callback references
 	e.heap = e.heap[:n]
 	i := 0
 	for {
-		l, r := 2*i+1, 2*i+2
-		smallest := i
-		if l < n && less(e.heap[l], e.heap[smallest]) {
-			smallest = l
+		first := heapArity*i + 1
+		if first >= n {
+			break
 		}
-		if r < n && less(e.heap[r], e.heap[smallest]) {
-			smallest = r
+		smallest := i
+		last := first + heapArity
+		if last > n {
+			last = n
+		}
+		for c := first; c < last; c++ {
+			if less(e.heap[c], e.heap[smallest]) {
+				smallest = c
+			}
 		}
 		if smallest == i {
 			break

@@ -39,6 +39,11 @@ type Config struct {
 	// updates (§6's write extension). The backend must implement
 	// WriteBackend.
 	WriteFrac float64
+	// MaxResponseSamples, if positive, bounds response-time memory by
+	// switching the accumulator to uniform reservoir sampling with that many
+	// samples; mean/min/max stay exact, percentiles become estimates. 0
+	// keeps every sample (exact percentiles).
+	MaxResponseSamples int
 }
 
 // WriteBackend is implemented by servers that support the write extension.
@@ -114,6 +119,13 @@ func Run(eng *sim.Engine, backend cluster.Backend, tr *trace.Trace, cfg Config) 
 		measStart sim.Time
 		measuring = warm == 0
 	)
+	if cfg.MaxResponseSamples > 0 {
+		res.Responses = *metrics.NewResponseTimes(cfg.MaxResponseSamples)
+	} else {
+		// Every post-warmup request contributes one sample; size the slice
+		// once instead of growing it through the measurement loop.
+		res.Responses.Reserve(total - warm)
+	}
 	if measuring {
 		backend.ResetStats()
 		backend.Hardware().ResetStats()
