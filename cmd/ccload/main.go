@@ -2,7 +2,7 @@
 // reports throughput, latency percentiles, and cluster cache behaviour —
 // the real-deployment counterpart of the simulator experiments.
 //
-// Two modes:
+// Three modes:
 //
 //	# drive an already-running cluster (see cmd/ccnode -serve)
 //	ccload -cluster 127.0.0.1:7000,127.0.0.1:7001 -files 100 -avg 16384 \
@@ -10,13 +10,20 @@
 //
 //	# self-contained: start an in-process cluster and drive it
 //	ccload -selftest -nodes 4 -capacity 512 -requests 20000
+//
+//	# benchmark presets: replay fixed workloads against in-process
+//	# clusters and write BENCH_live.json (req/s, MB/s, latency percentiles)
+//	ccload -bench
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strings"
+	"time"
 
 	"repro/internal/block"
 	"repro/internal/core"
@@ -31,12 +38,14 @@ func main() {
 	var (
 		cluster     = flag.String("cluster", "", "comma-separated node addresses of a running cluster")
 		selftest    = flag.Bool("selftest", false, "start an in-process cluster instead")
+		bench       = flag.Bool("bench", false, "run the benchmark presets and write -benchout")
+		benchOut    = flag.String("benchout", "BENCH_live.json", "benchmark result path (bench mode)")
 		nNodes      = flag.Int("nodes", 4, "selftest cluster size")
 		capacity    = flag.Int("capacity", 1024, "selftest per-node cache capacity in blocks")
 		hints       = flag.Bool("hints", false, "selftest: hint-based directory")
 		files       = flag.Int("files", 100, "synthetic file count (must match the running cluster's)")
 		avg         = flag.Int64("avg", 16384, "synthetic average file size (must match the running cluster's)")
-		requests    = flag.Int("requests", 10000, "requests to replay")
+		requests    = flag.Int("requests", 10000, "requests to replay (also scales bench presets)")
 		concurrency = flag.Int("concurrency", 16, "closed-loop clients")
 		warmup      = flag.Float64("warmup", 0.3, "warmup fraction")
 		writeFrac   = flag.Float64("writes", 0, "fraction of operations that are block writes")
@@ -45,39 +54,32 @@ func main() {
 	)
 	flag.Parse()
 
-	sizes := make(map[block.FileID]int64, *files)
-	for f := 0; f < *files; f++ {
-		sizes[block.FileID(f)] = *avg/2 + int64(f%7)*(*avg/7)
+	if *bench {
+		if err := runBench(*benchOut, *requests, *concurrency, *seed); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 
+	sizes := fileSizes(*files, *avg)
+
 	var addrs []string
+	var shutdown func()
 	switch {
 	case *selftest:
-		nodes := make([]*middleware.Node, *nNodes)
-		addrs = make([]string, *nNodes)
-		for i := range nodes {
-			n, err := middleware.Start(middleware.Config{
-				ID: i, Hints: *hints, CapacityBlocks: *capacity,
-				Policy: core.PolicyMaster,
-				Source: middleware.NewMemSource(block.DefaultGeometry, sizes),
-			})
-			if err != nil {
-				log.Fatal(err)
-			}
-			defer n.Close()
-			nodes[i] = n
-			addrs[i] = n.Addr()
+		var err error
+		addrs, shutdown, err = startCluster(*nNodes, *capacity, *hints, sizes)
+		if err != nil {
+			log.Fatal(err)
 		}
-		for _, n := range nodes {
-			n.SetAddrs(addrs)
-		}
+		defer shutdown()
 		log.Printf("selftest cluster: %v", addrs)
 	case *cluster != "":
 		for _, a := range strings.Split(*cluster, ",") {
 			addrs = append(addrs, strings.TrimSpace(a))
 		}
 	default:
-		log.Fatal("need -cluster or -selftest")
+		log.Fatal("need -cluster, -selftest, or -bench")
 	}
 
 	client, err := middleware.DialCluster(addrs)
@@ -86,25 +88,7 @@ func main() {
 	}
 	defer client.Close()
 
-	// Build the replay stream over the cluster's file set.
-	preset := trace.Preset{
-		Name:         "ccload",
-		NumFiles:     *files,
-		FileSetBytes: totalBytes(sizes),
-		NumRequests:  *requests,
-		AvgReqKB:     float64(*avg) / 1024, // neutral: no size-popularity bias target
-		Alpha:        *zipf,
-		SizeSigma:    0.01,
-	}
-	gen := preset.Generate(*seed, 1.0)
-	// Replace generated sizes with the cluster's actual manifest (the
-	// generator produced a same-shape stream; only IDs matter here).
-	tr := &trace.Trace{Name: "ccload", Requests: gen.Requests}
-	for f := 0; f < *files; f++ {
-		tr.Files = append(tr.Files, trace.File{ID: block.FileID(f), Size: sizes[block.FileID(f)]})
-	}
-
-	res, err := loadgen.Replay(client, tr, loadgen.Config{
+	res, err := loadgen.Replay(client, buildTrace(*files, sizes, *requests, *zipf, *avg, *seed), loadgen.Config{
 		Concurrency: *concurrency,
 		WarmupFrac:  *warmup,
 		WriteFrac:   *writeFrac,
@@ -115,10 +99,184 @@ func main() {
 	fmt.Println(res)
 }
 
+// fileSizes builds the deterministic synthetic file manifest shared by every
+// mode (and by any separately started ccnode cluster with matching flags).
+func fileSizes(files int, avg int64) map[block.FileID]int64 {
+	sizes := make(map[block.FileID]int64, files)
+	for f := 0; f < files; f++ {
+		sizes[block.FileID(f)] = avg/2 + int64(f%7)*(avg/7)
+	}
+	return sizes
+}
+
+// startCluster brings up an in-process cluster and returns its addresses and
+// a shutdown function.
+func startCluster(nNodes, capacity int, hints bool, sizes map[block.FileID]int64) ([]string, func(), error) {
+	nodes := make([]*middleware.Node, 0, nNodes)
+	addrs := make([]string, 0, nNodes)
+	shutdown := func() {
+		for _, n := range nodes {
+			n.Close()
+		}
+	}
+	for i := 0; i < nNodes; i++ {
+		n, err := middleware.Start(middleware.Config{
+			ID: i, Hints: hints, CapacityBlocks: capacity,
+			Policy: core.PolicyMaster,
+			Source: middleware.NewMemSource(block.DefaultGeometry, sizes),
+		})
+		if err != nil {
+			shutdown()
+			return nil, nil, err
+		}
+		nodes = append(nodes, n)
+		addrs = append(addrs, n.Addr())
+	}
+	for _, n := range nodes {
+		n.SetAddrs(addrs)
+	}
+	return addrs, shutdown, nil
+}
+
+// buildTrace generates the replay stream over the cluster's file set.
+func buildTrace(files int, sizes map[block.FileID]int64, requests int, zipf float64, avg, seed int64) *trace.Trace {
+	preset := trace.Preset{
+		Name:         "ccload",
+		NumFiles:     files,
+		FileSetBytes: totalBytes(sizes),
+		NumRequests:  requests,
+		AvgReqKB:     float64(avg) / 1024, // neutral: no size-popularity bias target
+		Alpha:        zipf,
+		SizeSigma:    0.01,
+	}
+	gen := preset.Generate(seed, 1.0)
+	// Replace generated sizes with the cluster's actual manifest (the
+	// generator produced a same-shape stream; only IDs matter here).
+	tr := &trace.Trace{Name: "ccload", Requests: gen.Requests}
+	for f := 0; f < files; f++ {
+		tr.Files = append(tr.Files, trace.File{ID: block.FileID(f), Size: sizes[block.FileID(f)]})
+	}
+	return tr
+}
+
 func totalBytes(sizes map[block.FileID]int64) int64 {
 	var sum int64
 	for _, s := range sizes {
 		sum += s
 	}
 	return sum
+}
+
+// --- benchmark presets ---
+
+// benchPreset is one fixed live-cluster workload.
+type benchPreset struct {
+	Name      string  `json:"name"`
+	Nodes     int     `json:"nodes"`
+	Capacity  int     `json:"capacity_blocks"`
+	Hints     bool    `json:"hints"`
+	Files     int     `json:"files"`
+	AvgSize   int64   `json:"avg_file_bytes"`
+	Zipf      float64 `json:"zipf"`
+	WriteFrac float64 `json:"write_frac"`
+}
+
+// benchRecord is one preset's measured outcome, serialized to BENCH_live.json.
+type benchRecord struct {
+	benchPreset
+	Requests  int     `json:"requests"`
+	Writes    int     `json:"writes"`
+	Bytes     int64   `json:"bytes"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+	ReqPerSec float64 `json:"req_per_sec"`
+	MBPerSec  float64 `json:"mb_per_sec"`
+	MeanUS    float64 `json:"mean_us"`
+	P50US     float64 `json:"p50_us"`
+	P95US     float64 `json:"p95_us"`
+	P99US     float64 `json:"p99_us"`
+	HitRate   float64 `json:"hit_rate"`
+	Local     uint64  `json:"local_hits"`
+	Remote    uint64  `json:"remote_hits"`
+	Disk      uint64  `json:"disk_reads"`
+	Forwards  uint64  `json:"forwards"`
+}
+
+// benchPresets are the standing live-cluster benchmarks. All use a four-node
+// cluster; the capacity is chosen so the aggregate cache holds the working
+// set while a single node's cache cannot — the regime where cooperation pays
+// (the paper's §4 configuration, scaled down to benchmark duration).
+var benchPresets = []benchPreset{
+	{Name: "read-central-4node", Nodes: 4, Capacity: 512, Files: 200, AvgSize: 16384, Zipf: 0.85},
+	{Name: "read-hints-4node", Nodes: 4, Capacity: 512, Hints: true, Files: 200, AvgSize: 16384, Zipf: 0.85},
+	{Name: "mixed-writes-4node", Nodes: 4, Capacity: 512, Files: 200, AvgSize: 16384, Zipf: 0.85, WriteFrac: 0.05},
+}
+
+// runBench replays every preset against a fresh in-process cluster and
+// writes the results to out.
+func runBench(out string, requests, concurrency int, seed int64) error {
+	records := make([]benchRecord, 0, len(benchPresets))
+	for _, p := range benchPresets {
+		sizes := fileSizes(p.Files, p.AvgSize)
+		addrs, shutdown, err := startCluster(p.Nodes, p.Capacity, p.Hints, sizes)
+		if err != nil {
+			return fmt.Errorf("preset %s: %w", p.Name, err)
+		}
+		client, err := middleware.DialCluster(addrs)
+		if err != nil {
+			shutdown()
+			return fmt.Errorf("preset %s: %w", p.Name, err)
+		}
+		tr := buildTrace(p.Files, sizes, requests, p.Zipf, p.AvgSize, seed)
+		res, err := loadgen.Replay(client, tr, loadgen.Config{
+			Concurrency: concurrency,
+			WriteFrac:   p.WriteFrac,
+		})
+		client.Close()
+		shutdown()
+		if err != nil {
+			return fmt.Errorf("preset %s: %w", p.Name, err)
+		}
+		rec := benchRecord{
+			benchPreset: p,
+			Requests:    res.Requests,
+			Writes:      res.Writes,
+			Bytes:       res.Bytes,
+			ElapsedMS:   float64(res.Elapsed) / float64(time.Millisecond),
+			ReqPerSec:   res.Throughput,
+			MBPerSec:    res.MBps,
+			MeanUS:      float64(res.Mean) / float64(time.Microsecond),
+			P50US:       float64(res.P50) / float64(time.Microsecond),
+			P95US:       float64(res.P95) / float64(time.Microsecond),
+			P99US:       float64(res.P99) / float64(time.Microsecond),
+			HitRate:     res.Cluster.HitRate(),
+			Local:       res.Cluster.LocalHits,
+			Remote:      res.Cluster.RemoteHits,
+			Disk:        res.Cluster.DiskReads,
+			Forwards:    res.Cluster.Forwards,
+		}
+		records = append(records, rec)
+		log.Printf("%-20s %8.0f req/s %7.1f MB/s p50=%v p95=%v p99=%v hit=%.1f%%",
+			p.Name, rec.ReqPerSec, rec.MBPerSec,
+			res.P50.Round(time.Microsecond), res.P95.Round(time.Microsecond),
+			res.P99.Round(time.Microsecond), rec.HitRate*100)
+	}
+	doc := struct {
+		Generated string        `json:"generated"`
+		Requests  int           `json:"requests_per_preset"`
+		Presets   []benchRecord `json:"presets"`
+	}{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Requests:  requests,
+		Presets:   records,
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	log.Printf("wrote %s", out)
+	return nil
 }

@@ -1,0 +1,121 @@
+package loadgen
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/block"
+	"repro/internal/middleware"
+)
+
+// TestReplayOutputEquivalence pins the cluster's observable behaviour for a
+// deterministic replay: a serial client, ample capacity, and the central
+// directory make every counter exactly predictable from the §3 protocol, so
+// any change to the wire path (pooling, buffer reuse, worker dispatch) that
+// altered what the cluster *does* — rather than how fast — fails here. File
+// bytes are checked against the synthetic content generator independently.
+func TestReplayOutputEquivalence(t *testing.T) {
+	const k = 3
+	geom := block.Geometry{Size: 1024, ExtentBlocks: 8}
+	client, sizes := startCluster(t, k, 4096)
+	tr := replayTrace(sizes, 120)
+
+	res, err := Replay(client, tr, Config{Concurrency: 1, WarmupFrac: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Replay the §3 protocol against an abstract model: requests round-robin
+	// over the nodes (one serial worker), each block is a local hit where a
+	// copy exists, a remote hit where any master exists, and a disk read
+	// (installing the reader as master) otherwise. With ample capacity there
+	// are no evictions, hence no forwards, races, or invalidations.
+	copies := map[block.ID]map[int]bool{}
+	master := map[block.ID]int{}
+	var accesses, local, remote, disk uint64
+	for req, f := range tr.Requests {
+		e := req % k
+		nb := geom.Count(sizes[f])
+		for i := int32(0); i < nb; i++ {
+			id := block.ID{File: f, Idx: i}
+			accesses++
+			if copies[id][e] {
+				local++
+				continue
+			}
+			if copies[id] == nil {
+				copies[id] = map[int]bool{}
+			}
+			if _, ok := master[id]; ok {
+				remote++
+			} else {
+				disk++
+				master[id] = e
+			}
+			copies[id][e] = true
+		}
+	}
+	got := res.Cluster
+	if got.Accesses != accesses || got.LocalHits != local ||
+		got.RemoteHits != remote || got.DiskReads != disk {
+		t.Errorf("counters diverged from protocol model:\n got accesses=%d local=%d remote=%d disk=%d\nwant accesses=%d local=%d remote=%d disk=%d",
+			got.Accesses, got.LocalHits, got.RemoteHits, got.DiskReads,
+			accesses, local, remote, disk)
+	}
+	if got.RaceMisses != 0 || got.Forwards != 0 || got.Invalidations != 0 {
+		t.Errorf("unexpected races=%d forwards=%d invalidations=%d (ample capacity: want 0)",
+			got.RaceMisses, got.Forwards, got.Invalidations)
+	}
+
+	// Byte equivalence: every file read through the cluster must match the
+	// synthetic content, block by block.
+	for f := 0; f < len(sizes); f++ {
+		id := block.FileID(f)
+		data, err := client.Read(id)
+		if err != nil {
+			t.Fatalf("read file %d: %v", f, err)
+		}
+		if want := syntheticFile(geom, id, sizes[id]); !bytes.Equal(data, want) {
+			t.Fatalf("file %d content diverged (%d bytes)", f, len(data))
+		}
+	}
+
+	// Write-invalidate equivalence: one write costs exactly one invalidation
+	// per cluster node and the new bytes are visible from every entry node.
+	patch := bytes.Repeat([]byte{0xAB}, int(sizes[0]))
+	if err := client.Write(0, 0, patch); err != nil {
+		t.Fatal(err)
+	}
+	after, err := client.ClusterStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := after.Invalidations - got.Invalidations; d != k {
+		t.Errorf("invalidations per write = %d, want %d (one per node)", d, k)
+	}
+	if d := after.Writes - got.Writes; d != 1 {
+		t.Errorf("writes = %d, want 1", d)
+	}
+	for e := 0; e < k; e++ {
+		data, err := client.ReadVia(e, 0)
+		if err != nil {
+			t.Fatalf("read via %d after write: %v", e, err)
+		}
+		if !bytes.Equal(data, patch) {
+			t.Fatalf("node %d served stale bytes after write-invalidate", e)
+		}
+	}
+}
+
+// syntheticFile composes the expected content of a whole synthetic file.
+func syntheticFile(geom block.Geometry, f block.FileID, size int64) []byte {
+	out := make([]byte, 0, size)
+	for i := int32(0); i < geom.Count(size); i++ {
+		n := int(size - int64(i)*int64(geom.Size))
+		if n > geom.Size {
+			n = geom.Size
+		}
+		out = append(out, middleware.SyntheticBlock(f, i, n)...)
+	}
+	return out
+}

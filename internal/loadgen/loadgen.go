@@ -8,13 +8,14 @@ package loadgen
 import (
 	"fmt"
 	"math/rand"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/block"
+	"repro/internal/metrics"
 	"repro/internal/middleware"
+	"repro/internal/sim"
 	"repro/internal/trace"
 )
 
@@ -61,6 +62,9 @@ type Config struct {
 	// Geometry is needed to size write payloads when WriteFrac > 0 (zero
 	// value: the 8 KB default).
 	Geometry block.Geometry
+	// MaxSamples bounds the latency samples retained for percentiles
+	// (reservoir sampling; default 65536). Mean/min/max stay exact.
+	MaxSamples int
 }
 
 // Result summarizes a replay.
@@ -76,6 +80,9 @@ type Result struct {
 	Elapsed time.Duration
 	// Throughput is measured requests per wall-clock second.
 	Throughput float64
+	// MBps is the measured payload volume in MB (2^20 bytes) per
+	// wall-clock second.
+	MBps float64
 	// Writes is the number of measured write operations (included in
 	// Requests).
 	Writes int
@@ -111,6 +118,9 @@ func Replay(client *middleware.Client, tr *trace.Trace, cfg Config) (Result, err
 		return Result{}, fmt.Errorf("loadgen: empty trace")
 	}
 	warm := int(cfg.WarmupFrac * float64(total))
+	if cfg.MaxSamples <= 0 {
+		cfg.MaxSamples = 65536
+	}
 
 	var (
 		cursor    atomic.Int64
@@ -119,7 +129,7 @@ func Replay(client *middleware.Client, tr *trace.Trace, cfg Config) (Result, err
 		nWrites   atomic.Int64
 		measStart atomic.Int64 // unix nanos of first measured issue
 		mu        sync.Mutex
-		latencies []time.Duration
+		rt        = metrics.NewResponseTimes(cfg.MaxSamples)
 		wg        sync.WaitGroup
 		firstErr  error
 		errOnce   sync.Once
@@ -163,7 +173,9 @@ func Replay(client *middleware.Client, tr *trace.Trace, cfg Config) (Result, err
 			}
 		}
 		mu.Lock()
-		latencies = append(latencies, local...)
+		for _, d := range local {
+			rt.Add(sim.Duration(d))
+		}
 		mu.Unlock()
 	}
 
@@ -179,7 +191,7 @@ func Replay(client *middleware.Client, tr *trace.Trace, cfg Config) (Result, err
 	end := time.Now()
 
 	res := Result{
-		Requests: len(latencies),
+		Requests: rt.Count(),
 		Errors:   int(nErrors.Load()),
 		Bytes:    bytesRead.Load(),
 		Writes:   int(nWrites.Load()),
@@ -196,17 +208,13 @@ func Replay(client *middleware.Client, tr *trace.Trace, cfg Config) (Result, err
 	}
 	if res.Elapsed > 0 {
 		res.Throughput = float64(res.Requests) / res.Elapsed.Seconds()
+		res.MBps = float64(res.Bytes) / res.Elapsed.Seconds() / (1 << 20)
 	}
-	if len(latencies) > 0 {
-		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
-		var sum time.Duration
-		for _, d := range latencies {
-			sum += d
-		}
-		res.Mean = sum / time.Duration(len(latencies))
-		res.P50 = latencies[len(latencies)/2]
-		res.P95 = latencies[int(0.95*float64(len(latencies)-1))]
-		res.P99 = latencies[int(0.99*float64(len(latencies)-1))]
+	if rt.Count() > 0 {
+		res.Mean = time.Duration(rt.Mean())
+		res.P50 = time.Duration(rt.Percentile(0.50))
+		res.P95 = time.Duration(rt.Percentile(0.95))
+		res.P99 = time.Duration(rt.Percentile(0.99))
 	}
 	if stats, err := client.ClusterStats(); err == nil {
 		res.Cluster = stats
@@ -217,8 +225,8 @@ func Replay(client *middleware.Client, tr *trace.Trace, cfg Config) (Result, err
 // String formats the result as a report.
 func (r Result) String() string {
 	return fmt.Sprintf(
-		"requests=%d (writes=%d) errors=%d bytes=%d elapsed=%v tput=%.0f req/s mean=%v p50=%v p95=%v p99=%v | cluster: hit=%.1f%% local=%d remote=%d disk=%d forwards=%d",
-		r.Requests, r.Writes, r.Errors, r.Bytes, r.Elapsed.Round(time.Millisecond), r.Throughput,
+		"requests=%d (writes=%d) errors=%d bytes=%d elapsed=%v tput=%.0f req/s %.1f MB/s mean=%v p50=%v p95=%v p99=%v | cluster: hit=%.1f%% local=%d remote=%d disk=%d forwards=%d",
+		r.Requests, r.Writes, r.Errors, r.Bytes, r.Elapsed.Round(time.Millisecond), r.Throughput, r.MBps,
 		r.Mean.Round(time.Microsecond), r.P50.Round(time.Microsecond),
 		r.P95.Round(time.Microsecond), r.P99.Round(time.Microsecond),
 		r.Cluster.HitRate()*100, r.Cluster.LocalHits, r.Cluster.RemoteHits,

@@ -46,7 +46,7 @@ func (c *Client) conn(i int) (*conn, error) {
 		f.Sender = -1
 		f.OldestAge = noAge
 	}
-	c.conns[i] = newConn(nc, nil, nil, stamp)
+	c.conns[i] = newConn(nc, connConfig{stamp: stamp})
 	return c.conns[i], nil
 }
 
@@ -81,31 +81,49 @@ func (c *Client) Read(f block.FileID) ([]byte, error) {
 
 // ReadVia fetches file f entering the cluster at a specific node.
 func (c *Client) ReadVia(node int, f block.FileID) ([]byte, error) {
-	resp, err := c.roundTrip(node, &Frame{Type: MsgReadFile, File: f})
+	req := getFrame()
+	req.Type, req.File = MsgReadFile, f
+	resp, err := c.roundTrip(node, req)
+	releaseFrame(req)
 	if err != nil {
 		return nil, err
 	}
 	if resp.Type != MsgFileData {
-		return nil, fmt.Errorf("middleware: unexpected reply %d", resp.Type)
+		typ := resp.Type
+		releaseFrame(resp)
+		return nil, fmt.Errorf("middleware: unexpected reply %d", typ)
 	}
-	return resp.Payload, nil
+	data := resp.TakePayload() // returned to the caller: keep it off the pool
+	releaseFrame(resp)
+	return data, nil
 }
 
 // Write updates one block of a file through the cluster (write-invalidate;
 // see Node.WriteBlock).
 func (c *Client) Write(f block.FileID, idx int32, data []byte) error {
-	_, err := c.roundTrip(c.next(), &Frame{Type: MsgWriteBlock, File: f, Idx: idx, Payload: data})
+	req := getFrame()
+	req.Type, req.File, req.Idx, req.Payload = MsgWriteBlock, f, idx, data
+	resp, err := c.roundTrip(c.next(), req)
+	releaseFrame(req)
+	if err == nil {
+		releaseFrame(resp)
+	}
 	return err
 }
 
 // NodeStats fetches the statistics of one node.
 func (c *Client) NodeStats(node int) (Stats, error) {
-	resp, err := c.roundTrip(node, &Frame{Type: MsgStats})
+	req := getFrame()
+	req.Type = MsgStats
+	resp, err := c.roundTrip(node, req)
+	releaseFrame(req)
 	if err != nil {
 		return Stats{}, err
 	}
 	var s Stats
-	if err := json.Unmarshal(resp.Payload, &s); err != nil {
+	err = json.Unmarshal(resp.Payload, &s)
+	releaseFrame(resp)
+	if err != nil {
 		return Stats{}, err
 	}
 	return s, nil

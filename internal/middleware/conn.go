@@ -21,62 +21,134 @@ func isResponse(t MsgType) bool {
 	return false
 }
 
-// conn is a multiplexed protocol connection: concurrent round trips are
-// correlated by request ID, incoming requests are dispatched to handle, and
-// every received frame is offered to observe (piggyback processing).
-type conn struct {
-	nc  net.Conn
-	br  *bufio.Reader
-	wmu sync.Mutex // serializes frame writes
-
-	pmu     sync.Mutex
-	pending map[uint32]chan *Frame
-	reqSeq  uint32
-	closed  bool
-
+// connConfig parameterizes a conn.
+type connConfig struct {
 	// handle processes an incoming request and returns the response (nil
-	// for one-way messages). It runs on a fresh goroutine per request.
+	// for one-way messages).
 	handle func(*Frame) *Frame
 	// observe sees every incoming frame before dispatch (may be nil).
 	observe func(*Frame)
 	// stamp decorates every outgoing frame (sender id, piggybacked age);
 	// may be nil.
 	stamp func(*Frame)
+	// workers bounds concurrent request handling on this conn. > 0 starts
+	// that many worker goroutines fed from a bounded queue (a request
+	// burst applies TCP backpressure instead of spawning unboundedly);
+	// <= 0 keeps the legacy one-goroutine-per-request dispatch.
+	workers int
+	// maxPayload caps accepted frame payloads (<= 0: the 64 MB default).
+	maxPayload int
+}
+
+// conn is a multiplexed protocol connection: concurrent round trips are
+// correlated by request ID, incoming requests are dispatched to the
+// handler (through the worker pool when configured), and every received
+// frame is offered to observe (piggyback processing).
+//
+// Frame ownership: frames decoded from the wire are pooled. A response
+// frame returned by roundTrip belongs to the caller, who must releaseFrame
+// it (after TakePayload if the content is retained). A request frame passed
+// to the handler is only valid for the duration of the call; the conn
+// releases it afterwards. Handler-returned responses are written and then
+// released by the conn. Request frames passed to roundTrip/write stay
+// owned by the caller.
+type conn struct {
+	nc  net.Conn
+	br  *bufio.Reader
+	cfg connConfig
+
+	wmu  sync.Mutex // serializes frame writes
+	wbuf []byte     // reusable encode buffer (guarded by wmu)
+	iov  [2][]byte  // writev scratch for large payloads (guarded by wmu)
+
+	pmu     sync.Mutex
+	pending map[uint32]chan *Frame
+	reqSeq  uint32
+	closed  bool
+
+	reqCh chan *Frame // non-nil when the worker pool is active
 
 	closeOnce sync.Once
 	done      chan struct{}
 }
 
-func newConn(nc net.Conn, handle func(*Frame) *Frame, observe, stamp func(*Frame)) *conn {
+func newConn(nc net.Conn, cfg connConfig) *conn {
+	if cfg.maxPayload <= 0 {
+		cfg.maxPayload = maxPayload
+	}
 	c := &conn{
 		nc:      nc,
 		br:      bufio.NewReaderSize(nc, 64*1024),
+		cfg:     cfg,
 		pending: make(map[uint32]chan *Frame),
-		handle:  handle,
-		observe: observe,
-		stamp:   stamp,
 		done:    make(chan struct{}),
+	}
+	if cfg.handle != nil && cfg.workers > 0 {
+		c.reqCh = make(chan *Frame, 4*cfg.workers)
+		for i := 0; i < cfg.workers; i++ {
+			go c.workLoop()
+		}
 	}
 	go c.readLoop()
 	return c
 }
 
-// write sends one frame.
+// inlinePayloadMax is the largest payload copied into the contiguous write
+// buffer; larger payloads go out via writev (net.Buffers) so a multi-
+// megabyte file response is neither copied nor split into extra writes.
+const inlinePayloadMax = 64 << 10
+
+// write sends one frame: header, hints, and payload in a single socket
+// write (one writev for large payloads) instead of one write per section.
 func (c *conn) write(f *Frame) error {
-	if c.stamp != nil {
-		c.stamp(f)
+	if c.cfg.stamp != nil {
+		c.cfg.stamp(f)
 	}
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
-	return WriteFrame(c.nc, f)
+	buf, err := appendHeader(c.wbuf[:0], f)
+	if err != nil {
+		return err
+	}
+	if len(f.Payload) > inlinePayloadMax {
+		c.wbuf = buf
+		c.iov[0], c.iov[1] = buf, f.Payload
+		bufs := net.Buffers(c.iov[:])
+		_, err = bufs.WriteTo(c.nc)
+		c.iov[0], c.iov[1] = nil, nil
+		return err
+	}
+	buf = append(buf, f.Payload...)
+	c.wbuf = buf
+	_, err = c.nc.Write(buf)
+	return err
 }
 
-// roundTrip sends a request and waits for its response.
+// replyChPool recycles the one-shot reply channels of roundTrip.
+var replyChPool = sync.Pool{New: func() any { return make(chan *Frame, 1) }}
+
+// putReplyCh drains a possible undelivered response and recycles the
+// channel. Callers must guarantee no further send can occur (the pending
+// entry is gone: either a response/nil was sent under pmu, or the caller
+// deleted the entry itself).
+func putReplyCh(ch chan *Frame) {
+	select {
+	case f := <-ch:
+		releaseFrame(f)
+	default:
+	}
+	replyChPool.Put(ch)
+}
+
+// roundTrip sends a request and waits for its response. The request frame
+// stays owned by the caller; the returned response frame must be released
+// by the caller.
 func (c *conn) roundTrip(f *Frame) (*Frame, error) {
-	ch := make(chan *Frame, 1)
+	ch := replyChPool.Get().(chan *Frame)
 	c.pmu.Lock()
 	if c.closed {
 		c.pmu.Unlock()
+		replyChPool.Put(ch)
 		return nil, errConnClosed
 	}
 	c.reqSeq++
@@ -86,60 +158,112 @@ func (c *conn) roundTrip(f *Frame) (*Frame, error) {
 
 	f.Req = id
 	if err := c.write(f); err != nil {
-		c.pmu.Lock()
-		delete(c.pending, id)
-		c.pmu.Unlock()
+		c.abandon(id, ch)
+		select {
+		case <-c.done:
+			// The write lost a race with teardown: normalize to the same
+			// error pending round trips receive.
+			return nil, errConnClosed
+		default:
+		}
 		return nil, err
 	}
 	select {
 	case resp := <-ch:
+		putReplyCh(ch)
 		if resp == nil {
 			return nil, errConnClosed
 		}
 		if err := resp.Err(); err != nil {
+			releaseFrame(resp)
 			return nil, err
 		}
 		return resp, nil
 	case <-c.done:
+		c.abandon(id, ch)
 		return nil, errConnClosed
 	}
+}
+
+// abandon gives up on round trip id: it removes the pending entry (if the
+// response has not raced in already) and recycles the reply channel. Sends
+// are paired with entry removal under pmu, so after the delete no further
+// send can target ch.
+func (c *conn) abandon(id uint32, ch chan *Frame) {
+	c.pmu.Lock()
+	delete(c.pending, id)
+	c.pmu.Unlock()
+	putReplyCh(ch)
 }
 
 func (c *conn) readLoop() {
 	defer c.close()
 	for {
-		f, err := ReadFrame(c.br)
+		f, err := readFrame(c.br, c.cfg.maxPayload)
 		if err != nil {
 			return
 		}
-		if c.observe != nil {
-			c.observe(f)
+		if c.cfg.observe != nil {
+			c.cfg.observe(f)
 		}
 		if isResponse(f.Type) {
 			c.pmu.Lock()
 			ch, ok := c.pending[f.Req]
 			if ok {
 				delete(c.pending, f.Req)
+				ch <- f // cap 1 and sole sender for this id: never blocks
 			}
 			c.pmu.Unlock()
-			if ok {
-				ch <- f
+			if !ok {
+				releaseFrame(f) // unmatched (abandoned or bogus) response
 			}
 			continue
 		}
-		if c.handle == nil {
+		if c.cfg.handle == nil {
+			releaseFrame(f)
 			continue
 		}
-		go func(req *Frame) {
-			resp := c.handle(req)
-			if resp == nil {
+		if c.reqCh != nil {
+			select {
+			case c.reqCh <- f:
+			case <-c.done:
+				releaseFrame(f)
 				return
 			}
-			resp.Req = req.Req
-			if err := c.write(resp); err != nil {
-				c.close()
-			}
-		}(f)
+			continue
+		}
+		go c.serveRequest(f)
+	}
+}
+
+// workLoop is one bounded-pool worker: it drains the request queue until
+// the conn closes.
+func (c *conn) workLoop() {
+	for {
+		select {
+		case f := <-c.reqCh:
+			c.serveRequest(f)
+		case <-c.done:
+			return
+		}
+	}
+}
+
+// serveRequest runs the handler for one request and writes its response.
+// It owns req (released after the handler returns) and the handler's
+// response (released after the write).
+func (c *conn) serveRequest(req *Frame) {
+	resp := c.cfg.handle(req)
+	reqID := req.Req
+	releaseFrame(req)
+	if resp == nil {
+		return
+	}
+	resp.Req = reqID
+	err := c.write(resp)
+	releaseFrame(resp)
+	if err != nil {
+		c.close()
 	}
 }
 
@@ -160,5 +284,15 @@ func (c *conn) close() {
 
 // errFrame builds a MsgErr response.
 func errFrame(format string, args ...any) *Frame {
-	return &Frame{Type: MsgErr, Payload: []byte(fmt.Sprintf(format, args...))}
+	f := getFrame()
+	f.Type = MsgErr
+	f.Payload = []byte(fmt.Sprintf(format, args...))
+	return f
+}
+
+// ackFrame builds a bare MsgAck response.
+func ackFrame() *Frame {
+	f := getFrame()
+	f.Type = MsgAck
+	return f
 }

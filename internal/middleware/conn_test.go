@@ -11,8 +11,8 @@ import (
 func pipePair(t *testing.T, handle func(*Frame) *Frame) (client, server *conn) {
 	t.Helper()
 	cn, sn := net.Pipe()
-	client = newConn(cn, nil, nil, nil)
-	server = newConn(sn, handle, nil, nil)
+	client = newConn(cn, connConfig{})
+	server = newConn(sn, connConfig{handle: handle, workers: 2})
 	t.Cleanup(func() {
 		client.close()
 		server.close()
@@ -64,6 +64,59 @@ func TestConnConcurrentRoundTrips(t *testing.T) {
 	}
 }
 
+// TestConnConcurrentRoundTripsMidFlightClose interleaves many concurrent
+// round trips with a connection teardown: every call must return either its
+// own response or errConnClosed — never hang, never deliver a mismatched
+// frame. Run under -race this also exercises the reply-channel pool against
+// late response/close races.
+func TestConnConcurrentRoundTripsMidFlightClose(t *testing.T) {
+	gate := make(chan struct{})
+	client, server := pipePair(t, func(f *Frame) *Frame {
+		if f.Idx >= 16 {
+			<-gate // stall the later requests until after close
+		}
+		return &Frame{Type: MsgAck, Idx: f.Idx}
+	})
+	var wg sync.WaitGroup
+	results := make([]error, 48)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := client.roundTrip(&Frame{Type: MsgGetBlock, Idx: int32(i)})
+			if err != nil {
+				results[i] = err
+				return
+			}
+			if resp.Idx != int32(i) {
+				t.Errorf("request %d got response for %d", i, resp.Idx)
+			}
+			releaseFrame(resp)
+		}(i)
+	}
+	server.close()
+	close(gate)
+	wg.Wait()
+	// Requests that reached the pending map drain with errConnClosed; ones
+	// that lost the race at the write may surface the raw pipe error before
+	// this side's teardown finishes. Either way every call must return.
+	for i, err := range results {
+		if err != nil && err != errConnClosed {
+			t.Logf("request %d failed at the write: %v", i, err)
+		}
+	}
+	// The pending map must have fully drained.
+	client.pmu.Lock()
+	n := len(client.pending)
+	client.pmu.Unlock()
+	if n != 0 {
+		t.Fatalf("%d round trips still pending after close", n)
+	}
+	if _, err := client.roundTrip(&Frame{Type: MsgGetBlock}); err != errConnClosed {
+		t.Fatalf("round trip after close: %v, want errConnClosed", err)
+	}
+}
+
 func TestConnErrorResponse(t *testing.T) {
 	client, _ := pipePair(t, func(f *Frame) *Frame {
 		return errFrame("nope")
@@ -108,24 +161,27 @@ func TestConnOneWayMessagesIgnoredWithoutHandler(t *testing.T) {
 
 func TestConnStampApplied(t *testing.T) {
 	cn, sn := net.Pipe()
-	var got *Frame
+	// The request frame is pooled and reclaimed after the handler returns:
+	// copy the stamped fields out instead of retaining the frame.
+	var gotSender int32
+	var gotAge int64
 	ready := make(chan struct{})
-	server := newConn(sn, func(f *Frame) *Frame {
-		got = f
+	server := newConn(sn, connConfig{handle: func(f *Frame) *Frame {
+		gotSender, gotAge = f.Sender, f.OldestAge
 		close(ready)
 		return &Frame{Type: MsgAck}
-	}, nil, nil)
-	client := newConn(cn, nil, nil, func(f *Frame) {
+	}})
+	client := newConn(cn, connConfig{stamp: func(f *Frame) {
 		f.Sender = 42
 		f.OldestAge = 777
-	})
+	}})
 	defer server.close()
 	defer client.close()
 	if _, err := client.roundTrip(&Frame{Type: MsgGetBlock}); err != nil {
 		t.Fatal(err)
 	}
 	<-ready
-	if got.Sender != 42 || got.OldestAge != 777 {
-		t.Fatalf("stamp not applied: %+v", got)
+	if gotSender != 42 || gotAge != 777 {
+		t.Fatalf("stamp not applied: sender=%d age=%d", gotSender, gotAge)
 	}
 }

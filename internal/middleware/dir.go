@@ -65,6 +65,21 @@ type locator interface {
 	Miss(id block.ID, node int32)
 }
 
+// dirRPC sends one directory message to node m with pooled frames and
+// returns the response's Aux and Flags.
+func dirRPC(n *Node, m int, typ MsgType, id block.ID, aux int64) (int64, uint8, error) {
+	req := getFrame()
+	req.Type, req.File, req.Idx, req.Aux = typ, id.File, id.Idx, aux
+	resp, err := n.roundTripTo(m, req)
+	releaseFrame(req)
+	if err != nil {
+		return 0, 0, err
+	}
+	rAux, rFlags := resp.Aux, resp.Flags
+	releaseFrame(resp)
+	return rAux, rFlags, nil
+}
+
 // centralLocator talks to the dirServer, over the network or directly when
 // co-located.
 type centralLocator struct {
@@ -76,11 +91,11 @@ func (c *centralLocator) Lookup(id block.ID) (int32, bool, error) {
 		node, ok := srv.lookup(id)
 		return node, ok, nil
 	}
-	resp, err := c.n.roundTripTo(c.n.cfg.DirNode, &Frame{Type: MsgDirLookup, File: id.File, Idx: id.Idx})
+	aux, flags, err := dirRPC(c.n, c.n.cfg.DirNode, MsgDirLookup, id, 0)
 	if err != nil {
 		return 0, false, err
 	}
-	return int32(resp.Aux), resp.Flags != 0, nil
+	return int32(aux), flags != 0, nil
 }
 
 func (c *centralLocator) Update(id block.ID, node int32) error {
@@ -88,7 +103,7 @@ func (c *centralLocator) Update(id block.ID, node int32) error {
 		srv.update(id, node)
 		return nil
 	}
-	_, err := c.n.roundTripTo(c.n.cfg.DirNode, &Frame{Type: MsgDirUpdate, File: id.File, Idx: id.Idx, Aux: int64(node)})
+	_, _, err := dirRPC(c.n, c.n.cfg.DirNode, MsgDirUpdate, id, int64(node))
 	return err
 }
 
@@ -97,7 +112,7 @@ func (c *centralLocator) Drop(id block.ID, ifNode int32) error {
 		srv.drop(id, ifNode)
 		return nil
 	}
-	_, err := c.n.roundTripTo(c.n.cfg.DirNode, &Frame{Type: MsgDirDrop, File: id.File, Idx: id.Idx, Aux: int64(ifNode)})
+	_, _, err := dirRPC(c.n, c.n.cfg.DirNode, MsgDirDrop, id, int64(ifNode))
 	return err
 }
 
@@ -206,11 +221,11 @@ func (p *partitionedLocator) Lookup(id block.ID) (int32, bool, error) {
 		node, ok := p.n.dirSrv.lookup(id)
 		return node, ok, nil
 	}
-	resp, err := p.n.roundTripTo(m, &Frame{Type: MsgDirLookup, File: id.File, Idx: id.Idx})
+	aux, flags, err := dirRPC(p.n, m, MsgDirLookup, id, 0)
 	if err != nil {
 		return 0, false, err
 	}
-	return int32(resp.Aux), resp.Flags != 0, nil
+	return int32(aux), flags != 0, nil
 }
 
 func (p *partitionedLocator) Update(id block.ID, node int32) error {
@@ -219,7 +234,7 @@ func (p *partitionedLocator) Update(id block.ID, node int32) error {
 		p.n.dirSrv.update(id, node)
 		return nil
 	}
-	_, err := p.n.roundTripTo(m, &Frame{Type: MsgDirUpdate, File: id.File, Idx: id.Idx, Aux: int64(node)})
+	_, _, err := dirRPC(p.n, m, MsgDirUpdate, id, int64(node))
 	return err
 }
 
@@ -229,7 +244,7 @@ func (p *partitionedLocator) Drop(id block.ID, ifNode int32) error {
 		p.n.dirSrv.drop(id, ifNode)
 		return nil
 	}
-	_, err := p.n.roundTripTo(m, &Frame{Type: MsgDirDrop, File: id.File, Idx: id.Idx, Aux: int64(ifNode)})
+	_, _, err := dirRPC(p.n, m, MsgDirDrop, id, int64(ifNode))
 	return err
 }
 

@@ -10,7 +10,7 @@ import (
 
 func TestFrameHintDeltasRoundTrip(t *testing.T) {
 	f := &Frame{
-		Type: MsgAck,
+		Type: MsgBlockData, // a payload-carrying type: hints + payload coexist
 		Hints: []HintDelta{
 			{File: 1, Idx: 2, Node: 3},
 			{File: 4, Idx: 5, Node: 6},

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -39,6 +40,14 @@ type Config struct {
 	// the request-scheduling/prefetching remedy §5 suggests for the
 	// interleaving pathology.
 	Readahead int
+	// Workers bounds concurrent request handling per connection: 0 uses
+	// GOMAXPROCS workers (the default), a negative value restores the
+	// legacy one-goroutine-per-request dispatch (unbounded under bursts).
+	Workers int
+	// MaxPayload caps the payload size this node accepts per frame (0:
+	// the 64 MB default). Smaller deployments can lower it so a bad peer
+	// cannot force large allocations.
+	MaxPayload int
 }
 
 // Node is a live cooperative caching node: a TCP server cooperating with
@@ -67,6 +76,11 @@ type Node struct {
 	// deltas piggybacked on outgoing frames (hint mode only).
 	hintMu   sync.Mutex
 	hintRing []HintDelta
+
+	// workers/maxPayload are the resolved per-conn settings (Config.Workers
+	// and Config.MaxPayload with defaults applied).
+	workers    int
+	maxPayload int
 
 	c counters
 }
@@ -135,6 +149,17 @@ func Start(cfg Config) (*Node, error) {
 		store:    NewStore(cfg.CapacityBlocks, cfg.Policy),
 		accepted: make(map[*conn]struct{}),
 		pending:  make(map[block.ID]chan struct{}),
+	}
+	n.workers = cfg.Workers
+	if n.workers == 0 {
+		n.workers = runtime.GOMAXPROCS(0)
+	}
+	if n.workers < 0 {
+		n.workers = 0 // legacy per-request goroutines
+	}
+	n.maxPayload = cfg.MaxPayload
+	if n.maxPayload <= 0 {
+		n.maxPayload = maxPayload
 	}
 	if cfg.Hints {
 		cfg.DirMode = DirHints
@@ -239,7 +264,7 @@ func (n *Node) acceptLoop() {
 		if err != nil {
 			return
 		}
-		c := newConn(nc, n.handle, n.observe, n.stamp)
+		c := newConn(nc, n.connConfig())
 		n.mu.Lock()
 		if n.closed {
 			n.mu.Unlock()
@@ -248,6 +273,17 @@ func (n *Node) acceptLoop() {
 		}
 		n.accepted[c] = struct{}{}
 		n.mu.Unlock()
+	}
+}
+
+// connConfig builds the per-conn settings for this node's connections.
+func (n *Node) connConfig() connConfig {
+	return connConfig{
+		handle:     n.handle,
+		observe:    n.observe,
+		stamp:      n.stamp,
+		workers:    n.workers,
+		maxPayload: n.maxPayload,
 	}
 }
 
@@ -263,7 +299,8 @@ func (n *Node) stamp(f *Frame) {
 	if n.hints != nil && f.Hints == nil {
 		n.hintMu.Lock()
 		if len(n.hintRing) > 0 {
-			f.Hints = append([]HintDelta(nil), n.hintRing...)
+			// The frame's inline hint array keeps stamping allocation-free.
+			f.Hints = append(f.hintArr[:0], n.hintRing...)
 		}
 		n.hintMu.Unlock()
 	}
@@ -351,7 +388,7 @@ func (n *Node) peer(i int) (*conn, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := newConn(nc, n.handle, n.observe, n.stamp)
+	c := newConn(nc, n.connConfig())
 	n.mu.Lock()
 	if n.peers[i] != nil {
 		// Lost the dial race; keep the established one.
@@ -415,7 +452,9 @@ func (n *Node) handle(f *Frame) *Frame {
 		if err != nil {
 			return errFrame("read file %d: %v", f.File, err)
 		}
-		return &Frame{Type: MsgFileData, File: f.File, Payload: data}
+		r := getFrame()
+		r.Type, r.File, r.Payload = MsgFileData, f.File, data
+		return r
 	case MsgReadRange:
 		off, length := unpackRange(f.Aux)
 		size, err := n.cfg.Source.FileSize(f.File)
@@ -426,30 +465,37 @@ func (n *Node) handle(f *Frame) *Frame {
 		if err != nil {
 			return errFrame("read range %d: %v", f.File, err)
 		}
-		return &Frame{Type: MsgFileData, File: f.File, Aux: size, Payload: data}
+		r := getFrame()
+		r.Type, r.File, r.Aux, r.Payload = MsgFileData, f.File, size, data
+		return r
 	case MsgDirLookup, MsgDirUpdate, MsgDirDrop:
 		return n.handleDir(f)
 	case MsgForward:
 		return n.handleForward(f)
 	case MsgWriteBlock:
-		if err := n.WriteBlock(f.ID(), f.Payload); err != nil {
+		// WriteBlock retains the slice (store insert): take ownership away
+		// from the pooled frame.
+		if err := n.WriteBlock(f.ID(), f.TakePayload()); err != nil {
 			return errFrame("write %v: %v", f.ID(), err)
 		}
-		return &Frame{Type: MsgAck}
+		return ackFrame()
 	case MsgInvalidate:
 		n.handleInvalidate(f.ID())
-		return &Frame{Type: MsgAck}
+		return ackFrame()
 	case MsgPutBlock:
-		if err := n.cfg.Source.WriteBlock(f.File, f.Idx, f.Payload); err != nil {
+		// The BlockSource contract does not promise a copy: take ownership.
+		if err := n.cfg.Source.WriteBlock(f.File, f.Idx, f.TakePayload()); err != nil {
 			return errFrame("put %v: %v", f.ID(), err)
 		}
-		return &Frame{Type: MsgAck}
+		return ackFrame()
 	case MsgStats:
 		payload, err := json.Marshal(n.Stats())
 		if err != nil {
 			return errFrame("stats: %v", err)
 		}
-		return &Frame{Type: MsgStatsReply, Payload: payload}
+		r := getFrame()
+		r.Type, r.Payload = MsgStatsReply, payload
+		return r
 	default:
 		return errFrame("unknown message type %d", f.Type)
 	}
@@ -466,7 +512,9 @@ func (n *Node) handleGetBlock(f *Frame) *Frame {
 		if n.hints != nil && f.Flags&FlagForce == 0 {
 			if holder, ok, _ := n.hints.Lookup(id); ok &&
 				holder != int32(n.cfg.ID) && holder != f.Sender {
-				return &Frame{Type: MsgBlockMiss, Flags: FlagMaster, File: f.File, Idx: f.Idx, Aux: int64(holder)}
+				r := getFrame()
+				r.Type, r.Flags, r.File, r.Idx, r.Aux = MsgBlockMiss, FlagMaster, f.File, f.Idx, int64(holder)
+				return r
 			}
 		}
 		data, err := n.cfg.Source.ReadBlock(f.File, f.Idx)
@@ -477,12 +525,18 @@ func (n *Node) handleGetBlock(f *Frame) *Frame {
 			// The home learns the new master location from this exchange.
 			n.noteHint(id, f.Sender)
 		}
-		return &Frame{Type: MsgBlockData, Flags: FlagMaster, File: f.File, Idx: f.Idx, Payload: data}
+		r := getFrame()
+		r.Type, r.Flags, r.File, r.Idx, r.Payload = MsgBlockData, FlagMaster, f.File, f.Idx, data
+		return r
 	}
 	if data, ok := n.store.Get(id); ok {
-		return &Frame{Type: MsgBlockData, File: f.File, Idx: f.Idx, Payload: data}
+		r := getFrame()
+		r.Type, r.File, r.Idx, r.Payload = MsgBlockData, f.File, f.Idx, data
+		return r
 	}
-	return &Frame{Type: MsgBlockMiss, File: f.File, Idx: f.Idx}
+	r := getFrame()
+	r.Type, r.File, r.Idx = MsgBlockMiss, f.File, f.Idx
+	return r
 }
 
 func (n *Node) handleDir(f *Frame) *Frame {
@@ -493,7 +547,8 @@ func (n *Node) handleDir(f *Frame) *Frame {
 	switch f.Type {
 	case MsgDirLookup:
 		node, ok := n.dirSrv.lookup(id)
-		r := &Frame{Type: MsgDirResult, File: f.File, Idx: f.Idx, Aux: int64(node)}
+		r := getFrame()
+		r.Type, r.File, r.Idx, r.Aux = MsgDirResult, f.File, f.Idx, int64(node)
 		if ok {
 			r.Flags = 1
 		}
@@ -503,12 +558,13 @@ func (n *Node) handleDir(f *Frame) *Frame {
 	case MsgDirDrop:
 		n.dirSrv.drop(id, int32(f.Aux))
 	}
-	return &Frame{Type: MsgAck}
+	return ackFrame()
 }
 
 func (n *Node) handleForward(f *Frame) *Frame {
 	id := f.ID()
-	accepted, displaced := n.store.AcceptForward(id, f.Payload, f.Aux)
+	// The store keeps the forwarded slice: take ownership from the frame.
+	accepted, displaced := n.store.AcceptForward(id, f.TakePayload(), f.Aux)
 	if displaced != nil && displaced.Master {
 		// The block we discarded to make room was a master: the cluster
 		// forgets it (no cascaded forwarding, §3).
@@ -517,7 +573,8 @@ func (n *Node) handleForward(f *Frame) *Frame {
 	if accepted {
 		n.noteHint(id, int32(n.cfg.ID))
 	}
-	r := &Frame{Type: MsgForwardAck, File: f.File, Idx: f.Idx}
+	r := getFrame()
+	r.Type, r.File, r.Idx = MsgForwardAck, f.File, f.Idx
 	if accepted {
 		r.Flags = 1
 	}

@@ -11,12 +11,19 @@
 // sender's oldest-block age, giving each node the peer-age knowledge the
 // replacement algorithm needs (§3) without dedicated traffic — the same
 // trick Sarkar & Hartman use for hints.
+//
+// The codec is allocation-light: Frame structs and payload buffers are
+// recycled through size-classed pools, and a frame is encoded into a single
+// contiguous buffer so the writer issues one socket write (or one writev
+// for large payloads) instead of one per section. See conn.go for the
+// ownership contract.
 package middleware
 
 import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sync"
 
 	"repro/internal/block"
 )
@@ -62,12 +69,14 @@ const (
 	// MsgStatsReply returns encoded Stats.
 	MsgStatsReply
 	// MsgReadRange asks a node for a byte range of a file: Aux packs the
-	// offset (high 40 bits) and length (low 24 bits) via packRange.
+	// offset (high 39 bits) and length (low 24 bits) via packRange.
 	MsgReadRange
 )
 
-// packRange encodes a byte range into an Aux value (offset < 2^39,
-// length < 2^24 — a 16 MB range cap, far above any sensible request).
+// packRange encodes a byte range into an Aux value: the offset in the high
+// 39 value bits of the int64 (offset < 2^39, a 512 GB file cap) and the
+// length in the low 24 bits (length < 2^24, a 16 MB range cap, far above
+// any sensible request).
 func packRange(off int64, n int) int64 {
 	return off<<24 | int64(n)
 }
@@ -120,10 +129,20 @@ type Frame struct {
 	// Aux carries a message-specific integer (directory node, block age...).
 	Aux int64
 	// Hints are piggybacked directory deltas (hint mode only; ≤
-	// maxHintDeltas).
+	// maxHintDeltas). For pooled frames Hints aliases hintArr, so it is
+	// only valid until the frame is released.
 	Hints []HintDelta
-	// Payload is the block/file content or error text.
+	// Payload is the block/file content or error text. For frames decoded
+	// from the wire it is backed by a pooled buffer: use TakePayload to
+	// keep the bytes past releaseFrame.
 	Payload []byte
+
+	// hintArr provides allocation-free backing for Hints on decode and
+	// stamp.
+	hintArr [maxHintDeltas]HintDelta
+	// pbuf, when non-nil, is the pooled buffer backing Payload; it returns
+	// to its size-class pool on releaseFrame.
+	pbuf *[]byte
 }
 
 // header layout: type(1) flags(1) req(4) sender(4) oldest(8) file(4) idx(4)
@@ -132,17 +151,125 @@ type Frame struct {
 const headerLen = 39
 
 // maxPayload bounds a frame payload (64 MB covers any file in the traces).
+// It is the write-side cap and the read-side default; conns can lower the
+// read-side limit (Config.MaxPayload).
 const maxPayload = 64 << 20
 
-// WriteFrame encodes f to w.
-func WriteFrame(w io.Writer, f *Frame) error {
+// typeCarriesPayload reports whether t is allowed a non-empty payload. The
+// decoder rejects payloads on the other types, so a malformed or hostile
+// peer cannot force large allocations through, say, a MsgGetBlock.
+func typeCarriesPayload(t MsgType) bool {
+	switch t {
+	case MsgBlockData, MsgFileData, MsgForward, MsgWriteBlock, MsgPutBlock,
+		MsgErr, MsgStatsReply:
+		return true
+	}
+	return false
+}
+
+// --- frame and payload pooling ---
+
+var framePool = sync.Pool{New: func() any { return new(Frame) }}
+
+// getFrame returns a zeroed frame from the pool. Pair with releaseFrame.
+func getFrame() *Frame { return framePool.Get().(*Frame) }
+
+// releaseFrame recycles a frame and, if its payload is pool-backed, the
+// payload buffer. The frame and any slices reaching into it (Payload,
+// Hints) must not be used afterwards.
+func releaseFrame(f *Frame) {
+	if f == nil {
+		return
+	}
+	pb := f.pbuf
+	*f = Frame{}
+	framePool.Put(f)
+	if pb != nil {
+		putPayload(pb)
+	}
+}
+
+// TakePayload transfers ownership of the payload to the caller: the bytes
+// stay valid after releaseFrame and are never recycled underneath the
+// caller. Use it wherever received data is retained (cache insert, return
+// to the application).
+func (f *Frame) TakePayload() []byte {
+	p := f.Payload
+	f.Payload = nil
+	f.pbuf = nil
+	return p
+}
+
+// payloadClassSizes are the pooled payload buffer capacities. 8 KB matches
+// the default block geometry; the larger classes serve whole-file and
+// range responses.
+var payloadClassSizes = [...]int{
+	1 << 10, 2 << 10, 4 << 10, 8 << 10, 16 << 10,
+	32 << 10, 64 << 10, 256 << 10, 1 << 20,
+}
+
+var payloadPools [len(payloadClassSizes)]sync.Pool
+
+// getPayload returns a pooled buffer of length n (capacity rounded up to
+// the size class). Payloads above the largest class are plain allocations.
+func getPayload(n int) *[]byte {
+	for i, s := range payloadClassSizes {
+		if n <= s {
+			if v := payloadPools[i].Get(); v != nil {
+				pb := v.(*[]byte)
+				*pb = (*pb)[:n]
+				return pb
+			}
+			b := make([]byte, n, s)
+			return &b
+		}
+	}
+	b := make([]byte, n)
+	return &b
+}
+
+// putPayload recycles a buffer obtained from getPayload. Buffers whose
+// capacity is not an exact class size (oversize allocations, taken-and-
+// returned foreign slices) are left to the garbage collector.
+func putPayload(pb *[]byte) {
+	c := cap(*pb)
+	for i, s := range payloadClassSizes {
+		if c == s {
+			*pb = (*pb)[:s]
+			payloadPools[i].Put(pb)
+			return
+		}
+	}
+}
+
+// --- encode / decode ---
+
+// growSlice extends buf by n bytes, reallocating if needed, and returns the
+// extended slice.
+func growSlice(buf []byte, n int) []byte {
+	if cap(buf)-len(buf) >= n {
+		return buf[:len(buf)+n]
+	}
+	nb := make([]byte, len(buf)+n, 2*cap(buf)+n)
+	copy(nb, buf)
+	return nb
+}
+
+// appendHeader validates f and appends its header and hint deltas (not the
+// payload) to buf.
+func appendHeader(buf []byte, f *Frame) ([]byte, error) {
 	if len(f.Payload) > maxPayload {
-		return fmt.Errorf("middleware: payload %d exceeds limit", len(f.Payload))
+		return nil, fmt.Errorf("middleware: payload %d exceeds limit", len(f.Payload))
+	}
+	if len(f.Payload) > 0 && !typeCarriesPayload(f.Type) {
+		return nil, fmt.Errorf("middleware: frame type %d does not carry a payload", f.Type)
 	}
 	if len(f.Hints) > maxHintDeltas {
-		return fmt.Errorf("middleware: %d hint deltas exceed limit %d", len(f.Hints), maxHintDeltas)
+		return nil, fmt.Errorf("middleware: %d hint deltas exceed limit %d", len(f.Hints), maxHintDeltas)
 	}
-	var hdr [headerLen]byte
+	need := headerLen + 12*len(f.Hints)
+	buf = growSlice(buf, need)
+	hdr := buf[len(buf)-need:]
 	hdr[0] = byte(f.Type)
 	hdr[1] = f.Flags
 	binary.BigEndian.PutUint32(hdr[2:], f.Req)
@@ -153,69 +280,95 @@ func WriteFrame(w io.Writer, f *Frame) error {
 	binary.BigEndian.PutUint64(hdr[26:], uint64(f.Aux))
 	hdr[34] = byte(len(f.Hints))
 	binary.BigEndian.PutUint32(hdr[35:], uint32(len(f.Payload)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
+	for i, h := range f.Hints {
+		d := hdr[headerLen+12*i:]
+		binary.BigEndian.PutUint32(d, uint32(h.File))
+		binary.BigEndian.PutUint32(d[4:], uint32(h.Idx))
+		binary.BigEndian.PutUint32(d[8:], uint32(h.Node))
 	}
-	if len(f.Hints) > 0 {
-		deltas := make([]byte, 12*len(f.Hints))
-		for i, h := range f.Hints {
-			binary.BigEndian.PutUint32(deltas[12*i:], uint32(h.File))
-			binary.BigEndian.PutUint32(deltas[12*i+4:], uint32(h.Idx))
-			binary.BigEndian.PutUint32(deltas[12*i+8:], uint32(h.Node))
-		}
-		if _, err := w.Write(deltas); err != nil {
-			return err
-		}
-	}
-	if len(f.Payload) > 0 {
-		if _, err := w.Write(f.Payload); err != nil {
-			return err
-		}
-	}
-	return nil
+	return buf, nil
 }
 
-// ReadFrame decodes one frame from r.
+// writeBufPool holds encode scratch buffers for WriteFrame. Oversized
+// buffers (above the largest payload class) are not retained.
+var writeBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 16<<10)
+	return &b
+}}
+
+// WriteFrame encodes f to w as a single contiguous write.
+func WriteFrame(w io.Writer, f *Frame) error {
+	bp := writeBufPool.Get().(*[]byte)
+	buf, err := appendHeader((*bp)[:0], f)
+	if err != nil {
+		writeBufPool.Put(bp)
+		return err
+	}
+	buf = append(buf, f.Payload...)
+	_, err = w.Write(buf)
+	if cap(buf) <= 1<<20 {
+		*bp = buf[:0]
+	}
+	writeBufPool.Put(bp)
+	return err
+}
+
+// ReadFrame decodes one frame from r into a pooled frame. Release it with
+// releaseFrame when done (TakePayload first to retain the content).
 func ReadFrame(r io.Reader) (*Frame, error) {
+	return readFrame(r, maxPayload)
+}
+
+// readFrame is ReadFrame with a configurable payload cap (per-conn limit).
+func readFrame(r io.Reader, limit int) (*Frame, error) {
 	var hdr [headerLen]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
 	}
-	f := &Frame{
-		Type:      MsgType(hdr[0]),
-		Flags:     hdr[1],
-		Req:       binary.BigEndian.Uint32(hdr[2:]),
-		Sender:    int32(binary.BigEndian.Uint32(hdr[6:])),
-		OldestAge: int64(binary.BigEndian.Uint64(hdr[10:])),
-		File:      block.FileID(binary.BigEndian.Uint32(hdr[18:])),
-		Idx:       int32(binary.BigEndian.Uint32(hdr[22:])),
-		Aux:       int64(binary.BigEndian.Uint64(hdr[26:])),
-	}
+	f := getFrame()
+	f.Type = MsgType(hdr[0])
+	f.Flags = hdr[1]
+	f.Req = binary.BigEndian.Uint32(hdr[2:])
+	f.Sender = int32(binary.BigEndian.Uint32(hdr[6:]))
+	f.OldestAge = int64(binary.BigEndian.Uint64(hdr[10:]))
+	f.File = block.FileID(binary.BigEndian.Uint32(hdr[18:]))
+	f.Idx = int32(binary.BigEndian.Uint32(hdr[22:]))
+	f.Aux = int64(binary.BigEndian.Uint64(hdr[26:]))
 	nhints := int(hdr[34])
 	plen := binary.BigEndian.Uint32(hdr[35:])
 	if nhints > maxHintDeltas {
+		releaseFrame(f)
 		return nil, fmt.Errorf("middleware: frame carries %d hint deltas", nhints)
 	}
-	if plen > maxPayload {
-		return nil, fmt.Errorf("middleware: frame payload %d exceeds limit", plen)
+	if int64(plen) > int64(limit) {
+		releaseFrame(f)
+		return nil, fmt.Errorf("middleware: frame payload %d exceeds limit %d", plen, limit)
+	}
+	if plen > 0 && !typeCarriesPayload(f.Type) {
+		t := f.Type
+		releaseFrame(f)
+		return nil, fmt.Errorf("middleware: frame type %d carries unexpected %d-byte payload", t, plen)
 	}
 	if nhints > 0 {
-		deltas := make([]byte, 12*nhints)
-		if _, err := io.ReadFull(r, deltas); err != nil {
+		var deltas [12 * maxHintDeltas]byte
+		if _, err := io.ReadFull(r, deltas[:12*nhints]); err != nil {
+			releaseFrame(f)
 			return nil, err
 		}
-		f.Hints = make([]HintDelta, nhints)
-		for i := range f.Hints {
-			f.Hints[i] = HintDelta{
+		for i := 0; i < nhints; i++ {
+			f.hintArr[i] = HintDelta{
 				File: block.FileID(binary.BigEndian.Uint32(deltas[12*i:])),
 				Idx:  int32(binary.BigEndian.Uint32(deltas[12*i+4:])),
 				Node: int32(binary.BigEndian.Uint32(deltas[12*i+8:])),
 			}
 		}
+		f.Hints = f.hintArr[:nhints]
 	}
 	if plen > 0 {
-		f.Payload = make([]byte, plen)
+		f.pbuf = getPayload(int(plen))
+		f.Payload = *f.pbuf
 		if _, err := io.ReadFull(r, f.Payload); err != nil {
+			releaseFrame(f)
 			return nil, err
 		}
 	}

@@ -47,7 +47,12 @@ func TestFrameRoundTripProperty(t *testing.T) {
 			OldestAge: age, File: block.FileID(file), Idx: idx, Aux: aux, Payload: payload,
 		}
 		var buf bytes.Buffer
-		if err := WriteFrame(&buf, in); err != nil {
+		err := WriteFrame(&buf, in)
+		if len(payload) > 0 && !typeCarriesPayload(in.Type) {
+			// The codec refuses payloads on types that never carry data.
+			return err != nil
+		}
+		if err != nil {
 			return false
 		}
 		out, err := ReadFrame(&buf)
@@ -82,6 +87,60 @@ func TestWriteFrameRejectsHugePayload(t *testing.T) {
 	f := &Frame{Type: MsgBlockData, Payload: make([]byte, maxPayload+1)}
 	if err := WriteFrame(&bytes.Buffer{}, f); err == nil {
 		t.Fatal("oversized payload accepted")
+	}
+}
+
+func TestPackRangeBoundaries(t *testing.T) {
+	const maxOff = int64(1)<<39 - 1 // 512 GB file cap: offset fits 39 value bits
+	for _, off := range []int64{0, 1, int64(1) << 24, maxOff - 1, maxOff} {
+		for _, n := range []int{0, 1, maxRangeLen - 1, maxRangeLen} {
+			gotOff, gotN := unpackRange(packRange(off, n))
+			if gotOff != off || gotN != n {
+				t.Errorf("packRange(%d, %d) round-tripped to (%d, %d)", off, n, gotOff, gotN)
+			}
+		}
+	}
+}
+
+func TestReadFrameRejectsPayloadOnBareType(t *testing.T) {
+	// Encode a legitimate payload-carrying frame, then flip its type to one
+	// that never carries data: the decoder must refuse the 4 KB payload
+	// instead of allocating and delivering it.
+	var buf bytes.Buffer
+	f := &Frame{Type: MsgBlockData, Payload: make([]byte, 4096)}
+	if err := WriteFrame(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[0] = byte(MsgAck)
+	if _, err := ReadFrame(bytes.NewReader(raw)); err == nil {
+		t.Fatal("payload on a zero-payload type accepted")
+	}
+}
+
+func TestWriteFrameRejectsPayloadOnBareType(t *testing.T) {
+	f := &Frame{Type: MsgInvalidate, Payload: []byte("x")}
+	if err := WriteFrame(&bytes.Buffer{}, f); err == nil {
+		t.Fatal("payload on a zero-payload type accepted on encode")
+	}
+}
+
+func TestReadFramePerConnPayloadLimit(t *testing.T) {
+	var buf bytes.Buffer
+	f := &Frame{Type: MsgBlockData, Payload: make([]byte, 2048)}
+	if err := WriteFrame(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if _, err := readFrame(bytes.NewReader(raw), 1024); err == nil {
+		t.Fatal("payload above the per-conn limit accepted")
+	}
+	got, err := readFrame(bytes.NewReader(raw), 2048)
+	if err != nil {
+		t.Fatalf("payload at the per-conn limit rejected: %v", err)
+	}
+	if len(got.Payload) != 2048 {
+		t.Fatalf("payload = %d bytes", len(got.Payload))
 	}
 }
 

@@ -75,13 +75,15 @@ func (c *Client) Open(f block.FileID) (*FileReader, error) {
 // probeSize performs the zero-length ranged read that sizes the file.
 func (fr *FileReader) probeSize() (int64, error) {
 	node := fr.c.next()
-	resp, err := fr.c.roundTrip(node, &Frame{
-		Type: MsgReadRange, File: fr.file, Aux: packRange(0, 0),
-	})
+	req := getFrame()
+	req.Type, req.File, req.Aux = MsgReadRange, fr.file, packRange(0, 0)
+	resp, err := fr.c.roundTrip(node, req)
+	releaseFrame(req)
 	if err != nil {
 		return 0, err
 	}
 	fr.size = resp.Aux
+	releaseFrame(resp)
 	return fr.size, nil
 }
 
@@ -98,13 +100,18 @@ func (fr *FileReader) ReadAt(p []byte, off int64) (int, error) {
 		want = maxRangeLen
 	}
 	node := fr.c.next()
-	resp, err := fr.c.roundTrip(node, &Frame{
-		Type: MsgReadRange, File: fr.file, Aux: packRange(off, want),
-	})
+	req := getFrame()
+	req.Type, req.File, req.Aux = MsgReadRange, fr.file, packRange(off, want)
+	resp, err := fr.c.roundTrip(node, req)
+	releaseFrame(req)
 	if err != nil {
 		return 0, err
 	}
+	// Copy into the caller's buffer, then recycle the pooled payload: the
+	// ranged-read reply is the one response path whose payload never needs
+	// to outlive the call.
 	n := copy(p, resp.Payload)
+	releaseFrame(resp)
 	if n < len(p) {
 		return n, io.EOF
 	}

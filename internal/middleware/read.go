@@ -15,7 +15,9 @@ const readWindow = 8
 // returns its content. Missing blocks are fetched through a bounded
 // concurrent window, so a cold file's blocks stream from its sources in
 // parallel. This is the node-side implementation of the client's Read (and
-// what a web server built on the middleware calls per request).
+// what a web server built on the middleware calls per request). Each block
+// is decoded straight into the output slice (GetBlockInto), so a cached
+// block costs one copy and no intermediate allocation.
 func (n *Node) ReadFile(f block.FileID) ([]byte, error) {
 	size, err := n.cfg.Source.FileSize(f)
 	if err != nil {
@@ -30,11 +32,13 @@ func (n *Node) ReadFile(f block.FileID) ([]byte, error) {
 		mu       sync.Mutex
 		firstErr error
 	)
-	for i := int32(0); i < nblocks; i++ {
+	failed := func() bool {
 		mu.Lock()
-		failed := firstErr != nil
-		mu.Unlock()
-		if failed {
+		defer mu.Unlock()
+		return firstErr != nil
+	}
+	for i := int32(0); i < nblocks; i++ {
+		if failed() {
 			break
 		}
 		wg.Add(1)
@@ -42,11 +46,17 @@ func (n *Node) ReadFile(f block.FileID) ([]byte, error) {
 		go func(i int32) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			data, err := n.GetBlock(block.ID{File: f, Idx: i})
+			// A block that failed while this goroutine queued for the window
+			// makes the remaining fetches pointless: short-circuit before
+			// issuing any network traffic.
+			if failed() {
+				return
+			}
 			off := int64(i) * int64(n.geom.Size)
 			want := blockLen(n.geom, size, i)
-			if err == nil && len(data) != want {
-				err = fmt.Errorf("middleware: block %d:%d is %d bytes, want %d", f, i, len(data), want)
+			got, err := n.GetBlockInto(block.ID{File: f, Idx: i}, out[off:off+int64(want)])
+			if err == nil && got != want {
+				err = fmt.Errorf("middleware: block %d:%d is %d bytes, want %d", f, i, got, want)
 			}
 			if err != nil {
 				mu.Lock()
@@ -54,9 +64,7 @@ func (n *Node) ReadFile(f block.FileID) ([]byte, error) {
 					firstErr = err
 				}
 				mu.Unlock()
-				return
 			}
-			copy(out[off:], data)
 		}(i)
 	}
 	wg.Wait()
@@ -71,17 +79,34 @@ func (n *Node) ReadFile(f block.FileID) ([]byte, error) {
 // or hints), then a master read through the file's home node. Concurrent
 // misses for the same block coalesce into one fetch.
 func (n *Node) GetBlock(id block.ID) ([]byte, error) {
-	return n.getBlock(id, true)
+	data, _, err := n.getBlock(id, nil, true)
+	return data, err
 }
 
-// getBlock is GetBlock with control over readahead triggering (prefetch
-// fetches must not recursively spawn further readahead windows).
-func (n *Node) getBlock(id block.ID, triggerRA bool) ([]byte, error) {
+// GetBlockInto is GetBlock filling a caller-provided buffer: a local hit
+// copies once under the store lock, a remote hit copies the received payload
+// straight into dst. Returns the number of bytes copied (min of the block
+// and dst lengths).
+func (n *Node) GetBlockInto(id block.ID, dst []byte) (int, error) {
+	_, nn, err := n.getBlock(id, dst, true)
+	return nn, err
+}
+
+// getBlock is the shared fetch path with control over readahead triggering
+// (prefetch fetches must not recursively spawn further readahead windows).
+// With dst == nil it returns the block content (aliasing the store's copy);
+// with dst != nil it copies into dst and returns the count.
+func (n *Node) getBlock(id block.ID, dst []byte, triggerRA bool) ([]byte, int, error) {
 	for {
 		n.c.accesses.Add(1)
-		if data, ok := n.store.Get(id); ok {
+		if dst != nil {
+			if nn, ok := n.store.CopyInto(id, dst); ok {
+				n.c.localHits.Add(1)
+				return nil, nn, nil
+			}
+		} else if data, ok := n.store.Get(id); ok {
 			n.c.localHits.Add(1)
-			return data, nil
+			return data, 0, nil
 		}
 		// Coalesce concurrent fetches of the same block.
 		n.pmu.Lock()
@@ -102,10 +127,16 @@ func (n *Node) getBlock(id block.ID, triggerRA bool) ([]byte, error) {
 		delete(n.pending, id)
 		n.pmu.Unlock()
 		close(ch)
-		if err == nil && triggerRA && n.cfg.Readahead > 0 {
+		if err != nil {
+			return nil, 0, err
+		}
+		if triggerRA && n.cfg.Readahead > 0 {
 			go n.readahead(id)
 		}
-		return data, err
+		if dst != nil {
+			return nil, copy(dst, data), nil
+		}
+		return data, 0, nil
 	}
 }
 
@@ -123,7 +154,7 @@ func (n *Node) readahead(after block.ID) {
 		if n.store.Contains(id) {
 			continue
 		}
-		if _, err := n.getBlock(id, false); err != nil {
+		if _, _, err := n.getBlock(id, nil, false); err != nil {
 			return
 		}
 		n.c.prefetches.Add(1)
@@ -134,11 +165,19 @@ func (n *Node) readahead(after block.ID) {
 func (n *Node) fetchBlock(id block.ID) ([]byte, error) {
 	self := int32(n.cfg.ID)
 	if m, ok, err := n.loc.Lookup(id); err == nil && ok && m != self {
-		resp, err := n.roundTripTo(int(m), &Frame{Type: MsgGetBlock, File: id.File, Idx: id.Idx})
+		req := getFrame()
+		req.Type, req.File, req.Idx = MsgGetBlock, id.File, id.Idx
+		resp, err := n.roundTripTo(int(m), req)
+		releaseFrame(req)
 		if err == nil && resp.Type == MsgBlockData {
+			data := resp.TakePayload() // the store retains this slice
+			releaseFrame(resp)
 			n.c.remoteHits.Add(1)
-			n.insertBlock(id, resp.Payload, false)
-			return resp.Payload, nil
+			n.insertBlock(id, data, false)
+			return data, nil
+		}
+		if err == nil {
+			releaseFrame(resp)
 		}
 		// The master vanished while the request traveled (§3's explicitly
 		// tolerated race) or the hint was stale: correct and fall through
@@ -173,25 +212,31 @@ func (n *Node) fetchFromHome(id block.ID) ([]byte, error) {
 	} else {
 		flags := FlagMaster
 		for {
-			resp, err := n.roundTripTo(home, &Frame{
-				Type: MsgGetBlock, Flags: flags, File: id.File, Idx: id.Idx,
-			})
+			req := getFrame()
+			req.Type, req.Flags, req.File, req.Idx = MsgGetBlock, flags, id.File, id.Idx
+			resp, err := n.roundTripTo(home, req)
+			releaseFrame(req)
 			if err != nil {
 				return nil, err
 			}
 			if resp.Type == MsgBlockMiss && resp.Aux >= 0 && flags&FlagForce == 0 {
+				holder := int(resp.Aux)
+				releaseFrame(resp)
 				// Probable-owner redirect: try the hinted holder; on
 				// success this is a remote memory hit, not a disk read.
-				if d, ok := n.fetchRedirected(id, int(resp.Aux)); ok {
+				if d, ok := n.fetchRedirected(id, holder); ok {
 					return d, nil
 				}
 				flags |= FlagForce
 				continue
 			}
 			if resp.Type != MsgBlockData {
-				return nil, fmt.Errorf("middleware: home %d returned %d for %v", home, resp.Type, id)
+				typ := resp.Type
+				releaseFrame(resp)
+				return nil, fmt.Errorf("middleware: home %d returned %d for %v", home, typ, id)
 			}
-			data = resp.Payload
+			data = resp.TakePayload() // the store retains this slice
+			releaseFrame(resp)
 			break
 		}
 	}
@@ -206,17 +251,25 @@ func (n *Node) fetchRedirected(id block.ID, holder int) ([]byte, bool) {
 	if holder == n.cfg.ID || holder >= n.clusterSize() {
 		return nil, false
 	}
-	resp, err := n.roundTripTo(holder, &Frame{Type: MsgGetBlock, File: id.File, Idx: id.Idx})
+	req := getFrame()
+	req.Type, req.File, req.Idx = MsgGetBlock, id.File, id.Idx
+	resp, err := n.roundTripTo(holder, req)
+	releaseFrame(req)
 	if err != nil || resp.Type != MsgBlockData {
+		if err == nil {
+			releaseFrame(resp)
+		}
 		if n.hints != nil {
 			n.hints.Miss(id, int32(holder))
 		}
 		return nil, false
 	}
+	data := resp.TakePayload() // the store retains this slice
+	releaseFrame(resp)
 	n.c.remoteHits.Add(1)
-	n.insertBlock(id, resp.Payload, false)
+	n.insertBlock(id, data, false)
 	n.noteHint(id, int32(holder))
-	return resp.Payload, true
+	return data, true
 }
 
 // insertBlock caches content and handles the eviction it may cause: a
@@ -254,10 +307,16 @@ func (n *Node) forwardEvicted(ev *Evicted) {
 	}
 	// Optimistically repoint the directory, then ship the block.
 	n.loc.Update(ev.ID, int32(target)) //nolint:errcheck // corrected below
-	resp, err := n.roundTripTo(target, &Frame{
-		Type: MsgForward, File: ev.ID.File, Idx: ev.ID.Idx, Aux: ev.Age, Payload: ev.Data,
-	})
-	if err != nil || resp.Flags == 0 {
+	req := getFrame()
+	req.Type, req.File, req.Idx, req.Aux = MsgForward, ev.ID.File, ev.ID.Idx, ev.Age
+	req.Payload = ev.Data // store-owned slice, not pooled
+	resp, err := n.roundTripTo(target, req)
+	releaseFrame(req)
+	accepted := err == nil && resp.Flags != 0
+	if err == nil {
+		releaseFrame(resp)
+	}
+	if !accepted {
 		// Rejected (everything there was younger) or failed: the cluster
 		// forgets this master.
 		n.c.forwardsRejected.Add(1)

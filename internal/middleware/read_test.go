@@ -1,0 +1,102 @@
+package middleware
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/block"
+	"repro/internal/core"
+)
+
+// failingSource serves synthetic blocks until failAt, then errors; it counts
+// every ReadBlock so tests can see how many fetches a failure cost.
+type failingSource struct {
+	geom   block.Geometry
+	size   int64
+	failAt int32
+	reads  atomic.Int64
+}
+
+func (s *failingSource) FileSize(f block.FileID) (int64, error) { return s.size, nil }
+
+func (s *failingSource) ReadBlock(f block.FileID, idx int32) ([]byte, error) {
+	s.reads.Add(1)
+	if idx >= s.failAt {
+		return nil, fmt.Errorf("injected failure at block %d", idx)
+	}
+	n := int(s.size - int64(idx)*int64(s.geom.Size))
+	if n > s.geom.Size {
+		n = s.geom.Size
+	}
+	return SyntheticBlock(f, idx, n), nil
+}
+
+func (s *failingSource) WriteBlock(f block.FileID, idx int32, data []byte) error {
+	return fmt.Errorf("read-only source")
+}
+
+// TestReadFileShortCircuitsAfterError: once one block of a file fails, the
+// remaining window goroutines must stop issuing fetches instead of walking
+// the whole file into the same error.
+func TestReadFileShortCircuitsAfterError(t *testing.T) {
+	geom := block.Geometry{Size: 1024, ExtentBlocks: 8}
+	src := &failingSource{geom: geom, size: 64 * 1024, failAt: 2}
+	n, err := Start(Config{
+		ID: 0, CapacityBlocks: 256, Policy: core.PolicyMaster,
+		Geometry: geom, Source: src,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	n.SetAddrs([]string{n.Addr()})
+
+	if _, err := n.ReadFile(0); err == nil {
+		t.Fatal("ReadFile succeeded against a failing source")
+	}
+	// 64 blocks total; the failure hits at block 2. Without the in-goroutine
+	// error check the window walks all 64 blocks; with it, only the fetches
+	// already in flight when the error lands can still issue.
+	if reads := src.reads.Load(); reads >= 32 {
+		t.Fatalf("%d disk reads after early failure, want the window to short-circuit (< 32)", reads)
+	}
+}
+
+// TestGetBlockInto verifies the copy-into-buffer read path end to end: local
+// hits and home reads both land in the caller's slice with the right length.
+func TestGetBlockInto(t *testing.T) {
+	sizes := map[block.FileID]int64{0: 2500}
+	nodes, _ := startCluster(t, 1, 64, core.PolicyMaster, false, sizes)
+	n := nodes[0]
+
+	buf := make([]byte, testGeom.Size)
+	// Miss → home (self) disk read.
+	got, err := n.GetBlockInto(block.ID{File: 0, Idx: 0}, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != testGeom.Size || string(buf) != string(SyntheticBlock(0, 0, testGeom.Size)) {
+		t.Fatalf("cold GetBlockInto: %d bytes", got)
+	}
+	// Hit → copy under the store lock.
+	for i := range buf {
+		buf[i] = 0
+	}
+	got, err = n.GetBlockInto(block.ID{File: 0, Idx: 0}, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != testGeom.Size || string(buf) != string(SyntheticBlock(0, 0, testGeom.Size)) {
+		t.Fatalf("warm GetBlockInto: %d bytes", got)
+	}
+	// The final, short block reports its true length.
+	short := 2500 - 2*testGeom.Size
+	got, err = n.GetBlockInto(block.ID{File: 0, Idx: 2}, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != short {
+		t.Fatalf("short block: %d bytes, want %d", got, short)
+	}
+}

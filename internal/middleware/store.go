@@ -64,6 +64,19 @@ func (s *Store) Get(id block.ID) ([]byte, bool) {
 	return s.data[id], true
 }
 
+// CopyInto copies the cached content of id into dst (touching LRU state),
+// returning the byte count and whether it was present. It lets readers fill
+// their output buffer in one copy under the store lock instead of aliasing
+// the stored slice and copying later.
+func (s *Store) CopyInto(id block.ID, dst []byte) (int, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.c.Touch(id, s.tick()) {
+		return 0, false
+	}
+	return copy(dst, s.data[id]), true
+}
+
 // Contains reports presence without touching.
 func (s *Store) Contains(id block.ID) bool {
 	s.mu.Lock()

@@ -36,7 +36,14 @@ func (n *Node) WriteBlock(id block.ID, data []byte) error {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			_, errs[i] = n.roundTripTo(i, &Frame{Type: MsgInvalidate, File: id.File, Idx: id.Idx})
+			req := getFrame()
+			req.Type, req.File, req.Idx = MsgInvalidate, id.File, id.Idx
+			resp, err := n.roundTripTo(i, req)
+			releaseFrame(req)
+			if err == nil {
+				releaseFrame(resp)
+			}
+			errs[i] = err
 		}(i)
 	}
 	wg.Wait()
@@ -56,11 +63,14 @@ func (n *Node) WriteBlock(id block.ID, data []byte) error {
 			return err
 		}
 	} else {
-		if _, err := n.roundTripTo(home, &Frame{
-			Type: MsgPutBlock, File: id.File, Idx: id.Idx, Payload: data,
-		}); err != nil {
+		req := getFrame()
+		req.Type, req.File, req.Idx, req.Payload = MsgPutBlock, id.File, id.Idx, data
+		resp, err := n.roundTripTo(home, req)
+		releaseFrame(req)
+		if err != nil {
 			return err
 		}
+		releaseFrame(resp)
 	}
 
 	// 3. The writer holds the new master copy.
