@@ -14,6 +14,11 @@
 //	# benchmark presets: replay fixed workloads against in-process
 //	# clusters and write BENCH_live.json (req/s, MB/s, latency percentiles)
 //	ccload -bench
+//
+//	# chaos scenario: crash one node of four mid-replay under a seeded
+//	# fault plan; the run must finish with zero client-visible errors and
+//	# records the fault-handling counters into BENCH_live.json
+//	ccload -chaos
 package main
 
 import (
@@ -39,6 +44,7 @@ func main() {
 		cluster     = flag.String("cluster", "", "comma-separated node addresses of a running cluster")
 		selftest    = flag.Bool("selftest", false, "start an in-process cluster instead")
 		bench       = flag.Bool("bench", false, "run the benchmark presets and write -benchout")
+		chaos       = flag.Bool("chaos", false, "run the node-crash chaos scenario and record it in -benchout")
 		benchOut    = flag.String("benchout", "BENCH_live.json", "benchmark result path (bench mode)")
 		nNodes      = flag.Int("nodes", 4, "selftest cluster size")
 		capacity    = flag.Int("capacity", 1024, "selftest per-node cache capacity in blocks")
@@ -60,6 +66,12 @@ func main() {
 		}
 		return
 	}
+	if *chaos {
+		if err := runChaos(*benchOut, *requests, *concurrency, *seed); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	sizes := fileSizes(*files, *avg)
 
@@ -68,7 +80,7 @@ func main() {
 	switch {
 	case *selftest:
 		var err error
-		addrs, shutdown, err = startCluster(*nNodes, *capacity, *hints, sizes)
+		_, addrs, shutdown, err = startCluster(*nNodes, *capacity, *hints, sizes, nil)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -109,9 +121,11 @@ func fileSizes(files int, avg int64) map[block.FileID]int64 {
 	return sizes
 }
 
-// startCluster brings up an in-process cluster and returns its addresses and
-// a shutdown function.
-func startCluster(nNodes, capacity int, hints bool, sizes map[block.FileID]int64) ([]string, func(), error) {
+// startCluster brings up an in-process cluster and returns its nodes,
+// addresses, and a shutdown function. mut, when non-nil, adjusts each
+// node's Config before start (chaos mode sets fault plans and timeouts).
+func startCluster(nNodes, capacity int, hints bool, sizes map[block.FileID]int64,
+	mut func(i int, cfg *middleware.Config)) ([]*middleware.Node, []string, func(), error) {
 	nodes := make([]*middleware.Node, 0, nNodes)
 	addrs := make([]string, 0, nNodes)
 	shutdown := func() {
@@ -120,14 +134,18 @@ func startCluster(nNodes, capacity int, hints bool, sizes map[block.FileID]int64
 		}
 	}
 	for i := 0; i < nNodes; i++ {
-		n, err := middleware.Start(middleware.Config{
+		cfg := middleware.Config{
 			ID: i, Hints: hints, CapacityBlocks: capacity,
 			Policy: core.PolicyMaster,
 			Source: middleware.NewMemSource(block.DefaultGeometry, sizes),
-		})
+		}
+		if mut != nil {
+			mut(i, &cfg)
+		}
+		n, err := middleware.Start(cfg)
 		if err != nil {
 			shutdown()
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		nodes = append(nodes, n)
 		addrs = append(addrs, n.Addr())
@@ -135,7 +153,7 @@ func startCluster(nNodes, capacity int, hints bool, sizes map[block.FileID]int64
 	for _, n := range nodes {
 		n.SetAddrs(addrs)
 	}
-	return addrs, shutdown, nil
+	return nodes, addrs, shutdown, nil
 }
 
 // buildTrace generates the replay stream over the cluster's file set.
@@ -199,6 +217,92 @@ type benchRecord struct {
 	Remote    uint64  `json:"remote_hits"`
 	Disk      uint64  `json:"disk_reads"`
 	Forwards  uint64  `json:"forwards"`
+	faultCounters
+}
+
+// faultCounters are the fault-handling counters shared by the benchmark and
+// chaos records (zero on healthy runs; the chaos scenario requires most of
+// them nonzero).
+type faultCounters struct {
+	RPCTimeouts     uint64 `json:"rpc_timeouts"`
+	RPCRetries      uint64 `json:"rpc_retries"`
+	RPCFailures     uint64 `json:"rpc_failures"`
+	BreakerOpens    uint64 `json:"breaker_opens"`
+	BreakerSkips    uint64 `json:"breaker_skips"`
+	HomeFallbacks   uint64 `json:"home_fallbacks"`
+	StaleDrops      uint64 `json:"stale_drops"`
+	InvalidateSkips uint64 `json:"invalidate_skips"`
+	ClientTimeouts  uint64 `json:"client_timeouts"`
+	ClientFailovers uint64 `json:"client_failovers"`
+	ClientSkips     uint64 `json:"client_breaker_skips"`
+}
+
+// faultCountersOf collects the counters from a replay result.
+func faultCountersOf(res loadgen.Result) faultCounters {
+	c := res.Cluster
+	return faultCounters{
+		RPCTimeouts:     c.RPCTimeouts,
+		RPCRetries:      c.RPCRetries,
+		RPCFailures:     c.RPCFailures,
+		BreakerOpens:    c.BreakerOpens,
+		BreakerSkips:    c.BreakerSkips,
+		HomeFallbacks:   c.HomeFallbacks,
+		StaleDrops:      c.StaleDrops,
+		InvalidateSkips: c.InvalidateSkips,
+		ClientTimeouts:  res.Fault.Timeouts,
+		ClientFailovers: res.Fault.Failovers,
+		ClientSkips:     res.Fault.BreakerSkips,
+	}
+}
+
+// chaosRecord is the chaos scenario's outcome, stored beside the presets in
+// the benchmark document.
+type chaosRecord struct {
+	Nodes     int     `json:"nodes"`
+	CrashNode int     `json:"crash_node"`
+	Seed      int64   `json:"seed"`
+	Requests  int     `json:"requests"`
+	Writes    int     `json:"writes"`
+	Errors    int     `json:"errors"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+	ReqPerSec float64 `json:"req_per_sec"`
+	P50US     float64 `json:"p50_us"`
+	P95US     float64 `json:"p95_us"`
+	P99US     float64 `json:"p99_us"`
+	faultCounters
+}
+
+// benchDoc is the BENCH_live.json document. Bench and chaos runs each
+// rewrite their own section and preserve the other's.
+type benchDoc struct {
+	Generated string        `json:"generated"`
+	Requests  int           `json:"requests_per_preset"`
+	Presets   []benchRecord `json:"presets"`
+	Chaos     *chaosRecord  `json:"chaos,omitempty"`
+}
+
+// loadBenchDoc reads an existing benchmark document; a missing or
+// unparsable file yields an empty one.
+func loadBenchDoc(path string) benchDoc {
+	var doc benchDoc
+	if data, err := os.ReadFile(path); err == nil {
+		_ = json.Unmarshal(data, &doc)
+	}
+	return doc
+}
+
+func writeBenchDoc(path string, doc benchDoc) error {
+	doc.Generated = time.Now().UTC().Format(time.RFC3339)
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	log.Printf("wrote %s", path)
+	return nil
 }
 
 // benchPresets are the standing live-cluster benchmarks. All use a four-node
@@ -217,7 +321,7 @@ func runBench(out string, requests, concurrency int, seed int64) error {
 	records := make([]benchRecord, 0, len(benchPresets))
 	for _, p := range benchPresets {
 		sizes := fileSizes(p.Files, p.AvgSize)
-		addrs, shutdown, err := startCluster(p.Nodes, p.Capacity, p.Hints, sizes)
+		_, addrs, shutdown, err := startCluster(p.Nodes, p.Capacity, p.Hints, sizes, nil)
 		if err != nil {
 			return fmt.Errorf("preset %s: %w", p.Name, err)
 		}
@@ -254,29 +358,123 @@ func runBench(out string, requests, concurrency int, seed int64) error {
 			Disk:        res.Cluster.DiskReads,
 			Forwards:    res.Cluster.Forwards,
 		}
+		rec.faultCounters = faultCountersOf(res)
 		records = append(records, rec)
 		log.Printf("%-20s %8.0f req/s %7.1f MB/s p50=%v p95=%v p99=%v hit=%.1f%%",
 			p.Name, rec.ReqPerSec, rec.MBPerSec,
 			res.P50.Round(time.Microsecond), res.P95.Round(time.Microsecond),
 			res.P99.Round(time.Microsecond), rec.HitRate*100)
 	}
-	doc := struct {
-		Generated string        `json:"generated"`
-		Requests  int           `json:"requests_per_preset"`
-		Presets   []benchRecord `json:"presets"`
-	}{
-		Generated: time.Now().UTC().Format(time.RFC3339),
-		Requests:  requests,
-		Presets:   records,
+	doc := loadBenchDoc(out)
+	doc.Requests = requests
+	doc.Presets = records
+	return writeBenchDoc(out, doc)
+}
+
+// --- chaos scenario ---
+
+// runChaos replays a read-heavy trace against a four-node cluster under a
+// seeded fault plan (small injected delays) and crashes one node halfway
+// through the replay. The cluster is sized so no single node holds the
+// working set — the crashed node holds master copies other nodes depend
+// on, which is exactly what the fallback path must absorb. Requests for
+// files homed at the crashed node are excluded from the trace (their
+// backing store is gone; every other failure must be invisible), so the
+// run must finish with zero client-visible errors, and the fault-handling
+// counters it records must be nonzero.
+func runChaos(out string, requests, concurrency int, seed int64) error {
+	const (
+		nNodes    = 4
+		crashNode = nNodes - 1 // never the directory node (0)
+		capacity  = 128        // << working set: cooperation (and peer fetches) required
+		files     = 200
+		avgSize   = 16384
+	)
+	// Delays model a congested link; the drop rate is low enough that a
+	// client-visible failure would need a same-request drop streak across
+	// every node-side retry AND every client failover (p ≈ 1e-12), but
+	// high enough that a run reliably exercises the timeout+retry path —
+	// the crash alone produces fast connection resets, not timeouts.
+	plan := &middleware.FaultPlan{
+		Seed:      seed,
+		DelayProb: 0.05,
+		Delay:     500 * time.Microsecond,
+		DropProb:  0.004,
 	}
-	data, err := json.MarshalIndent(doc, "", "  ")
+	sizes := fileSizes(files, avgSize)
+	nodes, addrs, shutdown, err := startCluster(nNodes, capacity, false, sizes,
+		func(i int, cfg *middleware.Config) {
+			cfg.Fault = plan
+			cfg.RPCTimeout = 300 * time.Millisecond
+			cfg.Retries = 2
+		})
 	if err != nil {
-		return err
+		return fmt.Errorf("chaos: %w", err)
 	}
-	data = append(data, '\n')
-	if err := os.WriteFile(out, data, 0o644); err != nil {
-		return err
+	defer shutdown()
+	client, err := middleware.DialClusterConfig(addrs, middleware.ClientConfig{
+		RPCTimeout: 2 * time.Second,
+		Retries:    3,
+	})
+	if err != nil {
+		return fmt.Errorf("chaos: %w", err)
 	}
-	log.Printf("wrote %s", out)
-	return nil
+	defer client.Close()
+
+	// Files homed at the crashed node lose their backing store with it;
+	// drop them from the replay. Everything else — including blocks whose
+	// only cached (master) copy lives on the crashed node — must keep
+	// being served.
+	tr := buildTrace(files, sizes, requests, 0.85, avgSize, seed)
+	kept := tr.Requests[:0]
+	for _, f := range tr.Requests {
+		if int(f)%nNodes != crashNode {
+			kept = append(kept, f)
+		}
+	}
+	tr.Requests = kept
+
+	crashAt := len(tr.Requests) / 2
+	log.Printf("chaos: %d nodes, crashing node %d at request %d/%d (seed %d)",
+		nNodes, crashNode, crashAt, len(tr.Requests), seed)
+	res, err := loadgen.Replay(client, tr, loadgen.Config{
+		Concurrency: concurrency,
+		WarmupFrac:  0.1,
+		WriteFrac:   0.05,
+		Breakpoint:  crashAt,
+		OnBreakpoint: func() {
+			log.Printf("chaos: crashing node %d", crashNode)
+			nodes[crashNode].Close()
+		},
+	})
+	if err != nil {
+		return fmt.Errorf("chaos: client-visible failure: %w", err)
+	}
+	fmt.Println(res)
+
+	fc := faultCountersOf(res)
+	if fc.RPCTimeouts+fc.BreakerSkips+fc.HomeFallbacks == 0 {
+		return fmt.Errorf("chaos: crash produced no node-side fault events — the scenario did not exercise the fallback path")
+	}
+	if fc.ClientFailovers == 0 {
+		return fmt.Errorf("chaos: no client failovers recorded — entry-node failover was not exercised")
+	}
+
+	doc := loadBenchDoc(out)
+	doc.Chaos = &chaosRecord{
+		Nodes:     nNodes,
+		CrashNode: crashNode,
+		Seed:      seed,
+		Requests:  res.Requests,
+		Writes:    res.Writes,
+		Errors:    res.Errors,
+		ElapsedMS: float64(res.Elapsed) / float64(time.Millisecond),
+		ReqPerSec: res.Throughput,
+		P50US:     float64(res.P50) / float64(time.Microsecond),
+		P95US:     float64(res.P95) / float64(time.Microsecond),
+		P99US:     float64(res.P99) / float64(time.Microsecond),
+
+		faultCounters: fc,
+	}
+	return writeBenchDoc(out, doc)
 }

@@ -23,6 +23,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"time"
 
 	"repro/internal/block"
 	"repro/internal/core"
@@ -44,6 +45,10 @@ func main() {
 		avg      = flag.Int64("avg", 16384, "synthetic average file size (bytes)")
 		get      = flag.Int("get", -1, "read this file ID through the cluster and print its size")
 		stats    = flag.Bool("stats", false, "print per-node statistics")
+		rpcTO    = flag.Duration("rpc-timeout", 0, "per-RPC deadline (0: 5s default, negative: none)")
+		retries  = flag.Int("retries", 0, "transient-failure retry budget (0: default of 2, negative: none)")
+		brThresh = flag.Int("breaker-threshold", 0, "consecutive failures before a peer's circuit opens (0: default of 5, negative: disabled)")
+		brCool   = flag.Duration("breaker-cooldown", 0, "open-circuit cooldown before a half-open probe (0: 500ms default)")
 	)
 	flag.Parse()
 
@@ -52,11 +57,18 @@ func main() {
 		log.Fatal("-cluster is required")
 	}
 
+	ft := faultTolerance{
+		rpcTimeout:       *rpcTO,
+		retries:          *retries,
+		breakerThreshold: *brThresh,
+		breakerCooldown:  *brCool,
+	}
+
 	switch {
 	case *serve:
-		runNode(*id, *listen, addrs, *capacity, *policy, *hints, *files, *avg)
+		runNode(*id, *listen, addrs, *capacity, *policy, *hints, *files, *avg, ft)
 	case *get >= 0:
-		client := dial(addrs)
+		client := dial(addrs, ft)
 		defer client.Close()
 		data, err := client.Read(block.FileID(*get))
 		if err != nil {
@@ -64,15 +76,19 @@ func main() {
 		}
 		fmt.Printf("file %d: %d bytes\n", *get, len(data))
 	case *stats:
-		client := dial(addrs)
+		client := dial(addrs, ft)
 		defer client.Close()
 		for i := range addrs {
 			s, err := client.NodeStats(i)
 			if err != nil {
-				log.Fatalf("node %d: %v", i, err)
+				// A crashed node has no counters to report; say so and
+				// keep printing the live ones.
+				fmt.Printf("node %d: unreachable (%v)\n", i, err)
+				continue
 			}
-			fmt.Printf("node %d: accesses=%d local=%d remote=%d disk=%d forwards=%d hit=%.1f%%\n",
-				i, s.Accesses, s.LocalHits, s.RemoteHits, s.DiskReads, s.Forwards, s.HitRate()*100)
+			fmt.Printf("node %d: accesses=%d local=%d remote=%d disk=%d forwards=%d hit=%.1f%% timeouts=%d retries=%d fallbacks=%d breaker_opens=%d\n",
+				i, s.Accesses, s.LocalHits, s.RemoteHits, s.DiskReads, s.Forwards, s.HitRate()*100,
+				s.RPCTimeouts, s.RPCRetries, s.HomeFallbacks, s.BreakerOpens)
 		}
 	default:
 		flag.Usage()
@@ -91,15 +107,29 @@ func splitAddrs(s string) []string {
 	return parts
 }
 
-func dial(addrs []string) *middleware.Client {
-	c, err := middleware.DialCluster(addrs)
+func dial(addrs []string, ft faultTolerance) *middleware.Client {
+	c, err := middleware.DialClusterConfig(addrs, middleware.ClientConfig{
+		RPCTimeout:       ft.rpcTimeout,
+		Retries:          ft.retries,
+		BreakerThreshold: ft.breakerThreshold,
+		BreakerCooldown:  ft.breakerCooldown,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	return c
 }
 
-func runNode(id int, listen string, addrs []string, capacity int, policy string, hints bool, files int, avg int64) {
+// faultTolerance groups the wire-path robustness knobs (see the middleware
+// Config fields of the same names for the zero-value defaults).
+type faultTolerance struct {
+	rpcTimeout       time.Duration
+	retries          int
+	breakerThreshold int
+	breakerCooldown  time.Duration
+}
+
+func runNode(id int, listen string, addrs []string, capacity int, policy string, hints bool, files int, avg int64, ft faultTolerance) {
 	if id < 0 || id >= len(addrs) {
 		log.Fatalf("-id %d out of range for %d cluster addresses", id, len(addrs))
 	}
@@ -122,12 +152,16 @@ func runNode(id int, listen string, addrs []string, capacity int, policy string,
 		sizes[block.FileID(f)] = avg/2 + int64(f%7)*(avg/7)
 	}
 	n, err := middleware.Start(middleware.Config{
-		ID:             id,
-		Listen:         listen,
-		Hints:          hints,
-		CapacityBlocks: capacity,
-		Policy:         pol,
-		Source:         middleware.NewMemSource(block.DefaultGeometry, sizes),
+		ID:               id,
+		Listen:           listen,
+		Hints:            hints,
+		CapacityBlocks:   capacity,
+		Policy:           pol,
+		Source:           middleware.NewMemSource(block.DefaultGeometry, sizes),
+		RPCTimeout:       ft.rpcTimeout,
+		Retries:          ft.retries,
+		BreakerThreshold: ft.breakerThreshold,
+		BreakerCooldown:  ft.breakerCooldown,
 	})
 	if err != nil {
 		log.Fatal(err)

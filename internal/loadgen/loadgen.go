@@ -65,6 +65,12 @@ type Config struct {
 	// MaxSamples bounds the latency samples retained for percentiles
 	// (reservoir sampling; default 65536). Mean/min/max stay exact.
 	MaxSamples int
+	// OnBreakpoint, when non-nil, runs exactly once just before request
+	// index Breakpoint is issued (the worker that draws that index calls
+	// it synchronously). Chaos runs use it to crash a node mid-replay.
+	OnBreakpoint func()
+	// Breakpoint is the request index that triggers OnBreakpoint.
+	Breakpoint int
 }
 
 // Result summarizes a replay.
@@ -89,8 +95,14 @@ type Result struct {
 	// Mean/P50/P95/P99 are response-time statistics.
 	Mean, P50, P95, P99 time.Duration
 	// Cluster is the aggregate middleware statistics at the end of the
-	// replay (cumulative since cluster start).
+	// replay (cumulative since cluster start). When a node crashed during
+	// the replay (chaos runs) its counters are excluded — they died with
+	// it.
 	Cluster middleware.Stats
+	// Fault is the client-side fault handling during the replay: requests
+	// that timed out, failed over to another entry node, or steered
+	// around an open breaker.
+	Fault middleware.ClientFaultStats
 }
 
 // Replay runs the trace against the cluster and reports measurements.
@@ -145,6 +157,9 @@ func Replay(client *middleware.Client, tr *trace.Trace, cfg Config) (Result, err
 				break
 			}
 			f := tr.Requests[idx]
+			if cfg.OnBreakpoint != nil && idx == cfg.Breakpoint {
+				cfg.OnBreakpoint() // the cursor hands out each index once
+			}
 			start := time.Now()
 			if idx == warm {
 				measStart.Store(start.UnixNano())
@@ -219,16 +234,25 @@ func Replay(client *middleware.Client, tr *trace.Trace, cfg Config) (Result, err
 	if stats, err := client.ClusterStats(); err == nil {
 		res.Cluster = stats
 	}
+	res.Fault = client.FaultStats()
 	return res, nil
 }
 
 // String formats the result as a report.
 func (r Result) String() string {
-	return fmt.Sprintf(
+	s := fmt.Sprintf(
 		"requests=%d (writes=%d) errors=%d bytes=%d elapsed=%v tput=%.0f req/s %.1f MB/s mean=%v p50=%v p95=%v p99=%v | cluster: hit=%.1f%% local=%d remote=%d disk=%d forwards=%d",
 		r.Requests, r.Writes, r.Errors, r.Bytes, r.Elapsed.Round(time.Millisecond), r.Throughput, r.MBps,
 		r.Mean.Round(time.Microsecond), r.P50.Round(time.Microsecond),
 		r.P95.Round(time.Microsecond), r.P99.Round(time.Microsecond),
 		r.Cluster.HitRate()*100, r.Cluster.LocalHits, r.Cluster.RemoteHits,
 		r.Cluster.DiskReads, r.Cluster.Forwards)
+	c := r.Cluster
+	if c.RPCTimeouts+c.RPCRetries+c.HomeFallbacks+c.BreakerOpens+c.InvalidateSkips+
+		r.Fault.Timeouts+r.Fault.Failovers+r.Fault.BreakerSkips > 0 {
+		s += fmt.Sprintf(" | faults: timeouts=%d retries=%d fallbacks=%d breaker_opens=%d invalidate_skips=%d client_timeouts=%d client_failovers=%d",
+			c.RPCTimeouts, c.RPCRetries, c.HomeFallbacks, c.BreakerOpens,
+			c.InvalidateSkips, r.Fault.Timeouts, r.Fault.Failovers)
+	}
+	return s
 }

@@ -1,0 +1,339 @@
+package middleware
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/block"
+	"repro/internal/core"
+)
+
+// startFaultCluster is startCluster with per-node config mutation (fault
+// plans, timeouts, breaker settings) and an explicit client config.
+func startFaultCluster(t *testing.T, k, capacityBlocks int, sizes map[block.FileID]int64,
+	mut func(i int, cfg *Config), ccfg ClientConfig) ([]*Node, *Client) {
+	t.Helper()
+	nodes := make([]*Node, k)
+	addrs := make([]string, k)
+	for i := 0; i < k; i++ {
+		cfg := Config{
+			ID:             i,
+			CapacityBlocks: capacityBlocks,
+			Policy:         core.PolicyMaster,
+			Geometry:       testGeom,
+			Source:         NewMemSource(testGeom, sizes),
+		}
+		if mut != nil {
+			mut(i, &cfg)
+		}
+		n, err := Start(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = n
+		addrs[i] = n.Addr()
+	}
+	for _, n := range nodes {
+		n.SetAddrs(addrs)
+	}
+	client, err := DialClusterConfig(addrs, ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		client.Close()
+		for _, n := range nodes {
+			n.Close()
+		}
+	})
+	return nodes, client
+}
+
+// TestBreakerLifecycle pins the circuit breaker state machine: closed →
+// open after threshold consecutive failures, fail-fast while open, one
+// half-open probe after the cooldown, closed again on probe success.
+func TestBreakerLifecycle(t *testing.T) {
+	b := &breaker{threshold: 2, cooldown: 50 * time.Millisecond}
+	if !b.allow() {
+		t.Fatal("fresh breaker should allow")
+	}
+	if b.failure() {
+		t.Fatal("first failure must not open the circuit")
+	}
+	if !b.failure() {
+		t.Fatal("threshold-th failure must report the open transition")
+	}
+	if b.allow() {
+		t.Fatal("open breaker within cooldown should reject")
+	}
+	time.Sleep(60 * time.Millisecond)
+	if !b.allow() {
+		t.Fatal("cooldown elapsed: one half-open probe should be admitted")
+	}
+	if b.allow() {
+		t.Fatal("second concurrent probe should be rejected")
+	}
+	b.success()
+	if !b.allow() || !b.allow() {
+		t.Fatal("successful probe should close the circuit")
+	}
+	// A failed probe re-arms the cooldown.
+	b.failure()
+	b.failure()
+	time.Sleep(60 * time.Millisecond)
+	if !b.allow() {
+		t.Fatal("probe after re-open should be admitted")
+	}
+	b.failure()
+	if b.allow() {
+		t.Fatal("failed probe must re-arm the cooldown")
+	}
+}
+
+// TestFaultPlanDeterministic verifies that the same plan produces the same
+// per-connection fault decisions across runs (the seeded part of "seeded,
+// deterministic fault injection").
+func TestFaultPlanDeterministic(t *testing.T) {
+	decisions := func() []faultAction {
+		p := &FaultPlan{Seed: 99, DropProb: 0.2, CrashProb: 0.1, DelayProb: 0.3}
+		fc := p.Wrap(nil, 1, 2).(*faultConn)
+		out := make([]faultAction, 64)
+		for i := range out {
+			out[i] = fc.decide()
+		}
+		return out
+	}
+	a, b := decisions(), decisions()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs across identically seeded plans: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestWriteWithCrashedPeerSucceeds crashes one holder of a cached copy and
+// verifies the §6 write still completes: the fan-out reaches every live
+// peer (their copies are invalidated), the dead peer is degraded to "holds
+// no cache", and readers observe the new content afterwards.
+func TestWriteWithCrashedPeerSucceeds(t *testing.T) {
+	sizes := map[block.FileID]int64{0: 2048} // file 0 homes at node 0
+	nodes, client := startFaultCluster(t, 4, 64, sizes, func(i int, cfg *Config) {
+		cfg.RPCTimeout = 300 * time.Millisecond
+		cfg.Retries = 1
+	}, ClientConfig{})
+
+	// Replicate file 0's blocks onto nodes 1..3.
+	for entry := 1; entry < 4; entry++ {
+		if _, err := client.ReadVia(entry, 0); err != nil {
+			t.Fatalf("prime read via %d: %v", entry, err)
+		}
+	}
+	id := block.ID{File: 0, Idx: 0}
+	if !nodes[3].store.Contains(id) {
+		t.Fatal("node 3 should hold a copy before the crash")
+	}
+
+	nodes[3].Close() // crash one copy holder
+
+	newBlock := bytes.Repeat([]byte{0xAB}, 1024)
+	start := time.Now()
+	if err := nodes[1].WriteBlock(id, newBlock); err != nil {
+		t.Fatalf("write with crashed peer: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("write took %v, want bounded by the RPC deadline", elapsed)
+	}
+	if skips := nodes[1].Stats().InvalidateSkips; skips == 0 {
+		t.Fatal("crashed peer was not degraded to a skipped invalidation")
+	}
+
+	// Every live entry node serves the new content (no stale copy
+	// survived on a live node).
+	want := append(append([]byte(nil), newBlock...), SyntheticBlock(0, 1, 1024)...)
+	for entry := 0; entry < 3; entry++ {
+		got, err := client.ReadVia(entry, 0)
+		if err != nil {
+			t.Fatalf("read via %d after write: %v", entry, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("stale content via node %d after write with crashed peer", entry)
+		}
+	}
+}
+
+// TestReadUnderPartitionBounded one-way-partitions a requester from the
+// node holding the master copy: the read must time out on the peer fetch,
+// fall back to the home node within the deadline+retry budget, return
+// correct data, and repair the directory entry that named the unreachable
+// peer.
+func TestReadUnderPartitionBounded(t *testing.T) {
+	const rpcTimeout = 200 * time.Millisecond
+	const retries = 1
+	sizes := map[block.FileID]int64{1: 2048} // file 1 homes at node 1
+	nodes, client := startFaultCluster(t, 3, 64, sizes, func(i int, cfg *Config) {
+		cfg.RPCTimeout = rpcTimeout
+		cfg.Retries = retries
+		if i == 0 {
+			// Frames node 0 sends to node 2 vanish; everything else flows.
+			cfg.Fault = &FaultPlan{Seed: 1, Partitions: [][2]int{{0, 2}}}
+		}
+	}, ClientConfig{})
+
+	// Make node 2 the master holder of file 1's blocks.
+	if _, err := client.ReadVia(2, 1); err != nil {
+		t.Fatalf("prime read: %v", err)
+	}
+
+	// Node 0 believes the master is at node 2, which it cannot reach.
+	start := time.Now()
+	got, err := client.ReadVia(0, 1)
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("read under partition: %v", err)
+	}
+	if !bytes.Equal(got, expect(testGeom, 1, 2048)) {
+		t.Fatal("content mismatch under partition")
+	}
+	// Bound: one timed-out peer fetch plus a home read with retries, per
+	// block window — generously ceilinged to absorb scheduler noise.
+	ceiling := time.Duration(retries+3)*rpcTimeout + 2*time.Second
+	if elapsed > ceiling {
+		t.Fatalf("partitioned read took %v, want < %v", elapsed, ceiling)
+	}
+
+	st := nodes[0].Stats()
+	if st.RPCTimeouts == 0 {
+		t.Fatalf("no RPC timeout recorded: %+v", st)
+	}
+	if st.HomeFallbacks == 0 || st.StaleDrops == 0 {
+		t.Fatalf("fallback not recorded (fallbacks=%d staleDrops=%d)", st.HomeFallbacks, st.StaleDrops)
+	}
+	// The stale entry naming node 2 was repaired: the directory now names
+	// node 0 (the fallback read's new master) for the fetched blocks.
+	if holder, ok := nodes[0].dirSrv.lookup(block.ID{File: 1, Idx: 0}); !ok || holder != 0 {
+		t.Fatalf("directory entry not repaired: holder=%d ok=%v", holder, ok)
+	}
+}
+
+// TestChaosSoak hammers a cluster whose every connection randomly delays,
+// drops, and crashes frames (a seeded FaultPlan), with concurrent readers
+// and writers. The contract under chaos: no torn or stale-after-
+// invalidate content is ever observed, client-visible errors stay rare
+// (the retry/fallback machinery absorbs the faults), the run completes,
+// and the failure events show up in the counters. Run it with -race; in
+// -short mode it shrinks instead of skipping so CI always exercises it.
+func TestChaosSoak(t *testing.T) {
+	opsEach := 50
+	if testing.Short() {
+		opsEach = 12
+	}
+	const (
+		nFiles   = 6
+		fileSize = 4 * 1024 // 4 blocks of 1 KB
+		workers  = 6
+	)
+	sizes := map[block.FileID]int64{}
+	for f := 0; f < nFiles; f++ {
+		sizes[block.FileID(f)] = fileSize
+	}
+	plan := &FaultPlan{
+		Seed:      42,
+		DelayProb: 0.05, Delay: time.Millisecond,
+		DropProb:  0.03,
+		CrashProb: 0.01,
+	}
+	_, client := startFaultCluster(t, 4, 24, sizes, func(i int, cfg *Config) {
+		cfg.Fault = plan
+		cfg.RPCTimeout = 250 * time.Millisecond
+		cfg.Retries = 3
+		cfg.RetryBackoff = time.Millisecond
+		cfg.BreakerThreshold = 12
+		cfg.BreakerCooldown = 100 * time.Millisecond
+	}, ClientConfig{
+		RPCTimeout: 1500 * time.Millisecond,
+		Retries:    4,
+		Fault:      &FaultPlan{Seed: 43, DropProb: 0.01},
+	})
+
+	validBlock := func(f block.FileID, idx int32, data []byte) bool {
+		if bytes.Equal(data, SyntheticBlock(f, idx, len(data))) {
+			return true
+		}
+		if len(data) == 0 {
+			return false
+		}
+		tag := data[0]
+		for _, b := range data {
+			if b != tag {
+				return false // torn write
+			}
+		}
+		return tag < workers
+	}
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var visibleErrs int
+	fatal := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w + 1)))
+			for op := 0; op < opsEach; op++ {
+				f := block.FileID(rng.Intn(nFiles))
+				if rng.Intn(4) == 0 {
+					data := bytes.Repeat([]byte{byte(w)}, 1024)
+					if err := client.Write(f, int32(rng.Intn(4)), data); err != nil {
+						mu.Lock()
+						visibleErrs++
+						mu.Unlock()
+					}
+					continue
+				}
+				data, err := client.Read(f)
+				if err != nil {
+					mu.Lock()
+					visibleErrs++
+					mu.Unlock()
+					continue
+				}
+				if len(data) != fileSize {
+					fatal <- fmt.Errorf("worker %d: file %d is %d bytes", w, f, len(data))
+					return
+				}
+				for idx := int32(0); idx < 4; idx++ {
+					if !validBlock(f, idx, data[idx*1024:(idx+1)*1024]) {
+						fatal <- fmt.Errorf("worker %d: file %d block %d has torn/invalid content", w, f, idx)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(fatal)
+	for err := range fatal {
+		t.Fatal(err)
+	}
+
+	total := workers * opsEach
+	if visibleErrs > total/10 {
+		t.Fatalf("%d/%d client-visible errors under chaos, want the retry layer to absorb most faults", visibleErrs, total)
+	}
+
+	st, err := client.ClusterStats()
+	if err != nil {
+		t.Fatalf("cluster stats after soak: %v", err)
+	}
+	if st.RPCTimeouts+st.RPCRetries+st.HomeFallbacks+st.RPCFailures == 0 {
+		t.Fatalf("chaos soak recorded no fault events: %+v", st)
+	}
+	if st.Writes == 0 {
+		t.Fatal("soak exercised no writes")
+	}
+}

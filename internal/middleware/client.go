@@ -6,30 +6,108 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/block"
 )
 
+// ClientConfig parameterizes a cluster client's fault tolerance.
+type ClientConfig struct {
+	// RPCTimeout bounds every request round trip (0: the 5 s default;
+	// negative: no deadline).
+	RPCTimeout time.Duration
+	// Retries is the number of alternative nodes tried after a transient
+	// failure of a read or write (both are idempotent: reads trivially,
+	// writes by last-writer-wins). 0 applies the default (2); negative
+	// disables failover.
+	Retries int
+	// BreakerThreshold/BreakerCooldown configure the per-node circuit
+	// breakers used to steer requests away from suspected-down nodes
+	// (0: defaults of 5 consecutive failures / 500 ms; negative
+	// threshold disables).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// Fault, when non-nil, injects transport faults into every dialed
+	// connection (testing and chaos benchmarking only).
+	Fault *FaultPlan
+}
+
+// ClientFaultStats counts the client-visible fault handling.
+type ClientFaultStats struct {
+	// Timeouts is the number of round trips that missed RPCTimeout.
+	Timeouts uint64
+	// Failovers is the number of requests retried on another node after a
+	// transient failure.
+	Failovers uint64
+	// BreakerSkips is the number of times entry-node selection steered
+	// around a node whose circuit breaker was open.
+	BreakerSkips uint64
+}
+
 // Client talks to a middleware cluster. Reads are spread over the nodes
 // round-robin, playing the role of the round-robin DNS in front of the
-// paper's web server.
+// paper's web server. Transient failures (timeouts, dropped or refused
+// connections) fail over to another node under ClientConfig.Retries, and
+// per-node circuit breakers steer new requests away from suspected-down
+// nodes.
 type Client struct {
-	addrs []string
-	mu    sync.Mutex
-	conns []*conn
-	rr    atomic.Uint32
+	addrs    []string
+	cfg      ClientConfig
+	timeout  time.Duration
+	retries  int
+	mu       sync.Mutex
+	conns    []*conn
+	breakers []*breaker
+	rr       atomic.Uint32
+
+	timeouts     atomic.Uint64
+	failovers    atomic.Uint64
+	breakerSkips atomic.Uint64
 }
 
 // DialCluster returns a client for the given node addresses (index = node
-// ID). Connections are established lazily.
+// ID) with default fault tolerance. Connections are established lazily.
 func DialCluster(addrs []string) (*Client, error) {
+	return DialClusterConfig(addrs, ClientConfig{})
+}
+
+// DialClusterConfig is DialCluster with explicit fault-tolerance settings.
+func DialClusterConfig(addrs []string, cfg ClientConfig) (*Client, error) {
 	if len(addrs) == 0 {
 		return nil, fmt.Errorf("middleware: no cluster addresses")
 	}
-	return &Client{
-		addrs: append([]string(nil), addrs...),
-		conns: make([]*conn, len(addrs)),
-	}, nil
+	c := &Client{
+		addrs:    append([]string(nil), addrs...),
+		cfg:      cfg,
+		conns:    make([]*conn, len(addrs)),
+		breakers: make([]*breaker, len(addrs)),
+	}
+	c.timeout = cfg.RPCTimeout
+	if c.timeout == 0 {
+		c.timeout = defaultRPCTimeout
+	}
+	if c.timeout < 0 {
+		c.timeout = 0
+	}
+	c.retries = cfg.Retries
+	if c.retries == 0 {
+		c.retries = defaultRetries
+	}
+	if c.retries < 0 {
+		c.retries = 0
+	}
+	thresh := cfg.BreakerThreshold
+	if thresh == 0 {
+		thresh = defaultBreakerThreshold
+	}
+	cooldown := cfg.BreakerCooldown
+	if cooldown <= 0 {
+		cooldown = defaultBreakerCooldown
+	}
+	for i := range c.breakers {
+		c.breakers[i] = &breaker{threshold: thresh, cooldown: cooldown}
+	}
+	return c, nil
 }
 
 func (c *Client) conn(i int) (*conn, error) {
@@ -42,34 +120,67 @@ func (c *Client) conn(i int) (*conn, error) {
 	if err != nil {
 		return nil, err
 	}
+	nc = c.cfg.Fault.Wrap(nc, -1, i)
 	stamp := func(f *Frame) {
 		f.Sender = -1
 		f.OldestAge = noAge
 	}
-	c.conns[i] = newConn(nc, connConfig{stamp: stamp})
+	c.conns[i] = newConn(nc, connConfig{stamp: stamp, timeout: c.timeout})
 	return c.conns[i], nil
 }
 
-// next picks the next node round-robin.
+// next picks the next node round-robin, steering around nodes whose
+// breaker is open (if every breaker is open, the round-robin choice
+// proceeds anyway — somebody has to probe).
 func (c *Client) next() int {
+	for try := 0; try < len(c.addrs); try++ {
+		i := int(c.rr.Add(1)-1) % len(c.addrs)
+		if c.breakers[i].allow() {
+			return i
+		}
+		c.breakerSkips.Add(1)
+	}
 	return int(c.rr.Add(1)-1) % len(c.addrs)
 }
 
 func (c *Client) roundTrip(node int, f *Frame) (*Frame, error) {
 	cc, err := c.conn(node)
-	if err != nil {
-		return nil, err
-	}
-	resp, err := cc.roundTrip(f)
-	if err == errConnClosed {
-		c.mu.Lock()
-		c.conns[node] = nil
-		c.mu.Unlock()
-		cc, err = c.conn(node)
-		if err != nil {
-			return nil, err
+	if err == nil {
+		var resp *Frame
+		resp, err = cc.roundTrip(f)
+		if err == errConnClosed {
+			// The connection died (node restart): redial once.
+			c.mu.Lock()
+			if c.conns[node] == cc {
+				c.conns[node] = nil
+			}
+			c.mu.Unlock()
+			if cc, err = c.conn(node); err == nil {
+				resp, err = cc.roundTrip(f)
+			}
 		}
-		return cc.roundTrip(f)
+		if err == nil {
+			c.breakers[node].success()
+			return resp, nil
+		}
+	}
+	if isTransient(err) {
+		if err == errRPCTimeout {
+			c.timeouts.Add(1)
+		}
+		c.breakers[node].failure()
+	}
+	return nil, err
+}
+
+// failoverTrip runs the request against node, retrying on other nodes
+// (picked round-robin through the breakers) after transient failures.
+// Only idempotent requests may use it.
+func (c *Client) failoverTrip(node int, f *Frame) (*Frame, error) {
+	resp, err := c.roundTrip(node, f)
+	for attempt := 0; attempt < c.retries && isTransient(err); attempt++ {
+		c.failovers.Add(1)
+		resp, err = c.roundTrip(c.next(), f)
 	}
 	return resp, err
 }
@@ -79,11 +190,12 @@ func (c *Client) Read(f block.FileID) ([]byte, error) {
 	return c.ReadVia(c.next(), f)
 }
 
-// ReadVia fetches file f entering the cluster at a specific node.
+// ReadVia fetches file f entering the cluster at a specific node (failing
+// over to others if that node is unreachable).
 func (c *Client) ReadVia(node int, f block.FileID) ([]byte, error) {
 	req := getFrame()
 	req.Type, req.File = MsgReadFile, f
-	resp, err := c.roundTrip(node, req)
+	resp, err := c.failoverTrip(node, req)
 	releaseFrame(req)
 	if err != nil {
 		return nil, err
@@ -99,11 +211,12 @@ func (c *Client) ReadVia(node int, f block.FileID) ([]byte, error) {
 }
 
 // Write updates one block of a file through the cluster (write-invalidate;
-// see Node.WriteBlock).
+// see Node.WriteBlock). Transient failures fail over to another entry
+// node: per-block last-writer-wins semantics make the retry idempotent.
 func (c *Client) Write(f block.FileID, idx int32, data []byte) error {
 	req := getFrame()
 	req.Type, req.File, req.Idx, req.Payload = MsgWriteBlock, f, idx, data
-	resp, err := c.roundTrip(c.next(), req)
+	resp, err := c.failoverTrip(c.next(), req)
 	releaseFrame(req)
 	if err == nil {
 		releaseFrame(resp)
@@ -111,7 +224,8 @@ func (c *Client) Write(f block.FileID, idx int32, data []byte) error {
 	return err
 }
 
-// NodeStats fetches the statistics of one node.
+// NodeStats fetches the statistics of one node (no failover: the target
+// node is the point).
 func (c *Client) NodeStats(node int) (Stats, error) {
 	req := getFrame()
 	req.Type = MsgStats
@@ -129,15 +243,34 @@ func (c *Client) NodeStats(node int) (Stats, error) {
 	return s, nil
 }
 
-// ClusterStats sums the statistics of all nodes.
+// FaultStats snapshots the client-side fault handling counters.
+func (c *Client) FaultStats() ClientFaultStats {
+	return ClientFaultStats{
+		Timeouts:     c.timeouts.Load(),
+		Failovers:    c.failovers.Load(),
+		BreakerSkips: c.breakerSkips.Load(),
+	}
+}
+
+// ClusterStats sums the statistics of all reachable nodes. Nodes that fail
+// with a transport error are skipped (a crashed node's counters died with
+// it); an error is returned only when no node answers or a node answers
+// garbage.
 func (c *Client) ClusterStats() (Stats, error) {
 	var sum Stats
 	sum.HintAccuracy = 1
+	reached := 0
+	var lastErr error
 	for i := range c.addrs {
 		s, err := c.NodeStats(i)
 		if err != nil {
+			if isTransient(err) {
+				lastErr = err
+				continue
+			}
 			return Stats{}, err
 		}
+		reached++
 		sum.Accesses += s.Accesses
 		sum.LocalHits += s.LocalHits
 		sum.RemoteHits += s.RemoteHits
@@ -147,11 +280,22 @@ func (c *Client) ClusterStats() (Stats, error) {
 		sum.ForwardsRejected += s.ForwardsRejected
 		sum.Invalidations += s.Invalidations
 		sum.Writes += s.Writes
+		sum.RPCTimeouts += s.RPCTimeouts
+		sum.RPCRetries += s.RPCRetries
+		sum.RPCFailures += s.RPCFailures
+		sum.BreakerOpens += s.BreakerOpens
+		sum.BreakerSkips += s.BreakerSkips
+		sum.HomeFallbacks += s.HomeFallbacks
+		sum.StaleDrops += s.StaleDrops
+		sum.InvalidateSkips += s.InvalidateSkips
 		sum.StoreLen += s.StoreLen
 		sum.StoreMasters += s.StoreMasters
 		if s.HintAccuracy < sum.HintAccuracy {
 			sum.HintAccuracy = s.HintAccuracy
 		}
+	}
+	if reached == 0 {
+		return Stats{}, fmt.Errorf("middleware: no node reachable for stats: %w", lastErr)
 	}
 	return sum, nil
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 )
 
 // errConnClosed is returned for round trips on a closed connection.
@@ -38,6 +39,10 @@ type connConfig struct {
 	workers int
 	// maxPayload caps accepted frame payloads (<= 0: the 64 MB default).
 	maxPayload int
+	// timeout bounds each round trip (and each socket write): a reply that
+	// does not arrive in time fails the RPC with errRPCTimeout instead of
+	// wedging the caller. <= 0 disables deadlines.
+	timeout time.Duration
 }
 
 // conn is a multiplexed protocol connection: concurrent round trips are
@@ -98,8 +103,15 @@ func newConn(nc net.Conn, cfg connConfig) *conn {
 // megabyte file response is neither copied nor split into extra writes.
 const inlinePayloadMax = 64 << 10
 
+// singleFrameWriter marks connections (fault-injected transports) that
+// must receive exactly one Write call per frame, so per-Write fault
+// decisions operate on whole frames and never tear the stream framing.
+type singleFrameWriter interface{ singleFrameWrites() }
+
 // write sends one frame: header, hints, and payload in a single socket
 // write (one writev for large payloads) instead of one write per section.
+// A socket-level write failure poisons the stream (a frame may be half
+// out), so it tears the connection down; encode errors leave it intact.
 func (c *conn) write(f *Frame) error {
 	if c.cfg.stamp != nil {
 		c.cfg.stamp(f)
@@ -110,17 +122,31 @@ func (c *conn) write(f *Frame) error {
 	if err != nil {
 		return err
 	}
-	if len(f.Payload) > inlinePayloadMax {
+	if c.cfg.timeout > 0 {
+		// A wedged peer (full TCP window) must fail the write, not block
+		// every writer on this conn behind wmu forever.
+		c.nc.SetWriteDeadline(time.Now().Add(c.cfg.timeout)) //nolint:errcheck // best effort
+	}
+	useWritev := len(f.Payload) > inlinePayloadMax
+	if useWritev {
+		if _, single := c.nc.(singleFrameWriter); single {
+			useWritev = false
+		}
+	}
+	if useWritev {
 		c.wbuf = buf
 		c.iov[0], c.iov[1] = buf, f.Payload
 		bufs := net.Buffers(c.iov[:])
 		_, err = bufs.WriteTo(c.nc)
 		c.iov[0], c.iov[1] = nil, nil
-		return err
+	} else {
+		buf = append(buf, f.Payload...)
+		c.wbuf = buf
+		_, err = c.nc.Write(buf)
 	}
-	buf = append(buf, f.Payload...)
-	c.wbuf = buf
-	_, err = c.nc.Write(buf)
+	if err != nil {
+		c.close()
+	}
 	return err
 }
 
@@ -168,21 +194,42 @@ func (c *conn) roundTrip(f *Frame) (*Frame, error) {
 		}
 		return nil, err
 	}
+	var deadline <-chan time.Time
+	var tm *time.Timer
+	if c.cfg.timeout > 0 {
+		tm = getTimer(c.cfg.timeout)
+		deadline = tm.C
+	}
+	var resp *Frame
+	var err error
 	select {
-	case resp := <-ch:
+	case resp = <-ch:
 		putReplyCh(ch)
-		if resp == nil {
-			return nil, errConnClosed
-		}
-		if err := resp.Err(); err != nil {
-			releaseFrame(resp)
-			return nil, err
-		}
-		return resp, nil
+	case <-deadline:
+		// The peer is slow or wedged: fail this RPC, keep the conn. The
+		// pending entry is removed under pmu, so a late reply can no
+		// longer target ch; if one raced in already, abandon releases it
+		// back to the pool (no double-release, no leak).
+		c.abandon(id, ch)
+		err = errRPCTimeout
 	case <-c.done:
 		c.abandon(id, ch)
+		err = errConnClosed
+	}
+	if tm != nil {
+		putTimer(tm)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if resp == nil {
 		return nil, errConnClosed
 	}
+	if rerr := resp.Err(); rerr != nil {
+		releaseFrame(resp)
+		return nil, rerr
+	}
+	return resp, nil
 }
 
 // abandon gives up on round trip id: it removes the pending entry (if the

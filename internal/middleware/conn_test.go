@@ -4,6 +4,7 @@ import (
 	"net"
 	"sync"
 	"testing"
+	"time"
 )
 
 // pipePair builds two connected conns over an in-memory duplex link, with
@@ -114,6 +115,57 @@ func TestConnConcurrentRoundTripsMidFlightClose(t *testing.T) {
 	}
 	if _, err := client.roundTrip(&Frame{Type: MsgGetBlock}); err != errConnClosed {
 		t.Fatalf("round trip after close: %v, want errConnClosed", err)
+	}
+}
+
+// TestConnRoundTripTimesOut pins the deadline path: a round trip whose
+// reply is withheld must fail with errRPCTimeout near the configured
+// deadline, the connection must stay usable for later requests, and the
+// late reply must be discarded safely (pool ownership: no double release,
+// no delivery to a reused request ID).
+func TestConnRoundTripTimesOut(t *testing.T) {
+	slow := make(chan struct{})
+	cn, sn := net.Pipe()
+	server := newConn(sn, connConfig{workers: 2, handle: func(f *Frame) *Frame {
+		if f.Aux == 1 {
+			<-slow // withhold this reply until after the client gave up
+		}
+		return &Frame{Type: MsgAck, Idx: f.Idx}
+	}})
+	client := newConn(cn, connConfig{timeout: 60 * time.Millisecond})
+	t.Cleanup(func() {
+		client.close()
+		server.close()
+	})
+
+	start := time.Now()
+	_, err := client.roundTrip(&Frame{Type: MsgGetBlock, Idx: 1, Aux: 1})
+	if err != errRPCTimeout {
+		t.Fatalf("withheld reply: err = %v, want errRPCTimeout", err)
+	}
+	if elapsed := time.Since(start); elapsed < 50*time.Millisecond || elapsed > 2*time.Second {
+		t.Fatalf("timeout fired after %v, want ≈60ms", elapsed)
+	}
+
+	// Release the stalled reply and issue a fresh request on the same
+	// connection: the late frame for the abandoned ID must be dropped and
+	// the new round trip must still complete.
+	close(slow)
+	resp, err := client.roundTrip(&Frame{Type: MsgGetBlock, Idx: 2})
+	if err != nil {
+		t.Fatalf("round trip after timeout: %v", err)
+	}
+	if resp.Idx != 2 {
+		t.Fatalf("resp.Idx = %d, want 2 (late reply must not be delivered)", resp.Idx)
+	}
+	releaseFrame(resp)
+
+	// The abandoned entry must not linger in the pending map.
+	client.pmu.Lock()
+	n := len(client.pending)
+	client.pmu.Unlock()
+	if n != 0 {
+		t.Fatalf("%d entries still pending after timeout", n)
 	}
 }
 

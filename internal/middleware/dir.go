@@ -66,11 +66,15 @@ type locator interface {
 }
 
 // dirRPC sends one directory message to node m with pooled frames and
-// returns the response's Aux and Flags.
+// returns the response's Aux and Flags. Directory operations are
+// idempotent (lookup reads, update/drop are absolute or compare-and-
+// delete), so transient failures retry under the node's budget; when the
+// directory node stays down its breaker opens and subsequent lookups fail
+// fast, degrading reads to the home path instead of paying a timeout each.
 func dirRPC(n *Node, m int, typ MsgType, id block.ID, aux int64) (int64, uint8, error) {
 	req := getFrame()
 	req.Type, req.File, req.Idx, req.Aux = typ, id.File, id.Idx, aux
-	resp, err := n.roundTripTo(m, req)
+	resp, err := n.reliableRPC(m, req, n.retries)
 	releaseFrame(req)
 	if err != nil {
 		return 0, 0, err

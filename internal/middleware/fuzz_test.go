@@ -2,6 +2,7 @@ package middleware
 
 import (
 	"bytes"
+	"encoding/binary"
 	"testing"
 )
 
@@ -25,6 +26,29 @@ func FuzzReadFrame(f *testing.F) {
 	}
 	f.Add([]byte{})
 	f.Add([]byte{0xFF, 0x00, 0x01})
+
+	// Adversarial seeds: the truncated and lying streams a crashed or
+	// fault-injected peer produces (see FaultPlan's mid-frame crash).
+	var full bytes.Buffer
+	if err := WriteFrame(&full, &Frame{Type: MsgBlockData, File: 7, Idx: 3, Payload: bytes.Repeat([]byte{0xA5}, 64)}); err != nil {
+		f.Fatal(err)
+	}
+	enc := full.Bytes()
+	f.Add(enc[:10])          // cut mid-header
+	f.Add(enc[:headerLen-1]) // one byte short of a full header
+	f.Add(enc[:headerLen])   // header promises a payload that never arrives
+
+	huge := append([]byte(nil), enc[:headerLen]...)
+	binary.BigEndian.PutUint32(huge[35:], 0xFFFFFFFF) // plen far past any limit
+	f.Add(huge)
+
+	manyHints := append([]byte(nil), enc[:headerLen]...)
+	manyHints[34] = 255 // nhints over maxHintDeltas
+	f.Add(manyHints)
+
+	ackPayload := append([]byte(nil), enc...)
+	ackPayload[0] = byte(MsgAck) // payload on a payload-less type
+	f.Add(ackPayload)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		fr, err := ReadFrame(bytes.NewReader(data))

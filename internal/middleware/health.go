@@ -1,0 +1,156 @@
+package middleware
+
+import (
+	"errors"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// Fault-tolerance defaults (see Config and ClientConfig).
+const (
+	defaultRPCTimeout       = 5 * time.Second
+	defaultRetries          = 2
+	defaultRetryBackoff     = 2 * time.Millisecond
+	defaultBreakerThreshold = 5
+	defaultBreakerCooldown  = 500 * time.Millisecond
+)
+
+// errRPCTimeout is returned by roundTrip when the reply misses the
+// connection's deadline. The frame, if it ever arrives, is discarded by
+// the pending-map removal; the pool ownership contract is unaffected.
+var errRPCTimeout = errors.New("middleware: rpc deadline exceeded")
+
+// errPeerSuspect is returned when a peer's circuit breaker is open: the
+// peer is presumed down and the request is failed up front instead of
+// paying a timeout for it.
+var errPeerSuspect = errors.New("middleware: peer suspected down (circuit open)")
+
+// isTransient reports whether err is a transport-level failure (timeout,
+// torn/refused/closed connection, suspected peer) — the class of errors
+// that justifies a retry or a degradation to the home node. Application
+// errors relayed as MsgErr are not transient: the peer is alive and told
+// us the operation itself is wrong.
+func isTransient(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, errConnClosed) || errors.Is(err, errRPCTimeout) ||
+		errors.Is(err, errPeerSuspect) || errors.Is(err, errFaultCrash) {
+		return true
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, io.ErrClosedPipe) {
+		return true
+	}
+	var ne net.Error // dial errors, deadline exceeded, refused connections
+	return errors.As(err, &ne)
+}
+
+// breaker is a per-peer circuit breaker. After `threshold` consecutive
+// transport failures the circuit opens: requests to the peer fail fast
+// (errPeerSuspect) instead of paying a timeout each. After `cooldown`, one
+// half-open probe request is let through; its success closes the circuit,
+// its failure re-arms the cooldown.
+//
+// A zero or negative threshold disables the breaker (allow always).
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu        sync.Mutex
+	fails     int
+	openUntil time.Time // zero: closed
+	probing   bool      // a half-open probe is in flight
+}
+
+// allow reports whether a request to the peer may proceed. In the open
+// state it admits a single probe once the cooldown elapsed.
+func (b *breaker) allow() bool {
+	if b == nil || b.threshold <= 0 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.fails < b.threshold {
+		return true
+	}
+	if b.probing || time.Now().Before(b.openUntil) {
+		return false
+	}
+	b.probing = true
+	return true
+}
+
+// success records a completed round trip and closes the circuit.
+func (b *breaker) success() {
+	if b == nil || b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	b.fails = 0
+	b.openUntil = time.Time{}
+	b.probing = false
+	b.mu.Unlock()
+}
+
+// failure records a transport failure and reports whether it just opened
+// the circuit (the closed→open transition, for the breakerOpens counter).
+func (b *breaker) failure() bool {
+	if b == nil || b.threshold <= 0 {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails++
+	b.openUntil = time.Now().Add(b.cooldown)
+	b.probing = false
+	return b.fails == b.threshold
+}
+
+// --- retry backoff ---
+
+// backoffSleep sleeps the current capped-exponential backoff step with
+// ±50% jitter and advances *cur (doubling up to cap). Jitter keeps
+// simultaneous retries from re-colliding on a recovering peer.
+func backoffSleep(cur *time.Duration, max time.Duration) {
+	d := *cur
+	if d <= 0 {
+		return
+	}
+	jitter := time.Duration(rand.Int63n(int64(d))) // [0, d)
+	time.Sleep(d/2 + jitter)
+	if next := 2 * d; next <= max {
+		*cur = next
+	} else {
+		*cur = max
+	}
+}
+
+// --- pooled round-trip timers ---
+
+// timerPool recycles the deadline timers of roundTrip so the happy path
+// stays allocation-light.
+var timerPool sync.Pool
+
+func getTimer(d time.Duration) *time.Timer {
+	if v := timerPool.Get(); v != nil {
+		t := v.(*time.Timer)
+		t.Reset(d)
+		return t
+	}
+	return time.NewTimer(d)
+}
+
+// putTimer stops and drains t (fired or not) and recycles it.
+func putTimer(t *time.Timer) {
+	if !t.Stop() {
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+	timerPool.Put(t)
+}

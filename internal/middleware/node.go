@@ -2,11 +2,13 @@ package middleware
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/block"
 	"repro/internal/core"
@@ -48,6 +50,33 @@ type Config struct {
 	// the 64 MB default). Smaller deployments can lower it so a bad peer
 	// cannot force large allocations.
 	MaxPayload int
+	// RPCTimeout bounds every peer round trip: a reply that does not
+	// arrive in time fails that RPC (and feeds the peer's circuit
+	// breaker) instead of wedging the request forever. 0 applies the
+	// 5-second default; negative disables deadlines.
+	RPCTimeout time.Duration
+	// Retries is the number of extra attempts granted to idempotent RPCs
+	// with no alternative target (home reads, directory ops, home
+	// write-through). Peer cache fetches never retry — falling back to
+	// the home node is their retry. 0 applies the default (2); negative
+	// disables retries.
+	Retries int
+	// RetryBackoff is the base of the capped exponential backoff between
+	// retries (±50% jitter; doubles per attempt, capped at 16×base).
+	// 0 applies the 2 ms default.
+	RetryBackoff time.Duration
+	// BreakerThreshold is the number of consecutive transport failures
+	// after which a peer's circuit breaker opens and requests to it fail
+	// fast (suspected down). 0 applies the default (5); negative disables
+	// the breakers.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker rejects requests before
+	// admitting a half-open probe. 0 applies the 500 ms default.
+	BreakerCooldown time.Duration
+	// Fault, when non-nil, injects transport faults (delays, drops,
+	// partitions, mid-frame crashes) into every connection this node
+	// dials or accepts. Testing and chaos benchmarking only.
+	Fault *FaultPlan
 }
 
 // Node is a live cooperative caching node: a TCP server cooperating with
@@ -66,6 +95,7 @@ type Node struct {
 	addrs    []string
 	peers    []*conn
 	peerAges []atomic.Int64
+	breakers []*breaker // per-peer circuit breakers (index = node ID)
 	accepted map[*conn]struct{}
 	closed   bool
 
@@ -77,10 +107,17 @@ type Node struct {
 	hintMu   sync.Mutex
 	hintRing []HintDelta
 
-	// workers/maxPayload are the resolved per-conn settings (Config.Workers
-	// and Config.MaxPayload with defaults applied).
+	// workers/maxPayload/rpcTimeout/retries/retryBase/retryCap and the
+	// breaker parameters are the resolved settings (Config values with
+	// defaults applied).
 	workers    int
 	maxPayload int
+	rpcTimeout time.Duration
+	retries    int
+	retryBase  time.Duration
+	retryCap   time.Duration
+	brThresh   int
+	brCooldown time.Duration
 
 	c counters
 }
@@ -90,6 +127,11 @@ type counters struct {
 	accesses, localHits, remoteHits, diskReads, raceMisses atomic.Uint64
 	forwards, forwardsRejected, invalidations, writes      atomic.Uint64
 	prefetches                                             atomic.Uint64
+	// fault-tolerance counters
+	rpcTimeouts, rpcRetries, rpcFailures atomic.Uint64
+	breakerOpens, breakerSkips           atomic.Uint64
+	homeFallbacks, staleDrops            atomic.Uint64
+	invalidateSkips                      atomic.Uint64
 }
 
 // Stats is a snapshot of a node's behaviour (JSON-encodable for the
@@ -106,9 +148,18 @@ type Stats struct {
 	Invalidations    uint64
 	Writes           uint64
 	Prefetches       uint64
-	StoreLen         int
-	StoreMasters     int
-	HintAccuracy     float64
+	// Fault-tolerance counters: see the Failure model section of DESIGN.md.
+	RPCTimeouts     uint64 // round trips that missed RPCTimeout
+	RPCRetries      uint64 // retry attempts issued after transient failures
+	RPCFailures     uint64 // RPCs that failed after exhausting their retries
+	BreakerOpens    uint64 // closed→open circuit breaker transitions
+	BreakerSkips    uint64 // requests failed fast by an open breaker
+	HomeFallbacks   uint64 // block fetches degraded to the home node after a peer transport failure
+	StaleDrops      uint64 // directory/hint entries dropped because the named peer failed
+	InvalidateSkips uint64 // write invalidations treated as "peer holds no cache" after a peer failure
+	StoreLen        int
+	StoreMasters    int
+	HintAccuracy    float64
 }
 
 // HitRate is the fraction of block accesses served from cluster memory.
@@ -161,6 +212,33 @@ func Start(cfg Config) (*Node, error) {
 	if n.maxPayload <= 0 {
 		n.maxPayload = maxPayload
 	}
+	n.rpcTimeout = cfg.RPCTimeout
+	if n.rpcTimeout == 0 {
+		n.rpcTimeout = defaultRPCTimeout
+	}
+	if n.rpcTimeout < 0 {
+		n.rpcTimeout = 0 // deadlines disabled
+	}
+	n.retries = cfg.Retries
+	if n.retries == 0 {
+		n.retries = defaultRetries
+	}
+	if n.retries < 0 {
+		n.retries = 0
+	}
+	n.retryBase = cfg.RetryBackoff
+	if n.retryBase <= 0 {
+		n.retryBase = defaultRetryBackoff
+	}
+	n.retryCap = 16 * n.retryBase
+	n.brThresh = cfg.BreakerThreshold
+	if n.brThresh == 0 {
+		n.brThresh = defaultBreakerThreshold
+	}
+	n.brCooldown = cfg.BreakerCooldown
+	if n.brCooldown <= 0 {
+		n.brCooldown = defaultBreakerCooldown
+	}
 	if cfg.Hints {
 		cfg.DirMode = DirHints
 		n.cfg.DirMode = DirHints
@@ -201,9 +279,22 @@ func (n *Node) SetAddrs(addrs []string) {
 	n.addrs = append([]string(nil), addrs...)
 	n.peers = make([]*conn, len(addrs))
 	n.peerAges = make([]atomic.Int64, len(addrs))
+	n.breakers = make([]*breaker, len(addrs))
 	for i := range n.peerAges {
 		n.peerAges[i].Store(noAge)
+		n.breakers[i] = &breaker{threshold: n.brThresh, cooldown: n.brCooldown}
 	}
+}
+
+// breakerFor returns the circuit breaker of peer i (nil when membership is
+// not installed or i is out of range; a nil breaker always allows).
+func (n *Node) breakerFor(i int) *breaker {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if i < 0 || i >= len(n.breakers) {
+		return nil
+	}
+	return n.breakers[i]
 }
 
 // Close shuts the node down.
@@ -246,6 +337,14 @@ func (n *Node) Stats() Stats {
 		Invalidations:    n.c.invalidations.Load(),
 		Writes:           n.c.writes.Load(),
 		Prefetches:       n.c.prefetches.Load(),
+		RPCTimeouts:      n.c.rpcTimeouts.Load(),
+		RPCRetries:       n.c.rpcRetries.Load(),
+		RPCFailures:      n.c.rpcFailures.Load(),
+		BreakerOpens:     n.c.breakerOpens.Load(),
+		BreakerSkips:     n.c.breakerSkips.Load(),
+		HomeFallbacks:    n.c.homeFallbacks.Load(),
+		StaleDrops:       n.c.staleDrops.Load(),
+		InvalidateSkips:  n.c.invalidateSkips.Load(),
 		StoreLen:         n.store.Len(),
 		StoreMasters:     n.store.Masters(),
 		HintAccuracy:     1,
@@ -264,6 +363,9 @@ func (n *Node) acceptLoop() {
 		if err != nil {
 			return
 		}
+		// The remote identity of an accepted conn is unknown (-1): the
+		// fault plan applies its probabilistic faults but no partitions.
+		nc = n.cfg.Fault.Wrap(nc, n.cfg.ID, -1)
 		c := newConn(nc, n.connConfig())
 		n.mu.Lock()
 		if n.closed {
@@ -284,6 +386,7 @@ func (n *Node) connConfig() connConfig {
 		stamp:      n.stamp,
 		workers:    n.workers,
 		maxPayload: n.maxPayload,
+		timeout:    n.rpcTimeout,
 	}
 }
 
@@ -388,6 +491,7 @@ func (n *Node) peer(i int) (*conn, error) {
 	if err != nil {
 		return nil, err
 	}
+	nc = n.cfg.Fault.Wrap(nc, n.cfg.ID, i)
 	c := newConn(nc, n.connConfig())
 	n.mu.Lock()
 	if n.peers[i] != nil {
@@ -422,6 +526,55 @@ func (n *Node) roundTripTo(i int, f *Frame) (*Frame, error) {
 		return c2.roundTrip(f)
 	}
 	return resp, err
+}
+
+// reliableRPC is roundTripTo behind the fault-tolerance layer: the peer's
+// circuit breaker is consulted up front (an open breaker fails fast with
+// errPeerSuspect instead of paying a timeout), transient transport
+// failures are retried up to `retries` extra times with capped exponential
+// backoff and jitter, and every outcome feeds the breaker and the fault
+// counters. Only idempotent requests may pass retries > 0. Application
+// errors (MsgErr) are returned immediately: the peer is alive.
+//
+// The request frame stays owned by the caller and is reused across
+// attempts; the returned response must be released by the caller.
+func (n *Node) reliableRPC(peer int, f *Frame, retries int) (*Frame, error) {
+	br := n.breakerFor(peer)
+	if !br.allow() {
+		n.c.breakerSkips.Add(1)
+		return nil, errPeerSuspect
+	}
+	backoff := n.retryBase
+	for attempt := 0; ; attempt++ {
+		resp, err := n.roundTripTo(peer, f)
+		if err == nil {
+			br.success()
+			return resp, nil
+		}
+		if !isTransient(err) {
+			// The peer answered: the operation is wrong, not the wire.
+			return nil, err
+		}
+		if errors.Is(err, errRPCTimeout) {
+			n.c.rpcTimeouts.Add(1)
+		}
+		if br.failure() {
+			n.c.breakerOpens.Add(1)
+		}
+		if attempt >= retries {
+			n.c.rpcFailures.Add(1)
+			return nil, err
+		}
+		// Only re-enter the breaker when a retry will actually happen
+		// (allow consumes the half-open probe slot).
+		if !br.allow() {
+			n.c.breakerSkips.Add(1)
+			n.c.rpcFailures.Add(1)
+			return nil, err
+		}
+		n.c.rpcRetries.Add(1)
+		backoffSleep(&backoff, n.retryCap)
+	}
 }
 
 // home reports the home node of file f (round-robin over the membership,

@@ -162,12 +162,15 @@ func (n *Node) readahead(after block.ID) {
 }
 
 // fetchBlock obtains a missing block from a peer or through the home node.
+// A peer cache fetch gets exactly one attempt (breaker-gated): its retry
+// is the home fallback, which keeps a block fetch bounded by roughly
+// RPCTimeout × (Retries + 1) even when the believed master is dead.
 func (n *Node) fetchBlock(id block.ID) ([]byte, error) {
 	self := int32(n.cfg.ID)
 	if m, ok, err := n.loc.Lookup(id); err == nil && ok && m != self {
 		req := getFrame()
 		req.Type, req.File, req.Idx = MsgGetBlock, id.File, id.Idx
-		resp, err := n.roundTripTo(int(m), req)
+		resp, err := n.reliableRPC(int(m), req, 0)
 		releaseFrame(req)
 		if err == nil && resp.Type == MsgBlockData {
 			data := resp.TakePayload() // the store retains this slice
@@ -180,11 +183,19 @@ func (n *Node) fetchBlock(id block.ID) ([]byte, error) {
 			releaseFrame(resp)
 		}
 		// The master vanished while the request traveled (§3's explicitly
-		// tolerated race) or the hint was stale: correct and fall through
-		// to the home node.
+		// tolerated race), the hint was stale, or the peer is down:
+		// correct and fall through to the home node.
 		n.c.raceMisses.Add(1)
 		n.loc.Miss(id, m)
-		if err == nil && n.hints == nil {
+		if isTransient(err) {
+			// The believed master is unreachable: drop the stale
+			// directory/hint entry (CAS on m, so a newer claim survives)
+			// instead of re-dialing a dead peer on every future miss. The
+			// home read below repairs the entry to name this node.
+			n.c.staleDrops.Add(1)
+			n.c.homeFallbacks.Add(1)
+			n.loc.Drop(id, m) //nolint:errcheck // best effort
+		} else if err == nil && n.hints == nil {
 			// Central mode: clear the stale entry if it still names m.
 			n.loc.Drop(id, m) //nolint:errcheck // best effort
 		}
@@ -214,7 +225,9 @@ func (n *Node) fetchFromHome(id block.ID) ([]byte, error) {
 		for {
 			req := getFrame()
 			req.Type, req.Flags, req.File, req.Idx = MsgGetBlock, flags, id.File, id.Idx
-			resp, err := n.roundTripTo(home, req)
+			// The home is the only source of this block's truth: retry
+			// transient failures (a restarting home comes back).
+			resp, err := n.reliableRPC(home, req, n.retries)
 			releaseFrame(req)
 			if err != nil {
 				return nil, err
@@ -253,7 +266,8 @@ func (n *Node) fetchRedirected(id block.ID, holder int) ([]byte, bool) {
 	}
 	req := getFrame()
 	req.Type, req.File, req.Idx = MsgGetBlock, id.File, id.Idx
-	resp, err := n.roundTripTo(holder, req)
+	// One attempt: a failed redirect falls back to a forced home read.
+	resp, err := n.reliableRPC(holder, req, 0)
 	releaseFrame(req)
 	if err != nil || resp.Type != MsgBlockData {
 		if err == nil {
@@ -310,7 +324,8 @@ func (n *Node) forwardEvicted(ev *Evicted) {
 	req := getFrame()
 	req.Type, req.File, req.Idx, req.Aux = MsgForward, ev.ID.File, ev.ID.Idx, ev.Age
 	req.Payload = ev.Data // store-owned slice, not pooled
-	resp, err := n.roundTripTo(target, req)
+	// Best effort: a forward to a dead peer is simply a dropped master.
+	resp, err := n.reliableRPC(target, req, 0)
 	releaseFrame(req)
 	accepted := err == nil && resp.Flags != 0
 	if err == nil {

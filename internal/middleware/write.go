@@ -1,6 +1,7 @@
 package middleware
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -25,7 +26,13 @@ func (n *Node) WriteBlock(id block.ID, data []byte) error {
 	n.c.writes.Add(1)
 
 	// 1. Invalidate every cached copy cluster-wide (including our own; the
-	// new content is installed below).
+	// new content is installed below). The fan-out always completes: a
+	// failure at one peer must not leave later peers holding copies that
+	// were never told about the write. Transport failures (crashed,
+	// partitioned, or suspect peers) degrade to "that peer holds no
+	// cache" — its copy dies with it, or goes stale until the breaker
+	// heals and the next fetch repairs it — while application errors are
+	// aggregated and reported after the full fan-out.
 	n.handleInvalidate(id)
 	var wg sync.WaitGroup
 	errs := make([]error, n.clusterSize())
@@ -38,22 +45,27 @@ func (n *Node) WriteBlock(id block.ID, data []byte) error {
 			defer wg.Done()
 			req := getFrame()
 			req.Type, req.File, req.Idx = MsgInvalidate, id.File, id.Idx
-			resp, err := n.roundTripTo(i, req)
+			resp, err := n.reliableRPC(i, req, 0)
 			releaseFrame(req)
 			if err == nil {
 				releaseFrame(resp)
+				return
 			}
-			errs[i] = err
+			if isTransient(err) {
+				n.c.invalidateSkips.Add(1)
+				return
+			}
+			errs[i] = fmt.Errorf("node %d: %w", i, err)
 		}(i)
 	}
 	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return fmt.Errorf("middleware: invalidate %v at node %d: %w", id, i, err)
-		}
+	if err := errors.Join(errs...); err != nil {
+		return fmt.Errorf("middleware: invalidate %v: %w", id, err)
 	}
 
-	// 2. Write through to the home node's disk.
+	// 2. Write through to the home node's disk. This is the durability
+	// point: transient failures retry, and a home that stays down fails
+	// the write (reported to the caller, unlike the degradable fan-out).
 	home, err := n.home(id.File)
 	if err != nil {
 		return err
@@ -65,7 +77,7 @@ func (n *Node) WriteBlock(id block.ID, data []byte) error {
 	} else {
 		req := getFrame()
 		req.Type, req.File, req.Idx, req.Payload = MsgPutBlock, id.File, id.Idx, data
-		resp, err := n.roundTripTo(home, req)
+		resp, err := n.reliableRPC(home, req, n.retries)
 		releaseFrame(req)
 		if err != nil {
 			return err
