@@ -34,6 +34,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/loadgen"
 	"repro/internal/middleware"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -57,17 +58,19 @@ func main() {
 		writeFrac   = flag.Float64("writes", 0, "fraction of operations that are block writes")
 		zipf        = flag.Float64("zipf", 0.85, "popularity skew of the replayed stream")
 		seed        = flag.Int64("seed", 1, "workload seed")
+		interval    = flag.Duration("interval", 0, "time-series bucket width (0: 1s, 250ms in bench/chaos mode; negative: no time series)")
+		traceDump   = flag.Bool("trace-dump", false, "after the replay, dump each node's protocol event trace as JSON (nodes must run with tracing on; -selftest attaches tracers)")
 	)
 	flag.Parse()
 
 	if *bench {
-		if err := runBench(*benchOut, *requests, *concurrency, *seed); err != nil {
+		if err := runBench(*benchOut, *requests, *concurrency, *seed, benchInterval(*interval)); err != nil {
 			log.Fatal(err)
 		}
 		return
 	}
 	if *chaos {
-		if err := runChaos(*benchOut, *requests, *concurrency, *seed); err != nil {
+		if err := runChaos(*benchOut, *requests, *concurrency, *seed, benchInterval(*interval)); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -79,8 +82,12 @@ func main() {
 	var shutdown func()
 	switch {
 	case *selftest:
+		var mut func(i int, cfg *middleware.Config)
+		if *traceDump {
+			mut = func(i int, cfg *middleware.Config) { cfg.Tracer = obs.NewTracer(0) }
+		}
 		var err error
-		_, addrs, shutdown, err = startCluster(*nNodes, *capacity, *hints, sizes, nil)
+		_, addrs, shutdown, err = startCluster(*nNodes, *capacity, *hints, sizes, mut)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -104,11 +111,40 @@ func main() {
 		Concurrency: *concurrency,
 		WarmupFrac:  *warmup,
 		WriteFrac:   *writeFrac,
+		Interval:    *interval,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println(res)
+	if *traceDump {
+		dumpTraces(client, len(addrs))
+	}
+}
+
+// benchInterval applies the bench/chaos-mode default bucket width.
+func benchInterval(flagged time.Duration) time.Duration {
+	if flagged == 0 {
+		return 250 * time.Millisecond
+	}
+	return flagged
+}
+
+// dumpTraces fetches every node's protocol event trace over the trace RPC
+// and prints them as JSON lines.
+func dumpTraces(client *middleware.Client, nNodes int) {
+	enc := json.NewEncoder(os.Stdout)
+	for i := 0; i < nNodes; i++ {
+		d, err := client.NodeTrace(i)
+		if err != nil {
+			log.Printf("trace dump node %d: %v", i, err)
+			continue
+		}
+		log.Printf("node %d: %d trace events retained (%d recorded)", i, len(d.Events), d.Total)
+		if err := enc.Encode(d); err != nil {
+			log.Printf("trace dump node %d: %v", i, err)
+		}
+	}
 }
 
 // fileSizes builds the deterministic synthetic file manifest shared by every
@@ -218,6 +254,9 @@ type benchRecord struct {
 	Disk      uint64  `json:"disk_reads"`
 	Forwards  uint64  `json:"forwards"`
 	faultCounters
+	// Intervals is the measured window's per-interval time series (req/s,
+	// MB/s, latency percentiles, client fault deltas per bucket).
+	Intervals []loadgen.Interval `json:"intervals,omitempty"`
 }
 
 // faultCounters are the fault-handling counters shared by the benchmark and
@@ -270,6 +309,15 @@ type chaosRecord struct {
 	P95US     float64 `json:"p95_us"`
 	P99US     float64 `json:"p99_us"`
 	faultCounters
+	// Intervals localizes the crash in time: the buckets around the crash
+	// show the latency spike and the fault-counter deltas of the recovery.
+	Intervals []loadgen.Interval `json:"intervals,omitempty"`
+	// TraceEvents counts the protocol trace events recorded across the
+	// cluster during the run, by kind; TraceTotal is their sum (events the
+	// rings overwrote included). Correlates with the fault counters: e.g.
+	// breaker_open events ≈ BreakerOpens.
+	TraceEvents map[string]uint64 `json:"trace_events,omitempty"`
+	TraceTotal  uint64            `json:"trace_total,omitempty"`
 }
 
 // benchDoc is the BENCH_live.json document. Bench and chaos runs each
@@ -317,7 +365,7 @@ var benchPresets = []benchPreset{
 
 // runBench replays every preset against a fresh in-process cluster and
 // writes the results to out.
-func runBench(out string, requests, concurrency int, seed int64) error {
+func runBench(out string, requests, concurrency int, seed int64, interval time.Duration) error {
 	records := make([]benchRecord, 0, len(benchPresets))
 	for _, p := range benchPresets {
 		sizes := fileSizes(p.Files, p.AvgSize)
@@ -334,6 +382,7 @@ func runBench(out string, requests, concurrency int, seed int64) error {
 		res, err := loadgen.Replay(client, tr, loadgen.Config{
 			Concurrency: concurrency,
 			WriteFrac:   p.WriteFrac,
+			Interval:    interval,
 		})
 		client.Close()
 		shutdown()
@@ -357,6 +406,7 @@ func runBench(out string, requests, concurrency int, seed int64) error {
 			Remote:      res.Cluster.RemoteHits,
 			Disk:        res.Cluster.DiskReads,
 			Forwards:    res.Cluster.Forwards,
+			Intervals:   res.Intervals,
 		}
 		rec.faultCounters = faultCountersOf(res)
 		records = append(records, rec)
@@ -382,7 +432,7 @@ func runBench(out string, requests, concurrency int, seed int64) error {
 // backing store is gone; every other failure must be invisible), so the
 // run must finish with zero client-visible errors, and the fault-handling
 // counters it records must be nonzero.
-func runChaos(out string, requests, concurrency int, seed int64) error {
+func runChaos(out string, requests, concurrency int, seed int64, interval time.Duration) error {
 	const (
 		nNodes    = 4
 		crashNode = nNodes - 1 // never the directory node (0)
@@ -402,11 +452,17 @@ func runChaos(out string, requests, concurrency int, seed int64) error {
 		DropProb:  0.004,
 	}
 	sizes := fileSizes(files, avgSize)
+	// Each node gets a protocol tracer: after the run the event counts are
+	// recorded beside the fault counters (and stay readable even for the
+	// crashed node, whose tracer outlives its sockets in-process).
+	tracers := make([]*obs.Tracer, nNodes)
 	nodes, addrs, shutdown, err := startCluster(nNodes, capacity, false, sizes,
 		func(i int, cfg *middleware.Config) {
 			cfg.Fault = plan
 			cfg.RPCTimeout = 300 * time.Millisecond
 			cfg.Retries = 2
+			tracers[i] = obs.NewTracer(0)
+			cfg.Tracer = tracers[i]
 		})
 	if err != nil {
 		return fmt.Errorf("chaos: %w", err)
@@ -441,6 +497,7 @@ func runChaos(out string, requests, concurrency int, seed int64) error {
 		Concurrency: concurrency,
 		WarmupFrac:  0.1,
 		WriteFrac:   0.05,
+		Interval:    interval,
 		Breakpoint:  crashAt,
 		OnBreakpoint: func() {
 			log.Printf("chaos: crashing node %d", crashNode)
@@ -460,6 +517,16 @@ func runChaos(out string, requests, concurrency int, seed int64) error {
 		return fmt.Errorf("chaos: no client failovers recorded — entry-node failover was not exercised")
 	}
 
+	traceEvents := make(map[string]uint64)
+	var traceTotal uint64
+	for _, t := range tracers {
+		for _, e := range t.Events() {
+			traceEvents[e.Kind]++
+		}
+		traceTotal += t.Total()
+	}
+	log.Printf("chaos: %d trace events recorded across the cluster: %v", traceTotal, traceEvents)
+
 	doc := loadBenchDoc(out)
 	doc.Chaos = &chaosRecord{
 		Nodes:     nNodes,
@@ -475,6 +542,9 @@ func runChaos(out string, requests, concurrency int, seed int64) error {
 		P99US:     float64(res.P99) / float64(time.Microsecond),
 
 		faultCounters: fc,
+		Intervals:     res.Intervals,
+		TraceEvents:   traceEvents,
+		TraceTotal:    traceTotal,
 	}
 	return writeBenchDoc(out, doc)
 }

@@ -17,9 +17,12 @@
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -28,6 +31,7 @@ import (
 	"repro/internal/block"
 	"repro/internal/core"
 	"repro/internal/middleware"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -49,6 +53,8 @@ func main() {
 		retries  = flag.Int("retries", 0, "transient-failure retry budget (0: default of 2, negative: none)")
 		brThresh = flag.Int("breaker-threshold", 0, "consecutive failures before a peer's circuit opens (0: default of 5, negative: disabled)")
 		brCool   = flag.Duration("breaker-cooldown", 0, "open-circuit cooldown before a half-open probe (0: 500ms default)")
+		metrics  = flag.String("metrics-addr", "", "with -serve: HTTP address exposing /metrics (Prometheus), /debug/vars, and /debug/pprof")
+		traceCap = flag.Int("trace", 0, "with -serve: retain the last N protocol trace events, dumpable via the trace RPC (0: tracing off)")
 	)
 	flag.Parse()
 
@@ -66,7 +72,7 @@ func main() {
 
 	switch {
 	case *serve:
-		runNode(*id, *listen, addrs, *capacity, *policy, *hints, *files, *avg, ft)
+		runNode(*id, *listen, addrs, *capacity, *policy, *hints, *files, *avg, ft, *metrics, *traceCap)
 	case *get >= 0:
 		client := dial(addrs, ft)
 		defer client.Close()
@@ -129,7 +135,7 @@ type faultTolerance struct {
 	breakerCooldown  time.Duration
 }
 
-func runNode(id int, listen string, addrs []string, capacity int, policy string, hints bool, files int, avg int64, ft faultTolerance) {
+func runNode(id int, listen string, addrs []string, capacity int, policy string, hints bool, files int, avg int64, ft faultTolerance, metricsAddr string, traceCap int) {
 	if id < 0 || id >= len(addrs) {
 		log.Fatalf("-id %d out of range for %d cluster addresses", id, len(addrs))
 	}
@@ -151,6 +157,10 @@ func runNode(id int, listen string, addrs []string, capacity int, policy string,
 		// agrees without coordination.
 		sizes[block.FileID(f)] = avg/2 + int64(f%7)*(avg/7)
 	}
+	var tracer *obs.Tracer
+	if traceCap > 0 {
+		tracer = obs.NewTracer(traceCap)
+	}
 	n, err := middleware.Start(middleware.Config{
 		ID:               id,
 		Listen:           listen,
@@ -162,11 +172,15 @@ func runNode(id int, listen string, addrs []string, capacity int, policy string,
 		Retries:          ft.retries,
 		BreakerThreshold: ft.breakerThreshold,
 		BreakerCooldown:  ft.breakerCooldown,
+		Tracer:           tracer,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	n.SetAddrs(addrs)
+	if metricsAddr != "" {
+		go serveMetrics(metricsAddr, n)
+	}
 	log.Printf("node %d serving on %s (capacity %d blocks, %s, hints=%v)",
 		id, n.Addr(), capacity, policy, hints)
 
@@ -175,4 +189,25 @@ func runNode(id int, listen string, addrs []string, capacity int, policy string,
 	<-sig
 	log.Printf("shutting down")
 	n.Close()
+}
+
+// serveMetrics exposes the node's observability surface on its own HTTP
+// listener, kept off the cluster's RPC port: Prometheus text on /metrics,
+// Go runtime expvars on /debug/vars, and the standard pprof profiles under
+// /debug/pprof.
+func serveMetrics(addr string, n *middleware.Node) {
+	reg := obs.NewRegistry()
+	n.RegisterMetrics(reg)
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	log.Printf("metrics on http://%s/metrics", addr)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		log.Printf("metrics server: %v", err)
+	}
 }

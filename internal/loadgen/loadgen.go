@@ -71,6 +71,58 @@ type Config struct {
 	OnBreakpoint func()
 	// Breakpoint is the request index that triggers OnBreakpoint.
 	Breakpoint int
+	// Interval is the bucket width of the per-interval time series in
+	// Result.Intervals (0: 1 s default; negative: no time series).
+	Interval time.Duration
+}
+
+// Interval is one bucket of the replay's measured-window time series:
+// throughput, latency percentiles, and client-side fault activity over one
+// Config.Interval-wide slice of wall-clock time. A bench or chaos run keeps
+// the sequence in BENCH_live.json, so a mid-run disturbance (a crashed
+// node, a breaker opening) is visible at its moment instead of being
+// averaged away over the whole run.
+type Interval struct {
+	// I is the bucket index (0 starts at the measurement window's start).
+	I int `json:"i"`
+	// StartMs is the bucket's offset from the measurement start, in
+	// milliseconds.
+	StartMs int64 `json:"start_ms"`
+	// Requests/Writes/Bytes are the operations measured in this bucket
+	// (bucketed by issue time).
+	Requests int   `json:"requests"`
+	Writes   int   `json:"writes,omitempty"`
+	Bytes    int64 `json:"bytes"`
+	// ReqPerSec/MBPerSec are Requests and Bytes over the bucket width.
+	ReqPerSec float64 `json:"req_per_sec"`
+	MBPerSec  float64 `json:"mb_per_sec"`
+	// P50Micros/P99Micros are response-time percentiles over the bucket's
+	// requests, in microseconds (reservoir-sampled above 4096 requests).
+	P50Micros int64 `json:"p50_us"`
+	P99Micros int64 `json:"p99_us"`
+	// ClientTimeouts/ClientFailovers/ClientBreakerSkips are the deltas of
+	// the client fault counters attributed to this bucket.
+	ClientTimeouts     uint64 `json:"client_timeouts,omitempty"`
+	ClientFailovers    uint64 `json:"client_failovers,omitempty"`
+	ClientBreakerSkips uint64 `json:"client_breaker_skips,omitempty"`
+}
+
+// intervalSampleCap bounds the per-bucket latency reservoir.
+const intervalSampleCap = 4096
+
+// isample is one measured operation, kept per worker and bucketed into
+// Intervals after the replay.
+type isample struct {
+	at    int64 // issue time, unix nanos
+	lat   time.Duration
+	bytes int
+	write bool
+}
+
+// faultSample is a timestamped cumulative client fault-counter snapshot.
+type faultSample struct {
+	at int64
+	fs middleware.ClientFaultStats
 }
 
 // Result summarizes a replay.
@@ -103,6 +155,10 @@ type Result struct {
 	// that timed out, failed over to another entry node, or steered
 	// around an open breaker.
 	Fault middleware.ClientFaultStats
+	// Intervals is the measured window sliced into Config.Interval-wide
+	// buckets (nil when Config.Interval is negative or nothing was
+	// measured).
+	Intervals []Interval
 }
 
 // Replay runs the trace against the cluster and reports measurements.
@@ -133,6 +189,9 @@ func Replay(client *middleware.Client, tr *trace.Trace, cfg Config) (Result, err
 	if cfg.MaxSamples <= 0 {
 		cfg.MaxSamples = 65536
 	}
+	if cfg.Interval == 0 {
+		cfg.Interval = time.Second
+	}
 
 	var (
 		cursor    atomic.Int64
@@ -145,12 +204,45 @@ func Replay(client *middleware.Client, tr *trace.Trace, cfg Config) (Result, err
 		wg        sync.WaitGroup
 		firstErr  error
 		errOnce   sync.Once
+		samples   []isample // every measured op, for interval bucketing
 	)
+
+	// The fault sampler snapshots the cumulative client fault counters on a
+	// fast cadence, so the interval series can attribute counter deltas to
+	// the bucket they occurred in.
+	var (
+		faultSamples []faultSample
+		samplerStop  chan struct{}
+		samplerDone  chan struct{}
+	)
+	if cfg.Interval > 0 {
+		samplerStop, samplerDone = make(chan struct{}), make(chan struct{})
+		tick := cfg.Interval / 4
+		if tick < 10*time.Millisecond {
+			tick = 10 * time.Millisecond
+		}
+		go func() {
+			defer close(samplerDone)
+			t := time.NewTicker(tick)
+			defer t.Stop()
+			for {
+				select {
+				case <-samplerStop:
+					return
+				case now := <-t.C:
+					fs := client.FaultStats()
+					mu.Lock()
+					faultSamples = append(faultSamples, faultSample{at: now.UnixNano(), fs: fs})
+					mu.Unlock()
+				}
+			}
+		}()
+	}
 
 	worker := func(seed int64) {
 		defer wg.Done()
 		rng := rand.New(rand.NewSource(seed))
-		local := make([]time.Duration, 0, 1024)
+		local := make([]isample, 0, 1024)
 		for {
 			idx := int(cursor.Add(1)) - 1
 			if idx >= total || nErrors.Load() > 0 {
@@ -180,7 +272,7 @@ func Replay(client *middleware.Client, tr *trace.Trace, cfg Config) (Result, err
 				break
 			}
 			if idx >= warm {
-				local = append(local, time.Since(start))
+				local = append(local, isample{at: start.UnixNano(), lat: time.Since(start), bytes: nbytes, write: isWrite})
 				bytesRead.Add(int64(nbytes))
 				if isWrite {
 					nWrites.Add(1)
@@ -188,8 +280,11 @@ func Replay(client *middleware.Client, tr *trace.Trace, cfg Config) (Result, err
 			}
 		}
 		mu.Lock()
-		for _, d := range local {
-			rt.Add(sim.Duration(d))
+		for _, s := range local {
+			rt.Add(sim.Duration(s.lat))
+		}
+		if cfg.Interval > 0 {
+			samples = append(samples, local...)
 		}
 		mu.Unlock()
 	}
@@ -204,6 +299,12 @@ func Replay(client *middleware.Client, tr *trace.Trace, cfg Config) (Result, err
 	}
 	wg.Wait()
 	end := time.Now()
+	if samplerStop != nil {
+		close(samplerStop)
+		<-samplerDone
+		// One final snapshot so the last bucket's delta has an end boundary.
+		faultSamples = append(faultSamples, faultSample{at: end.UnixNano(), fs: client.FaultStats()})
+	}
 
 	res := Result{
 		Requests: rt.Count(),
@@ -235,7 +336,83 @@ func Replay(client *middleware.Client, tr *trace.Trace, cfg Config) (Result, err
 		res.Cluster = stats
 	}
 	res.Fault = client.FaultStats()
+	if cfg.Interval > 0 {
+		res.Intervals = buildIntervals(samples, faultSamples, measStart.Load(), cfg.Interval)
+	}
 	return res, nil
+}
+
+// buildIntervals buckets the measured samples into width-wide intervals
+// starting at measStart and attributes fault-counter deltas to each bucket
+// from the sampler's timestamped snapshots (appended in time order).
+func buildIntervals(samples []isample, faults []faultSample, measStart int64, width time.Duration) []Interval {
+	if measStart <= 0 || len(samples) == 0 {
+		return nil
+	}
+	w := int64(width)
+	nb := 0
+	for _, s := range samples {
+		if s.at < measStart {
+			continue
+		}
+		if i := int((s.at - measStart) / w); i >= nb {
+			nb = i + 1
+		}
+	}
+	if nb == 0 {
+		return nil
+	}
+	out := make([]Interval, nb)
+	rts := make([]*metrics.ResponseTimes, nb)
+	for i := range out {
+		out[i].I = i
+		out[i].StartMs = int64(i) * w / int64(time.Millisecond)
+		rts[i] = metrics.NewResponseTimes(intervalSampleCap)
+	}
+	for _, s := range samples {
+		if s.at < measStart {
+			continue
+		}
+		i := int((s.at - measStart) / w)
+		out[i].Requests++
+		out[i].Bytes += int64(s.bytes)
+		if s.write {
+			out[i].Writes++
+		}
+		rts[i].Add(sim.Duration(s.lat))
+	}
+	secs := width.Seconds()
+	for i := range out {
+		out[i].ReqPerSec = float64(out[i].Requests) / secs
+		out[i].MBPerSec = float64(out[i].Bytes) / secs / (1 << 20)
+		if rts[i].Count() > 0 {
+			out[i].P50Micros = int64(rts[i].Percentile(0.50)) / int64(time.Microsecond)
+			out[i].P99Micros = int64(rts[i].Percentile(0.99)) / int64(time.Microsecond)
+		}
+	}
+	// Fault deltas: the cumulative snapshot at each bucket's end boundary
+	// (the last sample at or before it), differenced against the previous
+	// boundary. Buckets between snapshots get zero, the snapshot's bucket
+	// gets the whole delta — accurate to the sampler cadence (width/4).
+	var prev middleware.ClientFaultStats
+	j := 0
+	for j < len(faults) && faults[j].at <= measStart {
+		prev = faults[j].fs
+		j++
+	}
+	for i := range out {
+		boundary := measStart + int64(i+1)*w
+		cur := prev
+		for j < len(faults) && faults[j].at <= boundary {
+			cur = faults[j].fs
+			j++
+		}
+		out[i].ClientTimeouts = cur.Timeouts - prev.Timeouts
+		out[i].ClientFailovers = cur.Failovers - prev.Failovers
+		out[i].ClientBreakerSkips = cur.BreakerSkips - prev.BreakerSkips
+		prev = cur
+	}
+	return out
 }
 
 // String formats the result as a report.

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"repro/internal/sim"
 )
@@ -25,7 +26,14 @@ const reservoirSeed = 0x5ca1ab1e
 // algorithm R) that caps memory on full-scale runs. Count, Mean, Min, and
 // Max are exact in both modes; Percentile is exact in exact mode and an
 // unbiased estimate in reservoir mode.
+//
+// All methods are safe for concurrent use. In particular Percentile, which
+// sorts the retained samples lazily, holds the same lock as Add — a live
+// load generator may read percentiles mid-run while workers keep recording.
+// Because of the internal mutex a ResponseTimes must not be copied after
+// first use; pass it by pointer.
 type ResponseTimes struct {
+	mu      sync.Mutex
 	samples []sim.Duration
 	sum     sim.Duration
 	min     sim.Duration
@@ -53,6 +61,8 @@ func NewResponseTimes(capacity int) *ResponseTimes {
 // measurement loop does not regrow it incrementally. It is a no-op in
 // reservoir mode or when enough capacity is already allocated.
 func (r *ResponseTimes) Reserve(n int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if r.limit > 0 || n <= cap(r.samples) {
 		return
 	}
@@ -63,6 +73,8 @@ func (r *ResponseTimes) Reserve(n int) {
 
 // Add records one response time.
 func (r *ResponseTimes) Add(d sim.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if r.count == 0 || d < r.min {
 		r.min = d
 	}
@@ -86,14 +98,24 @@ func (r *ResponseTimes) Add(d sim.Duration) {
 
 // Count reports the number of recorded responses (all of them, even those a
 // reservoir no longer retains).
-func (r *ResponseTimes) Count() int { return r.count }
+func (r *ResponseTimes) Count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.count
+}
 
 // Sampled reports how many samples are retained for percentile estimation.
-func (r *ResponseTimes) Sampled() int { return len(r.samples) }
+func (r *ResponseTimes) Sampled() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.samples)
+}
 
 // Mean reports the average response time (0 with no samples). It is exact
 // in both modes.
 func (r *ResponseTimes) Mean() sim.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if r.count == 0 {
 		return 0
 	}
@@ -101,19 +123,31 @@ func (r *ResponseTimes) Mean() sim.Duration {
 }
 
 // Min reports the fastest response.
-func (r *ResponseTimes) Min() sim.Duration { return r.min }
+func (r *ResponseTimes) Min() sim.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.min
+}
 
 // Max reports the slowest response.
-func (r *ResponseTimes) Max() sim.Duration { return r.max }
+func (r *ResponseTimes) Max() sim.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.max
+}
 
 // Percentile reports the p-quantile (p in [0,1]) by nearest rank over the
-// retained samples.
+// retained samples. The lazy sort runs under the lock, so it cannot race
+// with a concurrent Add (which may clear sorted again — correctness is
+// preserved, only the sort is redone).
 func (r *ResponseTimes) Percentile(p float64) sim.Duration {
-	if len(r.samples) == 0 {
-		return 0
-	}
 	if p < 0 || p > 1 {
 		panic(fmt.Sprintf("metrics: percentile %v out of [0,1]", p))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.samples) == 0 {
+		return 0
 	}
 	if !r.sorted {
 		sort.Slice(r.samples, func(i, j int) bool { return r.samples[i] < r.samples[j] })

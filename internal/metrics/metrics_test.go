@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -164,5 +165,49 @@ func TestStatsProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestConcurrentAddPercentile is the regression test for the data race
+// between Add and Percentile: Percentile sorts the retained samples lazily
+// in place, so a concurrent Add used to mutate the slice mid-sort. Run
+// under -race (CI does) this fails on the unsynchronized implementation.
+func TestConcurrentAddPercentile(t *testing.T) {
+	const (
+		writers   = 4
+		perWriter = 2000
+	)
+	r := NewResponseTimes(256)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				r.Add(sim.Duration(w*perWriter + i + 1))
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for reading := true; reading; {
+		select {
+		case <-done:
+			reading = false
+		default:
+		}
+		q50, q99 := r.Percentile(0.5), r.Percentile(0.99)
+		if q50 > q99 {
+			t.Errorf("p50 %v > p99 %v", q50, q99)
+		}
+		_ = r.Mean()
+		_, _ = r.Min(), r.Max()
+		_, _ = r.Count(), r.Sampled()
+	}
+	if got, want := r.Count(), writers*perWriter; got != want {
+		t.Fatalf("Count = %d, want %d", got, want)
+	}
+	if got, want := r.Sampled(), 256; got != want {
+		t.Fatalf("reservoir retained %d samples, want %d", got, want)
 	}
 }

@@ -113,6 +113,29 @@ func TestFaultPlanDeterministic(t *testing.T) {
 			t.Fatalf("decision %d differs across identically seeded plans: %v vs %v", i, a[i], b[i])
 		}
 	}
+
+	// The retry backoff draws its jitter from a per-node seeded stream, not
+	// the global math/rand: two nodes built with the same ID and fault seed
+	// must produce identical jitter sequences (and so identical retry
+	// timing), run after run.
+	jitters := func() []time.Duration {
+		id := int64(3) // node ID + 1
+		seed := id * 0x5851F42D4C957F2D
+		seed ^= 99 // the fault plan's seed, as Node.Start folds it in
+		rng := newLockedRand(seed)
+		out := make([]time.Duration, 64)
+		step := defaultRetryBackoff
+		for i := range out {
+			out[i] = backoffJitter(step, rng)
+		}
+		return out
+	}
+	ja, jb := jitters(), jitters()
+	for i := range ja {
+		if ja[i] != jb[i] {
+			t.Fatalf("backoff jitter %d differs across identically seeded nodes: %v vs %v", i, ja[i], jb[i])
+		}
+	}
 }
 
 // TestWriteWithCrashedPeerSucceeds crashes one holder of a cached copy and

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/block"
+	"repro/internal/obs"
 )
 
 // ClientConfig parameterizes a cluster client's fault tolerance.
@@ -63,6 +64,10 @@ type Client struct {
 	timeouts     atomic.Uint64
 	failovers    atomic.Uint64
 	breakerSkips atomic.Uint64
+
+	// rpcLat holds one latency histogram per request frame type, fed by
+	// conn.roundTrip on every client connection.
+	rpcLat [msgTypeCount]obs.Histogram
 }
 
 // DialCluster returns a client for the given node addresses (index = node
@@ -125,8 +130,39 @@ func (c *Client) conn(i int) (*conn, error) {
 		f.Sender = -1
 		f.OldestAge = noAge
 	}
-	c.conns[i] = newConn(nc, connConfig{stamp: stamp, timeout: c.timeout})
+	c.conns[i] = newConn(nc, connConfig{stamp: stamp, timeout: c.timeout, latency: c.observeRPCLatency})
 	return c.conns[i], nil
+}
+
+// observeRPCLatency feeds the client's per-RPC-type latency histograms.
+func (c *Client) observeRPCLatency(t MsgType, d time.Duration) {
+	if int(t) < len(c.rpcLat) {
+		c.rpcLat[t].Observe(d)
+	}
+}
+
+// RPCLatency snapshots the client's per-RPC-type latency histograms, keyed
+// by metric name (only types with observations).
+func (c *Client) RPCLatency() map[string]obs.HistogramData {
+	out := make(map[string]obs.HistogramData)
+	for t := range c.rpcLat {
+		if d := c.rpcLat[t].Snapshot(); d.Count > 0 {
+			out[MsgType(t).metricName()] = d
+		}
+	}
+	return out
+}
+
+// RegisterMetrics registers the client's fault counters and latency
+// histograms with r under cc_client_-prefixed Prometheus names.
+func (c *Client) RegisterMetrics(r *obs.Registry) {
+	r.Counter("cc_client_timeouts_total", "client round trips that missed the RPC deadline", "", c.timeouts.Load)
+	r.Counter("cc_client_failovers_total", "client requests retried on another entry node", "", c.failovers.Load)
+	r.Counter("cc_client_breaker_skips_total", "entry-node selections steered around an open breaker", "", c.breakerSkips.Load)
+	for _, t := range requestMsgTypes {
+		r.Histogram("cc_client_rpc_latency_seconds", "client round-trip latency by request frame type",
+			`type="`+t.metricName()+`"`, &c.rpcLat[t])
+	}
 }
 
 // next picks the next node round-robin, steering around nodes whose
@@ -243,6 +279,25 @@ func (c *Client) NodeStats(node int) (Stats, error) {
 	return s, nil
 }
 
+// NodeTrace fetches the protocol event trace of one node (empty if the
+// node runs without a tracer). No failover: the target node is the point.
+func (c *Client) NodeTrace(node int) (TraceDump, error) {
+	req := getFrame()
+	req.Type = MsgTrace
+	resp, err := c.roundTrip(node, req)
+	releaseFrame(req)
+	if err != nil {
+		return TraceDump{}, err
+	}
+	var d TraceDump
+	err = json.Unmarshal(resp.Payload, &d)
+	releaseFrame(resp)
+	if err != nil {
+		return TraceDump{}, err
+	}
+	return d, nil
+}
+
 // FaultStats snapshots the client-side fault handling counters.
 func (c *Client) FaultStats() ClientFaultStats {
 	return ClientFaultStats{
@@ -292,6 +347,14 @@ func (c *Client) ClusterStats() (Stats, error) {
 		sum.StoreMasters += s.StoreMasters
 		if s.HintAccuracy < sum.HintAccuracy {
 			sum.HintAccuracy = s.HintAccuracy
+		}
+		for k, h := range s.RPCLatency {
+			if sum.RPCLatency == nil {
+				sum.RPCLatency = make(map[string]obs.HistogramData)
+			}
+			m := sum.RPCLatency[k]
+			m.Merge(h)
+			sum.RPCLatency[k] = m
 		}
 	}
 	if reached == 0 {

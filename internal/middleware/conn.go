@@ -16,7 +16,7 @@ var errConnClosed = errors.New("middleware: connection closed")
 func isResponse(t MsgType) bool {
 	switch t {
 	case MsgBlockData, MsgBlockMiss, MsgFileData, MsgDirResult, MsgForwardAck,
-		MsgAck, MsgErr, MsgStatsReply:
+		MsgAck, MsgErr, MsgStatsReply, MsgTraceReply:
 		return true
 	}
 	return false
@@ -43,6 +43,10 @@ type connConfig struct {
 	// does not arrive in time fails the RPC with errRPCTimeout instead of
 	// wedging the caller. <= 0 disables deadlines.
 	timeout time.Duration
+	// latency, when non-nil, observes the duration of every round trip,
+	// keyed by the request's frame type (per-RPC-type histograms). nil
+	// keeps the round-trip path untouched.
+	latency func(MsgType, time.Duration)
 }
 
 // conn is a multiplexed protocol connection: concurrent round trips are
@@ -168,8 +172,21 @@ func putReplyCh(ch chan *Frame) {
 
 // roundTrip sends a request and waits for its response. The request frame
 // stays owned by the caller; the returned response frame must be released
-// by the caller.
+// by the caller. With a latency observer configured, the whole round trip
+// (including a timed-out or failed one — the time was spent either way) is
+// recorded under the request's frame type.
 func (c *conn) roundTrip(f *Frame) (*Frame, error) {
+	if c.cfg.latency == nil {
+		return c.doRoundTrip(f)
+	}
+	typ := f.Type
+	start := time.Now()
+	resp, err := c.doRoundTrip(f)
+	c.cfg.latency(typ, time.Since(start))
+	return resp, err
+}
+
+func (c *conn) doRoundTrip(f *Frame) (*Frame, error) {
 	ch := replyChPool.Get().(chan *Frame)
 	c.pmu.Lock()
 	if c.closed {

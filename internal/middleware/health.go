@@ -84,44 +84,79 @@ func (b *breaker) allow() bool {
 	return true
 }
 
-// success records a completed round trip and closes the circuit.
-func (b *breaker) success() {
+// success records a completed round trip and closes the circuit, reporting
+// whether this closed a previously open circuit (the open→closed
+// transition, for the breaker_close trace event).
+func (b *breaker) success() bool {
 	if b == nil || b.threshold <= 0 {
-		return
+		return false
 	}
 	b.mu.Lock()
+	wasOpen := b.fails >= b.threshold
 	b.fails = 0
 	b.openUntil = time.Time{}
 	b.probing = false
 	b.mu.Unlock()
+	return wasOpen
 }
 
-// failure records a transport failure and reports whether it just opened
-// the circuit (the closed→open transition, for the breakerOpens counter).
+// failure records a transport failure and reports whether it opened the
+// circuit (for the breakerOpens counter). Every transition into the open
+// state counts: the closed→open trip at the failure threshold AND the
+// half-open→open re-trip when a probe fails — in the latter case fails is
+// already past the threshold, so comparing against the threshold alone
+// (the old accounting) silently missed every re-open.
 func (b *breaker) failure() bool {
 	if b == nil || b.threshold <= 0 {
 		return false
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	opened := b.probing || b.fails == b.threshold-1
 	b.fails++
 	b.openUntil = time.Now().Add(b.cooldown)
 	b.probing = false
-	return b.fails == b.threshold
+	return opened
 }
 
 // --- retry backoff ---
 
+// lockedRand is a mutex-guarded rand.Rand: the retry paths of concurrent
+// requests share one per-node seeded stream instead of contending on the
+// global math/rand lock (and instead of being nondeterministic under a
+// seeded FaultPlan).
+type lockedRand struct {
+	mu sync.Mutex
+	r  *rand.Rand
+}
+
+func newLockedRand(seed int64) *lockedRand {
+	return &lockedRand{r: rand.New(rand.NewSource(seed))}
+}
+
+// Int63n is rand.Rand.Int63n under the lock.
+func (l *lockedRand) Int63n(n int64) int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.r.Int63n(n)
+}
+
+// backoffJitter computes one backoff sleep for step d: d/2 + [0, d), i.e.
+// d ± 50%. Split from the sleep so determinism is testable.
+func backoffJitter(d time.Duration, rng *lockedRand) time.Duration {
+	return d/2 + time.Duration(rng.Int63n(int64(d)))
+}
+
 // backoffSleep sleeps the current capped-exponential backoff step with
-// ±50% jitter and advances *cur (doubling up to cap). Jitter keeps
-// simultaneous retries from re-colliding on a recovering peer.
-func backoffSleep(cur *time.Duration, max time.Duration) {
+// ±50% jitter drawn from rng and advances *cur (doubling up to cap).
+// Jitter keeps simultaneous retries from re-colliding on a recovering
+// peer.
+func backoffSleep(cur *time.Duration, max time.Duration, rng *lockedRand) {
 	d := *cur
 	if d <= 0 {
 		return
 	}
-	jitter := time.Duration(rand.Int63n(int64(d))) // [0, d)
-	time.Sleep(d/2 + jitter)
+	time.Sleep(backoffJitter(d, rng))
 	if next := 2 * d; next <= max {
 		*cur = next
 	} else {

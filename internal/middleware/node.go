@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/block"
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // Config parameterizes one live middleware node.
@@ -77,7 +78,25 @@ type Config struct {
 	// partitions, mid-frame crashes) into every connection this node
 	// dials or accepts. Testing and chaos benchmarking only.
 	Fault *FaultPlan
+	// Tracer, when non-nil, records protocol events (forwards, home
+	// fallbacks, stale drops, invalidations, breaker transitions, retries)
+	// into a bounded ring buffer, dumpable via the MsgTrace RPC. nil
+	// disables tracing at zero cost.
+	Tracer *obs.Tracer
 }
+
+// Protocol trace event kinds (obs.Event.Kind).
+const (
+	traceForward        = "forward"         // eviction forward shipped (Aux: 1 accepted, 0 rejected/failed)
+	traceHomeFallback   = "home_fallback"   // peer fetch degraded to the home node
+	traceStaleDrop      = "stale_drop"      // directory/hint entry dropped after a peer failure
+	traceInvalidate     = "invalidate"      // block invalidated (write protocol)
+	traceInvalidateSkip = "invalidate_skip" // invalidation degraded to "peer holds no cache"
+	traceBreakerOpen    = "breaker_open"    // circuit breaker opened for Peer
+	traceBreakerClose   = "breaker_close"   // circuit breaker closed after a successful probe
+	traceRetry          = "retry"           // RPC retried after a transient failure (Aux: attempt)
+	traceRPCTimeout     = "rpc_timeout"     // round trip missed the RPC deadline
+)
 
 // Node is a live cooperative caching node: a TCP server cooperating with
 // its peers to manage the cluster's memory as a single block cache.
@@ -118,6 +137,16 @@ type Node struct {
 	retryCap   time.Duration
 	brThresh   int
 	brCooldown time.Duration
+
+	// retryRand is the per-node seeded jitter stream of the retry backoff:
+	// deterministic under a seeded FaultPlan and free of global-rand
+	// contention.
+	retryRand *lockedRand
+	// tracer is Config.Tracer (nil: tracing disabled).
+	tracer *obs.Tracer
+	// rpcLat holds one latency histogram per outgoing request frame type,
+	// fed by conn.roundTrip.
+	rpcLat [msgTypeCount]obs.Histogram
 
 	c counters
 }
@@ -160,6 +189,19 @@ type Stats struct {
 	StoreLen        int
 	StoreMasters    int
 	HintAccuracy    float64
+	// RPCLatency holds the node's per-RPC-type latency histograms, keyed by
+	// the request frame type's metric name (only types with observations).
+	// ClusterStats merges them bucket-wise across nodes.
+	RPCLatency map[string]obs.HistogramData `json:",omitempty"`
+}
+
+// TraceDump is the MsgTrace RPC payload: the retained window of a node's
+// protocol event trace, oldest first. Total exceeding len(Events) means
+// the ring dropped that much earlier history.
+type TraceDump struct {
+	Node   int         `json:"node"`
+	Total  uint64      `json:"total"`
+	Events []obs.Event `json:"events"`
 }
 
 // HitRate is the fraction of block accesses served from cluster memory.
@@ -239,6 +281,15 @@ func Start(cfg Config) (*Node, error) {
 	if n.brCooldown <= 0 {
 		n.brCooldown = defaultBreakerCooldown
 	}
+	// Seed the retry jitter per node (XOR-folded with the fault plan's seed
+	// when one is attached), so a seeded chaos run has deterministic retry
+	// timing draws.
+	retrySeed := int64(cfg.ID+1) * 0x5851F42D4C957F2D
+	if cfg.Fault != nil {
+		retrySeed ^= cfg.Fault.Seed
+	}
+	n.retryRand = newLockedRand(retrySeed)
+	n.tracer = cfg.Tracer
 	if cfg.Hints {
 		cfg.DirMode = DirHints
 		n.cfg.DirMode = DirHints
@@ -352,7 +403,69 @@ func (n *Node) Stats() Stats {
 	if n.hints != nil {
 		s.HintAccuracy = n.hints.Accuracy()
 	}
+	for t := range n.rpcLat {
+		if d := n.rpcLat[t].Snapshot(); d.Count > 0 {
+			if s.RPCLatency == nil {
+				s.RPCLatency = make(map[string]obs.HistogramData)
+			}
+			s.RPCLatency[MsgType(t).metricName()] = d
+		}
+	}
 	return s
+}
+
+// RegisterMetrics registers the node's counters, gauges, and per-RPC-type
+// latency histograms with r under cc_-prefixed Prometheus names (ccnode
+// -metrics-addr serves them on /metrics).
+func (n *Node) RegisterMetrics(r *obs.Registry) {
+	c := &n.c
+	counters := []struct {
+		name, help string
+		fn         func() uint64
+	}{
+		{"cc_accesses_total", "block accesses through the cooperative cache", c.accesses.Load},
+		{"cc_local_hits_total", "accesses served from the local cache", c.localHits.Load},
+		{"cc_remote_hits_total", "accesses served from a peer's cache", c.remoteHits.Load},
+		{"cc_disk_reads_total", "accesses served from the backing store", c.diskReads.Load},
+		{"cc_race_misses_total", "located masters that vanished before the fetch", c.raceMisses.Load},
+		{"cc_forwards_total", "evicted masters forwarded to a peer", c.forwards.Load},
+		{"cc_forwards_rejected_total", "eviction forwards rejected or failed", c.forwardsRejected.Load},
+		{"cc_invalidations_total", "blocks invalidated by the write protocol", c.invalidations.Load},
+		{"cc_writes_total", "write operations handled", c.writes.Load},
+		{"cc_prefetches_total", "blocks fetched by readahead", c.prefetches.Load},
+		{"cc_rpc_timeouts_total", "round trips that missed the RPC deadline", c.rpcTimeouts.Load},
+		{"cc_rpc_retries_total", "retry attempts after transient failures", c.rpcRetries.Load},
+		{"cc_rpc_failures_total", "RPCs failed after exhausting retries", c.rpcFailures.Load},
+		{"cc_breaker_opens_total", "circuit breaker transitions into the open state", c.breakerOpens.Load},
+		{"cc_breaker_skips_total", "requests failed fast by an open breaker", c.breakerSkips.Load},
+		{"cc_home_fallbacks_total", "peer fetches degraded to the home node", c.homeFallbacks.Load},
+		{"cc_stale_drops_total", "directory/hint entries dropped after peer failures", c.staleDrops.Load},
+		{"cc_invalidate_skips_total", "invalidations degraded to 'peer holds no cache'", c.invalidateSkips.Load},
+	}
+	for _, m := range counters {
+		r.Counter(m.name, m.help, "", m.fn)
+	}
+	r.Gauge("cc_store_blocks", "blocks currently cached", "", func() float64 { return float64(n.store.Len()) })
+	r.Gauge("cc_store_masters", "master copies currently cached", "", func() float64 { return float64(n.store.Masters()) })
+	if n.hints != nil {
+		r.Gauge("cc_hint_accuracy", "fraction of hint lookups that located a live master", "", n.hints.Accuracy)
+	}
+	if n.tracer != nil {
+		r.Gauge("cc_trace_events_total", "protocol trace events recorded (including overwritten)", "",
+			func() float64 { return float64(n.tracer.Total()) })
+	}
+	for _, t := range requestMsgTypes {
+		r.Histogram("cc_rpc_latency_seconds", "peer round-trip latency by request frame type",
+			`type="`+t.metricName()+`"`, &n.rpcLat[t])
+	}
+}
+
+// requestMsgTypes are the frame types that initiate round trips — the
+// series pre-registered for the per-RPC-type latency histograms.
+var requestMsgTypes = []MsgType{
+	MsgGetBlock, MsgReadFile, MsgReadRange, MsgDirLookup, MsgDirUpdate,
+	MsgDirDrop, MsgForward, MsgWriteBlock, MsgInvalidate, MsgPutBlock,
+	MsgStats, MsgTrace,
 }
 
 // --- connection plumbing ---
@@ -387,7 +500,33 @@ func (n *Node) connConfig() connConfig {
 		workers:    n.workers,
 		maxPayload: n.maxPayload,
 		timeout:    n.rpcTimeout,
+		latency:    n.observeRPCLatency,
 	}
+}
+
+// observeRPCLatency feeds the per-RPC-type latency histograms (two atomic
+// adds per round trip).
+func (n *Node) observeRPCLatency(t MsgType, d time.Duration) {
+	if int(t) < len(n.rpcLat) {
+		n.rpcLat[t].Observe(d)
+	}
+}
+
+// trace records one protocol event when a tracer is attached (nil tracer:
+// a single branch).
+func (n *Node) trace(kind string, peer int, id block.ID, aux int64) {
+	if n.tracer == nil {
+		return
+	}
+	n.tracer.Record(obs.Event{
+		UnixNanos: time.Now().UnixNano(),
+		Kind:      kind,
+		Node:      int32(n.cfg.ID),
+		Peer:      int32(peer),
+		File:      int64(id.File),
+		Idx:       id.Idx,
+		Aux:       aux,
+	})
 }
 
 // stamp decorates outgoing frames with identity, the oldest-age piggyback,
@@ -548,7 +687,9 @@ func (n *Node) reliableRPC(peer int, f *Frame, retries int) (*Frame, error) {
 	for attempt := 0; ; attempt++ {
 		resp, err := n.roundTripTo(peer, f)
 		if err == nil {
-			br.success()
+			if br.success() {
+				n.trace(traceBreakerClose, peer, f.ID(), 0)
+			}
 			return resp, nil
 		}
 		if !isTransient(err) {
@@ -557,9 +698,11 @@ func (n *Node) reliableRPC(peer int, f *Frame, retries int) (*Frame, error) {
 		}
 		if errors.Is(err, errRPCTimeout) {
 			n.c.rpcTimeouts.Add(1)
+			n.trace(traceRPCTimeout, peer, f.ID(), int64(attempt))
 		}
 		if br.failure() {
 			n.c.breakerOpens.Add(1)
+			n.trace(traceBreakerOpen, peer, f.ID(), 0)
 		}
 		if attempt >= retries {
 			n.c.rpcFailures.Add(1)
@@ -573,7 +716,8 @@ func (n *Node) reliableRPC(peer int, f *Frame, retries int) (*Frame, error) {
 			return nil, err
 		}
 		n.c.rpcRetries.Add(1)
-		backoffSleep(&backoff, n.retryCap)
+		n.trace(traceRetry, peer, f.ID(), int64(attempt+1))
+		backoffSleep(&backoff, n.retryCap, n.retryRand)
 	}
 }
 
@@ -648,6 +792,18 @@ func (n *Node) handle(f *Frame) *Frame {
 		}
 		r := getFrame()
 		r.Type, r.Payload = MsgStatsReply, payload
+		return r
+	case MsgTrace:
+		payload, err := json.Marshal(TraceDump{
+			Node:   n.cfg.ID,
+			Total:  n.tracer.Total(),
+			Events: n.tracer.Events(),
+		})
+		if err != nil {
+			return errFrame("trace: %v", err)
+		}
+		r := getFrame()
+		r.Type, r.Payload = MsgTraceReply, payload
 		return r
 	default:
 		return errFrame("unknown message type %d", f.Type)
@@ -736,6 +892,7 @@ func (n *Node) handleForward(f *Frame) *Frame {
 
 func (n *Node) handleInvalidate(id block.ID) {
 	n.c.invalidations.Add(1)
+	n.trace(traceInvalidate, -1, id, 0)
 	if present, master := n.store.Remove(id); present && master {
 		n.loc.Drop(id, int32(n.cfg.ID)) //nolint:errcheck // best effort
 	}

@@ -71,7 +71,65 @@ const (
 	// MsgReadRange asks a node for a byte range of a file: Aux packs the
 	// offset (high 39 bits) and length (low 24 bits) via packRange.
 	MsgReadRange
+	// MsgTrace asks a node for its protocol event trace (observability).
+	MsgTrace
+	// MsgTraceReply returns the JSON-encoded trace dump.
+	MsgTraceReply
 )
+
+// msgTypeCount bounds the frame-type space (array sizing for per-type
+// metrics).
+const msgTypeCount = int(MsgTraceReply) + 1
+
+// metricName is the snake_case label value a frame type gets in the
+// per-RPC-type latency histograms and the trace dump.
+func (t MsgType) metricName() string {
+	switch t {
+	case MsgGetBlock:
+		return "get_block"
+	case MsgBlockData:
+		return "block_data"
+	case MsgBlockMiss:
+		return "block_miss"
+	case MsgReadFile:
+		return "read_file"
+	case MsgFileData:
+		return "file_data"
+	case MsgDirLookup:
+		return "dir_lookup"
+	case MsgDirResult:
+		return "dir_result"
+	case MsgDirUpdate:
+		return "dir_update"
+	case MsgDirDrop:
+		return "dir_drop"
+	case MsgForward:
+		return "forward"
+	case MsgForwardAck:
+		return "forward_ack"
+	case MsgWriteBlock:
+		return "write_block"
+	case MsgInvalidate:
+		return "invalidate"
+	case MsgPutBlock:
+		return "put_block"
+	case MsgAck:
+		return "ack"
+	case MsgErr:
+		return "err"
+	case MsgStats:
+		return "stats"
+	case MsgStatsReply:
+		return "stats_reply"
+	case MsgReadRange:
+		return "read_range"
+	case MsgTrace:
+		return "trace"
+	case MsgTraceReply:
+		return "trace_reply"
+	}
+	return fmt.Sprintf("type_%d", uint8(t))
+}
 
 // packRange encodes a byte range into an Aux value: the offset in the high
 // 39 value bits of the int64 (offset < 2^39, a 512 GB file cap) and the
@@ -161,7 +219,7 @@ const maxPayload = 64 << 20
 func typeCarriesPayload(t MsgType) bool {
 	switch t {
 	case MsgBlockData, MsgFileData, MsgForward, MsgWriteBlock, MsgPutBlock,
-		MsgErr, MsgStatsReply:
+		MsgErr, MsgStatsReply, MsgTraceReply:
 		return true
 	}
 	return false

@@ -194,6 +194,8 @@ func (n *Node) fetchBlock(id block.ID) ([]byte, error) {
 			// home read below repairs the entry to name this node.
 			n.c.staleDrops.Add(1)
 			n.c.homeFallbacks.Add(1)
+			n.trace(traceStaleDrop, int(m), id, 0)
+			n.trace(traceHomeFallback, int(m), id, 0)
 			n.loc.Drop(id, m) //nolint:errcheck // best effort
 		} else if err == nil && n.hints == nil {
 			// Central mode: clear the stale entry if it still names m.
@@ -335,8 +337,10 @@ func (n *Node) forwardEvicted(ev *Evicted) {
 		// Rejected (everything there was younger) or failed: the cluster
 		// forgets this master.
 		n.c.forwardsRejected.Add(1)
+		n.trace(traceForward, target, ev.ID, 0)
 		n.loc.Drop(ev.ID, int32(target)) //nolint:errcheck // best effort
 		return
 	}
 	n.c.forwards.Add(1)
+	n.trace(traceForward, target, ev.ID, 1)
 }

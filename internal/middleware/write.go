@@ -53,6 +53,7 @@ func (n *Node) WriteBlock(id block.ID, data []byte) error {
 			}
 			if isTransient(err) {
 				n.c.invalidateSkips.Add(1)
+				n.trace(traceInvalidateSkip, i, id, 0)
 				return
 			}
 			errs[i] = fmt.Errorf("node %d: %w", i, err)

@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistogramBucketing pins the log-bucket layout: bucket i holds
+// observations with d <= 1µs·2^i, and anything past the last finite bound
+// lands in +Inf.
+func TestHistogramBucketing(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{time.Nanosecond, 0},
+		{time.Microsecond, 0},
+		{time.Microsecond + 1, 1},
+		{2 * time.Microsecond, 1},
+		{3 * time.Microsecond, 2},
+		{4 * time.Microsecond, 2},
+		{time.Millisecond, 10},
+		{time.Second, 20},
+		{200 * time.Second, HistBuckets},
+		{time.Hour, HistBuckets},
+	}
+	for _, c := range cases {
+		if got := bucketIdx(c.d); got != c.want {
+			t.Errorf("bucketIdx(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+	// Bound/bucket consistency: every finite bound maps into its own bucket,
+	// and one nanosecond more maps into the next.
+	for i := 1; i < HistBuckets; i++ {
+		if got := bucketIdx(BucketBound(i)); got != i {
+			t.Errorf("bound %v maps to bucket %d, want %d", BucketBound(i), got, i)
+		}
+		if got := bucketIdx(BucketBound(i) + time.Microsecond); got != i+1 && i+1 <= HistBuckets {
+			t.Errorf("bound %v+1µs maps to bucket %d, want %d", BucketBound(i), got, i+1)
+		}
+	}
+}
+
+// TestHistogramSnapshotMergeQuantile exercises the snapshot/merge path the
+// cluster-stats aggregation uses.
+func TestHistogramSnapshotMergeQuantile(t *testing.T) {
+	var a, b Histogram
+	for i := 0; i < 90; i++ {
+		a.Observe(10 * time.Microsecond) // bucket 4 (le 16µs)
+	}
+	for i := 0; i < 10; i++ {
+		b.Observe(5 * time.Millisecond) // bucket 13 (le ~8.2ms)
+	}
+	da, db := a.Snapshot(), b.Snapshot()
+	if da.Count != 90 || db.Count != 10 {
+		t.Fatalf("counts %d/%d", da.Count, db.Count)
+	}
+	da.Merge(db)
+	if da.Count != 100 {
+		t.Fatalf("merged count %d", da.Count)
+	}
+	if want := 90*int64(10*time.Microsecond) + 10*int64(5*time.Millisecond); da.SumNanos != want {
+		t.Fatalf("merged sum %d, want %d", da.SumNanos, want)
+	}
+	if q := da.Quantile(0.5); q != BucketBound(4) {
+		t.Fatalf("p50 = %v, want %v", q, BucketBound(4))
+	}
+	if q := da.Quantile(0.99); q != BucketBound(13) {
+		t.Fatalf("p99 = %v, want %v", q, BucketBound(13))
+	}
+}
+
+// TestHistogramConcurrentObserve guards the atomic bucket updates under
+// -race and checks nothing is lost.
+func TestHistogramConcurrentObserve(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	const workers, each = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				h.Observe(time.Duration(w+1) * time.Microsecond)
+				h.Snapshot()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if d := h.Snapshot(); d.Count != workers*each {
+		t.Fatalf("count %d, want %d", d.Count, workers*each)
+	}
+}
+
+// TestRegistryPrometheusFormat checks the exposition output: HELP/TYPE
+// headers, counter and gauge lines, labeled histogram buckets with
+// cumulative counts and a +Inf terminator.
+func TestRegistryPrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	var n uint64 = 42
+	r.Counter("cc_accesses_total", "block accesses", "", func() uint64 { return n })
+	r.Gauge("cc_store_blocks", "cached blocks", "", func() float64 { return 7 })
+	var h Histogram
+	h.Observe(3 * time.Microsecond)
+	h.Observe(3 * time.Microsecond)
+	r.Histogram("cc_rpc_latency_seconds", "rpc latency", `type="get_block"`, &h)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP cc_accesses_total block accesses",
+		"# TYPE cc_accesses_total counter",
+		"cc_accesses_total 42",
+		"# TYPE cc_store_blocks gauge",
+		"cc_store_blocks 7",
+		"# TYPE cc_rpc_latency_seconds histogram",
+		`cc_rpc_latency_seconds_bucket{type="get_block",le="4e-06"} 2`,
+		`cc_rpc_latency_seconds_bucket{type="get_block",le="+Inf"} 2`,
+		`cc_rpc_latency_seconds_count{type="get_block"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q\n%s", want, out)
+		}
+	}
+	// Buckets are cumulative: the 2µs bucket (below both samples) reads 0.
+	if !strings.Contains(out, `le="2e-06"} 0`) {
+		t.Errorf("2µs bucket not cumulative-zero:\n%s", out)
+	}
+	// Parse-level sanity: every non-comment line is "name{labels} value".
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if fields := strings.Fields(line); len(fields) != 2 {
+			t.Errorf("unparseable exposition line %q", line)
+		}
+	}
+}
+
+// TestRegistryTypeConflictPanics pins the re-registration contract.
+func TestRegistryTypeConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", "", "", func() uint64 { return 0 })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge should panic")
+		}
+	}()
+	r.Gauge("x", "", "", func() float64 { return 0 })
+}
+
+// TestTracerRing exercises wraparound ordering and the nil-tracer no-op.
+func TestTracerRing(t *testing.T) {
+	var nilT *Tracer
+	nilT.Record(Event{Kind: "x"}) // must not panic
+	if nilT.Events() != nil || nilT.Total() != 0 {
+		t.Fatal("nil tracer should report nothing")
+	}
+
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.Record(Event{Kind: fmt.Sprintf("e%d", i), Aux: int64(i)})
+	}
+	ev := tr.Events()
+	if len(ev) != 4 {
+		t.Fatalf("retained %d events, want 4", len(ev))
+	}
+	for i, e := range ev {
+		if want := int64(6 + i); e.Aux != want {
+			t.Fatalf("event %d has aux %d, want %d (oldest-first after wrap)", i, e.Aux, want)
+		}
+	}
+	if tr.Total() != 10 {
+		t.Fatalf("total %d, want 10", tr.Total())
+	}
+}
+
+// TestTracerConcurrentRecord guards the ring under -race.
+func TestTracerConcurrentRecord(t *testing.T) {
+	tr := NewTracer(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				tr.Record(Event{Kind: "k"})
+				tr.Events()
+			}
+		}()
+	}
+	wg.Wait()
+	if tr.Total() != 2000 {
+		t.Fatalf("total %d, want 2000", tr.Total())
+	}
+}

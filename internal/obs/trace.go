@@ -1,0 +1,90 @@
+package obs
+
+import "sync"
+
+// Event is one protocol trace event. The middleware records an event at
+// each protocol decision point worth reconstructing after a chaos run:
+// eviction forwards, home fallbacks, stale-entry drops, invalidations,
+// breaker transitions, and retries. Fields the kind does not use stay at
+// their zero (or -1 for "no peer") values.
+type Event struct {
+	// UnixNanos is the wall-clock time of the event.
+	UnixNanos int64 `json:"t_ns"`
+	// Kind names the event (see the middleware's trace* constants).
+	Kind string `json:"kind"`
+	// Node is the recording node's cluster ID.
+	Node int32 `json:"node"`
+	// Peer is the other party of the event (-1 when not applicable).
+	Peer int32 `json:"peer"`
+	// File and Idx identify the block involved (File -1 when none).
+	File int64 `json:"file"`
+	Idx  int32 `json:"idx"`
+	// Aux carries kind-specific detail (retry attempt, forward accepted...).
+	Aux int64 `json:"aux,omitempty"`
+}
+
+// Tracer is a bounded ring buffer of protocol events. Recording overwrites
+// the oldest event once the ring is full, so a tracer attached for a whole
+// chaos run retains the most recent window — the part that explains the
+// anomaly under investigation. A nil *Tracer records nothing, which is the
+// zero-cost "tracing disabled" state.
+type Tracer struct {
+	mu    sync.Mutex
+	ring  []Event
+	total uint64 // events ever recorded (>= len(ring) once wrapped)
+}
+
+// DefaultTraceCapacity is the ring size NewTracer applies for capacity <= 0.
+const DefaultTraceCapacity = 4096
+
+// NewTracer returns a tracer retaining the last capacity events.
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Tracer{ring: make([]Event, 0, capacity)}
+}
+
+// Record appends one event (overwriting the oldest when full). Safe on a
+// nil tracer.
+func (t *Tracer) Record(e Event) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, e)
+	} else {
+		t.ring[t.total%uint64(cap(t.ring))] = e
+	}
+	t.total++
+	t.mu.Unlock()
+}
+
+// Events returns the retained events, oldest first.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, 0, len(t.ring))
+	if len(t.ring) == cap(t.ring) && t.total > uint64(len(t.ring)) {
+		start := int(t.total % uint64(cap(t.ring)))
+		out = append(out, t.ring[start:]...)
+		out = append(out, t.ring[:start]...)
+		return out
+	}
+	return append(out, t.ring...)
+}
+
+// Total reports how many events were ever recorded (including overwritten
+// ones), so a dump can state how much history the ring dropped.
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}

@@ -64,7 +64,9 @@ type Result struct {
 	// Throughput is steady-state requests/second (virtual time).
 	Throughput float64
 	// Responses holds the response times of measured (post-warmup) requests.
-	Responses metrics.ResponseTimes
+	// A pointer, because ResponseTimes carries a mutex and Result is passed
+	// by value.
+	Responses *metrics.ResponseTimes
 	// Cache is the backend's steady-state cache behaviour.
 	Cache cluster.CacheStats
 	// Util is the mean per-resource utilization across nodes.
@@ -120,10 +122,11 @@ func Run(eng *sim.Engine, backend cluster.Backend, tr *trace.Trace, cfg Config) 
 		measuring = warm == 0
 	)
 	if cfg.MaxResponseSamples > 0 {
-		res.Responses = *metrics.NewResponseTimes(cfg.MaxResponseSamples)
+		res.Responses = metrics.NewResponseTimes(cfg.MaxResponseSamples)
 	} else {
 		// Every post-warmup request contributes one sample; size the slice
 		// once instead of growing it through the measurement loop.
+		res.Responses = &metrics.ResponseTimes{}
 		res.Responses.Reserve(total - warm)
 	}
 	if measuring {
