@@ -58,19 +58,20 @@ func main() {
 		writeFrac   = flag.Float64("writes", 0, "fraction of operations that are block writes")
 		zipf        = flag.Float64("zipf", 0.85, "popularity skew of the replayed stream")
 		seed        = flag.Int64("seed", 1, "workload seed")
+		noRun       = flag.Bool("norun", false, "in-process clusters only: disable run-granular reads (legacy per-block fetch path, for A/B comparison)")
 		interval    = flag.Duration("interval", 0, "time-series bucket width (0: 1s, 250ms in bench/chaos mode; negative: no time series)")
 		traceDump   = flag.Bool("trace-dump", false, "after the replay, dump each node's protocol event trace as JSON (nodes must run with tracing on; -selftest attaches tracers)")
 	)
 	flag.Parse()
 
 	if *bench {
-		if err := runBench(*benchOut, *requests, *concurrency, *seed, benchInterval(*interval)); err != nil {
+		if err := runBench(*benchOut, *requests, *concurrency, *seed, benchInterval(*interval), *noRun); err != nil {
 			log.Fatal(err)
 		}
 		return
 	}
 	if *chaos {
-		if err := runChaos(*benchOut, *requests, *concurrency, *seed, benchInterval(*interval)); err != nil {
+		if err := runChaos(*benchOut, *requests, *concurrency, *seed, benchInterval(*interval), *noRun); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -82,9 +83,11 @@ func main() {
 	var shutdown func()
 	switch {
 	case *selftest:
-		var mut func(i int, cfg *middleware.Config)
-		if *traceDump {
-			mut = func(i int, cfg *middleware.Config) { cfg.Tracer = obs.NewTracer(0) }
+		mut := func(i int, cfg *middleware.Config) {
+			cfg.NoRunReads = *noRun
+			if *traceDump {
+				cfg.Tracer = obs.NewTracer(0)
+			}
 		}
 		var err error
 		_, addrs, shutdown, err = startCluster(*nNodes, *capacity, *hints, sizes, mut)
@@ -253,6 +256,12 @@ type benchRecord struct {
 	Remote    uint64  `json:"remote_hits"`
 	Disk      uint64  `json:"disk_reads"`
 	Forwards  uint64  `json:"forwards"`
+	// NoRun marks an A/B run with the run-granular fast path disabled
+	// (ccload -bench -norun); Runs/RunsDegraded count the run fetches the
+	// cluster issued and how many fell back to per-block repair.
+	NoRun        bool   `json:"no_run_reads,omitempty"`
+	Runs         uint64 `json:"runs_issued"`
+	RunsDegraded uint64 `json:"runs_degraded"`
 	faultCounters
 	// Intervals is the measured window's per-interval time series (req/s,
 	// MB/s, latency percentiles, client fault deltas per bucket).
@@ -308,6 +317,11 @@ type chaosRecord struct {
 	P50US     float64 `json:"p50_us"`
 	P95US     float64 `json:"p95_us"`
 	P99US     float64 `json:"p99_us"`
+	// Runs/RunsDegraded count run fetches issued and degraded during the
+	// storm — degradations are expected here (the crashed node's runs fall
+	// back per-block), never errors.
+	Runs         uint64 `json:"runs_issued"`
+	RunsDegraded uint64 `json:"runs_degraded"`
 	faultCounters
 	// Intervals localizes the crash in time: the buckets around the crash
 	// show the latency spike and the fault-counter deltas of the recovery.
@@ -321,12 +335,15 @@ type chaosRecord struct {
 }
 
 // benchDoc is the BENCH_live.json document. Bench and chaos runs each
-// rewrite their own section and preserve the other's.
+// rewrite their own section and preserve the others'. A `-bench -norun` run
+// fills PresetsPerBlock instead of Presets, so the document carries the
+// run-path/per-block before-and-after side by side.
 type benchDoc struct {
-	Generated string        `json:"generated"`
-	Requests  int           `json:"requests_per_preset"`
-	Presets   []benchRecord `json:"presets"`
-	Chaos     *chaosRecord  `json:"chaos,omitempty"`
+	Generated       string        `json:"generated"`
+	Requests        int           `json:"requests_per_preset"`
+	Presets         []benchRecord `json:"presets"`
+	PresetsPerBlock []benchRecord `json:"presets_per_block,omitempty"`
+	Chaos           *chaosRecord  `json:"chaos,omitempty"`
 }
 
 // loadBenchDoc reads an existing benchmark document; a missing or
@@ -365,11 +382,15 @@ var benchPresets = []benchPreset{
 
 // runBench replays every preset against a fresh in-process cluster and
 // writes the results to out.
-func runBench(out string, requests, concurrency int, seed int64, interval time.Duration) error {
+func runBench(out string, requests, concurrency int, seed int64, interval time.Duration, noRun bool) error {
+	var mut func(i int, cfg *middleware.Config)
+	if noRun {
+		mut = func(i int, cfg *middleware.Config) { cfg.NoRunReads = true }
+	}
 	records := make([]benchRecord, 0, len(benchPresets))
 	for _, p := range benchPresets {
 		sizes := fileSizes(p.Files, p.AvgSize)
-		_, addrs, shutdown, err := startCluster(p.Nodes, p.Capacity, p.Hints, sizes, nil)
+		_, addrs, shutdown, err := startCluster(p.Nodes, p.Capacity, p.Hints, sizes, mut)
 		if err != nil {
 			return fmt.Errorf("preset %s: %w", p.Name, err)
 		}
@@ -390,23 +411,26 @@ func runBench(out string, requests, concurrency int, seed int64, interval time.D
 			return fmt.Errorf("preset %s: %w", p.Name, err)
 		}
 		rec := benchRecord{
-			benchPreset: p,
-			Requests:    res.Requests,
-			Writes:      res.Writes,
-			Bytes:       res.Bytes,
-			ElapsedMS:   float64(res.Elapsed) / float64(time.Millisecond),
-			ReqPerSec:   res.Throughput,
-			MBPerSec:    res.MBps,
-			MeanUS:      float64(res.Mean) / float64(time.Microsecond),
-			P50US:       float64(res.P50) / float64(time.Microsecond),
-			P95US:       float64(res.P95) / float64(time.Microsecond),
-			P99US:       float64(res.P99) / float64(time.Microsecond),
-			HitRate:     res.Cluster.HitRate(),
-			Local:       res.Cluster.LocalHits,
-			Remote:      res.Cluster.RemoteHits,
-			Disk:        res.Cluster.DiskReads,
-			Forwards:    res.Cluster.Forwards,
-			Intervals:   res.Intervals,
+			benchPreset:  p,
+			Requests:     res.Requests,
+			Writes:       res.Writes,
+			Bytes:        res.Bytes,
+			ElapsedMS:    float64(res.Elapsed) / float64(time.Millisecond),
+			ReqPerSec:    res.Throughput,
+			MBPerSec:     res.MBps,
+			MeanUS:       float64(res.Mean) / float64(time.Microsecond),
+			P50US:        float64(res.P50) / float64(time.Microsecond),
+			P95US:        float64(res.P95) / float64(time.Microsecond),
+			P99US:        float64(res.P99) / float64(time.Microsecond),
+			HitRate:      res.Cluster.HitRate(),
+			Local:        res.Cluster.LocalHits,
+			Remote:       res.Cluster.RemoteHits,
+			Disk:         res.Cluster.DiskReads,
+			Forwards:     res.Cluster.Forwards,
+			NoRun:        noRun,
+			Runs:         res.Cluster.RunsIssued,
+			RunsDegraded: res.Cluster.RunsDegraded,
+			Intervals:    res.Intervals,
 		}
 		rec.faultCounters = faultCountersOf(res)
 		records = append(records, rec)
@@ -417,7 +441,11 @@ func runBench(out string, requests, concurrency int, seed int64, interval time.D
 	}
 	doc := loadBenchDoc(out)
 	doc.Requests = requests
-	doc.Presets = records
+	if noRun {
+		doc.PresetsPerBlock = records
+	} else {
+		doc.Presets = records
+	}
 	return writeBenchDoc(out, doc)
 }
 
@@ -432,7 +460,7 @@ func runBench(out string, requests, concurrency int, seed int64, interval time.D
 // backing store is gone; every other failure must be invisible), so the
 // run must finish with zero client-visible errors, and the fault-handling
 // counters it records must be nonzero.
-func runChaos(out string, requests, concurrency int, seed int64, interval time.Duration) error {
+func runChaos(out string, requests, concurrency int, seed int64, interval time.Duration, noRun bool) error {
 	const (
 		nNodes    = 4
 		crashNode = nNodes - 1 // never the directory node (0)
@@ -459,6 +487,7 @@ func runChaos(out string, requests, concurrency int, seed int64, interval time.D
 	nodes, addrs, shutdown, err := startCluster(nNodes, capacity, false, sizes,
 		func(i int, cfg *middleware.Config) {
 			cfg.Fault = plan
+			cfg.NoRunReads = noRun
 			cfg.RPCTimeout = 300 * time.Millisecond
 			cfg.Retries = 2
 			tracers[i] = obs.NewTracer(0)
@@ -540,6 +569,9 @@ func runChaos(out string, requests, concurrency int, seed int64, interval time.D
 		P50US:     float64(res.P50) / float64(time.Microsecond),
 		P95US:     float64(res.P95) / float64(time.Microsecond),
 		P99US:     float64(res.P99) / float64(time.Microsecond),
+
+		Runs:         res.Cluster.RunsIssued,
+		RunsDegraded: res.Cluster.RunsDegraded,
 
 		faultCounters: fc,
 		Intervals:     res.Intervals,

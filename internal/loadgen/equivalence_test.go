@@ -3,6 +3,7 @@ package loadgen
 import (
 	"bytes"
 	"testing"
+	"time"
 
 	"repro/internal/block"
 	"repro/internal/middleware"
@@ -103,6 +104,140 @@ func TestReplayOutputEquivalence(t *testing.T) {
 		}
 		if !bytes.Equal(data, patch) {
 			t.Fatalf("node %d served stale bytes after write-invalidate", e)
+		}
+	}
+}
+
+// TestRunPathReplayEquivalence replays the same deterministic trace against
+// two clusters that differ only in the read planner — run-granular fetches vs
+// the per-block path — and requires identical observable behaviour: the §3
+// counters (accesses, local hits, remote hits, disk reads) and the returned
+// bytes must match exactly. The run path is a transport optimization; any
+// divergence here means it changed what the protocol does, not just how many
+// round trips it takes.
+func TestRunPathReplayEquivalence(t *testing.T) {
+	const k = 3
+	geom := block.Geometry{Size: 1024, ExtentBlocks: 8}
+	runClient, sizes := startClusterMut(t, k, 4096, nil, middleware.ClientConfig{})
+	pbClient, _ := startClusterMut(t, k, 4096, func(i int, cfg *middleware.Config) {
+		cfg.NoRunReads = true
+	}, middleware.ClientConfig{})
+	tr := replayTrace(sizes, 120)
+
+	resRun, err := Replay(runClient, tr, Config{Concurrency: 1, WarmupFrac: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resPB, err := Replay(pbClient, tr, Config{Concurrency: 1, WarmupFrac: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r, p := resRun.Cluster, resPB.Cluster
+	if r.Accesses != p.Accesses || r.LocalHits != p.LocalHits ||
+		r.RemoteHits != p.RemoteHits || r.DiskReads != p.DiskReads {
+		t.Errorf("run path diverged from per-block path:\n run: accesses=%d local=%d remote=%d disk=%d\n  pb: accesses=%d local=%d remote=%d disk=%d",
+			r.Accesses, r.LocalHits, r.RemoteHits, r.DiskReads,
+			p.Accesses, p.LocalHits, p.RemoteHits, p.DiskReads)
+	}
+	if r.RaceMisses != p.RaceMisses || r.Forwards != p.Forwards || r.Invalidations != p.Invalidations {
+		t.Errorf("secondary counters diverged: run races=%d forwards=%d inval=%d, pb races=%d forwards=%d inval=%d",
+			r.RaceMisses, r.Forwards, r.Invalidations, p.RaceMisses, p.Forwards, p.Invalidations)
+	}
+	if r.RunsIssued == 0 {
+		t.Error("run cluster issued no run fetches — fast path never engaged")
+	}
+	if r.RunsDegraded != 0 {
+		t.Errorf("runs degraded on a healthy cluster: %d", r.RunsDegraded)
+	}
+	if p.RunsIssued != 0 {
+		t.Errorf("NoRunReads cluster issued %d run fetches", p.RunsIssued)
+	}
+
+	// Byte equivalence against the synthetic generator, through both planners.
+	for f := 0; f < len(sizes); f++ {
+		id := block.FileID(f)
+		want := syntheticFile(geom, id, sizes[id])
+		got, err := runClient.Read(id)
+		if err != nil {
+			t.Fatalf("run-path read file %d: %v", f, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("run path corrupted file %d (%d bytes)", f, len(got))
+		}
+		got, err = pbClient.Read(id)
+		if err != nil {
+			t.Fatalf("per-block read file %d: %v", f, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("per-block path corrupted file %d (%d bytes)", f, len(got))
+		}
+	}
+}
+
+// TestRunPathReplayUnderFaults replays through a seeded fault plan with cache
+// pressure, so run fetches are issued constantly and some of them are dropped
+// or truncated mid-flight: the partial-run fallback must repair every one of
+// them per-block. The replay must finish with zero errors, the §3 counters
+// must stay internally consistent (every access resolves to exactly one of
+// local/remote/disk), and the bytes must still match the synthetic content.
+func TestRunPathReplayUnderFaults(t *testing.T) {
+	geom := block.Geometry{Size: 1024, ExtentBlocks: 8}
+	plan := &middleware.FaultPlan{
+		Seed: 42, DelayProb: 0.05, Delay: time.Millisecond,
+		DropProb: 0.05, CrashProb: 0.01,
+	}
+	client, sizes := startClusterMut(t, 4, 8, func(i int, cfg *middleware.Config) {
+		cfg.Fault = plan
+		cfg.RPCTimeout = 250 * time.Millisecond
+		cfg.Retries = 3
+		cfg.RetryBackoff = time.Millisecond
+		cfg.BreakerThreshold = 12
+		cfg.BreakerCooldown = 100 * time.Millisecond
+	}, middleware.ClientConfig{RPCTimeout: 1500 * time.Millisecond, Retries: 4})
+	tr := replayTrace(sizes, 200)
+
+	res, err := Replay(client, tr, Config{Concurrency: 2, WarmupFrac: 0.25})
+	if err != nil {
+		t.Fatalf("replay under faults: %v", err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("replay surfaced %d errors", res.Errors)
+	}
+	st := res.Cluster
+	// Counter identity under faults: every access resolves to at most one of
+	// local/remote/disk. An access can go unresolved only when a server-side
+	// read aborts mid-file (the client then times out or fails over and
+	// retries the whole read), so the slack is bounded by the client's
+	// observed fault activity.
+	sum := st.LocalHits + st.RemoteHits + st.DiskReads
+	if sum > st.Accesses {
+		t.Errorf("counter identity broken: local=%d + remote=%d + disk=%d > accesses=%d",
+			st.LocalHits, st.RemoteHits, st.DiskReads, st.Accesses)
+	}
+	if slack := st.Accesses - sum; slack > res.Fault.Timeouts+res.Fault.Failovers {
+		t.Errorf("unresolved accesses %d exceed client fault activity (timeouts=%d failovers=%d)",
+			slack, res.Fault.Timeouts, res.Fault.Failovers)
+	}
+	if st.RunsIssued == 0 {
+		t.Error("no run fetches under cache pressure — fast path never engaged")
+	}
+	if st.RunsDegraded == 0 {
+		t.Error("no degraded runs under a 5%% drop plan — partial-run fallback never exercised")
+	}
+	t.Logf("faulted replay: runs issued=%d degraded=%d, accesses=%d local=%d remote=%d disk=%d",
+		st.RunsIssued, st.RunsDegraded, st.Accesses, st.LocalHits, st.RemoteHits, st.DiskReads)
+
+	// The storm must not have corrupted anything: every file read after the
+	// replay matches the synthetic content byte for byte.
+	for f := 0; f < len(sizes); f++ {
+		id := block.FileID(f)
+		data, err := client.Read(id)
+		if err != nil {
+			t.Fatalf("read file %d after faulted replay: %v", f, err)
+		}
+		if want := syntheticFile(geom, id, sizes[id]); !bytes.Equal(data, want) {
+			t.Fatalf("file %d corrupted after faulted replay (%d bytes)", f, len(data))
 		}
 	}
 }

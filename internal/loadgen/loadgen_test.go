@@ -11,6 +11,13 @@ import (
 )
 
 func startCluster(t *testing.T, k, capacity int) (*middleware.Client, map[block.FileID]int64) {
+	return startClusterMut(t, k, capacity, nil, middleware.ClientConfig{})
+}
+
+// startClusterMut is startCluster with a per-node Config hook and an explicit
+// client config (run-path equivalence tests flip NoRunReads and attach fault
+// plans through it).
+func startClusterMut(t *testing.T, k, capacity int, mut func(i int, cfg *middleware.Config), ccfg middleware.ClientConfig) (*middleware.Client, map[block.FileID]int64) {
 	t.Helper()
 	geom := block.Geometry{Size: 1024, ExtentBlocks: 8}
 	sizes := map[block.FileID]int64{}
@@ -20,10 +27,14 @@ func startCluster(t *testing.T, k, capacity int) (*middleware.Client, map[block.
 	nodes := make([]*middleware.Node, k)
 	addrs := make([]string, k)
 	for i := 0; i < k; i++ {
-		n, err := middleware.Start(middleware.Config{
+		cfg := middleware.Config{
 			ID: i, CapacityBlocks: capacity, Policy: core.PolicyMaster,
 			Geometry: geom, Source: middleware.NewMemSource(geom, sizes),
-		})
+		}
+		if mut != nil {
+			mut(i, &cfg)
+		}
+		n, err := middleware.Start(cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -33,7 +44,7 @@ func startCluster(t *testing.T, k, capacity int) (*middleware.Client, map[block.
 	for _, n := range nodes {
 		n.SetAddrs(addrs)
 	}
-	client, err := middleware.DialCluster(addrs)
+	client, err := middleware.DialClusterConfig(addrs, ccfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -125,6 +125,68 @@ func BenchmarkNodeReadFile(b *testing.B) {
 	}
 }
 
+// benchColdReads measures client whole-file reads against a cluster under
+// permanent cache pressure: 128 files × 8 blocks cycle through 4 nodes whose
+// combined capacity holds a quarter of the working set, so nearly every read
+// finds its blocks gone from the entry node and must fetch them — the
+// cold multi-block case the run-granular fast path targets.
+func benchColdReads(b *testing.B, noRun bool) {
+	geom := block.Geometry{Size: 8192, ExtentBlocks: 8}
+	const files = 128
+	sizes := map[block.FileID]int64{}
+	for f := 0; f < files; f++ {
+		sizes[block.FileID(f)] = 8 * 8192
+	}
+	nodes := make([]*Node, 4)
+	addrs := make([]string, 4)
+	for i := range nodes {
+		n, err := Start(Config{
+			ID: i, CapacityBlocks: 64, Policy: core.PolicyMaster,
+			Geometry: geom, Source: NewMemSource(geom, sizes),
+			NoRunReads: noRun,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer n.Close()
+		nodes[i] = n
+		addrs[i] = n.Addr()
+	}
+	for _, n := range nodes {
+		n.SetAddrs(addrs)
+	}
+	client, err := DialCluster(addrs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer client.Close()
+	for f := 0; f < files; f++ {
+		if _, err := client.Read(block.FileID(f)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data, err := client.Read(block.FileID(i % files))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(data) != 8*8192 {
+			b.Fatalf("read %d bytes", len(data))
+		}
+	}
+}
+
+// BenchmarkClientReadFileCold is the cold multi-block read through the
+// run-granular planner (one MsgGetRun per believed holder).
+func BenchmarkClientReadFileCold(b *testing.B) { benchColdReads(b, false) }
+
+// BenchmarkClientReadFileColdPerBlock is the same workload forced down the
+// legacy per-block path (one MsgGetBlock round trip per missing block) — the
+// before side of the run-path comparison.
+func BenchmarkClientReadFileColdPerBlock(b *testing.B) { benchColdReads(b, true) }
+
 // BenchmarkClientReadFile measures the full client→cluster path over
 // loopback TCP: one MsgReadFile round trip returning a 64 KB file served
 // from warm cluster memory.

@@ -343,6 +343,8 @@ func (c *Client) ClusterStats() (Stats, error) {
 		sum.HomeFallbacks += s.HomeFallbacks
 		sum.StaleDrops += s.StaleDrops
 		sum.InvalidateSkips += s.InvalidateSkips
+		sum.RunsIssued += s.RunsIssued
+		sum.RunsDegraded += s.RunsDegraded
 		sum.StoreLen += s.StoreLen
 		sum.StoreMasters += s.StoreMasters
 		if s.HintAccuracy < sum.HintAccuracy {

@@ -16,7 +16,7 @@ var errConnClosed = errors.New("middleware: connection closed")
 func isResponse(t MsgType) bool {
 	switch t {
 	case MsgBlockData, MsgBlockMiss, MsgFileData, MsgDirResult, MsgForwardAck,
-		MsgAck, MsgErr, MsgStatsReply, MsgTraceReply:
+		MsgAck, MsgErr, MsgStatsReply, MsgTraceReply, MsgRunData, MsgDirResultN:
 		return true
 	}
 	return false

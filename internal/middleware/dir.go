@@ -1,6 +1,7 @@
 package middleware
 
 import (
+	"fmt"
 	"math"
 	"sync"
 
@@ -46,6 +47,32 @@ func (d *dirServer) drop(id block.ID, ifNode int32) {
 	delete(d.masters, id)
 }
 
+// lookupN resolves a window of entries of file f under one lock
+// acquisition: out[i] is the master of block idxs[i], dirNoEntry if absent.
+func (d *dirServer) lookupN(f block.FileID, idxs []int32, out []int32) []int32 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out = out[:0]
+	for _, idx := range idxs {
+		if n, ok := d.masters[block.ID{File: f, Idx: idx}]; ok {
+			out = append(out, n)
+		} else {
+			out = append(out, dirNoEntry)
+		}
+	}
+	return out
+}
+
+// updateN records node's mastership of a window of blocks of f under one
+// lock acquisition.
+func (d *dirServer) updateN(f block.FileID, idxs []int32, node int32) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, idx := range idxs {
+		d.masters[block.ID{File: f, Idx: idx}] = node
+	}
+}
+
 func (d *dirServer) size() int {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -63,6 +90,52 @@ type locator interface {
 	Drop(id block.ID, ifNode int32) error
 	// Miss reports that a lookup's answer proved wrong (hint maintenance).
 	Miss(id block.ID, node int32)
+	// LookupN resolves a window of entries of one file in as few RPCs as
+	// the mode allows (one for central and hints, one per manager for the
+	// partitioned directory): out[i] is the believed master of block
+	// idxs[i], dirNoEntry when unknown. A transport failure degrades the
+	// affected entries to dirNoEntry (the read falls back to home) rather
+	// than failing the window.
+	LookupN(f block.FileID, idxs []int32) ([]int32, error)
+	// UpdateN records node's claim of mastership over a window of blocks.
+	UpdateN(f block.FileID, idxs []int32, node int32) error
+}
+
+// dirBatchRPC sends one batched directory message (MsgDirLookupN or
+// MsgDirUpdateN) for a window of blocks of f to node m and, for lookups,
+// decodes the per-index answer into out.
+func dirBatchRPC(n *Node, m int, typ MsgType, f block.FileID, idxs []int32, aux int64, out []int32) ([]int32, error) {
+	req := getFrame()
+	req.Type, req.File, req.Aux = typ, f, aux
+	req.Payload = appendIdxPayload(make([]byte, 0, 4*len(idxs)), idxs)
+	resp, err := n.reliableRPC(m, req, n.retries)
+	releaseFrame(req)
+	if err != nil {
+		return nil, err
+	}
+	if typ == MsgDirLookupN {
+		if resp.Type != MsgDirResultN || len(resp.Payload) != 4*len(idxs) {
+			typ, plen := resp.Type, len(resp.Payload)
+			releaseFrame(resp)
+			return nil, fmt.Errorf("middleware: bad dir batch reply (type %d, %d bytes for %d idxs)", typ, plen, len(idxs))
+		}
+		out, err = decodeIdxPayload(resp.Payload, out)
+		releaseFrame(resp)
+		return out, err
+	}
+	releaseFrame(resp)
+	return nil, nil
+}
+
+// lookupNUnknown fills a window result with dirNoEntry (transport-degraded
+// lookups: the planner routes those blocks through the home node, exactly
+// as a failed single Lookup does).
+func lookupNUnknown(idxs []int32) []int32 {
+	out := make([]int32, len(idxs))
+	for i := range out {
+		out[i] = dirNoEntry
+	}
+	return out
 }
 
 // dirRPC sends one directory message to node m with pooled frames and
@@ -125,6 +198,29 @@ func (c *centralLocator) Miss(id block.ID, node int32) {
 	// the home read; nothing to do here.
 }
 
+func (c *centralLocator) LookupN(f block.FileID, idxs []int32) ([]int32, error) {
+	if srv := c.n.dirSrv; srv != nil {
+		return srv.lookupN(f, idxs, make([]int32, 0, len(idxs))), nil
+	}
+	out, err := dirBatchRPC(c.n, c.n.cfg.DirNode, MsgDirLookupN, f, idxs, 0, make([]int32, 0, len(idxs)))
+	if err != nil {
+		if isTransient(err) {
+			return lookupNUnknown(idxs), nil
+		}
+		return nil, err
+	}
+	return out, nil
+}
+
+func (c *centralLocator) UpdateN(f block.FileID, idxs []int32, node int32) error {
+	if srv := c.n.dirSrv; srv != nil {
+		srv.updateN(f, idxs, node)
+		return nil
+	}
+	_, err := dirBatchRPC(c.n, c.n.cfg.DirNode, MsgDirUpdateN, f, idxs, int64(node), nil)
+	return err
+}
+
 // hintLocator is the §6 hint-based directory: a purely local, possibly
 // stale map maintained from observed protocol traffic, costing no lookup
 // messages. Wrong or absent hints fall back to the home node. Accuracy is
@@ -171,6 +267,30 @@ func (h *hintLocator) Miss(id block.ID, node int32) {
 	if cur, ok := h.hints[id]; ok && cur == node {
 		delete(h.hints, id)
 	}
+}
+
+func (h *hintLocator) LookupN(f block.FileID, idxs []int32) ([]int32, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]int32, 0, len(idxs))
+	for _, idx := range idxs {
+		h.lookups++
+		if n, ok := h.hints[block.ID{File: f, Idx: idx}]; ok {
+			out = append(out, n)
+		} else {
+			out = append(out, dirNoEntry)
+		}
+	}
+	return out, nil
+}
+
+func (h *hintLocator) UpdateN(f block.FileID, idxs []int32, node int32) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, idx := range idxs {
+		h.hints[block.ID{File: f, Idx: idx}] = node
+	}
+	return nil
 }
 
 // Accuracy reports the observed fraction of hint lookups that were not
@@ -255,4 +375,54 @@ func (p *partitionedLocator) Drop(id block.ID, ifNode int32) error {
 func (p *partitionedLocator) Miss(id block.ID, node int32) {
 	// As with the central directory, the follow-up Update/Drop corrects
 	// the manager's entry.
+}
+
+// batchByManager groups a window of block indices of f by managing node.
+func (p *partitionedLocator) batchByManager(f block.FileID, idxs []int32) map[int][]int32 {
+	groups := make(map[int][]int32)
+	for _, idx := range idxs {
+		m := p.manager(block.ID{File: f, Idx: idx})
+		groups[m] = append(groups[m], idx)
+	}
+	return groups
+}
+
+func (p *partitionedLocator) LookupN(f block.FileID, idxs []int32) ([]int32, error) {
+	out := lookupNUnknown(idxs)
+	pos := make(map[int32]int, len(idxs))
+	for i, idx := range idxs {
+		pos[idx] = i
+	}
+	for m, group := range p.batchByManager(f, idxs) {
+		var res []int32
+		if m == p.n.cfg.ID {
+			res = p.n.dirSrv.lookupN(f, group, make([]int32, 0, len(group)))
+		} else {
+			var err error
+			res, err = dirBatchRPC(p.n, m, MsgDirLookupN, f, group, 0, make([]int32, 0, len(group)))
+			if err != nil {
+				// This manager's entries degrade to unknown; the rest of the
+				// window still resolves.
+				continue
+			}
+		}
+		for j, idx := range group {
+			out[pos[idx]] = res[j]
+		}
+	}
+	return out, nil
+}
+
+func (p *partitionedLocator) UpdateN(f block.FileID, idxs []int32, node int32) error {
+	var firstErr error
+	for m, group := range p.batchByManager(f, idxs) {
+		if m == p.n.cfg.ID {
+			p.n.dirSrv.updateN(f, group, node)
+			continue
+		}
+		if _, err := dirBatchRPC(p.n, m, MsgDirUpdateN, f, group, int64(node), nil); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
 }

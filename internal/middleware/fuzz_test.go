@@ -50,6 +50,40 @@ func FuzzReadFrame(f *testing.F) {
 	ackPayload[0] = byte(MsgAck) // payload on a payload-less type
 	f.Add(ackPayload)
 
+	// Run fast-path seeds: a valid MsgRunData (two concatenated blocks with
+	// master flags in Aux), then truncated and size-lying variants — the
+	// shapes a crashed peer or corrupted length field produces mid-run.
+	var runBuf bytes.Buffer
+	if err := WriteFrame(&runBuf, &Frame{
+		Type: MsgRunData, Flags: FlagMaster, File: 5, Idx: 2,
+		Aux:     packRunAux(2, 0b11),
+		Payload: bytes.Repeat([]byte{0x3C}, 128),
+	}); err != nil {
+		f.Fatal(err)
+	}
+	renc := runBuf.Bytes()
+	f.Add(renc)
+	f.Add(renc[:len(renc)-64]) // truncated: promises 128 payload bytes, carries 64
+	f.Add(renc[:headerLen])    // header only: the whole run payload never arrives
+	runHuge := append([]byte(nil), renc...)
+	binary.BigEndian.PutUint32(runHuge[35:], 1<<30) // oversized: plen lies far past the limit
+	f.Add(runHuge)
+	runShort := append([]byte(nil), renc...)
+	binary.BigEndian.PutUint32(runShort[35:], 16) // plen shorter than the carried run
+	f.Add(runShort)
+
+	// Batched directory lookups: a valid index window, then a ragged one.
+	var dirBuf bytes.Buffer
+	if err := WriteFrame(&dirBuf, &Frame{
+		Type: MsgDirLookupN, File: 5,
+		Payload: appendIdxPayload(nil, []int32{0, 1, 2, 3}),
+	}); err != nil {
+		f.Fatal(err)
+	}
+	denc := dirBuf.Bytes()
+	f.Add(denc)
+	f.Add(denc[:len(denc)-2]) // ragged index payload (not a multiple of 4)
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		fr, err := ReadFrame(bytes.NewReader(data))
 		if err != nil {

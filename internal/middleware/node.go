@@ -43,6 +43,10 @@ type Config struct {
 	// the request-scheduling/prefetching remedy §5 suggests for the
 	// interleaving pathology.
 	Readahead int
+	// NoRunReads disables the run-granular read fast path: ReadFile,
+	// ReadRange, and readahead fall back to the per-block §3 protocol for
+	// every miss. Equivalence testing and before/after benchmarking only.
+	NoRunReads bool
 	// Workers bounds concurrent request handling per connection: 0 uses
 	// GOMAXPROCS workers (the default), a negative value restores the
 	// legacy one-goroutine-per-request dispatch (unbounded under bursts).
@@ -96,6 +100,7 @@ const (
 	traceBreakerClose   = "breaker_close"   // circuit breaker closed after a successful probe
 	traceRetry          = "retry"           // RPC retried after a transient failure (Aux: attempt)
 	traceRPCTimeout     = "rpc_timeout"     // round trip missed the RPC deadline
+	traceRunFetch       = "run_fetch"       // run fetch completed (Peer: source, Aux: blocks served)
 )
 
 // Node is a live cooperative caching node: a TCP server cooperating with
@@ -120,6 +125,11 @@ type Node struct {
 
 	pmu     sync.Mutex
 	pending map[block.ID]chan struct{}
+
+	// raMu guards raBusy, the set of files with a readahead in flight
+	// (misses on a file already being prefetched do not spawn another).
+	raMu   sync.Mutex
+	raBusy map[block.FileID]struct{}
 
 	// hintMu guards hintRing, the recent locally observed directory
 	// deltas piggybacked on outgoing frames (hint mode only).
@@ -147,6 +157,8 @@ type Node struct {
 	// rpcLat holds one latency histogram per outgoing request frame type,
 	// fed by conn.roundTrip.
 	rpcLat [msgTypeCount]obs.Histogram
+	// runBlocks is the distribution of blocks served per run fetch RPC.
+	runBlocks obs.ValueHistogram
 
 	c counters
 }
@@ -161,6 +173,8 @@ type counters struct {
 	breakerOpens, breakerSkips           atomic.Uint64
 	homeFallbacks, staleDrops            atomic.Uint64
 	invalidateSkips                      atomic.Uint64
+	// run fast-path counters
+	runsIssued, runsDegraded atomic.Uint64
 }
 
 // Stats is a snapshot of a node's behaviour (JSON-encodable for the
@@ -186,9 +200,12 @@ type Stats struct {
 	HomeFallbacks   uint64 // block fetches degraded to the home node after a peer transport failure
 	StaleDrops      uint64 // directory/hint entries dropped because the named peer failed
 	InvalidateSkips uint64 // write invalidations treated as "peer holds no cache" after a peer failure
-	StoreLen        int
-	StoreMasters    int
-	HintAccuracy    float64
+	// Run fast-path counters: see the Run-granular reads section of DESIGN.md.
+	RunsIssued   uint64 // MsgGetRun RPCs issued by the read planner
+	RunsDegraded uint64 // run fetches that served fewer blocks than asked (or failed)
+	StoreLen     int
+	StoreMasters int
+	HintAccuracy float64
 	// RPCLatency holds the node's per-RPC-type latency histograms, keyed by
 	// the request frame type's metric name (only types with observations).
 	// ClusterStats merges them bucket-wise across nodes.
@@ -242,6 +259,7 @@ func Start(cfg Config) (*Node, error) {
 		store:    NewStore(cfg.CapacityBlocks, cfg.Policy),
 		accepted: make(map[*conn]struct{}),
 		pending:  make(map[block.ID]chan struct{}),
+		raBusy:   make(map[block.FileID]struct{}),
 	}
 	n.workers = cfg.Workers
 	if n.workers == 0 {
@@ -396,6 +414,8 @@ func (n *Node) Stats() Stats {
 		HomeFallbacks:    n.c.homeFallbacks.Load(),
 		StaleDrops:       n.c.staleDrops.Load(),
 		InvalidateSkips:  n.c.invalidateSkips.Load(),
+		RunsIssued:       n.c.runsIssued.Load(),
+		RunsDegraded:     n.c.runsDegraded.Load(),
 		StoreLen:         n.store.Len(),
 		StoreMasters:     n.store.Masters(),
 		HintAccuracy:     1,
@@ -441,10 +461,13 @@ func (n *Node) RegisterMetrics(r *obs.Registry) {
 		{"cc_home_fallbacks_total", "peer fetches degraded to the home node", c.homeFallbacks.Load},
 		{"cc_stale_drops_total", "directory/hint entries dropped after peer failures", c.staleDrops.Load},
 		{"cc_invalidate_skips_total", "invalidations degraded to 'peer holds no cache'", c.invalidateSkips.Load},
+		{"cc_runs_total", "MsgGetRun fetches issued by the read planner", c.runsIssued.Load},
+		{"cc_runs_degraded_total", "run fetches that served fewer blocks than asked", c.runsDegraded.Load},
 	}
 	for _, m := range counters {
 		r.Counter(m.name, m.help, "", m.fn)
 	}
+	r.ValueHistogram("cc_run_blocks", "blocks served per run fetch", "", &n.runBlocks)
 	r.Gauge("cc_store_blocks", "blocks currently cached", "", func() float64 { return float64(n.store.Len()) })
 	r.Gauge("cc_store_masters", "master copies currently cached", "", func() float64 { return float64(n.store.Masters()) })
 	if n.hints != nil {
@@ -465,7 +488,7 @@ func (n *Node) RegisterMetrics(r *obs.Registry) {
 var requestMsgTypes = []MsgType{
 	MsgGetBlock, MsgReadFile, MsgReadRange, MsgDirLookup, MsgDirUpdate,
 	MsgDirDrop, MsgForward, MsgWriteBlock, MsgInvalidate, MsgPutBlock,
-	MsgStats, MsgTrace,
+	MsgStats, MsgTrace, MsgGetRun, MsgDirLookupN, MsgDirUpdateN,
 }
 
 // --- connection plumbing ---
@@ -602,6 +625,17 @@ func (r *ringHintLocator) Drop(id block.ID, ifNode int32) error {
 
 func (r *ringHintLocator) Miss(id block.ID, node int32) {
 	r.n.hints.Miss(id, node)
+}
+
+func (r *ringHintLocator) LookupN(f block.FileID, idxs []int32) ([]int32, error) {
+	return r.n.hints.LookupN(f, idxs)
+}
+
+func (r *ringHintLocator) UpdateN(f block.FileID, idxs []int32, node int32) error {
+	for _, idx := range idxs {
+		r.n.noteHint(block.ID{File: f, Idx: idx}, node)
+	}
+	return nil
 }
 
 // peer returns (dialing lazily) the connection to node i.
@@ -744,6 +778,10 @@ func (n *Node) handle(f *Frame) *Frame {
 	switch f.Type {
 	case MsgGetBlock:
 		return n.handleGetBlock(f)
+	case MsgGetRun:
+		return n.handleGetRun(f)
+	case MsgDirLookupN, MsgDirUpdateN:
+		return n.handleDirBatch(f)
 	case MsgReadFile:
 		data, err := n.ReadFile(f.File)
 		if err != nil {
@@ -845,6 +883,81 @@ func (n *Node) handleGetBlock(f *Frame) *Frame {
 	}
 	r := getFrame()
 	r.Type, r.File, r.Idx = MsgBlockMiss, f.File, f.Idx
+	return r
+}
+
+// handleGetRun serves a contiguous run of blocks in one response: the run's
+// blocks concatenated in the payload, the served count and per-block master
+// flags packed into Aux. A home run (FlagMaster) reads the backing store;
+// in hint mode it stops before the first block whose hint points at a third
+// node, so the requester finishes those through the per-block redirect
+// machinery. A peer run gathers local cache hits and stops at the first
+// gap. A short (even empty) run is a valid response, never an error: the
+// requester completes the remainder per-block.
+func (n *Node) handleGetRun(f *Frame) *Frame {
+	want, _ := unpackRunAux(f.Aux)
+	if want <= 0 || want > maxRunBlocks {
+		return errFrame("bad run count %d for %v", want, f.ID())
+	}
+	first := f.Idx
+	if f.Flags&FlagMaster != 0 {
+		var buf []byte
+		count := 0
+		var masters uint32
+		for count < want {
+			id := block.ID{File: f.File, Idx: first + int32(count)}
+			if n.hints != nil {
+				if holder, ok, _ := n.hints.Lookup(id); ok &&
+					holder != int32(n.cfg.ID) && holder != f.Sender {
+					break
+				}
+			}
+			data, err := n.cfg.Source.ReadBlock(f.File, id.Idx)
+			if err != nil {
+				if count == 0 {
+					return errFrame("home run read %v: %v", id, err)
+				}
+				break
+			}
+			buf = append(buf, data...)
+			masters |= 1 << uint(count)
+			if f.Sender >= 0 {
+				n.noteHint(id, f.Sender)
+			}
+			count++
+		}
+		r := getFrame()
+		r.Type, r.Flags, r.File, r.Idx = MsgRunData, FlagMaster, f.File, first
+		r.Aux = packRunAux(count, masters)
+		r.Payload = buf
+		return r
+	}
+	buf, count, masters := n.store.AppendRun(f.File, first, want, nil)
+	r := getFrame()
+	r.Type, r.File, r.Idx = MsgRunData, f.File, first
+	r.Aux = packRunAux(count, masters)
+	r.Payload = buf
+	return r
+}
+
+// handleDirBatch answers the batched directory messages: one lock
+// acquisition resolves or repoints a whole window of entries.
+func (n *Node) handleDirBatch(f *Frame) *Frame {
+	if n.dirSrv == nil {
+		return errFrame("node %d does not host the directory", n.cfg.ID)
+	}
+	idxs, err := decodeIdxPayload(f.Payload, nil)
+	if err != nil {
+		return errFrame("dir batch: %v", err)
+	}
+	if f.Type == MsgDirUpdateN {
+		n.dirSrv.updateN(f.File, idxs, int32(f.Aux))
+		return ackFrame()
+	}
+	res := n.dirSrv.lookupN(f.File, idxs, make([]int32, 0, len(idxs)))
+	r := getFrame()
+	r.Type, r.File = MsgDirResultN, f.File
+	r.Payload = appendIdxPayload(make([]byte, 0, 4*len(res)), res)
 	return r
 }
 

@@ -75,11 +75,30 @@ const (
 	MsgTrace
 	// MsgTraceReply returns the JSON-encoded trace dump.
 	MsgTraceReply
+	// MsgGetRun asks for a contiguous run of blocks starting at (File, Idx):
+	// Aux is the requested block count, Flags carry FlagMaster for home
+	// (disk) run reads. The target serves the longest contiguous prefix it
+	// holds and stops at the first gap — a partial answer is valid, never an
+	// error (the requester falls back to per-block fetches for the rest).
+	MsgGetRun
+	// MsgRunData answers MsgGetRun: the payload is the served blocks'
+	// content concatenated in index order, Aux packs the served count and
+	// the per-block master flags (packRunAux).
+	MsgRunData
+	// MsgDirLookupN resolves a window of directory entries in one RPC: the
+	// payload is the block indices (4 bytes each, big-endian) of File.
+	MsgDirLookupN
+	// MsgDirResultN answers MsgDirLookupN: the payload is one 4-byte node ID
+	// per requested index (same order), dirNoEntry for absent entries.
+	MsgDirResultN
+	// MsgDirUpdateN records mastership of a window of blocks in one RPC:
+	// payload as in MsgDirLookupN, Aux is the claiming node.
+	MsgDirUpdateN
 )
 
 // msgTypeCount bounds the frame-type space (array sizing for per-type
 // metrics).
-const msgTypeCount = int(MsgTraceReply) + 1
+const msgTypeCount = int(MsgDirUpdateN) + 1
 
 // metricName is the snake_case label value a frame type gets in the
 // per-RPC-type latency histograms and the trace dump.
@@ -127,6 +146,16 @@ func (t MsgType) metricName() string {
 		return "trace"
 	case MsgTraceReply:
 		return "trace_reply"
+	case MsgGetRun:
+		return "get_run"
+	case MsgRunData:
+		return "run_data"
+	case MsgDirLookupN:
+		return "dir_lookup_n"
+	case MsgDirResultN:
+		return "dir_result_n"
+	case MsgDirUpdateN:
+		return "dir_update_n"
 	}
 	return fmt.Sprintf("type_%d", uint8(t))
 }
@@ -146,6 +175,57 @@ func unpackRange(aux int64) (off int64, n int) {
 
 // maxRangeLen bounds one MsgReadRange request.
 const maxRangeLen = 1<<24 - 1
+
+// maxRunBlocks bounds one MsgGetRun request: the packRunAux layout grants
+// the per-block master flags 32 bits, and 32 blocks of the default 8 KB
+// geometry is a 256 KB response — four of the paper's pipelined-fetch extent
+// windows, far past where per-run amortization has flattened.
+const maxRunBlocks = 32
+
+// maxDirBatch bounds one MsgDirLookupN/MsgDirUpdateN window (a 1 KB index
+// payload; a read planner never needs more than its file's block count).
+const maxDirBatch = 256
+
+// dirNoEntry is the MsgDirResultN node value for "no directory entry".
+const dirNoEntry = int32(-1)
+
+// packRunAux encodes a MsgRunData Aux: the served block count in the low 32
+// bits and the per-block master flags (bit i = block start+i is served as a
+// master copy) in the high 32.
+func packRunAux(count int, masters uint32) int64 {
+	return int64(uint32(count)) | int64(masters)<<32
+}
+
+// unpackRunAux decodes packRunAux.
+func unpackRunAux(aux int64) (count int, masters uint32) {
+	return int(uint32(aux)), uint32(uint64(aux) >> 32)
+}
+
+// appendIdxPayload encodes a window of block indices as a MsgDirLookupN /
+// MsgDirUpdateN payload (4 bytes each, big-endian).
+func appendIdxPayload(buf []byte, idxs []int32) []byte {
+	for _, i := range idxs {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(i))
+	}
+	return buf
+}
+
+// decodeIdxPayload decodes an appendIdxPayload buffer into out (reused when
+// capacity allows). A ragged length is a protocol error.
+func decodeIdxPayload(p []byte, out []int32) ([]int32, error) {
+	if len(p)%4 != 0 {
+		return nil, fmt.Errorf("middleware: ragged %d-byte index payload", len(p))
+	}
+	n := len(p) / 4
+	if n > maxDirBatch {
+		return nil, fmt.Errorf("middleware: directory batch of %d exceeds limit %d", n, maxDirBatch)
+	}
+	out = out[:0]
+	for i := 0; i < n; i++ {
+		out = append(out, int32(binary.BigEndian.Uint32(p[4*i:])))
+	}
+	return out, nil
+}
 
 // Flag bits for Frame.Flags.
 const (
@@ -219,7 +299,8 @@ const maxPayload = 64 << 20
 func typeCarriesPayload(t MsgType) bool {
 	switch t {
 	case MsgBlockData, MsgFileData, MsgForward, MsgWriteBlock, MsgPutBlock,
-		MsgErr, MsgStatsReply, MsgTraceReply:
+		MsgErr, MsgStatsReply, MsgTraceReply, MsgRunData,
+		MsgDirLookupN, MsgDirResultN, MsgDirUpdateN:
 		return true
 	}
 	return false

@@ -29,24 +29,50 @@ func (n *Node) ReadRange(f block.FileID, off int64, length int) ([]byte, error) 
 	bs := int64(n.geom.Size)
 	first := int32(off / bs)
 	last := int32((off + int64(length) - 1) / bs)
-	out := make([]byte, 0, length)
-	for i := first; i <= last; i++ {
-		data, err := n.GetBlock(block.ID{File: f, Idx: i})
+	// Presized output filled in place (GetBlockInto / the run planner): one
+	// copy per block instead of the old alias-then-append double copy.
+	out := make([]byte, length)
+	pos := 0
+	i := first
+	if start := off - int64(first)*bs; start > 0 {
+		// Unaligned head: the needed bytes are a mid-block suffix, which a
+		// prefix-copying GetBlockInto cannot produce — alias the block once.
+		data, err := n.GetBlock(block.ID{File: f, Idx: first})
 		if err != nil {
 			return nil, err
 		}
-		start := int64(0)
-		if i == first {
-			start = off - int64(i)*bs
+		if start > int64(len(data)) {
+			return nil, fmt.Errorf("middleware: block %d:%d shorter than range start", f, first)
 		}
 		end := int64(len(data))
-		if got := int64(length) - int64(len(out)); end-start > got {
-			end = start + got
+		if end > start+int64(length) {
+			end = start + int64(length)
 		}
-		if start > int64(len(data)) {
-			return nil, fmt.Errorf("middleware: block %d:%d shorter than range start", f, i)
+		pos = copy(out, data[start:end])
+		i++
+	}
+	if i > last || pos == length {
+		return out, nil
+	}
+	if n.cfg.NoRunReads {
+		for ; i <= last; i++ {
+			want := blockLen(n.geom, size, i)
+			if rem := length - pos; want > rem {
+				want = rem
+			}
+			got, err := n.GetBlockInto(block.ID{File: f, Idx: i}, out[pos:pos+want])
+			if err != nil {
+				return nil, err
+			}
+			if got != want {
+				return nil, fmt.Errorf("middleware: block %d:%d is %d bytes, want %d", f, i, got, want)
+			}
+			pos += got
 		}
-		out = append(out, data[start:end]...)
+		return out, nil
+	}
+	if err := n.readPlanned(f, size, i, last, out[pos:]); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

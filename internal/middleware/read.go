@@ -12,12 +12,12 @@ import (
 const readWindow = 8
 
 // ReadFile materializes a whole file through the cooperative cache and
-// returns its content. Missing blocks are fetched through a bounded
-// concurrent window, so a cold file's blocks stream from its sources in
-// parallel. This is the node-side implementation of the client's Read (and
-// what a web server built on the middleware calls per request). Each block
-// is decoded straight into the output slice (GetBlockInto), so a cached
-// block costs one copy and no intermediate allocation.
+// returns its content. The default path is the run-granular planner
+// (readPlanned): a synchronous local sweep that spawns zero goroutines for
+// a fully cached file, then missing blocks grouped by believed holder and
+// fetched as runs, one MsgGetRun per (source, run). Config.NoRunReads
+// restores the per-block path (every miss walks the full §3 protocol on
+// its own).
 func (n *Node) ReadFile(f block.FileID) ([]byte, error) {
 	size, err := n.cfg.Source.FileSize(f)
 	if err != nil {
@@ -25,7 +25,25 @@ func (n *Node) ReadFile(f block.FileID) ([]byte, error) {
 	}
 	nblocks := n.geom.Count(size)
 	out := make([]byte, size)
+	if n.cfg.NoRunReads {
+		if err := n.readFilePerBlock(f, size, nblocks, out); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	if nblocks > 0 {
+		if err := n.readPlanned(f, size, 0, nblocks-1, out); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
 
+// readFilePerBlock is the legacy per-block read: missing blocks are fetched
+// through a bounded concurrent window, each walking the §3 protocol alone.
+// Each block is decoded straight into the output slice (GetBlockInto), so a
+// cached block costs one copy and no intermediate allocation.
+func (n *Node) readFilePerBlock(f block.FileID, size int64, nblocks int32, out []byte) error {
 	var (
 		wg       sync.WaitGroup
 		sem      = make(chan struct{}, readWindow)
@@ -68,10 +86,239 @@ func (n *Node) ReadFile(f block.FileID) ([]byte, error) {
 		}(i)
 	}
 	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	return firstErr
+}
+
+// runPlan is one planned fetch: count contiguous missing blocks starting at
+// first, believed to live on node src (home true: a master read through the
+// file's home node).
+type runPlan struct {
+	first int32
+	count int
+	src   int
+	home  bool
+}
+
+// planRuns groups the missing block indices (ascending) by believed holder
+// into contiguous runs of at most readWindow blocks: one batched directory
+// lookup resolves the whole window, then consecutive indices with the same
+// source coalesce. Unknown holders and stale self-entries route to the home
+// node, exactly as a failed or absent per-block Lookup does.
+func (n *Node) planRuns(f block.FileID, missing []int32) ([]runPlan, error) {
+	holders, err := n.loc.LookupN(f, missing)
+	if err != nil || len(holders) != len(missing) {
+		// A degraded directory degrades the plan, not the read.
+		holders = lookupNUnknown(missing)
 	}
-	return out, nil
+	home, err := n.home(f)
+	if err != nil {
+		return nil, err
+	}
+	self := int32(n.cfg.ID)
+	toHome := func(h int32) bool { return h == dirNoEntry || h == self }
+	var runs []runPlan
+	for k := 0; k < len(missing); {
+		src := holders[k]
+		j := k + 1
+		for j < len(missing) && j-k < readWindow && missing[j] == missing[j-1]+1 {
+			if toHome(src) != toHome(holders[j]) || (!toHome(src) && holders[j] != src) {
+				break
+			}
+			j++
+		}
+		r := runPlan{first: missing[k], count: j - k, home: toHome(src)}
+		if r.home {
+			r.src = home
+		} else {
+			r.src = int(src)
+		}
+		runs = append(runs, r)
+		k = j
+	}
+	return runs, nil
+}
+
+// readPlanned fills out — whose first byte is the head of block first —
+// with blocks [first, last] of f. Phase one is a synchronous local sweep
+// (CopyInto under the store lock; a fully cached file costs zero goroutines
+// and zero RPCs). Phase two groups the misses into runs and fetches each
+// with one MsgGetRun; whatever a run does not deliver (stale holder, fault,
+// concurrent eviction) falls back to the per-block getBlock path, which
+// carries the full §3 race and fault semantics — a degraded run is
+// correctness-equivalent, never an error. Runs of one block skip straight
+// to getBlock: the batch framing would buy nothing.
+func (n *Node) readPlanned(f block.FileID, size int64, first, last int32, out []byte) error {
+	bs := int64(n.geom.Size)
+	dst := func(i int32) []byte {
+		off := int64(i-first) * bs
+		end := off + int64(blockLen(n.geom, size, i))
+		if end > int64(len(out)) {
+			end = int64(len(out))
+		}
+		return out[off:end]
+	}
+	var missing []int32
+	for i := first; i <= last; i++ {
+		if _, ok := n.store.CopyInto(block.ID{File: f, Idx: i}, dst(i)); ok {
+			n.c.accesses.Add(1)
+			n.c.localHits.Add(1)
+			continue
+		}
+		// A miss's access is counted when the block is actually served
+		// (fetchRun, or the per-block fallback which counts for itself), so
+		// the totals match the per-block path exactly.
+		missing = append(missing, i)
+	}
+	if len(missing) == 0 {
+		return nil
+	}
+	runs, err := n.planRuns(f, missing)
+	if err != nil {
+		return err
+	}
+	for _, r := range runs {
+		served := 0
+		if r.count > 1 {
+			served = n.fetchRun(f, size, r, out, first)
+		}
+		for i := r.first + int32(served); i < r.first+int32(r.count); i++ {
+			id := block.ID{File: f, Idx: i}
+			want := len(dst(i))
+			got, err := n.getBlockSized(id, dst(i))
+			if err != nil {
+				return err
+			}
+			if got != want {
+				return fmt.Errorf("middleware: block %d:%d is %d bytes, want %d", f, i, got, want)
+			}
+		}
+	}
+	return nil
+}
+
+// getBlockSized is the planner's per-block fallback: the full §3 protocol
+// with readahead triggering, filling dst.
+func (n *Node) getBlockSized(id block.ID, dst []byte) (int, error) {
+	_, nn, err := n.getBlock(id, dst, true)
+	return nn, err
+}
+
+// fetchRun issues one MsgGetRun for run r and installs what came back:
+// blocks copied into out, the run installed into the store under one lock
+// (InsertRun), per-block hit accounting identical to the per-block path
+// (remote hits for a peer run, disk reads for a home run), and for home
+// runs one batched directory UpdateN claiming mastership. It returns how
+// many leading blocks of the run were fully handled; the caller falls back
+// per-block for the rest. A run whose source is this node's own backing
+// store (home == self) reads disk directly with no RPC. out == nil is
+// prefetch mode (readahead): blocks are installed but copied nowhere.
+func (n *Node) fetchRun(f block.FileID, size int64, r runPlan, out []byte, outBase int32) int {
+	bs := int64(n.geom.Size)
+	dst := func(i int32) []byte {
+		if out == nil {
+			return nil
+		}
+		off := int64(i-outBase) * bs
+		end := off + int64(blockLen(n.geom, size, i))
+		if end > int64(len(out)) {
+			end = int64(len(out))
+		}
+		return out[off:end]
+	}
+	if r.home && r.src == n.cfg.ID {
+		// Local home: disk reads, no wire. Still one InsertRun/UpdateN.
+		blocks := make([][]byte, 0, r.count)
+		for i := r.first; i < r.first+int32(r.count); i++ {
+			data, err := n.cfg.Source.ReadBlock(f, i)
+			if err != nil {
+				break
+			}
+			copy(dst(i), data)
+			n.c.accesses.Add(1)
+			n.c.diskReads.Add(1)
+			blocks = append(blocks, data)
+		}
+		n.installRun(f, r.first, blocks, true)
+		return len(blocks)
+	}
+	req := getFrame()
+	req.Type, req.File, req.Idx = MsgGetRun, f, r.first
+	req.Aux = packRunAux(r.count, 0)
+	retries := 0
+	if r.home {
+		req.Flags = FlagMaster
+		retries = n.retries
+	}
+	n.c.runsIssued.Add(1)
+	resp, err := n.reliableRPC(r.src, req, retries)
+	releaseFrame(req)
+	if err != nil {
+		n.c.runsDegraded.Add(1)
+		n.runBlocks.Observe(0)
+		n.trace(traceRunFetch, r.src, block.ID{File: f, Idx: r.first}, 0)
+		return 0
+	}
+	served := 0
+	if resp.Type == MsgRunData {
+		k, _ := unpackRunAux(resp.Aux)
+		if k > r.count {
+			k = r.count
+		}
+		expect := 0
+		for i := 0; i < k; i++ {
+			expect += blockLen(n.geom, size, r.first+int32(i))
+		}
+		if len(resp.Payload) == expect {
+			blocks := make([][]byte, 0, k)
+			off := 0
+			for i := r.first; i < r.first+int32(k); i++ {
+				l := blockLen(n.geom, size, i)
+				// A fresh copy per block: the store must not pin the pooled
+				// payload array.
+				data := make([]byte, l)
+				copy(data, resp.Payload[off:off+l])
+				off += l
+				copy(dst(i), data)
+				n.c.accesses.Add(1)
+				if r.home {
+					n.c.diskReads.Add(1)
+				} else {
+					n.c.remoteHits.Add(1)
+				}
+				blocks = append(blocks, data)
+			}
+			n.installRun(f, r.first, blocks, r.home)
+			served = k
+		}
+	}
+	releaseFrame(resp)
+	if served < r.count {
+		n.c.runsDegraded.Add(1)
+	}
+	n.runBlocks.Observe(int64(served))
+	n.trace(traceRunFetch, r.src, block.ID{File: f, Idx: r.first}, int64(served))
+	return served
+}
+
+// installRun puts a fetched run into the store under one lock acquisition,
+// gives displaced masters their §3 second chance, and (for home runs)
+// repoints the directory with one batched UpdateN.
+func (n *Node) installRun(f block.FileID, first int32, blocks [][]byte, master bool) {
+	if len(blocks) == 0 {
+		return
+	}
+	for _, ev := range n.store.InsertRun(f, first, blocks, master) {
+		if ev.Master {
+			go n.forwardEvicted(ev)
+		}
+	}
+	if master {
+		idxs := make([]int32, len(blocks))
+		for i := range idxs {
+			idxs[i] = first + int32(i)
+		}
+		n.loc.UpdateN(f, idxs, int32(n.cfg.ID)) //nolint:errcheck // next miss self-corrects via home
+	}
 }
 
 // GetBlock returns the content of one block, implementing the §3 protocol:
@@ -130,8 +377,11 @@ func (n *Node) getBlock(id block.ID, dst []byte, triggerRA bool) ([]byte, int, e
 		if err != nil {
 			return nil, 0, err
 		}
-		if triggerRA && n.cfg.Readahead > 0 {
-			go n.readahead(id)
+		if triggerRA && n.cfg.Readahead > 0 && n.raBegin(id.File) {
+			go func() {
+				defer n.raEnd(id.File)
+				n.readahead(id)
+			}()
 		}
 		if dst != nil {
 			return nil, copy(dst, data), nil
@@ -140,21 +390,71 @@ func (n *Node) getBlock(id block.ID, dst []byte, triggerRA bool) ([]byte, int, e
 	}
 }
 
+// raBegin claims the per-file readahead slot; false means one is already in
+// flight for f (the new miss does not spawn another — the in-flight sweep
+// covers the same window).
+func (n *Node) raBegin(f block.FileID) bool {
+	n.raMu.Lock()
+	defer n.raMu.Unlock()
+	if _, busy := n.raBusy[f]; busy {
+		return false
+	}
+	n.raBusy[f] = struct{}{}
+	return true
+}
+
+func (n *Node) raEnd(f block.FileID) {
+	n.raMu.Lock()
+	delete(n.raBusy, f)
+	n.raMu.Unlock()
+}
+
 // readahead prefetches the next blocks of the file after a miss; prefetched
 // blocks count in the prefetch statistic (and, like any access, in the
-// access counters).
+// access counters). The missing window is fetched through the run fast path
+// (one MsgGetRun per source run) unless NoRunReads, with the per-block path
+// finishing whatever the runs do not deliver.
 func (n *Node) readahead(after block.ID) {
 	size, err := n.cfg.Source.FileSize(after.File)
 	if err != nil {
 		return
 	}
 	nb := n.geom.Count(size)
-	for i := after.Idx + 1; i <= after.Idx+int32(n.cfg.Readahead) && i < nb; i++ {
-		id := block.ID{File: after.File, Idx: i}
-		if n.store.Contains(id) {
-			continue
+	end := after.Idx + int32(n.cfg.Readahead)
+	if end > nb-1 {
+		end = nb - 1
+	}
+	var missing []int32
+	for i := after.Idx + 1; i <= end; i++ {
+		if !n.store.Contains(block.ID{File: after.File, Idx: i}) {
+			missing = append(missing, i)
 		}
-		if _, _, err := n.getBlock(id, nil, false); err != nil {
+	}
+	if len(missing) == 0 {
+		return
+	}
+	if !n.cfg.NoRunReads {
+		runs, err := n.planRuns(after.File, missing)
+		if err != nil {
+			return
+		}
+		for _, r := range runs {
+			served := 0
+			if r.count > 1 {
+				served = n.fetchRun(after.File, size, r, nil, 0)
+				n.c.prefetches.Add(uint64(served))
+			}
+			for i := r.first + int32(served); i < r.first+int32(r.count); i++ {
+				if _, _, err := n.getBlock(block.ID{File: after.File, Idx: i}, nil, false); err != nil {
+					return
+				}
+				n.c.prefetches.Add(1)
+			}
+		}
+		return
+	}
+	for _, i := range missing {
+		if _, _, err := n.getBlock(block.ID{File: after.File, Idx: i}, nil, false); err != nil {
 			return
 		}
 		n.c.prefetches.Add(1)

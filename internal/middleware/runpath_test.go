@@ -1,0 +1,389 @@
+package middleware
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/block"
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// startClusterCfg is startCluster with a per-node Config hook, so run-path
+// tests can flip NoRunReads, directory modes, or fault plans per cluster.
+func startClusterCfg(t *testing.T, k, capacityBlocks int, sizes map[block.FileID]int64, mut func(i int, cfg *Config)) ([]*Node, *Client) {
+	t.Helper()
+	nodes := make([]*Node, k)
+	addrs := make([]string, k)
+	for i := 0; i < k; i++ {
+		cfg := Config{
+			ID:             i,
+			CapacityBlocks: capacityBlocks,
+			Policy:         core.PolicyMaster,
+			Geometry:       testGeom,
+			Source:         NewMemSource(testGeom, sizes),
+		}
+		if mut != nil {
+			mut(i, &cfg)
+		}
+		n, err := Start(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = n
+		addrs[i] = n.Addr()
+	}
+	for _, n := range nodes {
+		n.SetAddrs(addrs)
+	}
+	client, err := DialCluster(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		client.Close()
+		for _, n := range nodes {
+			n.Close()
+		}
+	})
+	return nodes, client
+}
+
+// totalRPCs sums every round trip the cluster and client issued, read from
+// the per-RPC-type latency histograms (each RPC is recorded exactly once,
+// by its issuer).
+func totalRPCs(nodes []*Node, client *Client) uint64 {
+	var sum uint64
+	count := func(m map[string]obs.HistogramData) {
+		for _, d := range m {
+			sum += d.Count
+		}
+	}
+	for _, n := range nodes {
+		count(n.Stats().RPCLatency)
+	}
+	count(client.RPCLatency())
+	return sum
+}
+
+func TestPackRunAux(t *testing.T) {
+	for _, count := range []int{0, 1, 7, maxRunBlocks} {
+		for _, masters := range []uint32{0, 1, 0xAAAA, 0xFFFFFFFF} {
+			c, m := unpackRunAux(packRunAux(count, masters))
+			if c != count || m != masters {
+				t.Errorf("packRunAux(%d, %#x) round-tripped to (%d, %#x)", count, masters, c, m)
+			}
+		}
+	}
+}
+
+func TestIdxPayloadCodec(t *testing.T) {
+	idxs := []int32{0, 1, 5, dirNoEntry, 1 << 20}
+	p := appendIdxPayload(nil, idxs)
+	got, err := decodeIdxPayload(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(idxs) {
+		t.Fatalf("decoded %d idxs, want %d", len(got), len(idxs))
+	}
+	for i := range idxs {
+		if got[i] != idxs[i] {
+			t.Fatalf("idx %d: %d != %d", i, got[i], idxs[i])
+		}
+	}
+	if _, err := decodeIdxPayload([]byte{1, 2, 3}, nil); err == nil {
+		t.Fatal("ragged payload accepted")
+	}
+	if _, err := decodeIdxPayload(make([]byte, 4*(maxDirBatch+1)), nil); err == nil {
+		t.Fatal("oversized batch accepted")
+	}
+}
+
+func TestStoreAppendRun(t *testing.T) {
+	s := NewStore(16, core.PolicyMaster)
+	mk := func(idx int32) []byte { return SyntheticBlock(1, idx, 64) }
+	// Blocks 0,1,2 cached (1 a master), 3 missing, 4 cached.
+	s.Insert(block.ID{File: 1, Idx: 0}, mk(0), false)
+	s.Insert(block.ID{File: 1, Idx: 1}, mk(1), true)
+	s.Insert(block.ID{File: 1, Idx: 2}, mk(2), false)
+	s.Insert(block.ID{File: 1, Idx: 4}, mk(4), false)
+
+	buf, count, masters := s.AppendRun(1, 0, 8, nil)
+	if count != 3 {
+		t.Fatalf("served %d blocks, want 3 (stop at the gap)", count)
+	}
+	if masters != 0b010 {
+		t.Fatalf("master mask %#b, want 0b010", masters)
+	}
+	want := append(append(append([]byte(nil), mk(0)...), mk(1)...), mk(2)...)
+	if !bytes.Equal(buf, want) {
+		t.Fatal("run payload mismatch")
+	}
+	// A run starting at the gap serves nothing.
+	if _, count, _ := s.AppendRun(1, 3, 8, nil); count != 0 {
+		t.Fatalf("gap start served %d blocks", count)
+	}
+}
+
+func TestStoreInsertRun(t *testing.T) {
+	s := NewStore(4, core.PolicyBasic)
+	mk := func(f block.FileID, idx int32) []byte { return SyntheticBlock(f, idx, 64) }
+	// Pre-fill with old blocks of file 9 so the run insert must evict.
+	s.Insert(block.ID{File: 9, Idx: 0}, mk(9, 0), true)
+	s.Insert(block.ID{File: 9, Idx: 1}, mk(9, 1), false)
+
+	blocks := [][]byte{mk(2, 3), mk(2, 4), mk(2, 5), mk(2, 6)}
+	evs := s.InsertRun(2, 3, blocks, true)
+	if len(evs) != 2 {
+		t.Fatalf("%d evictions, want 2", len(evs))
+	}
+	if !evs[0].Master || evs[0].ID != (block.ID{File: 9, Idx: 0}) {
+		t.Fatalf("first eviction %+v, want the oldest (master 9:0)", evs[0])
+	}
+	if s.Len() != 4 {
+		t.Fatalf("store holds %d blocks, want capacity 4", s.Len())
+	}
+	for i := int32(3); i <= 6; i++ {
+		id := block.ID{File: 2, Idx: i}
+		data, ok := s.Get(id)
+		if !ok || !bytes.Equal(data, mk(2, i)) {
+			t.Fatalf("run block %v missing or wrong after InsertRun", id)
+		}
+		if !s.IsMaster(id) {
+			t.Fatalf("run block %v not installed as master", id)
+		}
+	}
+}
+
+// TestRunPathColdRPCCount pins the tentpole's headline: a cold multi-block
+// file read through a non-home entry node must cost at least 4× fewer RPC
+// round trips on the run path than per-block (the acceptance criterion; the
+// actual ratio for a 64-block file is ~10×).
+func TestRunPathColdRPCCount(t *testing.T) {
+	const nblocks = 64
+	sizes := map[block.FileID]int64{1: nblocks * int64(testGeom.Size)}
+
+	measure := func(noRun bool) (uint64, Stats) {
+		nodes, client := startClusterCfg(t, 4, 256, sizes, func(i int, cfg *Config) {
+			cfg.NoRunReads = noRun
+		})
+		// Entry node 3, home node 1 (file 1 % 4), directory node 0: every
+		// protocol message crosses the wire.
+		data, err := client.ReadVia(3, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(data, expect(testGeom, 1, sizes[1])) {
+			t.Fatal("content mismatch")
+		}
+		st, err := client.ClusterStats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return totalRPCs(nodes, client), st
+	}
+
+	perBlock, pbStats := measure(true)
+	run, runStats := measure(false)
+
+	if pbStats.DiskReads != nblocks || runStats.DiskReads != nblocks {
+		t.Fatalf("disk reads per-block=%d run=%d, want %d each (cold read)",
+			pbStats.DiskReads, runStats.DiskReads, nblocks)
+	}
+	if runStats.Accesses != pbStats.Accesses || runStats.LocalHits != pbStats.LocalHits ||
+		runStats.RemoteHits != pbStats.RemoteHits {
+		t.Fatalf("counters diverged: run=%+v per-block=%+v", runStats, pbStats)
+	}
+	if runStats.RunsIssued == 0 {
+		t.Fatal("run path issued no runs")
+	}
+	if runStats.RunsDegraded != 0 {
+		t.Fatalf("healthy cluster degraded %d runs", runStats.RunsDegraded)
+	}
+	if run*4 > perBlock {
+		t.Fatalf("run path used %d RPCs vs %d per-block: less than the required 4× reduction", run, perBlock)
+	}
+	t.Logf("cold %d-block read: %d RPCs per-block, %d on the run path (%.1fx)",
+		nblocks, perBlock, run, float64(perBlock)/float64(run))
+}
+
+// TestRunPathWarmReadsStayLocal: after the cold read, a warm re-read from
+// the same entry node must cost zero block RPCs — the synchronous local
+// sweep covers the whole file.
+func TestRunPathWarmRemoteRun(t *testing.T) {
+	const nblocks = 12
+	sizes := map[block.FileID]int64{1: nblocks * int64(testGeom.Size)}
+	nodes, client := startClusterCfg(t, 2, 256, sizes, nil)
+
+	// Warm node 1 (the home) by reading there; then node 0's read must pull
+	// peer runs from node 1's cache: remote hits, not disk.
+	if _, err := client.ReadVia(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	data, err := client.ReadVia(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, expect(testGeom, 1, sizes[1])) {
+		t.Fatal("content mismatch")
+	}
+	s0 := nodes[0].Stats()
+	if s0.RemoteHits != nblocks {
+		t.Fatalf("remote hits = %d, want %d (whole file served from peer runs)", s0.RemoteHits, nblocks)
+	}
+	if s0.RunsIssued == 0 {
+		t.Fatal("peer fetch did not use the run path")
+	}
+	st, _ := client.ClusterStats()
+	if st.DiskReads != nblocks {
+		t.Fatalf("disk reads = %d, want %d (no refetch)", st.DiskReads, nblocks)
+	}
+	// The §3 master rule is preserved: exactly one master per block.
+	for i := int32(0); i < nblocks; i++ {
+		id := block.ID{File: 1, Idx: i}
+		masters := 0
+		for _, n := range nodes {
+			if n.store.IsMaster(id) {
+				masters++
+			}
+		}
+		if masters != 1 {
+			t.Fatalf("block %v has %d masters, want 1", id, masters)
+		}
+	}
+}
+
+// TestRunPathPartialRunFallsBack: a peer run that can only serve a prefix
+// (gap in the peer's cache) is completed per-block, not failed.
+func TestRunPathPartialRunFallsBack(t *testing.T) {
+	const nblocks = 8
+	sizes := map[block.FileID]int64{1: nblocks * int64(testGeom.Size)}
+	nodes, client := startClusterCfg(t, 2, 256, sizes, nil)
+
+	// Warm the home (node 1), then punch a hole in its cache so node 0's
+	// run request hits a gap mid-run.
+	if _, err := client.ReadVia(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	nodes[1].store.Remove(block.ID{File: 1, Idx: 3})
+
+	data, err := client.ReadVia(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, expect(testGeom, 1, sizes[1])) {
+		t.Fatal("content mismatch after degraded run")
+	}
+	s0 := nodes[0].Stats()
+	if s0.RunsDegraded == 0 {
+		t.Fatal("the holed run was not counted as degraded")
+	}
+	// Every block was still served: 7 from the peer's memory, the removed
+	// one from disk via its home.
+	if s0.RemoteHits+s0.DiskReads+s0.LocalHits != nblocks {
+		t.Fatalf("served %d blocks, want %d: %+v", s0.RemoteHits+s0.DiskReads+s0.LocalHits, nblocks, s0)
+	}
+}
+
+// TestReadRangeRunEquivalence is the satellite regression test: ranged
+// reads must be byte-identical on the run and per-block paths at
+// block-boundary and mid-block offsets, including the presized-buffer
+// rewrite's edge cases (unaligned head, clipped tail, short last block).
+func TestReadRangeRunEquivalence(t *testing.T) {
+	bs := int64(testGeom.Size)
+	size := 6*bs + 100 // short last block
+	sizes := map[block.FileID]int64{0: size, 1: size}
+	full := expect(testGeom, 0, size)
+
+	cases := []struct {
+		off    int64
+		length int
+	}{
+		{0, int(size)},              // whole file
+		{0, int(bs)},                // first block exactly
+		{bs, int(2 * bs)},           // block-boundary start and end
+		{bs + 7, int(bs)},           // mid-block start, mid-block end
+		{3*bs - 1, 2},               // straddles a boundary by one byte
+		{5, 3},                      // tiny range inside block 0
+		{6 * bs, 100},               // exactly the short last block
+		{6*bs + 40, 1000},           // clipped by EOF
+		{size, 10},                  // at EOF: empty
+		{2*bs + 13, int(3*bs + 50)}, // long unaligned range over several blocks
+	}
+
+	for _, noRun := range []bool{false, true} {
+		nodes, _ := startClusterCfg(t, 2, 256, sizes, func(i int, cfg *Config) {
+			cfg.NoRunReads = noRun
+		})
+		for _, c := range cases {
+			got, err := nodes[0].ReadRange(0, c.off, c.length)
+			if err != nil {
+				t.Fatalf("noRun=%v ReadRange(%d, %d): %v", noRun, c.off, c.length, err)
+			}
+			end := c.off + int64(c.length)
+			if end > size {
+				end = size
+			}
+			if c.off > size {
+				end = c.off
+			}
+			if !bytes.Equal(got, full[min64(c.off, size):end]) {
+				t.Fatalf("noRun=%v ReadRange(%d, %d): %d bytes diverged", noRun, c.off, c.length, len(got))
+			}
+			// Warm repeat must agree byte for byte with the cold read.
+			again, err := nodes[0].ReadRange(0, c.off, c.length)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, again) {
+				t.Fatalf("noRun=%v ReadRange(%d, %d): warm read diverged from cold", noRun, c.off, c.length)
+			}
+		}
+	}
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// TestReadaheadCoalesces: concurrent misses on one file must not stack
+// readahead sweeps — the per-file slot admits one at a time.
+func TestReadaheadCoalesces(t *testing.T) {
+	sizes := map[block.FileID]int64{0: 64 * int64(testGeom.Size)}
+	nodes, _ := startClusterCfg(t, 1, 256, sizes, func(i int, cfg *Config) {
+		cfg.Readahead = 4
+	})
+	n := nodes[0]
+	if !n.raBegin(0) {
+		t.Fatal("first readahead claim refused")
+	}
+	if n.raBegin(0) {
+		t.Fatal("second in-flight readahead admitted for the same file")
+	}
+	if !n.raBegin(1) {
+		t.Fatal("a different file's readahead blocked")
+	}
+	n.raEnd(0)
+	if !n.raBegin(0) {
+		t.Fatal("readahead slot not released")
+	}
+}
+
+// TestGetRunRequestValidation: the server rejects nonsense run counts
+// instead of serving unbounded work.
+func TestGetRunRequestValidation(t *testing.T) {
+	sizes := map[block.FileID]int64{0: 4 * int64(testGeom.Size)}
+	nodes, _ := startClusterCfg(t, 1, 16, sizes, nil)
+	for _, count := range []int{0, maxRunBlocks + 1} {
+		req := &Frame{Type: MsgGetRun, File: 0, Idx: 0, Aux: packRunAux(count, 0), Sender: -1}
+		resp := nodes[0].handleGetRun(req)
+		if resp.Type != MsgErr {
+			t.Fatalf("run count %d accepted (reply type %d)", count, resp.Type)
+		}
+		releaseFrame(resp)
+	}
+}

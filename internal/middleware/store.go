@@ -157,6 +157,58 @@ func (s *Store) evictOneLocked() *Evicted {
 	return ev
 }
 
+// AppendRun appends the contiguous run of cached blocks of f starting at
+// first (at most max blocks) to buf under one lock acquisition, touching
+// each served block's LRU state. It stops at the first gap and returns the
+// extended buffer, the number of blocks served, and a bitmask marking which
+// served blocks are held as master copies (bit i = block first+i).
+func (s *Store) AppendRun(f block.FileID, first int32, max int, buf []byte) ([]byte, int, uint32) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	count := 0
+	var masters uint32
+	for count < max {
+		id := block.ID{File: f, Idx: first + int32(count)}
+		if !s.c.Touch(id, s.tick()) {
+			break
+		}
+		if s.c.IsMaster(id) {
+			masters |= 1 << uint(count)
+		}
+		buf = append(buf, s.data[id]...)
+		count++
+	}
+	return buf, count, masters
+}
+
+// InsertRun installs a fetched run of contiguous blocks (blocks[i] is block
+// first+i) under one lock acquisition and one tick sequence, returning
+// every eviction the installs caused, in order. Master victims among them
+// get the §3 second chance from the caller, exactly as with Insert.
+func (s *Store) InsertRun(f block.FileID, first int32, blocks [][]byte, master bool) []*Evicted {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var evs []*Evicted
+	for i, data := range blocks {
+		id := block.ID{File: f, Idx: first + int32(i)}
+		if s.c.Contains(id) {
+			if master {
+				s.c.Promote(id)
+			}
+			s.data[id] = data
+			continue
+		}
+		if s.c.Full() {
+			if ev := s.evictOneLocked(); ev != nil {
+				evs = append(evs, ev)
+			}
+		}
+		s.c.Insert(id, master, s.tick())
+		s.data[id] = data
+	}
+	return evs
+}
+
 // AcceptForward applies the §3 arrival rules for a forwarded master:
 // dropped if everything local is younger (accepted=false); otherwise the
 // local oldest is discarded outright (never re-forwarded — no cascades) and

@@ -126,6 +126,55 @@ func (d HistogramData) Quantile(q float64) time.Duration {
 	return BucketBound(HistBuckets - 1)
 }
 
+// --- log-bucketed value histogram ---
+
+// ValueHistBuckets is the number of finite value-histogram buckets. Bucket
+// i counts observations with v <= 2^i, spanning 1 to 32768; larger values
+// land in the +Inf overflow bucket.
+const ValueHistBuckets = 16
+
+// ValueBucketBound reports the upper bound of finite value bucket i.
+func ValueBucketBound(i int) uint64 { return 1 << i }
+
+// ValueHistogram is a fixed-layout, log-bucketed histogram for small
+// dimensionless integers (run lengths, batch sizes). Like Histogram,
+// Observe is two atomic adds and the zero value is ready to use.
+type ValueHistogram struct {
+	buckets [ValueHistBuckets + 1]atomic.Uint64 // last slot: +Inf overflow
+	sum     atomic.Int64
+}
+
+// Observe records one sample.
+func (h *ValueHistogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	i := 0
+	if v > 1 {
+		i = bits.Len64(uint64(v) - 1)
+		if i > ValueHistBuckets {
+			i = ValueHistBuckets
+		}
+	}
+	h.buckets[i].Add(1)
+	h.sum.Add(v)
+}
+
+// Snapshot copies the histogram's current state (same straddling caveat as
+// Histogram.Snapshot). Buckets share the HistogramData layout so Stats
+// merging works unchanged; bounds are 2^i values, not durations.
+func (h *ValueHistogram) Snapshot() HistogramData {
+	var d HistogramData
+	d.Buckets = make([]uint64, ValueHistBuckets+1)
+	for i := range h.buckets {
+		c := h.buckets[i].Load()
+		d.Buckets[i] = c
+		d.Count += c
+	}
+	d.SumNanos = h.sum.Load()
+	return d
+}
+
 // --- metric registry ---
 
 // A Registry holds registered metrics and renders them in the Prometheus
@@ -148,6 +197,7 @@ type series struct {
 	counter func() uint64
 	gauge   func() float64
 	hist    *Histogram
+	vhist   *ValueHistogram
 }
 
 // NewRegistry returns an empty registry.
@@ -188,6 +238,11 @@ func (r *Registry) Histogram(name, help, labels string, h *Histogram) {
 	r.register(name, help, "histogram", series{labels: labels, hist: h})
 }
 
+// ValueHistogram registers a dimensionless value histogram series.
+func (r *Registry) ValueHistogram(name, help, labels string, h *ValueHistogram) {
+	r.register(name, help, "histogram", series{labels: labels, vhist: h})
+}
+
 // WritePrometheus renders every registered metric in the Prometheus text
 // exposition format.
 func (r *Registry) WritePrometheus(w io.Writer) error {
@@ -205,6 +260,8 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				fmt.Fprintf(&b, "%s%s %g\n", f.name, braced(s.labels), s.gauge())
 			case s.hist != nil:
 				writeHistogram(&b, f.name, s.labels, s.hist.Snapshot())
+			case s.vhist != nil:
+				writeValueHistogram(&b, f.name, s.labels, s.vhist.Snapshot())
 			}
 		}
 	}
@@ -234,6 +291,24 @@ func writeHistogram(b *strings.Builder, name, labels string, d HistogramData) {
 	}
 	fmt.Fprintf(b, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, d.Count)
 	fmt.Fprintf(b, "%s_sum%s %g\n", name, braced(labels), time.Duration(d.SumNanos).Seconds())
+	fmt.Fprintf(b, "%s_count%s %d\n", name, braced(labels), d.Count)
+}
+
+// writeValueHistogram renders one value-histogram series: cumulative
+// buckets with power-of-two integer `le` bounds, then the integer _sum and
+// _count.
+func writeValueHistogram(b *strings.Builder, name, labels string, d HistogramData) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	var cum uint64
+	for i := 0; i < ValueHistBuckets && i < len(d.Buckets); i++ {
+		cum += d.Buckets[i]
+		fmt.Fprintf(b, "%s_bucket{%s%sle=\"%d\"} %d\n", name, labels, sep, ValueBucketBound(i), cum)
+	}
+	fmt.Fprintf(b, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, d.Count)
+	fmt.Fprintf(b, "%s_sum%s %d\n", name, braced(labels), d.SumNanos)
 	fmt.Fprintf(b, "%s_count%s %d\n", name, braced(labels), d.Count)
 }
 

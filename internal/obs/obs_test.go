@@ -144,6 +144,78 @@ func TestRegistryPrometheusFormat(t *testing.T) {
 	}
 }
 
+// TestValueHistogramBucketing pins the power-of-two layout: bucket i holds
+// observations with v <= 2^i, values past the last finite bound land in
+// +Inf, and negatives clamp to zero.
+func TestValueHistogramBucketing(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{-5, 0}, {0, 0}, {1, 0},
+		{2, 1},
+		{3, 2}, {4, 2},
+		{5, 3}, {8, 3},
+		{9, 4},
+		{32768, 15},
+		{32769, ValueHistBuckets},
+		{1 << 40, ValueHistBuckets},
+	}
+	for _, c := range cases {
+		var h ValueHistogram
+		h.Observe(c.v)
+		d := h.Snapshot()
+		got := -1
+		for i, n := range d.Buckets {
+			if n == 1 {
+				got = i
+			}
+		}
+		if got != c.want {
+			t.Errorf("Observe(%d) landed in bucket %d, want %d", c.v, got, c.want)
+		}
+	}
+	// Bound/bucket consistency: every finite bound maps into its own bucket.
+	for i := 1; i < ValueHistBuckets; i++ {
+		var h ValueHistogram
+		h.Observe(int64(ValueBucketBound(i)))
+		if d := h.Snapshot(); d.Buckets[i] != 1 {
+			t.Errorf("bound %d not in its own bucket %d: %v", ValueBucketBound(i), i, d.Buckets)
+		}
+	}
+}
+
+// TestValueHistogramPrometheusFormat checks the exposition rendering: integer
+// le bounds, cumulative counts, integer _sum/_count.
+func TestValueHistogramPrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	var h ValueHistogram
+	h.Observe(1)
+	h.Observe(2)
+	h.Observe(8)
+	r.ValueHistogram("cc_run_blocks", "blocks served per run fetch", "", &h)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE cc_run_blocks histogram",
+		`cc_run_blocks_bucket{le="1"} 1`,
+		`cc_run_blocks_bucket{le="2"} 2`,
+		`cc_run_blocks_bucket{le="4"} 2`,
+		`cc_run_blocks_bucket{le="8"} 3`,
+		`cc_run_blocks_bucket{le="+Inf"} 3`,
+		"cc_run_blocks_sum 11",
+		"cc_run_blocks_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q\n%s", want, out)
+		}
+	}
+}
+
 // TestRegistryTypeConflictPanics pins the re-registration contract.
 func TestRegistryTypeConflictPanics(t *testing.T) {
 	r := NewRegistry()
