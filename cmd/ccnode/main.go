@@ -55,6 +55,9 @@ func main() {
 		brCool   = flag.Duration("breaker-cooldown", 0, "open-circuit cooldown before a half-open probe (0: 500ms default)")
 		metrics  = flag.String("metrics-addr", "", "with -serve: HTTP address exposing /metrics (Prometheus), /debug/vars, and /debug/pprof")
 		traceCap = flag.Int("trace", 0, "with -serve: retain the last N protocol trace events, dumpable via the trace RPC (0: tracing off)")
+		repThr   = flag.Float64("replicate-threshold", 0, "with -serve: serve-rate score above which hot masters push replica copies (0: replication off)")
+		repFan   = flag.Int("replica-fanout", 0, "with -serve: replica copies pushed per hot block (0: default of 2)")
+		admit    = flag.Bool("admission", false, "with -serve: TinyLFU admission filter on the cache (one-hit wonders never evict hot blocks)")
 	)
 	flag.Parse()
 
@@ -72,7 +75,8 @@ func main() {
 
 	switch {
 	case *serve:
-		runNode(*id, *listen, addrs, *capacity, *policy, *hints, *files, *avg, ft, *metrics, *traceCap)
+		ad := adaptive{threshold: *repThr, fanout: *repFan, admission: *admit}
+		runNode(*id, *listen, addrs, *capacity, *policy, *hints, *files, *avg, ft, ad, *metrics, *traceCap)
 	case *get >= 0:
 		client := dial(addrs, ft)
 		defer client.Close()
@@ -135,7 +139,15 @@ type faultTolerance struct {
 	breakerCooldown  time.Duration
 }
 
-func runNode(id int, listen string, addrs []string, capacity int, policy string, hints bool, files int, avg int64, ft faultTolerance, metricsAddr string, traceCap int) {
+// adaptive groups the hotness-driven replication and admission knobs (all
+// zero: the single-master §3 protocol, unchanged).
+type adaptive struct {
+	threshold float64
+	fanout    int
+	admission bool
+}
+
+func runNode(id int, listen string, addrs []string, capacity int, policy string, hints bool, files int, avg int64, ft faultTolerance, ad adaptive, metricsAddr string, traceCap int) {
 	if id < 0 || id >= len(addrs) {
 		log.Fatalf("-id %d out of range for %d cluster addresses", id, len(addrs))
 	}
@@ -162,17 +174,20 @@ func runNode(id int, listen string, addrs []string, capacity int, policy string,
 		tracer = obs.NewTracer(traceCap)
 	}
 	n, err := middleware.Start(middleware.Config{
-		ID:               id,
-		Listen:           listen,
-		Hints:            hints,
-		CapacityBlocks:   capacity,
-		Policy:           pol,
-		Source:           middleware.NewMemSource(block.DefaultGeometry, sizes),
-		RPCTimeout:       ft.rpcTimeout,
-		Retries:          ft.retries,
-		BreakerThreshold: ft.breakerThreshold,
-		BreakerCooldown:  ft.breakerCooldown,
-		Tracer:           tracer,
+		ID:                 id,
+		Listen:             listen,
+		Hints:              hints,
+		CapacityBlocks:     capacity,
+		Policy:             pol,
+		Source:             middleware.NewMemSource(block.DefaultGeometry, sizes),
+		RPCTimeout:         ft.rpcTimeout,
+		Retries:            ft.retries,
+		BreakerThreshold:   ft.breakerThreshold,
+		BreakerCooldown:    ft.breakerCooldown,
+		ReplicateThreshold: ad.threshold,
+		ReplicaFanout:      ad.fanout,
+		AdmissionFilter:    ad.admission,
+		Tracer:             tracer,
 	})
 	if err != nil {
 		log.Fatal(err)

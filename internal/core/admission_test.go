@@ -1,0 +1,102 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestAdmissionOneHitWonder pins the doorkeeper contract: a key seen once
+// never displaces a key with an established frequency, while a genuinely
+// hotter candidate does.
+func TestAdmissionOneHitWonder(t *testing.T) {
+	a := NewAdmission(64)
+	const hot, cold, warm = 1, 2, 3
+	for i := 0; i < 10; i++ {
+		a.Observe(hot)
+	}
+	a.Observe(cold)
+	if a.Admit(cold, hot) {
+		t.Fatal("one-hit wonder admitted over a hot victim")
+	}
+	for i := 0; i < 20; i++ {
+		a.Observe(warm)
+	}
+	if !a.Admit(warm, hot) {
+		t.Fatal("hotter candidate rejected")
+	}
+	// Never-seen candidates lose to anything with history.
+	if a.Admit(99, cold) {
+		t.Fatal("unseen candidate displaced a seen victim")
+	}
+}
+
+// TestAdmissionRecencyBypass pins the W-TinyLFU-style window: a candidate
+// touched at least twice inside the current window is admitted regardless of
+// the victim's frequency — flash-crowd blocks must not lose duels against
+// stale-high incumbents — while a first-touch candidate still fights the
+// strict frequency duel.
+func TestAdmissionRecencyBypass(t *testing.T) {
+	a := NewAdmission(64)
+	const incumbent, flash = 1, 2
+	for i := 0; i < 30; i++ {
+		a.Observe(incumbent)
+	}
+	a.Observe(flash)
+	if a.Admit(flash, incumbent) {
+		t.Fatal("single-touch candidate bypassed the frequency duel")
+	}
+	a.Observe(flash) // second touch inside the window: recent, not a one-hit wonder
+	if !a.Admit(flash, incumbent) {
+		t.Fatal("repeat-touched candidate rejected against a stale-high victim")
+	}
+}
+
+// TestAdmissionEstimateOrdering checks the sketch preserves frequency order
+// between clearly separated keys.
+func TestAdmissionEstimateOrdering(t *testing.T) {
+	a := NewAdmission(128)
+	for k := uint64(0); k < 8; k++ {
+		for i := uint64(0); i < k*3; i++ {
+			a.Observe(k)
+		}
+	}
+	if e0, e7 := a.Estimate(0), a.Estimate(7); e0 >= e7 {
+		t.Fatalf("estimate(never seen)=%d >= estimate(21 observes)=%d", e0, e7)
+	}
+}
+
+// TestAdmissionReset verifies the halving window: estimates decay instead of
+// growing without bound, and the filter still functions after many resets.
+func TestAdmissionReset(t *testing.T) {
+	a := NewAdmission(16) // small window: resets trigger quickly
+	for i := 0; i < 10000; i++ {
+		a.Observe(uint64(i % 5))
+	}
+	if e := a.Estimate(0); e == 0 {
+		t.Fatal("frequent key lost across resets")
+	}
+	a.Observe(999)
+	if a.Admit(999, 0) {
+		t.Fatal("fresh key admitted over a perennially hot victim after resets")
+	}
+}
+
+// TestAdmissionConcurrent exercises the filter from many goroutines; -race
+// is the assertion.
+func TestAdmissionConcurrent(t *testing.T) {
+	a := NewAdmission(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				a.Observe(uint64(i % 31))
+				if i%16 == 0 {
+					a.Admit(uint64(g), uint64(i%31))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

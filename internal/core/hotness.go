@@ -1,0 +1,107 @@
+package core
+
+import (
+	"math"
+	"sync"
+)
+
+// Hotness tracks per-block access heat with epoch-decayed counters: each
+// Observe adds one to the key's score, and every Advance multiplies all
+// scores by the decay factor. Decay is applied lazily (a per-entry epoch
+// stamp, settled on the next touch), so Observe is a single map operation;
+// Advance sweeps entries whose decayed score fell under the floor, so a key
+// that goes idle reaches exactly zero after finitely many epochs instead of
+// lingering as an ever-smaller float.
+//
+// The epoch clock is external (the middleware drives it from a wall-clock
+// ticker; tests call Advance directly), which keeps the math deterministic.
+type Hotness struct {
+	mu    sync.Mutex
+	decay float64
+	floor float64
+	epoch uint64
+	score map[uint64]hotEntry
+}
+
+type hotEntry struct {
+	score float64
+	epoch uint64
+}
+
+// Default hotness parameters: a score halves per epoch and is forgotten
+// once it decays under the floor (a block observed once is forgotten after
+// one idle epoch; a block needs a sustained access rate to stay hot).
+const (
+	DefaultHotnessDecay = 0.5
+	DefaultHotnessFloor = 0.5
+)
+
+// NewHotness builds a tracker with the given per-epoch decay factor in
+// (0,1) and sweep floor (> 0). Out-of-range values fall back to the
+// defaults.
+func NewHotness(decay, floor float64) *Hotness {
+	if decay <= 0 || decay >= 1 {
+		decay = DefaultHotnessDecay
+	}
+	if floor <= 0 {
+		floor = DefaultHotnessFloor
+	}
+	return &Hotness{decay: decay, floor: floor, score: make(map[uint64]hotEntry)}
+}
+
+// settled returns e's score decayed to the current epoch. Callers hold h.mu.
+func (h *Hotness) settled(e hotEntry) float64 {
+	if d := h.epoch - e.epoch; d > 0 {
+		return e.score * math.Pow(h.decay, float64(d))
+	}
+	return e.score
+}
+
+// Observe records one access to key and returns its new score.
+func (h *Hotness) Observe(key uint64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	e := h.score[key]
+	s := h.settled(e) + 1
+	h.score[key] = hotEntry{score: s, epoch: h.epoch}
+	return s
+}
+
+// Score reports key's current (decayed) score, zero when the key has been
+// swept or never observed.
+func (h *Hotness) Score(key uint64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	e, ok := h.score[key]
+	if !ok {
+		return 0
+	}
+	return h.settled(e)
+}
+
+// Advance steps the epoch clock and sweeps entries whose decayed score fell
+// to the floor or under it, so idle keys are forgotten entirely.
+func (h *Hotness) Advance() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.epoch++
+	for k, e := range h.score {
+		if h.settled(e) <= h.floor {
+			delete(h.score, k)
+		}
+	}
+}
+
+// Epoch reports the current epoch (tests).
+func (h *Hotness) Epoch() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.epoch
+}
+
+// Len reports the number of tracked (unswept) keys.
+func (h *Hotness) Len() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.score)
+}

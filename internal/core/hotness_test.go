@@ -1,0 +1,113 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestHotnessDecaysToZero pins the sweep contract: a key observed once and
+// then left idle is forgotten — score exactly zero, entry gone — after K
+// epochs where decay^K drops it under the floor. With the defaults
+// (decay 0.5, floor 0.5) K is 1.
+func TestHotnessDecaysToZero(t *testing.T) {
+	h := NewHotness(0.5, 0.5)
+	h.Observe(7)
+	if s := h.Score(7); s != 1 {
+		t.Fatalf("score after one observe = %v, want 1", s)
+	}
+	h.Advance() // 1 * 0.5 < floor: swept
+	if s := h.Score(7); s != 0 {
+		t.Fatalf("score after idle epoch = %v, want exactly 0", s)
+	}
+	if h.Len() != 0 {
+		t.Fatalf("swept tracker retains %d entries", h.Len())
+	}
+
+	// A hotter key survives proportionally longer, then still reaches zero.
+	h2 := NewHotness(0.5, 0.5)
+	for i := 0; i < 16; i++ {
+		h2.Observe(9)
+	}
+	// 16 * 0.5^k > 0.5 while k <= 4: four idle epochs keep it, the fifth
+	// decays it to the floor and sweeps it.
+	for k := 0; k < 4; k++ {
+		h2.Advance()
+		if s := h2.Score(9); s <= 0 {
+			t.Fatalf("score swept too early at idle epoch %d", k+1)
+		}
+	}
+	h2.Advance()
+	if s := h2.Score(9); s != 0 {
+		t.Fatalf("score after 5 idle epochs = %v, want exactly 0", s)
+	}
+}
+
+// TestHotnessMonotoneInRate verifies that under the same epoch schedule, a
+// key observed more often per epoch always scores at least as high.
+func TestHotnessMonotoneInRate(t *testing.T) {
+	h := NewHotness(0.5, 0.001)
+	rates := []int{1, 2, 5, 13}
+	for epoch := 0; epoch < 8; epoch++ {
+		for k, r := range rates {
+			for i := 0; i < r; i++ {
+				h.Observe(uint64(k))
+			}
+		}
+		h.Advance()
+	}
+	prev := -1.0
+	for k := range rates {
+		s := h.Score(uint64(k))
+		if s <= prev {
+			t.Fatalf("score not monotone in access rate: rate %d scored %v after rate %d scored %v",
+				rates[k], s, rates[k-1], prev)
+		}
+		prev = s
+	}
+}
+
+// TestHotnessSteadyState pins the geometric-series fixed point: a key
+// observed exactly once per epoch converges to 1/(1-decay).
+func TestHotnessSteadyState(t *testing.T) {
+	h := NewHotness(0.5, 0.001)
+	var s float64
+	for i := 0; i < 40; i++ {
+		s = h.Observe(1)
+		h.Advance()
+	}
+	if want := 2.0; s < want-0.01 || s > want+0.01 {
+		t.Fatalf("steady-state score = %v, want ≈ %v", s, want)
+	}
+}
+
+// TestHotnessConcurrentObserve exercises Observe/Score/Advance from many
+// goroutines; the race detector (-race) is the assertion.
+func TestHotnessConcurrentObserve(t *testing.T) {
+	h := NewHotness(0.5, 0.5)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				h.Observe(uint64(i % 17))
+				if i%64 == 0 {
+					h.Score(uint64(g))
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			h.Advance()
+		}
+	}()
+	wg.Wait()
+	// Scheduling decides how many Advances land after the last Observe, so
+	// the surviving score is unpredictable — but a fresh Observe must work.
+	if h.Observe(0) <= 0 {
+		t.Fatal("tracker broken after concurrent use")
+	}
+}

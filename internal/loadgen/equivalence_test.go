@@ -175,6 +175,89 @@ func TestRunPathReplayEquivalence(t *testing.T) {
 	}
 }
 
+// TestAdaptiveOffReplayEquivalence pins the disabled-mode guarantee of the
+// adaptive replication layer: with the hotness tracker armed but the
+// threshold unreachable and admission filtering off, the cluster must be
+// observably identical — every §3 counter and every byte — to one that never
+// constructed the machinery at all. This is what lets the replication path
+// ship as a strict superset of the single-master protocol: nothing it adds
+// can leak into the read path until a score actually crosses the threshold.
+func TestAdaptiveOffReplayEquivalence(t *testing.T) {
+	const k = 3
+	geom := block.Geometry{Size: 1024, ExtentBlocks: 8}
+	plainClient, sizes := startClusterMut(t, k, 4096, nil, middleware.ClientConfig{})
+	inertClient, _ := startClusterMut(t, k, 4096, func(i int, cfg *middleware.Config) {
+		cfg.ReplicateThreshold = 1e18 // armed, never crossed
+		cfg.ReplicaFanout = 2
+		cfg.AdmissionFilter = false
+	}, middleware.ClientConfig{})
+	tr := replayTrace(sizes, 120)
+
+	resPlain, err := Replay(plainClient, tr, Config{Concurrency: 1, WarmupFrac: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resInert, err := Replay(inertClient, tr, Config{Concurrency: 1, WarmupFrac: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a, b := resPlain.Cluster, resInert.Cluster
+	if a.Accesses != b.Accesses || a.LocalHits != b.LocalHits ||
+		a.RemoteHits != b.RemoteHits || a.DiskReads != b.DiskReads {
+		t.Errorf("inert adaptive cluster diverged from plain PolicyMaster:\nplain: accesses=%d local=%d remote=%d disk=%d\ninert: accesses=%d local=%d remote=%d disk=%d",
+			a.Accesses, a.LocalHits, a.RemoteHits, a.DiskReads,
+			b.Accesses, b.LocalHits, b.RemoteHits, b.DiskReads)
+	}
+	if a.RaceMisses != b.RaceMisses || a.Forwards != b.Forwards || a.Invalidations != b.Invalidations {
+		t.Errorf("secondary counters diverged: plain races=%d forwards=%d inval=%d, inert races=%d forwards=%d inval=%d",
+			a.RaceMisses, a.Forwards, a.Invalidations, b.RaceMisses, b.Forwards, b.Invalidations)
+	}
+	// The machinery must have stayed fully inert: no pushes, no replica
+	// serves, no admission rejects, no replicas resident anywhere.
+	if b.ReplicasPushed != 0 || b.ReplicaHits != 0 || b.AdmissionRejects != 0 || b.StoreReplicas != 0 {
+		t.Errorf("adaptive machinery engaged below threshold: pushed=%d hits=%d rejects=%d resident=%d",
+			b.ReplicasPushed, b.ReplicaHits, b.AdmissionRejects, b.StoreReplicas)
+	}
+
+	// Byte equivalence through both clusters against the synthetic generator.
+	for f := 0; f < len(sizes); f++ {
+		id := block.FileID(f)
+		want := syntheticFile(geom, id, sizes[id])
+		got, err := plainClient.Read(id)
+		if err != nil {
+			t.Fatalf("plain read file %d: %v", f, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("plain cluster corrupted file %d (%d bytes)", f, len(got))
+		}
+		got, err = inertClient.Read(id)
+		if err != nil {
+			t.Fatalf("inert read file %d: %v", f, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("inert adaptive cluster corrupted file %d (%d bytes)", f, len(got))
+		}
+	}
+
+	// Writes through the inert cluster keep the same per-write invalidation
+	// fan-out (one per node) and must not wake the replication path.
+	patch := bytes.Repeat([]byte{0xCD}, int(sizes[0]))
+	if err := inertClient.Write(0, 0, patch); err != nil {
+		t.Fatal(err)
+	}
+	after, err := inertClient.ClusterStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := after.Invalidations - b.Invalidations; d != k {
+		t.Errorf("invalidations per write = %d, want %d", d, k)
+	}
+	if after.ReplicasPushed != 0 {
+		t.Errorf("write re-push fired below threshold: %d pushes", after.ReplicasPushed)
+	}
+}
+
 // TestRunPathReplayUnderFaults replays through a seeded fault plan with cache
 // pressure, so run fetches are issued constantly and some of them are dropped
 // or truncated mid-flight: the partial-run fallback must repair every one of

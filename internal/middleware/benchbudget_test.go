@@ -30,9 +30,10 @@ func TestBenchAllocBudget(t *testing.T) {
 		t.Fatalf("parse alloc budget: %v", err)
 	}
 	benches := map[string]func(*testing.B){
-		"BenchmarkConnRoundTrip":  BenchmarkConnRoundTrip,
-		"BenchmarkNodeReadFile":   BenchmarkNodeReadFile,
-		"BenchmarkClientReadFile": BenchmarkClientReadFile,
+		"BenchmarkConnRoundTrip":       BenchmarkConnRoundTrip,
+		"BenchmarkNodeReadFile":        BenchmarkNodeReadFile,
+		"BenchmarkNodeReadFileReplica": BenchmarkNodeReadFileReplica,
+		"BenchmarkClientReadFile":      BenchmarkClientReadFile,
 	}
 	for name, fn := range benches {
 		want, ok := budget[name]

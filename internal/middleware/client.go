@@ -345,8 +345,12 @@ func (c *Client) ClusterStats() (Stats, error) {
 		sum.InvalidateSkips += s.InvalidateSkips
 		sum.RunsIssued += s.RunsIssued
 		sum.RunsDegraded += s.RunsDegraded
+		sum.ReplicasPushed += s.ReplicasPushed
+		sum.ReplicaHits += s.ReplicaHits
+		sum.AdmissionRejects += s.AdmissionRejects
 		sum.StoreLen += s.StoreLen
 		sum.StoreMasters += s.StoreMasters
+		sum.StoreReplicas += s.StoreReplicas
 		if s.HintAccuracy < sum.HintAccuracy {
 			sum.HintAccuracy = s.HintAccuracy
 		}

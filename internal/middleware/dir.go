@@ -127,6 +127,24 @@ func dirBatchRPC(n *Node, m int, typ MsgType, f block.FileID, idxs []int32, aux 
 	return nil, nil
 }
 
+// rotateLookupN applies the replica-set rotation to a colocated lookupN
+// result, one draw per window (blocks sharing a copy set land on the same
+// holder, so the requester's runs stay coalesced). Mirrors handleDirBatch
+// for the node that hosts (a slice of) the directory itself.
+func rotateLookupN(n *Node, f block.FileID, idxs, res []int32) []int32 {
+	if n.reps.len() == 0 {
+		return res
+	}
+	self := int32(n.cfg.ID)
+	draw := n.repRR.Add(1)
+	for i, idx := range idxs {
+		if res[i] != dirNoEntry {
+			res[i] = n.reps.pick(block.ID{File: f, Idx: idx}, res[i], self, draw)
+		}
+	}
+	return res
+}
+
 // lookupNUnknown fills a window result with dirNoEntry (transport-degraded
 // lookups: the planner routes those blocks through the home node, exactly
 // as a failed single Lookup does).
@@ -166,6 +184,9 @@ type centralLocator struct {
 func (c *centralLocator) Lookup(id block.ID) (int32, bool, error) {
 	if srv := c.n.dirSrv; srv != nil {
 		node, ok := srv.lookup(id)
+		if ok {
+			node = c.n.reps.pick(id, node, int32(c.n.cfg.ID), c.n.repRR.Add(1))
+		}
 		return node, ok, nil
 	}
 	aux, flags, err := dirRPC(c.n, c.n.cfg.DirNode, MsgDirLookup, id, 0)
@@ -178,6 +199,7 @@ func (c *centralLocator) Lookup(id block.ID) (int32, bool, error) {
 func (c *centralLocator) Update(id block.ID, node int32) error {
 	if srv := c.n.dirSrv; srv != nil {
 		srv.update(id, node)
+		c.n.maybeRepush(id, node)
 		return nil
 	}
 	_, _, err := dirRPC(c.n, c.n.cfg.DirNode, MsgDirUpdate, id, int64(node))
@@ -186,6 +208,7 @@ func (c *centralLocator) Update(id block.ID, node int32) error {
 
 func (c *centralLocator) Drop(id block.ID, ifNode int32) error {
 	if srv := c.n.dirSrv; srv != nil {
+		c.n.reps.drop(id, ifNode)
 		srv.drop(id, ifNode)
 		return nil
 	}
@@ -200,7 +223,7 @@ func (c *centralLocator) Miss(id block.ID, node int32) {
 
 func (c *centralLocator) LookupN(f block.FileID, idxs []int32) ([]int32, error) {
 	if srv := c.n.dirSrv; srv != nil {
-		return srv.lookupN(f, idxs, make([]int32, 0, len(idxs))), nil
+		return rotateLookupN(c.n, f, idxs, srv.lookupN(f, idxs, make([]int32, 0, len(idxs)))), nil
 	}
 	out, err := dirBatchRPC(c.n, c.n.cfg.DirNode, MsgDirLookupN, f, idxs, 0, make([]int32, 0, len(idxs)))
 	if err != nil {
@@ -263,8 +286,13 @@ func (h *hintLocator) Drop(id block.ID, ifNode int32) error {
 func (h *hintLocator) Miss(id block.ID, node int32) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	h.misses++
+	// Only a miss that contradicts the CURRENT hint counts against
+	// accuracy (and deletes the entry). A failed fetch from a node the
+	// table no longer names — a rotated replica holder that evicted its
+	// copy, or a hint already corrected by piggybacked deltas — says
+	// nothing about the hint table's quality.
 	if cur, ok := h.hints[id]; ok && cur == node {
+		h.misses++
 		delete(h.hints, id)
 	}
 }
@@ -343,6 +371,9 @@ func (p *partitionedLocator) Lookup(id block.ID) (int32, bool, error) {
 	m := p.manager(id)
 	if m == p.n.cfg.ID {
 		node, ok := p.n.dirSrv.lookup(id)
+		if ok {
+			node = p.n.reps.pick(id, node, int32(p.n.cfg.ID), p.n.repRR.Add(1))
+		}
 		return node, ok, nil
 	}
 	aux, flags, err := dirRPC(p.n, m, MsgDirLookup, id, 0)
@@ -356,6 +387,7 @@ func (p *partitionedLocator) Update(id block.ID, node int32) error {
 	m := p.manager(id)
 	if m == p.n.cfg.ID {
 		p.n.dirSrv.update(id, node)
+		p.n.maybeRepush(id, node)
 		return nil
 	}
 	_, _, err := dirRPC(p.n, m, MsgDirUpdate, id, int64(node))
@@ -365,6 +397,7 @@ func (p *partitionedLocator) Update(id block.ID, node int32) error {
 func (p *partitionedLocator) Drop(id block.ID, ifNode int32) error {
 	m := p.manager(id)
 	if m == p.n.cfg.ID {
+		p.n.reps.drop(id, ifNode)
 		p.n.dirSrv.drop(id, ifNode)
 		return nil
 	}
@@ -396,7 +429,7 @@ func (p *partitionedLocator) LookupN(f block.FileID, idxs []int32) ([]int32, err
 	for m, group := range p.batchByManager(f, idxs) {
 		var res []int32
 		if m == p.n.cfg.ID {
-			res = p.n.dirSrv.lookupN(f, group, make([]int32, 0, len(group)))
+			res = rotateLookupN(p.n, f, group, p.n.dirSrv.lookupN(f, group, make([]int32, 0, len(group))))
 		} else {
 			var err error
 			res, err = dirBatchRPC(p.n, m, MsgDirLookupN, f, group, 0, make([]int32, 0, len(group)))

@@ -78,6 +78,24 @@ type Config struct {
 	// BreakerCooldown is how long an open breaker rejects requests before
 	// admitting a half-open probe. 0 applies the 500 ms default.
 	BreakerCooldown time.Duration
+	// ReplicateThreshold, when positive, enables adaptive replication:
+	// when the epoch-decayed rate of peer serves of a master copy crosses
+	// the threshold, its holder pushes copies to ReplicaFanout ring
+	// successors and the directory rotates lookups across the copy set.
+	// 0 (the default) disables replication entirely — the protocol is
+	// byte-identical to the single-master path.
+	ReplicateThreshold float64
+	// ReplicaFanout is the number of replicas pushed per hot block
+	// (default 2, capped at maxReplicaFanout and cluster size - 1).
+	ReplicaFanout int
+	// HotnessEpoch is the decay interval of the hotness tracker (default
+	// 250 ms). Shorter epochs adapt faster and forget faster.
+	HotnessEpoch time.Duration
+	// AdmissionFilter enables TinyLFU admission on the local store: a full
+	// cache only accepts a non-master insert whose estimated access
+	// frequency beats the would-be eviction victim's, so one-hit wonders
+	// never displace hot masters or replicas. Default off.
+	AdmissionFilter bool
 	// Fault, when non-nil, injects transport faults (delays, drops,
 	// partitions, mid-frame crashes) into every connection this node
 	// dials or accepts. Testing and chaos benchmarking only.
@@ -101,6 +119,7 @@ const (
 	traceRetry          = "retry"           // RPC retried after a transient failure (Aux: attempt)
 	traceRPCTimeout     = "rpc_timeout"     // round trip missed the RPC deadline
 	traceRunFetch       = "run_fetch"       // run fetch completed (Peer: source, Aux: blocks served)
+	traceReplicate      = "replicate"       // hot-block replica pushed to Peer (adaptive replication)
 )
 
 // Node is a live cooperative caching node: a TCP server cooperating with
@@ -135,6 +154,26 @@ type Node struct {
 	// deltas piggybacked on outgoing frames (hint mode only).
 	hintMu   sync.Mutex
 	hintRing []HintDelta
+
+	// hot tracks the epoch-decayed peer-serve rate of local master copies
+	// (nil: adaptive replication disabled). reps is the replica set this
+	// node tracks for blocks whose directory entries it manages; repRR
+	// rotates lookup answers across copy sets; repMu guards repCool (the
+	// per-block push cooldown), repHot (tombstones of blocks whose replica
+	// sets a write invalidation tore down, stamped with the arm epoch —
+	// the next mastership claim re-triggers replication), and repLast (the
+	// manager's per-block repush rate limit). epochStop ends the hotness
+	// ticker.
+	hot          *core.Hotness
+	reps         *replicaSets
+	repRR        atomic.Uint32
+	repMu        sync.Mutex
+	repCool      map[block.ID]uint64
+	repHot       map[block.ID]uint64
+	repLast      map[block.ID]uint64
+	repThreshold float64
+	repFanout    int
+	epochStop    chan struct{}
 
 	// workers/maxPayload/rpcTimeout/retries/retryBase/retryCap and the
 	// breaker parameters are the resolved settings (Config values with
@@ -175,6 +214,9 @@ type counters struct {
 	invalidateSkips                      atomic.Uint64
 	// run fast-path counters
 	runsIssued, runsDegraded atomic.Uint64
+	// adaptive replication counters (replica hits and admission rejects
+	// live in the store, next to the state they count)
+	replicasPushed atomic.Uint64
 }
 
 // Stats is a snapshot of a node's behaviour (JSON-encodable for the
@@ -203,8 +245,14 @@ type Stats struct {
 	// Run fast-path counters: see the Run-granular reads section of DESIGN.md.
 	RunsIssued   uint64 // MsgGetRun RPCs issued by the read planner
 	RunsDegraded uint64 // run fetches that served fewer blocks than asked (or failed)
-	StoreLen     int
-	StoreMasters int
+	// Adaptive replication counters: see the Adaptive replication &
+	// admission section of DESIGN.md.
+	ReplicasPushed   uint64 // hot-block replicas pushed to peers and accepted
+	ReplicaHits      uint64 // accesses served from replica copies
+	AdmissionRejects uint64 // inserts the TinyLFU admission filter turned away
+	StoreLen         int
+	StoreMasters     int
+	StoreReplicas    int // replica copies currently cached
 	HintAccuracy float64
 	// RPCLatency holds the node's per-RPC-type latency histograms, keyed by
 	// the request frame type's metric name (only types with observations).
@@ -308,6 +356,30 @@ func Start(cfg Config) (*Node, error) {
 	}
 	n.retryRand = newLockedRand(retrySeed)
 	n.tracer = cfg.Tracer
+	n.reps = newReplicaSets()
+	if cfg.AdmissionFilter {
+		n.store.SetAdmission(core.NewAdmission(cfg.CapacityBlocks))
+	}
+	if cfg.ReplicateThreshold > 0 {
+		n.repThreshold = cfg.ReplicateThreshold
+		n.repFanout = cfg.ReplicaFanout
+		if n.repFanout <= 0 {
+			n.repFanout = defaultReplicaFanout
+		}
+		if n.repFanout > maxReplicaFanout {
+			n.repFanout = maxReplicaFanout
+		}
+		n.hot = core.NewHotness(core.DefaultHotnessDecay, core.DefaultHotnessFloor)
+		n.repCool = make(map[block.ID]uint64)
+		n.repHot = make(map[block.ID]uint64)
+		n.repLast = make(map[block.ID]uint64)
+		n.epochStop = make(chan struct{})
+		epoch := cfg.HotnessEpoch
+		if epoch <= 0 {
+			epoch = defaultHotnessEpoch
+		}
+		go n.epochLoop(epoch)
+	}
 	if cfg.Hints {
 		cfg.DirMode = DirHints
 		n.cfg.DirMode = DirHints
@@ -332,6 +404,52 @@ func Start(cfg Config) (*Node, error) {
 	}
 	go n.acceptLoop()
 	return n, nil
+}
+
+// Adaptive replication defaults: two replicas per hot block, a 250 ms
+// hotness decay epoch.
+const (
+	defaultReplicaFanout = 2
+	defaultHotnessEpoch  = 250 * time.Millisecond
+)
+
+// epochLoop drives the hotness tracker's decay clock until Close, pruning
+// the replication side maps along the way so a long-running node does not
+// accumulate an entry per block ever pushed or tombstoned.
+func (n *Node) epochLoop(epoch time.Duration) {
+	t := time.NewTicker(epoch)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			n.hot.Advance()
+			n.pruneReplication(n.hot.Epoch())
+		case <-n.epochStop:
+			return
+		}
+	}
+}
+
+// pruneReplication drops expired repush tombstones and stale cooldown/rate
+// stamps. Entries young enough to still gate behavior are kept.
+func (n *Node) pruneReplication(epoch uint64) {
+	n.repMu.Lock()
+	defer n.repMu.Unlock()
+	for id, arm := range n.repHot {
+		if epoch > arm+repushTTL {
+			delete(n.repHot, id)
+		}
+	}
+	for id, last := range n.repCool {
+		if epoch > last+replicaCooldownEpochs {
+			delete(n.repCool, id)
+		}
+	}
+	for id, next := range n.repLast {
+		if epoch > next {
+			delete(n.repLast, id)
+		}
+	}
 }
 
 // Addr reports the node's listen address.
@@ -374,6 +492,9 @@ func (n *Node) Close() error {
 		return nil
 	}
 	n.closed = true
+	if n.epochStop != nil {
+		close(n.epochStop)
+	}
 	peers := append([]*conn(nil), n.peers...)
 	acc := make([]*conn, 0, len(n.accepted))
 	for c := range n.accepted {
@@ -416,8 +537,12 @@ func (n *Node) Stats() Stats {
 		InvalidateSkips:  n.c.invalidateSkips.Load(),
 		RunsIssued:       n.c.runsIssued.Load(),
 		RunsDegraded:     n.c.runsDegraded.Load(),
+		ReplicasPushed:   n.c.replicasPushed.Load(),
+		ReplicaHits:      n.store.ReplicaHits(),
+		AdmissionRejects: n.store.AdmissionRejects(),
 		StoreLen:         n.store.Len(),
 		StoreMasters:     n.store.Masters(),
+		StoreReplicas:    n.store.Replicas(),
 		HintAccuracy:     1,
 	}
 	if n.hints != nil {
@@ -463,6 +588,9 @@ func (n *Node) RegisterMetrics(r *obs.Registry) {
 		{"cc_invalidate_skips_total", "invalidations degraded to 'peer holds no cache'", c.invalidateSkips.Load},
 		{"cc_runs_total", "MsgGetRun fetches issued by the read planner", c.runsIssued.Load},
 		{"cc_runs_degraded_total", "run fetches that served fewer blocks than asked", c.runsDegraded.Load},
+		{"cc_replicas_total", "hot-block replicas pushed to peers and accepted", c.replicasPushed.Load},
+		{"cc_replica_hits_total", "accesses served from replica copies", n.store.ReplicaHits},
+		{"cc_admission_rejects_total", "inserts the TinyLFU admission filter turned away", n.store.AdmissionRejects},
 	}
 	for _, m := range counters {
 		r.Counter(m.name, m.help, "", m.fn)
@@ -470,6 +598,7 @@ func (n *Node) RegisterMetrics(r *obs.Registry) {
 	r.ValueHistogram("cc_run_blocks", "blocks served per run fetch", "", &n.runBlocks)
 	r.Gauge("cc_store_blocks", "blocks currently cached", "", func() float64 { return float64(n.store.Len()) })
 	r.Gauge("cc_store_masters", "master copies currently cached", "", func() float64 { return float64(n.store.Masters()) })
+	r.Gauge("cc_store_replicas", "replica copies currently cached", "", func() float64 { return float64(n.store.Replicas()) })
 	if n.hints != nil {
 		r.Gauge("cc_hint_accuracy", "fraction of hint lookups that located a live master", "", n.hints.Accuracy)
 	}
@@ -489,6 +618,7 @@ var requestMsgTypes = []MsgType{
 	MsgGetBlock, MsgReadFile, MsgReadRange, MsgDirLookup, MsgDirUpdate,
 	MsgDirDrop, MsgForward, MsgWriteBlock, MsgInvalidate, MsgPutBlock,
 	MsgStats, MsgTrace, MsgGetRun, MsgDirLookupN, MsgDirUpdateN,
+	MsgReplicate, MsgReplicaOp, MsgRepush,
 }
 
 // --- connection plumbing ---
@@ -817,6 +947,12 @@ func (n *Node) handle(f *Frame) *Frame {
 	case MsgInvalidate:
 		n.handleInvalidate(f.ID())
 		return ackFrame()
+	case MsgReplicate:
+		return n.handleReplicate(f)
+	case MsgReplicaOp:
+		return n.handleReplicaOp(f)
+	case MsgRepush:
+		return n.handleRepush(f)
 	case MsgPutBlock:
 		// The BlockSource contract does not promise a copy: take ownership.
 		if err := n.cfg.Source.WriteBlock(f.File, f.Idx, f.TakePayload()); err != nil {
@@ -857,8 +993,14 @@ func (n *Node) handleGetBlock(f *Frame) *Frame {
 		// Hartman's forwarding), unless the requester forces a disk read
 		// after a failed redirect.
 		if n.hints != nil && f.Flags&FlagForce == 0 {
-			if holder, ok, _ := n.hints.Lookup(id); ok &&
-				holder != int32(n.cfg.ID) && holder != f.Sender {
+			holder, ok, _ := n.hints.Lookup(id)
+			if !ok {
+				holder = int32(n.cfg.ID)
+			}
+			// The home anchors the block's copy set in hint mode: rotate the
+			// redirect across the believed master and any pushed replicas.
+			holder = n.reps.pick(id, holder, f.Sender, n.repRR.Add(1))
+			if holder != int32(n.cfg.ID) && holder != f.Sender {
 				r := getFrame()
 				r.Type, r.Flags, r.File, r.Idx, r.Aux = MsgBlockMiss, FlagMaster, f.File, f.Idx, int64(holder)
 				return r
@@ -876,9 +1018,15 @@ func (n *Node) handleGetBlock(f *Frame) *Frame {
 		r.Type, r.Flags, r.File, r.Idx, r.Payload = MsgBlockData, FlagMaster, f.File, f.Idx, data
 		return r
 	}
-	if data, ok := n.store.Get(id); ok {
+	if data, master, ok := n.store.GetServe(id); ok {
 		r := getFrame()
 		r.Type, r.File, r.Idx, r.Payload = MsgBlockData, f.File, f.Idx, data
+		if master {
+			// The response says whether a master or a replica served it, so
+			// the requester only records master locations as hints.
+			r.Flags = FlagMaster
+			n.observeServe(id)
+		}
 		return r
 	}
 	r := getFrame()
@@ -933,6 +1081,13 @@ func (n *Node) handleGetRun(f *Frame) *Frame {
 		return r
 	}
 	buf, count, masters := n.store.AppendRun(f.File, first, want, nil)
+	if n.hot != nil && masters != 0 {
+		for i := 0; i < count; i++ {
+			if masters&(1<<uint(i)) != 0 {
+				n.observeServe(block.ID{File: f.File, Idx: first + int32(i)})
+			}
+		}
+	}
 	r := getFrame()
 	r.Type, r.File, r.Idx = MsgRunData, f.File, first
 	r.Aux = packRunAux(count, masters)
@@ -955,6 +1110,16 @@ func (n *Node) handleDirBatch(f *Frame) *Frame {
 		return ackFrame()
 	}
 	res := n.dirSrv.lookupN(f.File, idxs, make([]int32, 0, len(idxs)))
+	if n.reps.len() > 0 {
+		// One rotation draw per window, so blocks sharing a copy set land
+		// on the same holder and the requester's runs stay coalesced.
+		draw := n.repRR.Add(1)
+		for i, idx := range idxs {
+			if res[i] != dirNoEntry {
+				res[i] = n.reps.pick(block.ID{File: f.File, Idx: idx}, res[i], f.Sender, draw)
+			}
+		}
+	}
 	r := getFrame()
 	r.Type, r.File = MsgDirResultN, f.File
 	r.Payload = appendIdxPayload(make([]byte, 0, 4*len(res)), res)
@@ -969,6 +1134,11 @@ func (n *Node) handleDir(f *Frame) *Frame {
 	switch f.Type {
 	case MsgDirLookup:
 		node, ok := n.dirSrv.lookup(id)
+		if ok {
+			// Rotate the answer across the block's copy set (master when
+			// the set is empty): adaptive replication's load balancing.
+			node = n.reps.pick(id, node, f.Sender, n.repRR.Add(1))
+		}
 		r := getFrame()
 		r.Type, r.File, r.Idx, r.Aux = MsgDirResult, f.File, f.Idx, int64(node)
 		if ok {
@@ -977,7 +1147,12 @@ func (n *Node) handleDir(f *Frame) *Frame {
 		return r
 	case MsgDirUpdate:
 		n.dirSrv.update(id, int32(f.Aux))
+		n.maybeRepush(id, int32(f.Aux))
 	case MsgDirDrop:
+		// A drop may target a replica holder (failed fetch after rotation):
+		// retire it from the copy set; the master entry itself is CAS-
+		// protected, so a replica failure never erases a live master claim.
+		n.reps.drop(id, int32(f.Aux))
 		n.dirSrv.drop(id, int32(f.Aux))
 	}
 	return ackFrame()
@@ -991,6 +1166,8 @@ func (n *Node) handleForward(f *Frame) *Frame {
 		// The block we discarded to make room was a master: the cluster
 		// forgets it (no cascaded forwarding, §3).
 		n.loc.Drop(displaced.ID, int32(n.cfg.ID)) //nolint:errcheck // best effort
+	} else if displaced != nil && displaced.Replica {
+		go n.retireReplica(displaced.ID)
 	}
 	if accepted {
 		n.noteHint(id, int32(n.cfg.ID))
@@ -1008,6 +1185,13 @@ func (n *Node) handleInvalidate(id block.ID) {
 	n.trace(traceInvalidate, -1, id, 0)
 	if present, master := n.store.Remove(id); present && master {
 		n.loc.Drop(id, int32(n.cfg.ID)) //nolint:errcheck // best effort
+	}
+	// The write fan-out reaches every node, so the manager clears the
+	// block's replica set with no extra RPC. Tearing down a non-empty set
+	// tombstones the block: it was hot a moment ago, so when the writer's
+	// mastership claim arrives, the manager asks it to push fresh replicas.
+	if n.reps.clear(id) && n.hot != nil {
+		n.markRepush(id)
 	}
 	if n.hints != nil {
 		n.hints.Drop(id, -1) //nolint:errcheck // local map

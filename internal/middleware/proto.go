@@ -94,11 +94,28 @@ const (
 	// MsgDirUpdateN records mastership of a window of blocks in one RPC:
 	// payload as in MsgDirLookupN, Aux is the claiming node.
 	MsgDirUpdateN
+	// MsgReplicate proactively pushes a copy of a hot block to a peer
+	// (adaptive replication): the payload is the block content. The
+	// receiver installs it as a replica (bypassing admission — the pusher
+	// already knows it is hot) and acks with Flags=1 on acceptance.
+	MsgReplicate
+	// MsgReplicaOp maintains the replica set of a block at its directory
+	// manager: Aux names the replica-holding node — or, when a payload is
+	// present, it carries a whole push round's holders (4 bytes big-endian
+	// each), one registration RPC per round instead of per copy.
+	// Flags&FlagMaster set means "add", clear means "drop". Replies MsgAck.
+	MsgReplicaOp
+	// MsgRepush asks a block's (new) master holder to push replica copies
+	// now: sent by the directory manager when a mastership claim lands for
+	// a block whose replica set a write invalidation just tore down, so a
+	// written-to hot block re-replicates without waiting for its serve rate
+	// to re-cross the threshold. Replies MsgAck; best effort.
+	MsgRepush
 )
 
 // msgTypeCount bounds the frame-type space (array sizing for per-type
 // metrics).
-const msgTypeCount = int(MsgDirUpdateN) + 1
+const msgTypeCount = int(MsgRepush) + 1
 
 // metricName is the snake_case label value a frame type gets in the
 // per-RPC-type latency histograms and the trace dump.
@@ -156,6 +173,12 @@ func (t MsgType) metricName() string {
 		return "dir_result_n"
 	case MsgDirUpdateN:
 		return "dir_update_n"
+	case MsgReplicate:
+		return "replicate"
+	case MsgReplicaOp:
+		return "replica_op"
+	case MsgRepush:
+		return "repush"
 	}
 	return fmt.Sprintf("type_%d", uint8(t))
 }
@@ -300,7 +323,8 @@ func typeCarriesPayload(t MsgType) bool {
 	switch t {
 	case MsgBlockData, MsgFileData, MsgForward, MsgWriteBlock, MsgPutBlock,
 		MsgErr, MsgStatsReply, MsgTraceReply, MsgRunData,
-		MsgDirLookupN, MsgDirResultN, MsgDirUpdateN:
+		MsgDirLookupN, MsgDirResultN, MsgDirUpdateN, MsgReplicate,
+		MsgReplicaOp:
 		return true
 	}
 	return false

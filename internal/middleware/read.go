@@ -308,9 +308,7 @@ func (n *Node) installRun(f block.FileID, first int32, blocks [][]byte, master b
 		return
 	}
 	for _, ev := range n.store.InsertRun(f, first, blocks, master) {
-		if ev.Master {
-			go n.forwardEvicted(ev)
-		}
+		n.dispatchEvicted(ev)
 	}
 	if master {
 		idxs := make([]int32, len(blocks))
@@ -580,11 +578,17 @@ func (n *Node) fetchRedirected(id block.ID, holder int) ([]byte, bool) {
 		}
 		return nil, false
 	}
+	served := resp.Flags
 	data := resp.TakePayload() // the store retains this slice
 	releaseFrame(resp)
 	n.c.remoteHits.Add(1)
 	n.insertBlock(id, data, false)
-	n.noteHint(id, int32(holder))
+	if served&FlagMaster != 0 {
+		// Only a master serve is a location fact worth spreading: a
+		// replica holder answering for the master must not be recorded
+		// (and later counted against hint accuracy) as the master.
+		n.noteHint(id, int32(holder))
+	}
 	return data, true
 }
 
@@ -593,11 +597,9 @@ func (n *Node) fetchRedirected(id block.ID, holder int) ([]byte, bool) {
 // (piggyback-known) oldest block is older, dropped if it is the globally
 // oldest.
 func (n *Node) insertBlock(id block.ID, data []byte, master bool) {
-	ev := n.store.Insert(id, data, master)
-	if ev == nil || !ev.Master {
-		return
+	if ev := n.store.Insert(id, data, master); ev != nil {
+		n.dispatchEvicted(ev)
 	}
-	go n.forwardEvicted(ev)
 }
 
 func (n *Node) forwardEvicted(ev *Evicted) {

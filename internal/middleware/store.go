@@ -2,6 +2,7 @@ package middleware
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/block"
@@ -11,12 +12,21 @@ import (
 )
 
 // Evicted describes a block pushed out of the store. Master victims carry
-// their data so the node layer can forward them to a peer (§3).
+// their data so the node layer can forward them to a peer (§3); replica
+// victims carry their flag so the node layer can retire them from the
+// manager's replica set.
 type Evicted struct {
-	ID     block.ID
-	Master bool
-	Age    int64
-	Data   []byte
+	ID      block.ID
+	Master  bool
+	Replica bool
+	Age     int64
+	Data    []byte
+}
+
+// hotKey folds a block ID into the uint64 key space of the hotness tracker
+// and the admission sketch.
+func hotKey(id block.ID) uint64 {
+	return uint64(id.File)<<32 | uint64(uint32(id.Idx))
 }
 
 // Store is the thread-safe in-memory block store of a live node: the
@@ -30,6 +40,17 @@ type Store struct {
 	c      *cache.BlockCache
 	data   map[block.ID][]byte
 	clock  int64
+	// replica marks cached non-master blocks installed by adaptive
+	// replication pushes; they are counted separately and retired from the
+	// manager's replica set on eviction.
+	replica map[block.ID]struct{}
+	// adm, when non-nil, is the TinyLFU admission filter: a full cache
+	// only accepts a non-master insert whose estimated frequency beats the
+	// would-be victim's (one-hit wonders never displace warm blocks).
+	adm *core.Admission
+
+	replicaHits      atomic.Uint64
+	admissionRejects atomic.Uint64
 }
 
 // NewStore builds a store holding at most capacity blocks under the given
@@ -37,9 +58,53 @@ type Store struct {
 // scheduling does not apply to the live store).
 func NewStore(capacity int, policy core.Policy) *Store {
 	return &Store{
-		policy: policy,
-		c:      cache.NewBlockCache(capacity),
-		data:   make(map[block.ID][]byte, capacity),
+		policy:  policy,
+		c:       cache.NewBlockCache(capacity),
+		data:    make(map[block.ID][]byte, capacity),
+		replica: make(map[block.ID]struct{}),
+	}
+}
+
+// SetAdmission installs (or, with nil, removes) the admission filter. Call
+// before the store serves traffic.
+func (s *Store) SetAdmission(a *core.Admission) {
+	s.mu.Lock()
+	s.adm = a
+	s.mu.Unlock()
+}
+
+// ReplicaHits reports accesses served from replica copies.
+func (s *Store) ReplicaHits() uint64 { return s.replicaHits.Load() }
+
+// AdmissionRejects reports inserts the admission filter turned away.
+func (s *Store) AdmissionRejects() uint64 { return s.admissionRejects.Load() }
+
+// Replicas reports the number of cached replica copies.
+func (s *Store) Replicas() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.replica)
+}
+
+// IsReplica reports whether id is held as a replica copy.
+func (s *Store) IsReplica(id block.ID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.replica[id]
+	return ok
+}
+
+// noteAccessLocked feeds the admission sketch (every access builds the
+// frequency estimate) and the replica-hit counter for a served block.
+// Callers hold s.mu; hit reports whether the access was served.
+func (s *Store) noteAccessLocked(id block.ID, hit bool) {
+	if s.adm != nil {
+		s.adm.Observe(hotKey(id))
+	}
+	if hit {
+		if _, ok := s.replica[id]; ok {
+			s.replicaHits.Add(1)
+		}
 	}
 }
 
@@ -59,9 +124,25 @@ func (s *Store) Get(id block.ID) ([]byte, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if !s.c.Touch(id, s.tick()) {
+		s.noteAccessLocked(id, false)
 		return nil, false
 	}
+	s.noteAccessLocked(id, true)
 	return s.data[id], true
+}
+
+// GetServe is Get for the peer-serve path: it additionally reports whether
+// the block is held as a master copy, so the server can flag the response
+// and feed the hotness tracker without a second lock acquisition.
+func (s *Store) GetServe(id block.ID) (data []byte, master, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.c.Touch(id, s.tick()) {
+		s.noteAccessLocked(id, false)
+		return nil, false, false
+	}
+	s.noteAccessLocked(id, true)
+	return s.data[id], s.c.IsMaster(id), true
 }
 
 // CopyInto copies the cached content of id into dst (touching LRU state),
@@ -72,8 +153,10 @@ func (s *Store) CopyInto(id block.ID, dst []byte) (int, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if !s.c.Touch(id, s.tick()) {
+		s.noteAccessLocked(id, false)
 		return 0, false
 	}
+	s.noteAccessLocked(id, true)
 	return copy(dst, s.data[id]), true
 }
 
@@ -116,23 +199,84 @@ func (s *Store) OldestAge() (int64, bool) {
 
 // Insert caches id, evicting per the policy if full. The returned eviction
 // (nil if none, or the block was already present) tells the node layer what
-// left memory; the caller decides forwarding.
+// left memory; the caller decides forwarding. When an admission filter is
+// installed, a full cache only accepts a non-master insert whose estimated
+// frequency beats the would-be victim's; a rejected insert returns nil with
+// nothing evicted (the caller already holds the data, it just is not
+// cached).
 func (s *Store) Insert(id block.ID, data []byte, master bool) *Evicted {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.insertLocked(id, data, master)
+}
+
+func (s *Store) insertLocked(id block.ID, data []byte, master bool) *Evicted {
 	if s.c.Contains(id) {
 		if master {
 			s.c.Promote(id)
+			delete(s.replica, id)
 		}
 		s.data[id] = data
 		return nil
 	}
 	var ev *Evicted
 	if s.c.Full() {
+		if !master && !s.admitLocked(id) {
+			return nil
+		}
 		ev = s.evictOneLocked()
 	}
 	s.c.Insert(id, master, s.tick())
 	s.data[id] = data
+	return ev
+}
+
+// admitLocked consults the admission filter for a non-master insert into a
+// full cache: the candidate must beat the block the policy would evict.
+// Callers hold s.mu.
+func (s *Store) admitLocked(id block.ID) bool {
+	if s.adm == nil {
+		return true
+	}
+	victim, oldestMaster, _, ok := s.c.Oldest()
+	if ok && s.policy == core.PolicyMaster && oldestMaster && s.c.NonMasters() > 0 {
+		// The policy would spare the master and evict the oldest
+		// non-master: that is the block the candidate must beat.
+		if vid, _, ok2 := s.c.OldestNonMaster(); ok2 {
+			victim = vid
+		}
+	}
+	if !ok {
+		return true
+	}
+	if s.adm.Admit(hotKey(id), hotKey(victim)) {
+		return true
+	}
+	s.admissionRejects.Add(1)
+	return false
+}
+
+// InsertReplica installs a proactively pushed replica copy, bypassing the
+// admission filter (the pusher already established the block is hot). A
+// block already cached keeps its role (a master is not demoted); otherwise
+// the block is installed as a replica-flagged non-master.
+func (s *Store) InsertReplica(id block.ID, data []byte) *Evicted {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.c.Contains(id) {
+		s.data[id] = data
+		if !s.c.IsMaster(id) {
+			s.replica[id] = struct{}{}
+		}
+		return nil
+	}
+	var ev *Evicted
+	if s.c.Full() {
+		ev = s.evictOneLocked()
+	}
+	s.c.Insert(id, false, s.tick())
+	s.data[id] = data
+	s.replica[id] = struct{}{}
 	return ev
 }
 
@@ -142,6 +286,7 @@ func (s *Store) evictOneLocked() *Evicted {
 		s.policy == core.PolicyMaster && oldestMaster && s.c.NonMasters() > 0 {
 		id, age, _ := s.c.EvictOldestNonMaster()
 		ev := &Evicted{ID: id, Master: false, Age: int64(age)}
+		ev.Replica = s.dropReplicaLocked(id)
 		delete(s.data, id)
 		return ev
 	}
@@ -150,11 +295,22 @@ func (s *Store) evictOneLocked() *Evicted {
 		return nil
 	}
 	ev := &Evicted{ID: id, Master: master, Age: int64(age)}
+	ev.Replica = s.dropReplicaLocked(id)
 	if master {
 		ev.Data = s.data[id]
 	}
 	delete(s.data, id)
 	return ev
+}
+
+// dropReplicaLocked clears id's replica flag, reporting whether it was set.
+// Callers hold s.mu.
+func (s *Store) dropReplicaLocked(id block.ID) bool {
+	if _, ok := s.replica[id]; ok {
+		delete(s.replica, id)
+		return true
+	}
+	return false
 }
 
 // AppendRun appends the contiguous run of cached blocks of f starting at
@@ -170,8 +326,10 @@ func (s *Store) AppendRun(f block.FileID, first int32, max int, buf []byte) ([]b
 	for count < max {
 		id := block.ID{File: f, Idx: first + int32(count)}
 		if !s.c.Touch(id, s.tick()) {
+			s.noteAccessLocked(id, false)
 			break
 		}
+		s.noteAccessLocked(id, true)
 		if s.c.IsMaster(id) {
 			masters |= 1 << uint(count)
 		}
@@ -190,21 +348,9 @@ func (s *Store) InsertRun(f block.FileID, first int32, blocks [][]byte, master b
 	defer s.mu.Unlock()
 	var evs []*Evicted
 	for i, data := range blocks {
-		id := block.ID{File: f, Idx: first + int32(i)}
-		if s.c.Contains(id) {
-			if master {
-				s.c.Promote(id)
-			}
-			s.data[id] = data
-			continue
+		if ev := s.insertLocked(block.ID{File: f, Idx: first + int32(i)}, data, master); ev != nil {
+			evs = append(evs, ev)
 		}
-		if s.c.Full() {
-			if ev := s.evictOneLocked(); ev != nil {
-				evs = append(evs, ev)
-			}
-		}
-		s.c.Insert(id, master, s.tick())
-		s.data[id] = data
 	}
 	return evs
 }
@@ -219,6 +365,7 @@ func (s *Store) AcceptForward(id block.ID, data []byte, age int64) (accepted boo
 	defer s.mu.Unlock()
 	if s.c.Contains(id) {
 		s.c.Promote(id)
+		delete(s.replica, id)
 		s.data[id] = data
 		return true, nil
 	}
@@ -228,6 +375,7 @@ func (s *Store) AcceptForward(id block.ID, data []byte, age int64) (accepted boo
 		}
 		vid, vMaster, vAge, _ := s.c.EvictOldest()
 		displaced = &Evicted{ID: vid, Master: vMaster, Age: int64(vAge)}
+		displaced.Replica = s.dropReplicaLocked(vid)
 		delete(s.data, vid)
 	}
 	s.c.Insert(id, true, sim.Time(age))
@@ -242,6 +390,7 @@ func (s *Store) Remove(id block.ID) (present, master bool) {
 	present, master = s.c.Remove(id)
 	if present {
 		delete(s.data, id)
+		delete(s.replica, id)
 	}
 	return present, master
 }

@@ -88,5 +88,19 @@ func (n *Node) WriteBlock(id block.ID, data []byte) error {
 
 	// 3. The writer holds the new master copy.
 	n.insertBlock(id, data, true)
-	return n.loc.Update(id, int32(n.cfg.ID))
+	err = n.loc.Update(id, int32(n.cfg.ID))
+
+	// 4. A write to a hot block tore down its whole copy set (step 1): if
+	// the writer's own serve history says the block is still above the
+	// replication threshold, push fresh replicas immediately instead of
+	// waiting for the serve rate to re-cross it — under a flash crowd the
+	// gap between invalidation and re-replication is exactly where tail
+	// latency is made. The regular cooldown applies: the manager's repush
+	// tombstone (rate-limited per epoch) is the primary write re-spread
+	// path, this is the fast path for a master re-writing its own hot
+	// block.
+	if n.hot != nil && n.hot.Score(hotKey(id)) >= n.repThreshold && n.pushAllowed(id) {
+		go n.pushReplicas(id)
+	}
+	return err
 }

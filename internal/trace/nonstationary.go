@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/block"
+)
+
+// FlashSpec schedules one flash crowd inside a request stream: during the
+// window [At, At+Dur) — fractions of the stream's length — a set of Files
+// previously cold files captures Boost of the request probability, the
+// sudden-popularity model of Olmos et al. for non-stationary request
+// processes. The flash set is drawn from the cold tail of the popularity
+// ranking (new content nobody asked for before), so a flash crowd hits
+// blocks no cache has warmed.
+type FlashSpec struct {
+	// At is the window start as a fraction of the stream in [0,1).
+	At float64 `json:"at"`
+	// Dur is the window length as a fraction of the stream in (0,1].
+	Dur float64 `json:"dur"`
+	// Files is the size of the flash set.
+	Files int `json:"files"`
+	// Boost in (0,1) is the probability mass the flash set captures while
+	// the window is open (split uniformly across the set).
+	Boost float64 `json:"boost"`
+}
+
+// NonStationary generates a request stream whose popularity distribution
+// changes over time: the Base preset's Zipf skew modulated by scheduled
+// flash crowds and/or a diurnal rotation of which files hold the hot ranks.
+// The stationary generators reproduce Table 2's aggregate properties; this
+// one produces the regime those experiments exclude — the popularity shift
+// mid-run that makes static placement decisions go stale.
+type NonStationary struct {
+	Base Preset
+	// Flashes are the scheduled flash crowds (may overlap; the earliest
+	// active window wins a request).
+	Flashes []FlashSpec
+	// RotatePeriod > 0 rotates the rank-to-file assignment every that
+	// fraction of the stream (diurnal popularity drift): each step shifts
+	// the mapping by RotateShift files, so yesterday's hot set cools and a
+	// new one heats up.
+	RotatePeriod float64
+	// RotateShift is the ranks shifted per rotation step (default 1).
+	RotateShift int
+}
+
+// Generate builds the non-stationary trace. The file set is the Base
+// preset's (same size calibration); only the request stream differs. The
+// same seed yields an identical trace.
+func (p NonStationary) Generate(seed int64, scale float64) *Trace {
+	for _, fl := range p.Flashes {
+		if fl.At < 0 || fl.At >= 1 || fl.Dur <= 0 || fl.Boost <= 0 || fl.Boost >= 1 ||
+			fl.Files <= 0 || fl.Files > p.Base.NumFiles {
+			panic(fmt.Sprintf("trace: invalid flash spec %+v", fl))
+		}
+	}
+	if p.RotatePeriod < 0 || p.RotatePeriod >= 1 {
+		panic(fmt.Sprintf("trace: RotatePeriod %v out of [0,1)", p.RotatePeriod))
+	}
+	// The base generator establishes files, sizes, and the seeded RNG
+	// stream; its request draw is replaced below by the modulated one (a
+	// fresh derived RNG keeps the two streams independent of each other's
+	// draw counts).
+	base := p.Base.Generate(seed, scale)
+	rng := rand.New(rand.NewSource(seed ^ 0x5eed0f1a5))
+	n := p.Base.NumFiles
+	z := NewZipf(n, p.Base.Alpha)
+
+	// Recover the rank→file assignment implied by the base generator's
+	// popularity ordering is not exposed; draw a fresh seeded permutation
+	// instead (popularity stays uncorrelated with file IDs and homes).
+	rankToFile := rng.Perm(n)
+	shift := p.RotateShift
+	if shift <= 0 {
+		shift = 1
+	}
+
+	nreq := len(base.Requests)
+	reqs := make([]block.FileID, nreq)
+	for i := range reqs {
+		frac := float64(i) / float64(nreq)
+		var rank int
+		if fl, ok := p.activeFlash(frac); ok && rng.Float64() < fl.Boost {
+			// Inside the window, Boost of the requests hit the flash set:
+			// the coldest Files ranks, uniformly.
+			rank = n - 1 - rng.Intn(fl.Files)
+		} else {
+			rank = z.Sample(rng)
+		}
+		if p.RotatePeriod > 0 {
+			step := int(frac / p.RotatePeriod)
+			rank = (rank + step*shift) % n
+		}
+		reqs[i] = block.FileID(rankToFile[rank])
+	}
+	name := p.Base.Name
+	if name == "" {
+		name = "nonstationary"
+	}
+	return &Trace{Name: name, Files: base.Files, Requests: reqs}
+}
+
+// activeFlash reports the earliest flash window open at stream fraction
+// frac.
+func (p NonStationary) activeFlash(frac float64) (FlashSpec, bool) {
+	for _, fl := range p.Flashes {
+		if frac >= fl.At && frac < fl.At+fl.Dur {
+			return fl, true
+		}
+	}
+	return FlashSpec{}, false
+}

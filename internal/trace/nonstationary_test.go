@@ -1,0 +1,110 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/block"
+)
+
+func flashBase(files, reqs int) Preset {
+	return Preset{
+		Name:         "ns-test",
+		NumFiles:     files,
+		FileSetBytes: int64(files) * 10240,
+		NumRequests:  reqs,
+		AvgReqKB:     10,
+		Alpha:        0.9,
+		SizeSigma:    0.5,
+	}
+}
+
+// TestFlashCrowdShiftsMass verifies the schedule: inside the flash window
+// the flash set's request share is near Boost; outside it is near its cold
+// Zipf tail share (essentially zero).
+func TestFlashCrowdShiftsMass(t *testing.T) {
+	p := NonStationary{
+		Base:    flashBase(200, 40000),
+		Flashes: []FlashSpec{{At: 0.5, Dur: 0.25, Files: 10, Boost: 0.6}},
+	}
+	tr := p.Generate(7, 1.0)
+	if len(tr.Requests) != 40000 || len(tr.Files) != 200 {
+		t.Fatalf("generated %d requests over %d files", len(tr.Requests), len(tr.Files))
+	}
+	// The flash set is whatever the window's extra mass lands on: count the
+	// per-file share inside vs outside the window and compare totals over
+	// the files that only spike inside.
+	nreq := len(tr.Requests)
+	inLo, inHi := nreq/2, nreq/2+nreq/4
+	countIn := map[block.FileID]int{}
+	countOut := map[block.FileID]int{}
+	for i, f := range tr.Requests {
+		if i >= inLo && i < inHi {
+			countIn[f]++
+		} else {
+			countOut[f]++
+		}
+	}
+	// Files whose inside count dwarfs their (cold Zipf tail) outside count
+	// are the flash set; their inside share must be ≈ Boost. The window
+	// holds 10000 requests, so each of the 10 flash files draws ≈ 600
+	// inside versus a tail trickle outside.
+	flashIn := 0
+	flashFiles := 0
+	for f, c := range countIn {
+		if c > 100 && c > 10*countOut[f] {
+			flashIn += c
+			flashFiles++
+		}
+	}
+	share := float64(flashIn) / float64(inHi-inLo)
+	if flashFiles < 5 || share < 0.45 || share > 0.75 {
+		t.Fatalf("flash set: %d files, inside share %.2f (want ≈ 0.6 over ≈ 10 files)", flashFiles, share)
+	}
+}
+
+// TestDiurnalRotationMovesHotSet verifies rank rotation: the most popular
+// file of the first tenth of the stream differs from the most popular file
+// of the last tenth.
+func TestDiurnalRotationMovesHotSet(t *testing.T) {
+	p := NonStationary{
+		Base:         flashBase(100, 20000),
+		RotatePeriod: 0.2,
+		RotateShift:  7,
+	}
+	tr := p.Generate(3, 1.0)
+	top := func(lo, hi int) block.FileID {
+		c := map[block.FileID]int{}
+		for _, f := range tr.Requests[lo:hi] {
+			c[f]++
+		}
+		var best block.FileID
+		bn := -1
+		for f, n := range c {
+			if n > bn {
+				best, bn = f, n
+			}
+		}
+		return best
+	}
+	n := len(tr.Requests)
+	if a, b := top(0, n/10), top(9*n/10, n); a == b {
+		t.Fatalf("hot file did not rotate: %d leads both the first and last tenth", a)
+	}
+}
+
+// TestNonStationaryDeterministic pins seed determinism.
+func TestNonStationaryDeterministic(t *testing.T) {
+	p := NonStationary{
+		Base:    flashBase(50, 5000),
+		Flashes: []FlashSpec{{At: 0.3, Dur: 0.2, Files: 5, Boost: 0.5}},
+	}
+	a, b := p.Generate(11, 1.0), p.Generate(11, 1.0)
+	if len(a.Requests) != len(b.Requests) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a.Requests {
+		if a.Requests[i] != b.Requests[i] {
+			t.Fatalf("request %d differs across same-seed generations", i)
+		}
+	}
+}
