@@ -48,6 +48,8 @@ func main() {
 		selftest    = flag.Bool("selftest", false, "start an in-process cluster instead")
 		bench       = flag.Bool("bench", false, "run the benchmark presets and write -benchout")
 		chaos       = flag.Bool("chaos", false, "run the node-crash chaos scenario and record it in -benchout")
+		writesBench = flag.Bool("writesbench", false, "run the write-latency A/B matrix (sync/async invalidation × healthy/slow peer) and record it in -benchout")
+		scenario    = flag.String("scenario", "", "run one named protocol scenario with its expected-counter signature, or 'all' (full_hit, partial_hit, cold_miss, write_invalidate, flash_crowd, node_drain)")
 		benchOut    = flag.String("benchout", "BENCH_live.json", "benchmark result path (bench mode)")
 		nNodes      = flag.Int("nodes", 4, "selftest cluster size")
 		capacity    = flag.Int("capacity", 1024, "selftest per-node cache capacity in blocks")
@@ -106,6 +108,18 @@ func main() {
 	}
 	if *chaos {
 		if err := runChaos(*benchOut, *requests, *concurrency, *seed, benchInterval(*interval), *noRun); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *writesBench {
+		if err := runWritesBench(*benchOut, *requests, *concurrency, *seed, benchInterval(*interval)); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *scenario != "" {
+		if err := runScenarios(*scenario, *requests, *concurrency, *seed); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -294,6 +308,16 @@ type benchRecord struct {
 	Remote    uint64  `json:"remote_hits"`
 	Disk      uint64  `json:"disk_reads"`
 	Forwards  uint64  `json:"forwards"`
+	// WriteP50US/WriteP99US are the write-only latency percentiles (set when
+	// the preset replays writes); SyncInvalidate and SlowPeer mark the arm of
+	// a writes A/B run (ccload -writesbench). InvalBatched/InvalCatchups
+	// count the invalidation bus's batched deliveries and gap repairs.
+	WriteP50US     float64 `json:"write_p50_us,omitempty"`
+	WriteP99US     float64 `json:"write_p99_us,omitempty"`
+	SyncInvalidate bool    `json:"sync_invalidate,omitempty"`
+	SlowPeer       bool    `json:"slow_peer,omitempty"`
+	InvalBatched   uint64  `json:"inval_batched,omitempty"`
+	InvalCatchups  uint64  `json:"inval_catchups,omitempty"`
 	// NoRun marks an A/B run with the run-granular fast path disabled
 	// (ccload -bench -norun); Runs/RunsDegraded count the run fetches the
 	// cluster issued and how many fell back to per-block repair.
@@ -394,7 +418,12 @@ type benchDoc struct {
 	// on (`-bench -flash`) and off (`-bench -flash -noreplicate`).
 	FlashAdaptive []benchRecord `json:"flash_adaptive,omitempty"`
 	FlashStatic   []benchRecord `json:"flash_static,omitempty"`
-	Chaos         *chaosRecord  `json:"chaos,omitempty"`
+	// Writes is the write-latency A/B matrix (ccload -writesbench):
+	// {sync fan-out, async bus} × {healthy, one slow peer}, on a
+	// write-heavy preset. The async/slow arm is the bus's reason to exist —
+	// the slow peer's delay must vanish from the writer's percentiles.
+	Writes []benchRecord `json:"writes,omitempty"`
+	Chaos  *chaosRecord  `json:"chaos,omitempty"`
 }
 
 // loadBenchDoc reads an existing benchmark document; a missing or
@@ -506,6 +535,10 @@ func recordOf(p benchPreset, res loadgen.Result) benchRecord {
 		ReplicasPushed:   res.Cluster.ReplicasPushed,
 		ReplicaHits:      res.Cluster.ReplicaHits,
 		AdmissionRejects: res.Cluster.AdmissionRejects,
+		WriteP50US:       float64(res.WriteP50) / float64(time.Microsecond),
+		WriteP99US:       float64(res.WriteP99) / float64(time.Microsecond),
+		InvalBatched:     res.Cluster.InvalBatched,
+		InvalCatchups:    res.Cluster.InvalCatchups,
 		Intervals:        res.Intervals,
 	}
 	rec.faultCounters = faultCountersOf(res)
@@ -832,4 +865,130 @@ func runChaos(out string, requests, concurrency int, seed int64, interval time.D
 		TraceTotal:    traceTotal,
 	}
 	return writeBenchDoc(out, doc)
+}
+
+// --- write-latency A/B matrix ---
+
+// writesPreset is the write-heavy workload of the invalidation-bus A/B: a
+// four-node cluster where every fourth request is a block write. 25% writes
+// is past the point where the flash bench's adaptive layer pays (see
+// flashPreset), which makes it exactly the regime where write latency is
+// the product — there is no replica margin left to hide a slow fan-out in.
+var writesPreset = benchPreset{
+	Name: "writes-25pct-4node", Nodes: 4, Capacity: 512,
+	Files: 200, AvgSize: 16384, Zipf: 0.85, WriteFrac: 0.25,
+}
+
+const (
+	// writesSlowNode is the degraded peer of the slow arms. It is not an
+	// entry node and homes no replayed file, so its delay can reach the
+	// writer's latency only through the invalidation protocol.
+	writesSlowNode   = 3
+	writesRPCTimeout = 300 * time.Millisecond
+	writesSlowDelay  = writesRPCTimeout / 2
+)
+
+// runWritesBench measures the same write-heavy replay over the four arms of
+// {synchronous fan-out, asynchronous bus} × {healthy, one slow peer} and
+// records them in the document's writes section. The matrix is the bus's
+// acceptance test: with a peer delaying every frame by half the RPC timeout,
+// the sync arm's write tail absorbs the delay wholesale while the async
+// arm's must stay within sight of healthy.
+func runWritesBench(out string, requests, concurrency int, seed int64, interval time.Duration) error {
+	arms := []struct{ syncInval, slow bool }{
+		{true, false}, {false, false}, {true, true}, {false, true},
+	}
+	records := make([]benchRecord, 0, len(arms))
+	for _, arm := range arms {
+		rec, err := runWritesArm(requests, concurrency, seed, interval, arm.syncInval, arm.slow)
+		if err != nil {
+			return err
+		}
+		records = append(records, rec)
+	}
+	pick := func(syncInval, slow bool) benchRecord {
+		for _, r := range records {
+			if r.SyncInvalidate == syncInval && r.SlowPeer == slow {
+				return r
+			}
+		}
+		return benchRecord{}
+	}
+	ss, as := pick(true, true), pick(false, true)
+	if as.WriteP99US > 0 {
+		log.Printf("writes A/B: slow-peer write p99 sync=%.0fµs async=%.0fµs (%.1fx)",
+			ss.WriteP99US, as.WriteP99US, ss.WriteP99US/as.WriteP99US)
+	}
+	sh, ah := pick(true, false), pick(false, false)
+	if ah.WriteP50US > 0 {
+		log.Printf("writes A/B: healthy write p50 sync=%.0fµs async=%.0fµs",
+			sh.WriteP50US, ah.WriteP50US)
+	}
+	doc := loadBenchDoc(out)
+	doc.Writes = records
+	return writeBenchDoc(out, doc)
+}
+
+// runWritesArm replays the writes preset once against a fresh cluster with
+// the given invalidation mode and peer health.
+func runWritesArm(requests, concurrency int, seed int64, interval time.Duration, syncInval, slow bool) (benchRecord, error) {
+	p := writesPreset
+	plan := &middleware.FaultPlan{Seed: seed, DelayProb: 1, Delay: writesSlowDelay}
+	mut := func(i int, cfg *middleware.Config) {
+		cfg.SyncInvalidate = syncInval
+		cfg.RPCTimeout = writesRPCTimeout
+		cfg.Retries = 2
+		if slow && i == writesSlowNode {
+			cfg.Fault = plan
+		}
+	}
+	sizes := fileSizes(p.Files, p.AvgSize)
+	_, addrs, shutdown, err := startCluster(p.Nodes, p.Capacity, p.Hints, sizes, mut)
+	if err != nil {
+		return benchRecord{}, fmt.Errorf("writes bench: %w", err)
+	}
+	defer shutdown()
+	// Entry nodes exclude the slow peer, and so does the file manifest of
+	// the replay (its homed files would put the delay on the write-through
+	// path of both arms, drowning the fan-out difference being measured).
+	client, err := middleware.DialClusterConfig(addrs[:writesSlowNode], middleware.ClientConfig{
+		RPCTimeout: 2 * time.Second,
+		Retries:    3,
+	})
+	if err != nil {
+		return benchRecord{}, fmt.Errorf("writes bench: %w", err)
+	}
+	defer client.Close()
+	tr := buildTrace(p.Files, sizes, requests, p.Zipf, p.AvgSize, seed)
+	kept := tr.Requests[:0]
+	for _, f := range tr.Requests {
+		if int(f)%p.Nodes != writesSlowNode {
+			kept = append(kept, f)
+		}
+	}
+	tr.Requests = kept
+	res, err := loadgen.Replay(client, tr, loadgen.Config{
+		Concurrency: concurrency,
+		WriteFrac:   p.WriteFrac,
+		Interval:    interval,
+	})
+	if err != nil {
+		return benchRecord{}, fmt.Errorf("writes bench: %w", err)
+	}
+	rec := recordOf(p, res)
+	rec.SyncInvalidate = syncInval
+	rec.SlowPeer = slow
+	mode := "async"
+	if syncInval {
+		mode = "sync"
+	}
+	health := "healthy"
+	if slow {
+		health = "slow-peer"
+	}
+	log.Printf("%-20s %-5s %-9s %8.0f req/s write_p50=%v write_p99=%v p99=%v skips=%d batched=%d",
+		p.Name, mode, health, rec.ReqPerSec,
+		res.WriteP50.Round(time.Microsecond), res.WriteP99.Round(time.Microsecond),
+		res.P99.Round(time.Microsecond), rec.InvalidateSkips, rec.InvalBatched)
+	return rec, nil
 }

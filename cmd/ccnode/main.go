@@ -58,6 +58,7 @@ func main() {
 		repThr   = flag.Float64("replicate-threshold", 0, "with -serve: serve-rate score above which hot masters push replica copies (0: replication off)")
 		repFan   = flag.Int("replica-fanout", 0, "with -serve: replica copies pushed per hot block (0: default of 2)")
 		admit    = flag.Bool("admission", false, "with -serve: TinyLFU admission filter on the cache (one-hit wonders never evict hot blocks)")
+		syncInv  = flag.Bool("sync-invalidate", false, "with -serve: synchronous write-invalidate fan-out instead of the async invalidation bus")
 	)
 	flag.Parse()
 
@@ -76,7 +77,7 @@ func main() {
 	switch {
 	case *serve:
 		ad := adaptive{threshold: *repThr, fanout: *repFan, admission: *admit}
-		runNode(*id, *listen, addrs, *capacity, *policy, *hints, *files, *avg, ft, ad, *metrics, *traceCap)
+		runNode(*id, *listen, addrs, *capacity, *policy, *hints, *files, *avg, ft, ad, *metrics, *traceCap, *syncInv)
 	case *get >= 0:
 		client := dial(addrs, ft)
 		defer client.Close()
@@ -147,7 +148,7 @@ type adaptive struct {
 	admission bool
 }
 
-func runNode(id int, listen string, addrs []string, capacity int, policy string, hints bool, files int, avg int64, ft faultTolerance, ad adaptive, metricsAddr string, traceCap int) {
+func runNode(id int, listen string, addrs []string, capacity int, policy string, hints bool, files int, avg int64, ft faultTolerance, ad adaptive, metricsAddr string, traceCap int, syncInval bool) {
 	if id < 0 || id >= len(addrs) {
 		log.Fatalf("-id %d out of range for %d cluster addresses", id, len(addrs))
 	}
@@ -187,6 +188,7 @@ func runNode(id int, listen string, addrs []string, capacity int, policy string,
 		ReplicateThreshold: ad.threshold,
 		ReplicaFanout:      ad.fanout,
 		AdmissionFilter:    ad.admission,
+		SyncInvalidate:     syncInval,
 		Tracer:             tracer,
 	})
 	if err != nil {

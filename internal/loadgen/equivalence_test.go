@@ -18,7 +18,13 @@ import (
 func TestReplayOutputEquivalence(t *testing.T) {
 	const k = 3
 	geom := block.Geometry{Size: 1024, ExtentBlocks: 8}
-	client, sizes := startCluster(t, k, 4096)
+	// SyncInvalidate keeps the write section exactly predictable: the
+	// fan-out completes before WriteBlock returns, so the per-write
+	// invalidation delta is deterministic. (The async-bus counterpart is
+	// pinned by TestSyncInvalidateReplayEquivalence.)
+	client, sizes := startClusterMut(t, k, 4096, func(i int, cfg *middleware.Config) {
+		cfg.SyncInvalidate = true
+	}, middleware.ClientConfig{})
 	tr := replayTrace(sizes, 120)
 
 	res, err := Replay(client, tr, Config{Concurrency: 1, WarmupFrac: 0.3})
@@ -185,8 +191,11 @@ func TestRunPathReplayEquivalence(t *testing.T) {
 func TestAdaptiveOffReplayEquivalence(t *testing.T) {
 	const k = 3
 	geom := block.Geometry{Size: 1024, ExtentBlocks: 8}
-	plainClient, sizes := startClusterMut(t, k, 4096, nil, middleware.ClientConfig{})
+	plainClient, sizes := startClusterMut(t, k, 4096, func(i int, cfg *middleware.Config) {
+		cfg.SyncInvalidate = true // deterministic per-write invalidation count
+	}, middleware.ClientConfig{})
 	inertClient, _ := startClusterMut(t, k, 4096, func(i int, cfg *middleware.Config) {
+		cfg.SyncInvalidate = true
 		cfg.ReplicateThreshold = 1e18 // armed, never crossed
 		cfg.ReplicaFanout = 2
 		cfg.AdmissionFilter = false
@@ -255,6 +264,135 @@ func TestAdaptiveOffReplayEquivalence(t *testing.T) {
 	}
 	if after.ReplicasPushed != 0 {
 		t.Errorf("write re-push fired below threshold: %d pushes", after.ReplicasPushed)
+	}
+}
+
+// TestSyncInvalidateReplayEquivalence pins the equivalence contract of the
+// asynchronous invalidation bus: a cluster running the bus must be
+// observably identical on the read path to one running the legacy blocking
+// fan-out (Config.SyncInvalidate), and on the write path it must converge
+// to the same invalidation totals and the same bytes — the bus changes
+// *when* peers learn of a write, never *what* the cluster does. The same
+// pair is then replayed under a seeded fault plan: both modes must finish
+// with zero errors, keep the §3 counter identity, and serve uncorrupted
+// bytes.
+func TestSyncInvalidateReplayEquivalence(t *testing.T) {
+	const k = 3
+	geom := block.Geometry{Size: 1024, ExtentBlocks: 8}
+	syncClient, sizes := startClusterMut(t, k, 4096, func(i int, cfg *middleware.Config) {
+		cfg.SyncInvalidate = true
+	}, middleware.ClientConfig{})
+	busClient, _ := startClusterMut(t, k, 4096, nil, middleware.ClientConfig{})
+	tr := replayTrace(sizes, 120)
+
+	resSync, err := Replay(syncClient, tr, Config{Concurrency: 1, WarmupFrac: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resBus, err := Replay(busClient, tr, Config{Concurrency: 1, WarmupFrac: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, b := resSync.Cluster, resBus.Cluster
+	if s.Accesses != b.Accesses || s.LocalHits != b.LocalHits ||
+		s.RemoteHits != b.RemoteHits || s.DiskReads != b.DiskReads {
+		t.Errorf("bus cluster diverged from sync fan-out on the read path:\nsync: accesses=%d local=%d remote=%d disk=%d\n bus: accesses=%d local=%d remote=%d disk=%d",
+			s.Accesses, s.LocalHits, s.RemoteHits, s.DiskReads,
+			b.Accesses, b.LocalHits, b.RemoteHits, b.DiskReads)
+	}
+	if s.RaceMisses != b.RaceMisses || s.Forwards != b.Forwards || s.Invalidations != b.Invalidations {
+		t.Errorf("secondary counters diverged: sync races=%d forwards=%d inval=%d, bus races=%d forwards=%d inval=%d",
+			s.RaceMisses, s.Forwards, s.Invalidations, b.RaceMisses, b.Forwards, b.Invalidations)
+	}
+
+	// One write through each cluster. The sync fan-out lands all k
+	// invalidations before WriteBlock returns; the bus converges to the
+	// same total within the staleness bound.
+	patch := bytes.Repeat([]byte{0x5A}, int(sizes[0]))
+	if err := syncClient.Write(0, 0, patch); err != nil {
+		t.Fatal(err)
+	}
+	afterSync, err := syncClient.ClusterStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := afterSync.Invalidations - s.Invalidations; d != k {
+		t.Errorf("sync invalidations per write = %d, want %d", d, k)
+	}
+	if err := busClient.Write(0, 0, patch); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		afterBus, err := busClient.ClusterStats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if afterBus.Invalidations-b.Invalidations == k && afterBus.InvalBacklog == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("bus never converged: %d invalidations (want +%d), backlog %d",
+				afterBus.Invalidations-b.Invalidations, k, afterBus.InvalBacklog)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Past the staleness bound no node serves stale bytes, in either mode.
+	for e := 0; e < k; e++ {
+		for _, cl := range []*middleware.Client{syncClient, busClient} {
+			data, err := cl.ReadVia(e, 0)
+			if err != nil {
+				t.Fatalf("read via %d after write: %v", e, err)
+			}
+			if !bytes.Equal(data, patch) {
+				t.Fatalf("node %d served stale bytes after write", e)
+			}
+		}
+	}
+	if afterBus, _ := busClient.ClusterStats(); afterBus.InvalBatched == 0 {
+		t.Error("bus cluster delivered no batched invalidations — the bus never engaged")
+	}
+
+	// Same pair under a seeded fault plan: the invariants (no errors, §3
+	// counter identity, uncorrupted bytes) hold in both modes.
+	for _, mode := range []struct {
+		name string
+		sync bool
+	}{{"sync", true}, {"bus", false}} {
+		t.Run(mode.name+"_faulted", func(t *testing.T) {
+			plan := &middleware.FaultPlan{
+				Seed: 7, DelayProb: 0.05, Delay: time.Millisecond, DropProb: 0.05,
+			}
+			client, sizes := startClusterMut(t, k, 64, func(i int, cfg *middleware.Config) {
+				cfg.SyncInvalidate = mode.sync
+				cfg.Fault = plan
+				cfg.RPCTimeout = 250 * time.Millisecond
+				cfg.Retries = 3
+				cfg.RetryBackoff = time.Millisecond
+			}, middleware.ClientConfig{RPCTimeout: 1500 * time.Millisecond, Retries: 4})
+			res, err := Replay(client, replayTrace(sizes, 150), Config{Concurrency: 2, WarmupFrac: 0.25})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Errors != 0 {
+				t.Fatalf("replay surfaced %d errors", res.Errors)
+			}
+			st := res.Cluster
+			if sum := st.LocalHits + st.RemoteHits + st.DiskReads; sum > st.Accesses {
+				t.Errorf("counter identity broken: local=%d + remote=%d + disk=%d > accesses=%d",
+					st.LocalHits, st.RemoteHits, st.DiskReads, st.Accesses)
+			}
+			for f := 0; f < len(sizes); f++ {
+				id := block.FileID(f)
+				data, err := client.Read(id)
+				if err != nil {
+					t.Fatalf("read file %d: %v", f, err)
+				}
+				if want := syntheticFile(geom, id, sizes[id]); !bytes.Equal(data, want) {
+					t.Fatalf("file %d corrupted under faults (%d bytes)", f, len(data))
+				}
+			}
+		})
 	}
 }
 

@@ -146,6 +146,12 @@ type Result struct {
 	Writes int
 	// Mean/P50/P95/P99 are response-time statistics.
 	Mean, P50, P95, P99 time.Duration
+	// WriteP50/WriteP99 are response-time percentiles over the measured
+	// write operations alone (zero when WriteFrac is 0). Writes follow a
+	// different protocol path than reads (invalidate + write-through), so
+	// their tail is reported separately — it is the number the asynchronous
+	// invalidation bus exists to improve.
+	WriteP50, WriteP99 time.Duration
 	// Cluster is the aggregate middleware statistics at the end of the
 	// replay (cumulative since cluster start). When a node crashed during
 	// the replay (chaos runs) its counters are excluded — they died with
@@ -201,6 +207,7 @@ func Replay(client *middleware.Client, tr *trace.Trace, cfg Config) (Result, err
 		measStart atomic.Int64 // unix nanos of first measured issue
 		mu        sync.Mutex
 		rt        = metrics.NewResponseTimes(cfg.MaxSamples)
+		wrt       = metrics.NewResponseTimes(cfg.MaxSamples) // writes only
 		wg        sync.WaitGroup
 		firstErr  error
 		errOnce   sync.Once
@@ -282,6 +289,9 @@ func Replay(client *middleware.Client, tr *trace.Trace, cfg Config) (Result, err
 		mu.Lock()
 		for _, s := range local {
 			rt.Add(sim.Duration(s.lat))
+			if s.write {
+				wrt.Add(sim.Duration(s.lat))
+			}
 		}
 		if cfg.Interval > 0 {
 			samples = append(samples, local...)
@@ -331,6 +341,10 @@ func Replay(client *middleware.Client, tr *trace.Trace, cfg Config) (Result, err
 		res.P50 = time.Duration(rt.Percentile(0.50))
 		res.P95 = time.Duration(rt.Percentile(0.95))
 		res.P99 = time.Duration(rt.Percentile(0.99))
+	}
+	if wrt.Count() > 0 {
+		res.WriteP50 = time.Duration(wrt.Percentile(0.50))
+		res.WriteP99 = time.Duration(wrt.Percentile(0.99))
 	}
 	if stats, err := client.ClusterStats(); err == nil {
 		res.Cluster = stats
@@ -424,6 +438,10 @@ func (r Result) String() string {
 		r.P95.Round(time.Microsecond), r.P99.Round(time.Microsecond),
 		r.Cluster.HitRate()*100, r.Cluster.LocalHits, r.Cluster.RemoteHits,
 		r.Cluster.DiskReads, r.Cluster.Forwards)
+	if r.Writes > 0 {
+		s += fmt.Sprintf(" | writes: p50=%v p99=%v",
+			r.WriteP50.Round(time.Microsecond), r.WriteP99.Round(time.Microsecond))
+	}
 	c := r.Cluster
 	if c.RPCTimeouts+c.RPCRetries+c.HomeFallbacks+c.BreakerOpens+c.InvalidateSkips+
 		r.Fault.Timeouts+r.Fault.Failovers+r.Fault.BreakerSkips > 0 {

@@ -65,6 +65,16 @@ type Client struct {
 	failovers    atomic.Uint64
 	breakerSkips atomic.Uint64
 
+	// Read-your-writes stickiness: the node that served a file's last write
+	// holds the fresh master while the asynchronous invalidation bus drains,
+	// so reads of that file re-enter there (bounded map, insert-order
+	// eviction). Purely an entry-point hint — any node still returns correct
+	// bytes within the staleness bound.
+	stickyMu   sync.Mutex
+	stickyNode map[block.FileID]int
+	stickyRing []block.FileID
+	stickyPos  int
+
 	// rpcLat holds one latency histogram per request frame type, fed by
 	// conn.roundTrip on every client connection.
 	rpcLat [msgTypeCount]obs.Histogram
@@ -211,19 +221,64 @@ func (c *Client) roundTrip(node int, f *Frame) (*Frame, error) {
 
 // failoverTrip runs the request against node, retrying on other nodes
 // (picked round-robin through the breakers) after transient failures.
-// Only idempotent requests may use it.
-func (c *Client) failoverTrip(node int, f *Frame) (*Frame, error) {
+// Only idempotent requests may use it. The second return value is the
+// node that actually answered.
+func (c *Client) failoverTrip(node int, f *Frame) (*Frame, int, error) {
 	resp, err := c.roundTrip(node, f)
 	for attempt := 0; attempt < c.retries && isTransient(err); attempt++ {
 		c.failovers.Add(1)
-		resp, err = c.roundTrip(c.next(), f)
+		node = c.next()
+		resp, err = c.roundTrip(node, f)
 	}
-	return resp, err
+	return resp, node, err
 }
 
-// Read fetches the whole content of file f through the cluster.
+// stickyCap bounds the read-your-writes map; older entries are evicted in
+// insertion order.
+const stickyCap = 256
+
+// noteWrite records node as the sticky entry point for file f.
+func (c *Client) noteWrite(f block.FileID, node int) {
+	c.stickyMu.Lock()
+	defer c.stickyMu.Unlock()
+	if c.stickyNode == nil {
+		c.stickyNode = make(map[block.FileID]int, stickyCap)
+		c.stickyRing = make([]block.FileID, stickyCap)
+	}
+	if _, ok := c.stickyNode[f]; !ok {
+		old := c.stickyRing[c.stickyPos]
+		if _, live := c.stickyNode[old]; live && len(c.stickyNode) >= stickyCap {
+			delete(c.stickyNode, old)
+		}
+		c.stickyRing[c.stickyPos] = f
+		c.stickyPos = (c.stickyPos + 1) % stickyCap
+	}
+	c.stickyNode[f] = node
+}
+
+// writeEntry returns the sticky entry node recorded for f, or -1 when
+// there is none or its breaker is open (a suspected-down node is no place
+// to chase freshness).
+func (c *Client) writeEntry(f block.FileID) int {
+	c.stickyMu.Lock()
+	node, ok := c.stickyNode[f]
+	c.stickyMu.Unlock()
+	if !ok || !c.breakers[node].allow() {
+		return -1
+	}
+	return node
+}
+
+// Read fetches the whole content of file f through the cluster. Files
+// this client recently wrote re-enter at the node that served the write
+// (read-your-writes while the invalidation bus drains); everything else
+// is spread round-robin.
 func (c *Client) Read(f block.FileID) ([]byte, error) {
-	return c.ReadVia(c.next(), f)
+	node := c.writeEntry(f)
+	if node < 0 {
+		node = c.next()
+	}
+	return c.ReadVia(node, f)
 }
 
 // ReadVia fetches file f entering the cluster at a specific node (failing
@@ -231,7 +286,7 @@ func (c *Client) Read(f block.FileID) ([]byte, error) {
 func (c *Client) ReadVia(node int, f block.FileID) ([]byte, error) {
 	req := getFrame()
 	req.Type, req.File = MsgReadFile, f
-	resp, err := c.failoverTrip(node, req)
+	resp, _, err := c.failoverTrip(node, req)
 	releaseFrame(req)
 	if err != nil {
 		return nil, err
@@ -252,10 +307,12 @@ func (c *Client) ReadVia(node int, f block.FileID) ([]byte, error) {
 func (c *Client) Write(f block.FileID, idx int32, data []byte) error {
 	req := getFrame()
 	req.Type, req.File, req.Idx, req.Payload = MsgWriteBlock, f, idx, data
-	resp, err := c.failoverTrip(c.next(), req)
+	resp, served, err := c.failoverTrip(c.next(), req)
+	req.Payload = nil // caller's slice, not ours to recycle
 	releaseFrame(req)
 	if err == nil {
 		releaseFrame(resp)
+		c.noteWrite(f, served)
 	}
 	return err
 }
@@ -343,6 +400,9 @@ func (c *Client) ClusterStats() (Stats, error) {
 		sum.HomeFallbacks += s.HomeFallbacks
 		sum.StaleDrops += s.StaleDrops
 		sum.InvalidateSkips += s.InvalidateSkips
+		sum.InvalBatched += s.InvalBatched
+		sum.InvalCatchups += s.InvalCatchups
+		sum.InvalBacklog += s.InvalBacklog
 		sum.RunsIssued += s.RunsIssued
 		sum.RunsDegraded += s.RunsDegraded
 		sum.ReplicasPushed += s.ReplicasPushed

@@ -16,7 +16,8 @@ var errConnClosed = errors.New("middleware: connection closed")
 func isResponse(t MsgType) bool {
 	switch t {
 	case MsgBlockData, MsgBlockMiss, MsgFileData, MsgDirResult, MsgForwardAck,
-		MsgAck, MsgErr, MsgStatsReply, MsgTraceReply, MsgRunData, MsgDirResultN:
+		MsgAck, MsgErr, MsgStatsReply, MsgTraceReply, MsgRunData, MsgDirResultN,
+		MsgInvalSinceReply:
 		return true
 	}
 	return false

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"encoding/binary"
 	"testing"
+
+	"repro/internal/block"
 )
 
 // FuzzReadFrame hardens the wire decoder against malformed input: it must
@@ -83,6 +85,33 @@ func FuzzReadFrame(f *testing.F) {
 	denc := dirBuf.Bytes()
 	f.Add(denc)
 	f.Add(denc[:len(denc)-2]) // ragged index payload (not a multiple of 4)
+
+	// Invalidation-bus frames: a valid batched invalidation window and a
+	// catch-up reply, then the ragged and oversized payloads a corrupted
+	// stream produces (decodeInvalPayload must reject, never panic).
+	var invBuf bytes.Buffer
+	if err := WriteFrame(&invBuf, &Frame{
+		Type: MsgInvalidateN, Aux: 44,
+		Payload: appendInvalPayload(nil, 42, []block.ID{{File: 1, Idx: 0}, {File: 2, Idx: 3}}),
+	}); err != nil {
+		f.Fatal(err)
+	}
+	ienc := invBuf.Bytes()
+	f.Add(ienc)
+	f.Add(ienc[:len(ienc)-3]) // ragged record payload (not 8 + k*8 bytes)
+	f.Add(ienc[:headerLen+4]) // cut inside the firstSeq prefix
+	var sinceBuf bytes.Buffer
+	if err := WriteFrame(&sinceBuf, &Frame{
+		Type: MsgInvalSinceReply, Flags: 1, Aux: 7,
+		Payload: appendInvalPayload(nil, 7, []block.ID{{File: 9, Idx: 1}}),
+	}); err != nil {
+		f.Fatal(err)
+	}
+	senc := sinceBuf.Bytes()
+	f.Add(senc)
+	invHuge := append([]byte(nil), ienc[:headerLen]...)
+	binary.BigEndian.PutUint32(invHuge[35:], uint32(8+(maxInvalBatch+1)*8)) // batch over the limit
+	f.Add(invHuge)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		fr, err := ReadFrame(bytes.NewReader(data))

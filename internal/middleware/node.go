@@ -96,6 +96,13 @@ type Config struct {
 	// frequency beats the would-be eviction victim's, so one-hit wonders
 	// never displace hot masters or replicas. Default off.
 	AdmissionFilter bool
+	// SyncInvalidate restores the synchronous write-invalidate fan-out:
+	// WriteBlock blocks until every peer acknowledged (or degraded to) its
+	// MsgInvalidate, exactly the pre-bus protocol, byte for byte. Default
+	// off: writes publish to the asynchronous invalidation bus (inval.go)
+	// and return after the local invalidate + durable write-through, with
+	// peers converging within the bounded staleness window.
+	SyncInvalidate bool
 	// Fault, when non-nil, injects transport faults (delays, drops,
 	// partitions, mid-frame crashes) into every connection this node
 	// dials or accepts. Testing and chaos benchmarking only.
@@ -120,6 +127,8 @@ const (
 	traceRPCTimeout     = "rpc_timeout"     // round trip missed the RPC deadline
 	traceRunFetch       = "run_fetch"       // run fetch completed (Peer: source, Aux: blocks served)
 	traceReplicate      = "replicate"       // hot-block replica pushed to Peer (adaptive replication)
+	traceInvalBatch     = "inval_batch"     // invalidation batch delivered to Peer (Aux: records)
+	traceInvalCatchup   = "inval_catchup"   // catch-up started against origin Peer (Aux: from seq, -1 flush)
 )
 
 // Node is a live cooperative caching node: a TCP server cooperating with
@@ -175,6 +184,20 @@ type Node struct {
 	repFanout    int
 	epochStop    chan struct{}
 
+	// bus is the asynchronous invalidation bus (nil: sync mode or a
+	// single-node cluster — writes fan out synchronously). invalIn is the
+	// per-origin receive state (index = origin node ID). See inval.go.
+	bus     *invalBus
+	invalIn []invalOrigin
+
+	// stampMu guards the write/replication ordering stamps (inval.go):
+	// stamps maps a block to the newest applied invalidation, stampRing
+	// bounds the map with insert-order eviction.
+	stampMu   sync.Mutex
+	stamps    map[block.ID]uint64
+	stampRing []block.ID
+	stampPos  int
+
 	// workers/maxPayload/rpcTimeout/retries/retryBase/retryCap and the
 	// breaker parameters are the resolved settings (Config values with
 	// defaults applied).
@@ -198,6 +221,11 @@ type Node struct {
 	rpcLat [msgTypeCount]obs.Histogram
 	// runBlocks is the distribution of blocks served per run fetch RPC.
 	runBlocks obs.ValueHistogram
+	// invalLag is the publish-to-ack latency of invalidation records (the
+	// measured staleness window); invalBatchBlocks is the distribution of
+	// records per delivered batch.
+	invalLag         obs.Histogram
+	invalBatchBlocks obs.ValueHistogram
 
 	c counters
 }
@@ -217,6 +245,8 @@ type counters struct {
 	// adaptive replication counters (replica hits and admission rejects
 	// live in the store, next to the state they count)
 	replicasPushed atomic.Uint64
+	// invalidation bus counters
+	invalBatched, invalCatchups atomic.Uint64
 }
 
 // Stats is a snapshot of a node's behaviour (JSON-encodable for the
@@ -245,6 +275,11 @@ type Stats struct {
 	// Run fast-path counters: see the Run-granular reads section of DESIGN.md.
 	RunsIssued   uint64 // MsgGetRun RPCs issued by the read planner
 	RunsDegraded uint64 // run fetches that served fewer blocks than asked (or failed)
+	// Invalidation bus counters: see the Write path & invalidation bus
+	// section of DESIGN.md.
+	InvalBatched  uint64 // invalidation records delivered via batched bus frames
+	InvalCatchups uint64 // MsgInvalSince catch-up reconciliations started
+	InvalBacklog  uint64 // deepest currently unacknowledged bus backlog across peers
 	// Adaptive replication counters: see the Adaptive replication &
 	// admission section of DESIGN.md.
 	ReplicasPushed   uint64 // hot-block replicas pushed to peers and accepted
@@ -462,7 +497,6 @@ func (n *Node) ID() int { return n.cfg.ID }
 // called before the node serves requests that involve peers.
 func (n *Node) SetAddrs(addrs []string) {
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	n.addrs = append([]string(nil), addrs...)
 	n.peers = make([]*conn, len(addrs))
 	n.peerAges = make([]atomic.Int64, len(addrs))
@@ -470,6 +504,16 @@ func (n *Node) SetAddrs(addrs []string) {
 	for i := range n.peerAges {
 		n.peerAges[i].Store(noAge)
 		n.breakers[i] = &breaker{threshold: n.brThresh, cooldown: n.brCooldown}
+	}
+	n.invalIn = make([]invalOrigin, len(addrs))
+	old := n.bus
+	n.bus = nil
+	if !n.cfg.SyncInvalidate && len(addrs) > 1 && !n.closed {
+		n.bus = newInvalBus(n, len(addrs))
+	}
+	n.mu.Unlock()
+	if old != nil {
+		old.shutdown()
 	}
 }
 
@@ -494,6 +538,9 @@ func (n *Node) Close() error {
 	n.closed = true
 	if n.epochStop != nil {
 		close(n.epochStop)
+	}
+	if n.bus != nil {
+		n.bus.shutdown()
 	}
 	peers := append([]*conn(nil), n.peers...)
 	acc := make([]*conn, 0, len(n.accepted))
@@ -537,6 +584,8 @@ func (n *Node) Stats() Stats {
 		InvalidateSkips:  n.c.invalidateSkips.Load(),
 		RunsIssued:       n.c.runsIssued.Load(),
 		RunsDegraded:     n.c.runsDegraded.Load(),
+		InvalBatched:     n.c.invalBatched.Load(),
+		InvalCatchups:    n.c.invalCatchups.Load(),
 		ReplicasPushed:   n.c.replicasPushed.Load(),
 		ReplicaHits:      n.store.ReplicaHits(),
 		AdmissionRejects: n.store.AdmissionRejects(),
@@ -544,6 +593,9 @@ func (n *Node) Stats() Stats {
 		StoreMasters:     n.store.Masters(),
 		StoreReplicas:    n.store.Replicas(),
 		HintAccuracy:     1,
+	}
+	if b := n.busRef(); b != nil {
+		s.InvalBacklog = b.depth()
 	}
 	if n.hints != nil {
 		s.HintAccuracy = n.hints.Accuracy()
@@ -588,6 +640,8 @@ func (n *Node) RegisterMetrics(r *obs.Registry) {
 		{"cc_invalidate_skips_total", "invalidations degraded to 'peer holds no cache'", c.invalidateSkips.Load},
 		{"cc_runs_total", "MsgGetRun fetches issued by the read planner", c.runsIssued.Load},
 		{"cc_runs_degraded_total", "run fetches that served fewer blocks than asked", c.runsDegraded.Load},
+		{"cc_inval_batched_total", "invalidation records delivered via batched bus frames", c.invalBatched.Load},
+		{"cc_inval_catchups_total", "invalidation catch-up reconciliations started", c.invalCatchups.Load},
 		{"cc_replicas_total", "hot-block replicas pushed to peers and accepted", c.replicasPushed.Load},
 		{"cc_replica_hits_total", "accesses served from replica copies", n.store.ReplicaHits},
 		{"cc_admission_rejects_total", "inserts the TinyLFU admission filter turned away", n.store.AdmissionRejects},
@@ -596,6 +650,14 @@ func (n *Node) RegisterMetrics(r *obs.Registry) {
 		r.Counter(m.name, m.help, "", m.fn)
 	}
 	r.ValueHistogram("cc_run_blocks", "blocks served per run fetch", "", &n.runBlocks)
+	r.Histogram("cc_inval_lag_seconds", "publish-to-ack latency of invalidation records", "", &n.invalLag)
+	r.ValueHistogram("cc_inval_batch_blocks", "records per delivered invalidation batch", "", &n.invalBatchBlocks)
+	r.Gauge("cc_inval_bus_depth", "deepest unacknowledged invalidation backlog across peers", "", func() float64 {
+		if b := n.busRef(); b != nil {
+			return float64(b.depth())
+		}
+		return 0
+	})
 	r.Gauge("cc_store_blocks", "blocks currently cached", "", func() float64 { return float64(n.store.Len()) })
 	r.Gauge("cc_store_masters", "master copies currently cached", "", func() float64 { return float64(n.store.Masters()) })
 	r.Gauge("cc_store_replicas", "replica copies currently cached", "", func() float64 { return float64(n.store.Replicas()) })
@@ -618,7 +680,15 @@ var requestMsgTypes = []MsgType{
 	MsgGetBlock, MsgReadFile, MsgReadRange, MsgDirLookup, MsgDirUpdate,
 	MsgDirDrop, MsgForward, MsgWriteBlock, MsgInvalidate, MsgPutBlock,
 	MsgStats, MsgTrace, MsgGetRun, MsgDirLookupN, MsgDirUpdateN,
-	MsgReplicate, MsgReplicaOp, MsgRepush,
+	MsgReplicate, MsgReplicaOp, MsgRepush, MsgInvalidateN, MsgInvalSince,
+}
+
+// busRef reads the bus pointer under the membership lock (SetAddrs can
+// swap it).
+func (n *Node) busRef() *invalBus {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.bus
 }
 
 // --- connection plumbing ---
@@ -947,6 +1017,10 @@ func (n *Node) handle(f *Frame) *Frame {
 	case MsgInvalidate:
 		n.handleInvalidate(f.ID())
 		return ackFrame()
+	case MsgInvalidateN:
+		return n.handleInvalidateN(f)
+	case MsgInvalSince:
+		return n.handleInvalSince(f)
 	case MsgReplicate:
 		return n.handleReplicate(f)
 	case MsgReplicaOp:
@@ -957,6 +1031,16 @@ func (n *Node) handle(f *Frame) *Frame {
 		// The BlockSource contract does not promise a copy: take ownership.
 		if err := n.cfg.Source.WriteBlock(f.File, f.Idx, f.TakePayload()); err != nil {
 			return errFrame("put %v: %v", f.ID(), err)
+		}
+		// Under the async bus the writer's invalidation record may still be
+		// in flight: drop any cached copy of the just-overwritten block so
+		// the home never serves bytes it knows its own disk supersedes.
+		// (Sync mode skips this — the fan-out already ran, and the pre-bus
+		// protocol is kept byte-identical.)
+		if n.busRef() != nil {
+			if present, master := n.store.Remove(f.ID()); present && master {
+				n.loc.Drop(f.ID(), int32(n.cfg.ID)) //nolint:errcheck // best effort
+			}
 		}
 		return ackFrame()
 	case MsgStats:

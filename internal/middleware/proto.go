@@ -111,11 +111,28 @@ const (
 	// written-to hot block re-replicates without waiting for its serve rate
 	// to re-cross the threshold. Replies MsgAck; best effort.
 	MsgRepush
+	// MsgInvalidateN carries a batch of sequenced invalidation records from
+	// the origin node's invalidation bus: the payload is the first record's
+	// sequence number (8 bytes big-endian) followed by one 8-byte block ID
+	// (file, idx — 4 bytes each) per record; Aux is the last sequence in the
+	// batch (consecutive — coalesced records keep their sequence slots).
+	// The receiver replies MsgAck with Aux carrying its applied high-water
+	// mark for that origin.
+	MsgInvalidateN
+	// MsgInvalSince asks an origin node to resend the invalidation records
+	// from sequence Aux onward (catch-up after a detected gap or a healed
+	// partition). Answered by MsgInvalSinceReply.
+	MsgInvalSince
+	// MsgInvalSinceReply answers MsgInvalSince with the same payload layout
+	// as MsgInvalidateN; Aux is the last sequence the reply covers. Flags=1
+	// means the requested range fell off the origin's bounded history — the
+	// requester must treat its whole cache as suspect and flush.
+	MsgInvalSinceReply
 )
 
 // msgTypeCount bounds the frame-type space (array sizing for per-type
 // metrics).
-const msgTypeCount = int(MsgRepush) + 1
+const msgTypeCount = int(MsgInvalSinceReply) + 1
 
 // metricName is the snake_case label value a frame type gets in the
 // per-RPC-type latency histograms and the trace dump.
@@ -179,6 +196,12 @@ func (t MsgType) metricName() string {
 		return "replica_op"
 	case MsgRepush:
 		return "repush"
+	case MsgInvalidateN:
+		return "invalidate_n"
+	case MsgInvalSince:
+		return "inval_since"
+	case MsgInvalSinceReply:
+		return "inval_since_reply"
 	}
 	return fmt.Sprintf("type_%d", uint8(t))
 }
@@ -248,6 +271,45 @@ func decodeIdxPayload(p []byte, out []int32) ([]int32, error) {
 		out = append(out, int32(binary.BigEndian.Uint32(p[4*i:])))
 	}
 	return out, nil
+}
+
+// maxInvalBatch bounds one MsgInvalidateN / MsgInvalSinceReply batch (a
+// 4 KB record payload; big enough to drain a deep backlog in a few frames,
+// small enough that one frame never monopolizes a connection).
+const maxInvalBatch = 512
+
+// appendInvalPayload encodes an invalidation batch: the first record's
+// sequence number, then one 8-byte block ID per record (sequences are
+// consecutive from firstSeq).
+func appendInvalPayload(buf []byte, firstSeq uint64, recs []block.ID) []byte {
+	buf = binary.BigEndian.AppendUint64(buf, firstSeq)
+	for _, id := range recs {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(id.File))
+		buf = binary.BigEndian.AppendUint32(buf, uint32(id.Idx))
+	}
+	return buf
+}
+
+// decodeInvalPayload decodes an appendInvalPayload buffer, appending the
+// block IDs to out (reused when capacity allows). Ragged or oversized
+// payloads are protocol errors.
+func decodeInvalPayload(p []byte, out []block.ID) (uint64, []block.ID, error) {
+	if len(p) < 8 || (len(p)-8)%8 != 0 {
+		return 0, nil, fmt.Errorf("middleware: ragged %d-byte invalidation payload", len(p))
+	}
+	n := (len(p) - 8) / 8
+	if n > maxInvalBatch {
+		return 0, nil, fmt.Errorf("middleware: invalidation batch of %d exceeds limit %d", n, maxInvalBatch)
+	}
+	firstSeq := binary.BigEndian.Uint64(p)
+	out = out[:0]
+	for i := 0; i < n; i++ {
+		out = append(out, block.ID{
+			File: block.FileID(binary.BigEndian.Uint32(p[8+8*i:])),
+			Idx:  int32(binary.BigEndian.Uint32(p[12+8*i:])),
+		})
+	}
+	return firstSeq, out, nil
 }
 
 // Flag bits for Frame.Flags.
@@ -324,7 +386,7 @@ func typeCarriesPayload(t MsgType) bool {
 	case MsgBlockData, MsgFileData, MsgForward, MsgWriteBlock, MsgPutBlock,
 		MsgErr, MsgStatsReply, MsgTraceReply, MsgRunData,
 		MsgDirLookupN, MsgDirResultN, MsgDirUpdateN, MsgReplicate,
-		MsgReplicaOp:
+		MsgReplicaOp, MsgInvalidateN, MsgInvalSinceReply:
 		return true
 	}
 	return false

@@ -75,6 +75,14 @@ func (r *replicaSets) clear(id block.ID) bool {
 	return had
 }
 
+// clearAll forgets every replica set (truncated invalidation catch-up: the
+// manager can no longer vouch for any copy set it tracked).
+func (r *replicaSets) clearAll() {
+	r.mu.Lock()
+	r.m = make(map[block.ID][]int32)
+	r.mu.Unlock()
+}
+
 // pick rotates a lookup answer across the master and id's replicas, never
 // answering with the requester itself (its own cache already missed). With
 // an empty set the master comes back unchanged, so disabled replication is
@@ -174,6 +182,11 @@ const replicaCooldownEpochs = 20
 // throughout: a failed push (dead peer, open breaker) just means one fewer
 // replica, and the §3 protocol never depends on a replica existing.
 func (n *Node) pushReplicas(id block.ID) {
+	// The stamp is read BEFORE the data: if an invalidation lands between
+	// the two, the stamp is older than the receivers' and the push is
+	// rejected (stale stamp + fresh data fails safe; the reverse order
+	// could pair a fresh stamp with stale data and win).
+	stamp := n.invalStamp(id)
 	data, ok := n.store.Get(id)
 	if !ok || !n.store.IsMaster(id) {
 		return // lost mastership while the push was queued
@@ -192,8 +205,10 @@ func (n *Node) pushReplicas(id block.ID) {
 		}
 		req := getFrame()
 		req.Type, req.File, req.Idx = MsgReplicate, id.File, id.Idx
-		req.Payload = data // store-owned slice, not pooled
+		req.Aux = int64(stamp) // orders the push against bus invalidations
+		req.Payload = data     // store-owned slice, not pooled
 		resp, err := n.reliableRPC(target, req, 0)
+		req.Payload = nil
 		releaseFrame(req)
 		if err != nil {
 			continue
@@ -220,15 +235,21 @@ func (n *Node) pushReplicas(id block.ID) {
 	// coordination cost is what the push must earn back in saved fetches,
 	// and halving it moves the break-even from ~2 replica hits per push
 	// toward ~1.5.
-	n.replicaOps(id, accepted[:nAccepted], true)
+	n.replicaOps(id, accepted[:nAccepted], true, stamp)
 }
 
 // replicaOps records (add) or retires (drop) a batch of replica holders in
 // id's set at the block's manager — directly when this node is the manager,
-// else via one best-effort MsgReplicaOp carrying the holders in its payload.
-func (n *Node) replicaOps(id block.ID, nodes []int32, add bool) {
+// else via one best-effort MsgReplicaOp carrying the holders in its payload
+// and, for adds, the pusher's invalidation stamp in Aux: a registration
+// whose stamp predates an invalidation the manager already applied is
+// refused, so a racing push can never revive a just-torn-down copy set.
+func (n *Node) replicaOps(id block.ID, nodes []int32, add bool, stamp uint64) {
 	mgr := n.replicaManager(id)
 	if mgr == n.cfg.ID {
+		if add && stampNewer(n.invalStamp(id), stamp) {
+			return
+		}
 		for _, node := range nodes {
 			if add {
 				n.reps.add(id, node)
@@ -240,16 +261,16 @@ func (n *Node) replicaOps(id block.ID, nodes []int32, add bool) {
 	}
 	req := getFrame()
 	req.Type, req.File, req.Idx = MsgReplicaOp, id.File, id.Idx
-	req.Aux = int64(nodes[0])
-	if len(nodes) > 1 {
-		buf := make([]byte, 4*len(nodes))
-		for i, node := range nodes {
-			binary.BigEndian.PutUint32(buf[4*i:], uint32(node))
-		}
-		req.Payload = buf
+	buf := make([]byte, 4*len(nodes))
+	for i, node := range nodes {
+		binary.BigEndian.PutUint32(buf[4*i:], uint32(node))
 	}
+	req.Payload = buf
 	if add {
 		req.Flags = FlagMaster
+		req.Aux = int64(stamp)
+	} else {
+		req.Aux = int64(nodes[0])
 	}
 	resp, err := n.reliableRPC(mgr, req, 0)
 	releaseFrame(req)
@@ -262,7 +283,7 @@ func (n *Node) replicaOps(id block.ID, nodes []int32, add bool) {
 // stop rotating to a holder that no longer has the block (stale sets still
 // only cost a race miss, this just avoids the common case).
 func (n *Node) retireReplica(id block.ID) {
-	n.replicaOps(id, []int32{int32(n.cfg.ID)}, false)
+	n.replicaOps(id, []int32{int32(n.cfg.ID)}, false, 0)
 }
 
 // markRepush tombstones a block whose replica set an invalidation just tore
@@ -345,9 +366,17 @@ func (n *Node) handleRepush(f *Frame) *Frame {
 	return ackFrame()
 }
 
-// handleReplicate installs a pushed replica copy.
+// handleReplicate installs a pushed replica copy — unless this node has
+// already applied a bus invalidation newer than the push's stamp (Aux), in
+// which case the payload is stale and the push is refused (Flags=0): the
+// write that tore the copy set down must win over the in-flight push.
 func (n *Node) handleReplicate(f *Frame) *Frame {
 	id := f.ID()
+	if stampNewer(n.invalStamp(id), uint64(f.Aux)) {
+		r := getFrame()
+		r.Type, r.File, r.Idx = MsgAck, f.File, f.Idx
+		return r // Flags=0: rejected
+	}
 	// The store retains the slice: take ownership from the pooled frame.
 	if ev := n.store.InsertReplica(id, f.TakePayload()); ev != nil {
 		n.dispatchEvicted(ev)
@@ -359,7 +388,10 @@ func (n *Node) handleReplicate(f *Frame) *Frame {
 
 // handleReplicaOp maintains the replica set at this (manager) node. A
 // payload, when present, carries a whole push round's holders (4 bytes
-// big-endian each); otherwise Aux names the single holder.
+// big-endian each) with the pusher's invalidation stamp in Aux for adds;
+// a bare Aux names the single holder (legacy encoding, stamp zero). An add
+// whose stamp predates an applied invalidation is refused whole — see
+// replicaOps.
 func (n *Node) handleReplicaOp(f *Frame) *Frame {
 	id := f.ID()
 	add := f.Flags&FlagMaster != 0
@@ -371,6 +403,9 @@ func (n *Node) handleReplicaOp(f *Frame) *Frame {
 		}
 	}
 	if len(f.Payload) >= 4 {
+		if add && stampNewer(n.invalStamp(id), uint64(f.Aux)) {
+			return ackFrame()
+		}
 		for off := 0; off+4 <= len(f.Payload); off += 4 {
 			apply(int32(binary.BigEndian.Uint32(f.Payload[off:])))
 		}

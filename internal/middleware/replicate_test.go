@@ -262,6 +262,10 @@ func TestWriteInvalidatesReplicas(t *testing.T) {
 	if err := nodes[2].WriteBlock(id, newData); err != nil {
 		t.Fatal(err)
 	}
+	// The invalidation rides the async bus: wait for every peer to ack.
+	if !nodes[2].FlushInval(5 * time.Second) {
+		t.Fatal("invalidation bus did not drain")
+	}
 	for i, n := range nodes {
 		if cached, ok := n.store.Get(id); ok && !bytes.Equal(cached, newData) {
 			t.Fatalf("node %d holds stale cached bytes after write-invalidate", i)

@@ -394,3 +394,20 @@ func (s *Store) Remove(id block.ID) (present, master bool) {
 	}
 	return present, master
 }
+
+// RemoveAll discards every cached block, returning the IDs that were held
+// as masters (their directory entries must be dropped by the caller). Used
+// when a truncated invalidation catch-up makes the whole cache suspect.
+func (s *Store) RemoveAll() []block.ID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var masters []block.ID
+	for id := range s.data {
+		if _, master := s.c.Remove(id); master {
+			masters = append(masters, id)
+		}
+	}
+	s.data = make(map[block.ID][]byte)
+	s.replica = make(map[block.ID]struct{})
+	return masters
+}

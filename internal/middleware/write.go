@@ -15,6 +15,12 @@ import (
 // are last-writer-wins; ordering across concurrent writers of the same
 // block is not defined (the paper leaves full write protocols to future
 // work).
+//
+// By default the cluster-wide invalidation rides the asynchronous bus
+// (inval.go): the writer invalidates locally, writes through, installs the
+// new master, publishes one sequenced record, and returns — peer latency is
+// off the critical path, and peers converge within the bounded staleness
+// window. Config.SyncInvalidate restores the blocking fan-out.
 func (n *Node) WriteBlock(id block.ID, data []byte) error {
 	size, err := n.cfg.Source.FileSize(id.File)
 	if err != nil {
@@ -25,6 +31,47 @@ func (n *Node) WriteBlock(id block.ID, data []byte) error {
 	}
 	n.c.writes.Add(1)
 
+	bus := n.busRef()
+	if bus == nil {
+		return n.writeBlockSync(id, data)
+	}
+
+	// 1. Invalidate the local copy now: the writer must never read its own
+	// stale bytes, and the new master is installed below.
+	n.handleInvalidate(id)
+
+	// 2. Write through to the home node's disk. This is the durability
+	// point: transient failures retry, and a home that stays down fails the
+	// write. The publish happens after this (and after the master insert),
+	// so a peer whose invalidation triggers a re-fetch can only find the
+	// new bytes, never a pre-write disk image.
+	if err := n.writeThrough(id, data); err != nil {
+		return err
+	}
+
+	// 3. The writer holds the new master copy.
+	n.insertBlock(id, data, true)
+	err = n.loc.Update(id, int32(n.cfg.ID))
+
+	// 4. Publish the invalidation record: per-peer sender loops deliver it
+	// in batched MsgInvalidateN frames in the background. The stamp orders
+	// this write against racing replica pushes of the old content.
+	if seq := bus.publish(id); seq != 0 {
+		n.recordInvalStamp(id, n.cfg.ID, seq)
+	}
+
+	// 5. Hot-block fast re-replication, as in the sync path.
+	if n.hot != nil && n.hot.Score(hotKey(id)) >= n.repThreshold && n.pushAllowed(id) {
+		go n.pushReplicas(id)
+	}
+	return err
+}
+
+// writeBlockSync is the pre-bus §6 write path: a blocking MsgInvalidate
+// fan-out to every peer, then the write-through. Kept byte-identical for
+// Config.SyncInvalidate (and single-node clusters, where there is no peer
+// to invalidate).
+func (n *Node) writeBlockSync(id block.ID, data []byte) error {
 	// 1. Invalidate every cached copy cluster-wide (including our own; the
 	// new content is installed below). The fan-out always completes: a
 	// failure at one peer must not leave later peers holding copies that
@@ -67,28 +114,13 @@ func (n *Node) WriteBlock(id block.ID, data []byte) error {
 	// 2. Write through to the home node's disk. This is the durability
 	// point: transient failures retry, and a home that stays down fails
 	// the write (reported to the caller, unlike the degradable fan-out).
-	home, err := n.home(id.File)
-	if err != nil {
+	if err := n.writeThrough(id, data); err != nil {
 		return err
-	}
-	if home == n.cfg.ID {
-		if err := n.cfg.Source.WriteBlock(id.File, id.Idx, data); err != nil {
-			return err
-		}
-	} else {
-		req := getFrame()
-		req.Type, req.File, req.Idx, req.Payload = MsgPutBlock, id.File, id.Idx, data
-		resp, err := n.reliableRPC(home, req, n.retries)
-		releaseFrame(req)
-		if err != nil {
-			return err
-		}
-		releaseFrame(resp)
 	}
 
 	// 3. The writer holds the new master copy.
 	n.insertBlock(id, data, true)
-	err = n.loc.Update(id, int32(n.cfg.ID))
+	err := n.loc.Update(id, int32(n.cfg.ID))
 
 	// 4. A write to a hot block tore down its whole copy set (step 1): if
 	// the writer's own serve history says the block is still above the
@@ -103,4 +135,26 @@ func (n *Node) WriteBlock(id block.ID, data []byte) error {
 		go n.pushReplicas(id)
 	}
 	return err
+}
+
+// writeThrough persists data at id's home: a local disk write when this
+// node is the home, a retried MsgPutBlock otherwise.
+func (n *Node) writeThrough(id block.ID, data []byte) error {
+	home, err := n.home(id.File)
+	if err != nil {
+		return err
+	}
+	if home == n.cfg.ID {
+		return n.cfg.Source.WriteBlock(id.File, id.Idx, data)
+	}
+	req := getFrame()
+	req.Type, req.File, req.Idx, req.Payload = MsgPutBlock, id.File, id.Idx, data
+	resp, err := n.reliableRPC(home, req, n.retries)
+	req.Payload = nil // caller's slice, not ours to recycle
+	releaseFrame(req)
+	if err != nil {
+		return err
+	}
+	releaseFrame(resp)
+	return nil
 }
