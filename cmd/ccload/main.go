@@ -48,6 +48,7 @@ func main() {
 		selftest    = flag.Bool("selftest", false, "start an in-process cluster instead")
 		bench       = flag.Bool("bench", false, "run the benchmark presets and write -benchout")
 		chaos       = flag.Bool("chaos", false, "run the node-crash chaos scenario and record it in -benchout")
+		resize      = flag.Bool("resize", false, "run the elastic-membership resize scenario (grow 4→8 mid-replay, drain back to 4) and record it in -benchout")
 		writesBench = flag.Bool("writesbench", false, "run the write-latency A/B matrix (sync/async invalidation × healthy/slow peer) and record it in -benchout")
 		scenario    = flag.String("scenario", "", "run one named protocol scenario with its expected-counter signature, or 'all' (full_hit, partial_hit, cold_miss, write_invalidate, flash_crowd, node_drain)")
 		benchOut    = flag.String("benchout", "BENCH_live.json", "benchmark result path (bench mode)")
@@ -108,6 +109,12 @@ func main() {
 	}
 	if *chaos {
 		if err := runChaos(*benchOut, *requests, *concurrency, *seed, benchInterval(*interval), *noRun); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *resize {
+		if err := runResize(*benchOut, *requests, *concurrency, *seed, benchInterval(*interval)); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -392,6 +399,12 @@ type chaosRecord struct {
 	// back per-block), never errors.
 	Runs         uint64 `json:"runs_issued"`
 	RunsDegraded uint64 `json:"runs_degraded"`
+	// The membership layer's response to the crash: failed heartbeat
+	// probes, the epoch after the dead promotion, and the blocks the
+	// survivors pulled while re-homing the dead node's ring slice.
+	HeartbeatFailures uint64 `json:"heartbeat_failures"`
+	MembershipEpoch   uint64 `json:"membership_epoch"`
+	RebalancedBlocks  uint64 `json:"rebalanced_blocks"`
 	faultCounters
 	// Intervals localizes the crash in time: the buckets around the crash
 	// show the latency spike and the fault-counter deltas of the recovery.
@@ -424,6 +437,10 @@ type benchDoc struct {
 	// the slow peer's delay must vanish from the writer's percentiles.
 	Writes []benchRecord `json:"writes,omitempty"`
 	Chaos  *chaosRecord  `json:"chaos,omitempty"`
+	// Resize is the elastic-membership scenario (ccload -resize): the
+	// cluster grows 4→8 mid-replay and drains back to 4, with zero
+	// client-visible errors and the hit-rate dip localized in Intervals.
+	Resize *resizeRecord `json:"resize,omitempty"`
 }
 
 // loadBenchDoc reads an existing benchmark document; a missing or
@@ -737,19 +754,20 @@ func buildFlashTrace(files int, sizes map[block.FileID]int64, requests int, zipf
 
 // --- chaos scenario ---
 
-// runChaos replays a read-heavy trace against a four-node cluster under a
-// seeded fault plan (small injected delays) and crashes one node halfway
-// through the replay. The cluster is sized so no single node holds the
-// working set — the crashed node holds master copies other nodes depend
-// on, which is exactly what the fallback path must absorb. Requests for
-// files homed at the crashed node are excluded from the trace (their
-// backing store is gone; every other failure must be invisible), so the
-// run must finish with zero client-visible errors, and the fault-handling
-// counters it records must be nonzero.
+// runChaos replays a read-heavy trace against a four-node ring cluster
+// under a seeded fault plan (small injected delays) and crashes one node
+// halfway through the replay. The cluster is sized so no single node holds
+// the working set — the crashed node holds master copies other nodes
+// depend on, which is exactly what the fallback path must absorb. Nothing
+// is excluded from the trace: requests for files homed at the crashed node
+// are first bridged by the ring-successor fallback, then the survivors'
+// heartbeats promote the crash to dead and re-home its ring slice for
+// good. The run must finish with zero client-visible errors, and the
+// fault-handling and membership counters it records must be nonzero.
 func runChaos(out string, requests, concurrency int, seed int64, interval time.Duration, noRun bool) error {
 	const (
 		nNodes    = 4
-		crashNode = nNodes - 1 // never the directory node (0)
+		crashNode = nNodes - 1 // never the coordinator (lowest alive ID)
 		capacity  = 128        // << working set: cooperation (and peer fetches) required
 		files     = 200
 		avgSize   = 16384
@@ -776,6 +794,15 @@ func runChaos(out string, requests, concurrency int, seed int64, interval time.D
 			cfg.NoRunReads = noRun
 			cfg.RPCTimeout = 300 * time.Millisecond
 			cfg.Retries = 2
+			// Aggressive heartbeats so the crash is suspected and promoted
+			// to dead well inside the replay (the successor fallback covers
+			// the window in between). DeadTimeout must comfortably exceed
+			// the RPC timeout: under injected delays a live peer's probe can
+			// pay the full timeout, and dead is terminal — only the truly
+			// crashed node may cross the threshold.
+			cfg.HeartbeatInterval = 25 * time.Millisecond
+			cfg.SuspectTimeout = 100 * time.Millisecond
+			cfg.DeadTimeout = time.Second
 			tracers[i] = obs.NewTracer(0)
 			cfg.Tracer = tracers[i]
 		})
@@ -792,18 +819,12 @@ func runChaos(out string, requests, concurrency int, seed int64, interval time.D
 	}
 	defer client.Close()
 
-	// Files homed at the crashed node lose their backing store with it;
-	// drop them from the replay. Everything else — including blocks whose
-	// only cached (master) copy lives on the crashed node — must keep
-	// being served.
+	// The whole trace replays — files homed at the crashed node included.
+	// Their reads ride the ring-successor fallback until the heartbeat
+	// layer promotes the crash to dead and re-homes the slice (every node's
+	// source holds the full manifest, so the successor serves from its own
+	// baseline when the dead home can't be pulled from).
 	tr := buildTrace(files, sizes, requests, 0.85, avgSize, seed)
-	kept := tr.Requests[:0]
-	for _, f := range tr.Requests {
-		if int(f)%nNodes != crashNode {
-			kept = append(kept, f)
-		}
-	}
-	tr.Requests = kept
 
 	crashAt := len(tr.Requests) / 2
 	log.Printf("chaos: %d nodes, crashing node %d at request %d/%d (seed %d)",
@@ -830,6 +851,12 @@ func runChaos(out string, requests, concurrency int, seed int64, interval time.D
 	}
 	if fc.ClientFailovers == 0 {
 		return fmt.Errorf("chaos: no client failovers recorded — entry-node failover was not exercised")
+	}
+	if res.Cluster.HeartbeatFailures == 0 {
+		return fmt.Errorf("chaos: no heartbeat failures recorded around a crash — the failure detector never fired")
+	}
+	if res.Cluster.MembershipEpoch < 2 {
+		return fmt.Errorf("chaos: membership epoch %d — the crash was never promoted to dead", res.Cluster.MembershipEpoch)
 	}
 
 	traceEvents := make(map[string]uint64)
@@ -858,6 +885,10 @@ func runChaos(out string, requests, concurrency int, seed int64, interval time.D
 
 		Runs:         res.Cluster.RunsIssued,
 		RunsDegraded: res.Cluster.RunsDegraded,
+
+		HeartbeatFailures: res.Cluster.HeartbeatFailures,
+		MembershipEpoch:   res.Cluster.MembershipEpoch,
+		RebalancedBlocks:  res.Cluster.RebalancedBlocks,
 
 		faultCounters: fc,
 		Intervals:     res.Intervals,
@@ -935,6 +966,9 @@ func runWritesArm(requests, concurrency int, seed int64, interval time.Duration,
 	p := writesPreset
 	plan := &middleware.FaultPlan{Seed: seed, DelayProb: 1, Delay: writesSlowDelay}
 	mut := func(i int, cfg *middleware.Config) {
+		// The matrix's manifest filter excludes the slow peer's homed files
+		// by modulo: pin the static placement so the filter stays exact.
+		cfg.StaticHome = true
 		cfg.SyncInvalidate = syncInval
 		cfg.RPCTimeout = writesRPCTimeout
 		cfg.Retries = 2

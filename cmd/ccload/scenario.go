@@ -52,10 +52,19 @@ func runScenarios(name string, requests, concurrency int, seed int64) error {
 	return nil
 }
 
-// scenarioCluster is the common 4-node in-process setup of the matrix.
+// scenarioCluster is the common 4-node in-process setup of the matrix. The
+// scenarios pin counter signatures written against the paper's static
+// int(f) % clusterSize placement (node_drain excludes the drained node's
+// homed files by modulo), so the matrix runs with StaticHome — the
+// elastic-membership counterpart is ccload -resize.
 func scenarioCluster(capacity, files int, mut func(i int, cfg *middleware.Config)) (map[block.FileID]int64, []*middleware.Node, *middleware.Client, func(), error) {
 	sizes := fileSizes(files, 16384)
-	nodes, addrs, shutdown, err := startCluster(4, capacity, false, sizes, mut)
+	nodes, addrs, shutdown, err := startCluster(4, capacity, false, sizes, func(i int, cfg *middleware.Config) {
+		cfg.StaticHome = true
+		if mut != nil {
+			mut(i, cfg)
+		}
+	})
 	if err != nil {
 		return nil, nil, nil, nil, err
 	}

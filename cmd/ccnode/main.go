@@ -59,12 +59,18 @@ func main() {
 		repFan   = flag.Int("replica-fanout", 0, "with -serve: replica copies pushed per hot block (0: default of 2)")
 		admit    = flag.Bool("admission", false, "with -serve: TinyLFU admission filter on the cache (one-hit wonders never evict hot blocks)")
 		syncInv  = flag.Bool("sync-invalidate", false, "with -serve: synchronous write-invalidate fan-out instead of the async invalidation bus")
+		join     = flag.String("join", "", "with -serve: join a running cluster through this seed node address instead of -cluster (requires -listen; -id picks this node's slot)")
+		drain    = flag.Int("drain", -1, "drain this node ID out of the cluster: mark it draining, wait for the survivors to pull its ring slice, then remove it")
+		static   = flag.Bool("static-home", false, "with -serve: pin the paper's static int(f)%%clusterSize placement (no ring, no elastic membership)")
+		hbIvl    = flag.Duration("heartbeat-interval", 0, "with -serve: peer heartbeat probe interval (0: heartbeats off)")
+		suspect  = flag.Duration("suspect-timeout", 0, "with -serve: silence before a peer is locally suspected (0: 3x heartbeat interval)")
+		deadTO   = flag.Duration("dead-timeout", 0, "with -serve: silence before a suspected peer is proposed dead cluster-wide (0: 10x heartbeat interval)")
 	)
 	flag.Parse()
 
 	addrs := splitAddrs(*cluster)
-	if len(addrs) == 0 {
-		log.Fatal("-cluster is required")
+	if len(addrs) == 0 && !(*serve && *join != "") {
+		log.Fatal("-cluster is required (or -serve -join <seed>)")
 	}
 
 	ft := faultTolerance{
@@ -77,7 +83,14 @@ func main() {
 	switch {
 	case *serve:
 		ad := adaptive{threshold: *repThr, fanout: *repFan, admission: *admit}
-		runNode(*id, *listen, addrs, *capacity, *policy, *hints, *files, *avg, ft, ad, *metrics, *traceCap, *syncInv)
+		ms := membership{join: *join, static: *static, heartbeat: *hbIvl, suspect: *suspect, dead: *deadTO}
+		runNode(*id, *listen, addrs, *capacity, *policy, *hints, *files, *avg, ft, ad, ms, *metrics, *traceCap, *syncInv)
+	case *drain >= 0:
+		client := dial(addrs, ft)
+		defer client.Close()
+		if err := drainNode(client, *drain); err != nil {
+			log.Fatal(err)
+		}
 	case *get >= 0:
 		client := dial(addrs, ft)
 		defer client.Close()
@@ -97,9 +110,10 @@ func main() {
 				fmt.Printf("node %d: unreachable (%v)\n", i, err)
 				continue
 			}
-			fmt.Printf("node %d: accesses=%d local=%d remote=%d disk=%d forwards=%d hit=%.1f%% timeouts=%d retries=%d fallbacks=%d breaker_opens=%d\n",
+			fmt.Printf("node %d: accesses=%d local=%d remote=%d disk=%d forwards=%d hit=%.1f%% timeouts=%d retries=%d fallbacks=%d breaker_opens=%d epoch=%d rebalanced=%d pending=%d\n",
 				i, s.Accesses, s.LocalHits, s.RemoteHits, s.DiskReads, s.Forwards, s.HitRate()*100,
-				s.RPCTimeouts, s.RPCRetries, s.HomeFallbacks, s.BreakerOpens)
+				s.RPCTimeouts, s.RPCRetries, s.HomeFallbacks, s.BreakerOpens,
+				s.MembershipEpoch, s.RebalancedBlocks, s.RebalancePending)
 		}
 	default:
 		flag.Usage()
@@ -148,8 +162,53 @@ type adaptive struct {
 	admission bool
 }
 
-func runNode(id int, listen string, addrs []string, capacity int, policy string, hints bool, files int, avg int64, ft faultTolerance, ad adaptive, metricsAddr string, traceCap int, syncInval bool) {
-	if id < 0 || id >= len(addrs) {
+// membership groups the elastic-membership knobs: joining an existing
+// cluster through a seed, pinning the legacy static placement, and the
+// heartbeat failure-detection cadence.
+type membership struct {
+	join      string
+	static    bool
+	heartbeat time.Duration
+	suspect   time.Duration
+	dead      time.Duration
+}
+
+// drainNode runs the full graceful-departure lifecycle against a live
+// cluster: mark the node draining (it keeps serving), wait until every
+// survivor has pulled its share of the drained ring slice, then remove it
+// — after which its process can be stopped with no client-visible errors.
+func drainNode(client *middleware.Client, id int) error {
+	if err := client.DrainNode(id); err != nil {
+		return fmt.Errorf("drain node %d: %w", id, err)
+	}
+	log.Printf("node %d draining (epoch %d); waiting for the rebalance to settle", id, client.MembershipEpoch())
+	deadline := time.Now().Add(10 * time.Minute)
+	for {
+		st, err := client.ClusterStats()
+		if err == nil && st.RebalancePending == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("drain node %d: rebalance never settled", id)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if err := client.RemoveNode(id); err != nil {
+		return fmt.Errorf("remove node %d: %w", id, err)
+	}
+	log.Printf("node %d removed (epoch %d); its process can be stopped", id, client.MembershipEpoch())
+	return nil
+}
+
+func runNode(id int, listen string, addrs []string, capacity int, policy string, hints bool, files int, avg int64, ft faultTolerance, ad adaptive, ms membership, metricsAddr string, traceCap int, syncInval bool) {
+	if ms.join != "" {
+		if listen == "" {
+			log.Fatal("-join requires -listen (the joiner's own address)")
+		}
+		if id < 0 {
+			log.Fatalf("-id %d invalid", id)
+		}
+	} else if id < 0 || id >= len(addrs) {
 		log.Fatalf("-id %d out of range for %d cluster addresses", id, len(addrs))
 	}
 	if listen == "" {
@@ -189,17 +248,29 @@ func runNode(id int, listen string, addrs []string, capacity int, policy string,
 		ReplicaFanout:      ad.fanout,
 		AdmissionFilter:    ad.admission,
 		SyncInvalidate:     syncInval,
+		StaticHome:         ms.static,
+		HeartbeatInterval:  ms.heartbeat,
+		SuspectTimeout:     ms.suspect,
+		DeadTimeout:        ms.dead,
 		Tracer:             tracer,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	n.SetAddrs(addrs)
+	if ms.join != "" {
+		if err := n.Join(ms.join); err != nil {
+			n.Close()
+			log.Fatalf("join via %s: %v", ms.join, err)
+		}
+		log.Printf("joined cluster via %s as node %d (epoch %d)", ms.join, id, n.MembershipEpoch())
+	} else {
+		n.SetAddrs(addrs)
+	}
 	if metricsAddr != "" {
 		go serveMetrics(metricsAddr, n)
 	}
-	log.Printf("node %d serving on %s (capacity %d blocks, %s, hints=%v)",
-		id, n.Addr(), capacity, policy, hints)
+	log.Printf("node %d serving on %s (capacity %d blocks, %s, hints=%v, static_home=%v)",
+		id, n.Addr(), capacity, policy, hints, ms.static)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)

@@ -475,3 +475,96 @@ func syntheticFile(geom block.Geometry, f block.FileID, size int64) []byte {
 	}
 	return out
 }
+
+// TestStaticHomeReplayEquivalence pins the compatibility contract of the
+// elastic-membership layer: a Config.StaticHome cluster — the legacy
+// int(f) % clusterSize mapping — and a consistent-hash ring cluster replay
+// the same deterministic trace with identical §3 counters and identical
+// bytes. Placement decides *where* each master lives, never *what* the
+// protocol does, so any divergence here means the membership machinery
+// leaked into the caching protocol. The static cluster must also show zero
+// elastic activity: no rebalanced blocks, no heartbeat failures, no view.
+func TestStaticHomeReplayEquivalence(t *testing.T) {
+	const k = 3
+	geom := block.Geometry{Size: 1024, ExtentBlocks: 8}
+	staticClient, sizes := startClusterMut(t, k, 4096, func(i int, cfg *middleware.Config) {
+		cfg.SyncInvalidate = true
+		cfg.StaticHome = true
+	}, middleware.ClientConfig{})
+	ringClient, _ := startClusterMut(t, k, 4096, func(i int, cfg *middleware.Config) {
+		cfg.SyncInvalidate = true
+	}, middleware.ClientConfig{})
+	tr := replayTrace(sizes, 120)
+
+	resStatic, err := Replay(staticClient, tr, Config{Concurrency: 1, WarmupFrac: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resRing, err := Replay(ringClient, tr, Config{Concurrency: 1, WarmupFrac: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, r := resStatic.Cluster, resRing.Cluster
+	if s.Accesses != r.Accesses || s.LocalHits != r.LocalHits ||
+		s.RemoteHits != r.RemoteHits || s.DiskReads != r.DiskReads {
+		t.Errorf("static home diverged from ring placement:\nstatic: accesses=%d local=%d remote=%d disk=%d\n  ring: accesses=%d local=%d remote=%d disk=%d",
+			s.Accesses, s.LocalHits, s.RemoteHits, s.DiskReads,
+			r.Accesses, r.LocalHits, r.RemoteHits, r.DiskReads)
+	}
+	if s.RaceMisses != r.RaceMisses || s.Forwards != r.Forwards || s.Invalidations != r.Invalidations {
+		t.Errorf("secondary counters diverged: static races=%d forwards=%d inval=%d, ring races=%d forwards=%d inval=%d",
+			s.RaceMisses, s.Forwards, s.Invalidations, r.RaceMisses, r.Forwards, r.Invalidations)
+	}
+	// The legacy mode must not have constructed any elastic machinery.
+	if s.RebalancedBlocks != 0 || s.RebalancePending != 0 || s.HeartbeatFailures != 0 {
+		t.Errorf("static cluster ran elastic machinery: rebalanced=%d pending=%d hbfail=%d",
+			s.RebalancedBlocks, s.RebalancePending, s.HeartbeatFailures)
+	}
+	// The ring cluster, steady-state, must be equally quiet: placement is a
+	// pure function of the (unchanging) membership, so no rebalance happens.
+	if r.RebalancedBlocks != 0 || r.RebalancePending != 0 {
+		t.Errorf("steady-state ring cluster rebalanced: %d blocks, %d pending",
+			r.RebalancedBlocks, r.RebalancePending)
+	}
+
+	// Byte equivalence through both placements, and a write through each:
+	// the same one-invalidation-per-node cost, the same bytes everywhere.
+	for f := 0; f < len(sizes); f++ {
+		id := block.FileID(f)
+		want := syntheticFile(geom, id, sizes[id])
+		for name, cl := range map[string]*middleware.Client{"static": staticClient, "ring": ringClient} {
+			got, err := cl.Read(id)
+			if err != nil {
+				t.Fatalf("%s read file %d: %v", name, f, err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("%s cluster corrupted file %d (%d bytes)", name, f, len(got))
+			}
+		}
+	}
+	patch := bytes.Repeat([]byte{0xE7}, int(sizes[0]))
+	for name, pair := range map[string]struct {
+		cl   *middleware.Client
+		base uint64
+	}{"static": {staticClient, s.Invalidations}, "ring": {ringClient, r.Invalidations}} {
+		if err := pair.cl.Write(0, 0, patch); err != nil {
+			t.Fatalf("%s write: %v", name, err)
+		}
+		after, err := pair.cl.ClusterStats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := after.Invalidations - pair.base; d != k {
+			t.Errorf("%s invalidations per write = %d, want %d", name, d, k)
+		}
+		for e := 0; e < k; e++ {
+			data, err := pair.cl.ReadVia(e, 0)
+			if err != nil {
+				t.Fatalf("%s read via %d after write: %v", name, e, err)
+			}
+			if !bytes.Equal(data, patch) {
+				t.Fatalf("%s node %d served stale bytes after write", name, e)
+			}
+		}
+	}
+}

@@ -29,7 +29,17 @@ func TestBuildIntervals(t *testing.T) {
 		{at: start + 400*ms, fs: middleware.ClientFaultStats{Timeouts: 3, Failovers: 2, BreakerSkips: 1}},
 	}
 
-	out := buildIntervals(samples, faults, start, w)
+	stats := []statSample{
+		// Bucket 0 boundary state: 10 accesses, 4 hits (2 local, 2 remote).
+		{at: start + 60*ms, st: middleware.Stats{Accesses: 10, LocalHits: 2, RemoteHits: 2, MembershipEpoch: 1}},
+		// Bucket 1: +10 accesses, +8 hits -> hit rate 0.8, with a rebalance
+		// in flight.
+		{at: start + 170*ms, st: middleware.Stats{Accesses: 20, LocalHits: 8, RemoteHits: 4, MembershipEpoch: 2, RebalancePending: 3}},
+		// Bucket 3: counters dipped (a node crashed): clamp to 0, not wrap.
+		{at: start + 390*ms, st: middleware.Stats{Accesses: 25, LocalHits: 6, RemoteHits: 3, MembershipEpoch: 2}},
+	}
+
+	out := buildIntervals(samples, faults, stats, start, w)
 	if len(out) != 4 {
 		t.Fatalf("got %d buckets, want 4 (last sample at 310ms / 100ms width)", len(out))
 	}
@@ -98,18 +108,35 @@ func TestBuildIntervals(t *testing.T) {
 	if tos != 3 || fos != 2 || skips != 1 {
 		t.Fatalf("fault totals = %d/%d/%d, want the final snapshot 3/2/1", tos, fos, skips)
 	}
+
+	// Hit-rate series: bucket 0 has no prior snapshot (-1), bucket 1's
+	// delta is 8 hits over 10 accesses, bucket 2 has no snapshot (-1),
+	// bucket 3's hit delta dipped below zero and clamps to a 0 rate.
+	if b0.HitRate != -1 {
+		t.Fatalf("bucket 0 hit rate = %v, want -1 (no prior snapshot)", b0.HitRate)
+	}
+	if b1.HitRate != 0.8 || b1.RebalancePending != 3 || b1.MembershipEpoch != 2 {
+		t.Fatalf("bucket 1 = hit %.2f pending %d epoch %d, want 0.80/3/2",
+			b1.HitRate, b1.RebalancePending, b1.MembershipEpoch)
+	}
+	if out[2].HitRate != -1 {
+		t.Fatalf("bucket 2 hit rate = %v, want -1 (no snapshot)", out[2].HitRate)
+	}
+	if b3.HitRate != 0 || b3.RebalancePending != 0 {
+		t.Fatalf("bucket 3 = hit %v pending %d, want clamped 0 and no pending", b3.HitRate, b3.RebalancePending)
+	}
 }
 
 // TestBuildIntervalsEmpty covers the degenerate inputs.
 func TestBuildIntervalsEmpty(t *testing.T) {
-	if out := buildIntervals(nil, nil, 1, time.Second); out != nil {
+	if out := buildIntervals(nil, nil, nil, 1, time.Second); out != nil {
 		t.Fatalf("no samples should yield no intervals, got %v", out)
 	}
-	if out := buildIntervals([]isample{{at: 5}}, nil, 0, time.Second); out != nil {
+	if out := buildIntervals([]isample{{at: 5}}, nil, nil, 0, time.Second); out != nil {
 		t.Fatalf("unset measurement start should yield no intervals, got %v", out)
 	}
 	// Only warmup samples: nothing measurable.
-	if out := buildIntervals([]isample{{at: 5}}, nil, 10, time.Second); out != nil {
+	if out := buildIntervals([]isample{{at: 5}}, nil, nil, 10, time.Second); out != nil {
 		t.Fatalf("warmup-only samples should yield no intervals, got %v", out)
 	}
 }

@@ -71,9 +71,23 @@ type Config struct {
 	OnBreakpoint func()
 	// Breakpoint is the request index that triggers OnBreakpoint.
 	Breakpoint int
+	// Breakpoints are additional (index, hook) pairs with the same
+	// contract as Breakpoint/OnBreakpoint: each hook runs exactly once,
+	// synchronously, just before its request index is issued. Resize runs
+	// use several — join nodes mid-replay, drain them later.
+	Breakpoints []Breakpoint
 	// Interval is the bucket width of the per-interval time series in
 	// Result.Intervals (0: 1 s default; negative: no time series).
 	Interval time.Duration
+}
+
+// Breakpoint pairs a request index with a hook to run just before that
+// index is issued.
+type Breakpoint struct {
+	// Index is the request index that triggers Fn.
+	Index int
+	// Fn runs exactly once, synchronously, on the worker that draws Index.
+	Fn func()
 }
 
 // Interval is one bucket of the replay's measured-window time series:
@@ -105,6 +119,15 @@ type Interval struct {
 	ClientTimeouts     uint64 `json:"client_timeouts,omitempty"`
 	ClientFailovers    uint64 `json:"client_failovers,omitempty"`
 	ClientBreakerSkips uint64 `json:"client_breaker_skips,omitempty"`
+	// HitRate is the cluster cache hit rate over this bucket's accesses
+	// ((Δlocal+Δremote)/Δaccesses from periodic cluster-stat snapshots;
+	// -1 when no snapshot landed in the bucket or no accesses occurred).
+	// Resize runs read the recovery of this series after a join or drain.
+	HitRate float64 `json:"hit_rate"`
+	// RebalancePending/MembershipEpoch are the cluster's values at the
+	// bucket's end boundary (membership runs only; zero otherwise).
+	RebalancePending uint64 `json:"rebalance_pending,omitempty"`
+	MembershipEpoch  uint64 `json:"epoch,omitempty"`
 }
 
 // intervalSampleCap bounds the per-bucket latency reservoir.
@@ -123,6 +146,13 @@ type isample struct {
 type faultSample struct {
 	at int64
 	fs middleware.ClientFaultStats
+}
+
+// statSample is a timestamped cumulative cluster-stat snapshot (best
+// effort: mid-resize a node may be unreachable and the snapshot skipped).
+type statSample struct {
+	at int64
+	st middleware.Stats
 }
 
 // Result summarizes a replay.
@@ -219,6 +249,7 @@ func Replay(client *middleware.Client, tr *trace.Trace, cfg Config) (Result, err
 	// the bucket they occurred in.
 	var (
 		faultSamples []faultSample
+		statSamples  []statSample
 		samplerStop  chan struct{}
 		samplerDone  chan struct{}
 	)
@@ -238,8 +269,12 @@ func Replay(client *middleware.Client, tr *trace.Trace, cfg Config) (Result, err
 					return
 				case now := <-t.C:
 					fs := client.FaultStats()
+					st, serr := client.ClusterStats()
 					mu.Lock()
 					faultSamples = append(faultSamples, faultSample{at: now.UnixNano(), fs: fs})
+					if serr == nil {
+						statSamples = append(statSamples, statSample{at: now.UnixNano(), st: st})
+					}
 					mu.Unlock()
 				}
 			}
@@ -258,6 +293,11 @@ func Replay(client *middleware.Client, tr *trace.Trace, cfg Config) (Result, err
 			f := tr.Requests[idx]
 			if cfg.OnBreakpoint != nil && idx == cfg.Breakpoint {
 				cfg.OnBreakpoint() // the cursor hands out each index once
+			}
+			for _, bp := range cfg.Breakpoints {
+				if bp.Fn != nil && idx == bp.Index {
+					bp.Fn()
+				}
 			}
 			start := time.Now()
 			if idx == warm {
@@ -314,6 +354,9 @@ func Replay(client *middleware.Client, tr *trace.Trace, cfg Config) (Result, err
 		<-samplerDone
 		// One final snapshot so the last bucket's delta has an end boundary.
 		faultSamples = append(faultSamples, faultSample{at: end.UnixNano(), fs: client.FaultStats()})
+		if st, serr := client.ClusterStats(); serr == nil {
+			statSamples = append(statSamples, statSample{at: end.UnixNano(), st: st})
+		}
 	}
 
 	res := Result{
@@ -351,7 +394,7 @@ func Replay(client *middleware.Client, tr *trace.Trace, cfg Config) (Result, err
 	}
 	res.Fault = client.FaultStats()
 	if cfg.Interval > 0 {
-		res.Intervals = buildIntervals(samples, faultSamples, measStart.Load(), cfg.Interval)
+		res.Intervals = buildIntervals(samples, faultSamples, statSamples, measStart.Load(), cfg.Interval)
 	}
 	return res, nil
 }
@@ -359,7 +402,7 @@ func Replay(client *middleware.Client, tr *trace.Trace, cfg Config) (Result, err
 // buildIntervals buckets the measured samples into width-wide intervals
 // starting at measStart and attributes fault-counter deltas to each bucket
 // from the sampler's timestamped snapshots (appended in time order).
-func buildIntervals(samples []isample, faults []faultSample, measStart int64, width time.Duration) []Interval {
+func buildIntervals(samples []isample, faults []faultSample, stats []statSample, measStart int64, width time.Duration) []Interval {
 	if measStart <= 0 || len(samples) == 0 {
 		return nil
 	}
@@ -425,6 +468,40 @@ func buildIntervals(samples []isample, faults []faultSample, measStart int64, wi
 		out[i].ClientFailovers = cur.Failovers - prev.Failovers
 		out[i].ClientBreakerSkips = cur.BreakerSkips - prev.BreakerSkips
 		prev = cur
+	}
+	// Per-bucket hit rate from the cluster-stat snapshots, same boundary
+	// scheme. Crashed nodes make the cumulative counters dip (their share
+	// dies with them), so deltas are clamped at zero; buckets with no
+	// snapshot or no accesses report -1.
+	var prevSt middleware.Stats
+	havePrev := false
+	j = 0
+	for j < len(stats) && stats[j].at <= measStart {
+		prevSt, havePrev = stats[j].st, true
+		j++
+	}
+	for i := range out {
+		out[i].HitRate = -1
+		boundary := measStart + int64(i+1)*w
+		cur, have := prevSt, false
+		for j < len(stats) && stats[j].at <= boundary {
+			cur, have = stats[j].st, true
+			j++
+		}
+		if !have {
+			continue
+		}
+		out[i].RebalancePending = cur.RebalancePending
+		out[i].MembershipEpoch = cur.MembershipEpoch
+		if havePrev && cur.Accesses > prevSt.Accesses {
+			da := cur.Accesses - prevSt.Accesses
+			var dh uint64
+			if hits, ph := cur.LocalHits+cur.RemoteHits, prevSt.LocalHits+prevSt.RemoteHits; hits > ph {
+				dh = hits - ph
+			}
+			out[i].HitRate = float64(dh) / float64(da)
+		}
+		prevSt, havePrev = cur, true
 	}
 	return out
 }

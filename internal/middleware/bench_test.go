@@ -181,7 +181,7 @@ func benchColdReads(b *testing.B, noRun bool) {
 		n, err := Start(Config{
 			ID: i, CapacityBlocks: 64, Policy: core.PolicyMaster,
 			Geometry: geom, Source: NewMemSource(geom, sizes),
-			NoRunReads: noRun,
+			NoRunReads: noRun, StaticHome: true,
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -237,6 +237,7 @@ func BenchmarkClientReadFile(b *testing.B) {
 		n, err := Start(Config{
 			ID: i, CapacityBlocks: 64, Policy: core.PolicyMaster,
 			Geometry: geom, Source: NewMemSource(geom, sizes),
+			StaticHome: true,
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -285,6 +286,7 @@ func BenchmarkWriteBlock(b *testing.B) {
 		n, err := Start(Config{
 			ID: i, CapacityBlocks: 64, Policy: core.PolicyMaster,
 			Geometry: geom, Source: NewMemSource(geom, sizes),
+			StaticHome: true,
 		})
 		if err != nil {
 			b.Fatal(err)

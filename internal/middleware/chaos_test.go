@@ -26,6 +26,7 @@ func startFaultCluster(t *testing.T, k, capacityBlocks int, sizes map[block.File
 			Policy:         core.PolicyMaster,
 			Geometry:       testGeom,
 			Source:         NewMemSource(testGeom, sizes),
+			StaticHome:     true, // legacy placement tests assume f % k homes
 		}
 		if mut != nil {
 			mut(i, &cfg)

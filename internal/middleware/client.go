@@ -52,14 +52,24 @@ type ClientFaultStats struct {
 // per-node circuit breakers steer new requests away from suspected-down
 // nodes.
 type Client struct {
-	addrs    []string
-	cfg      ClientConfig
-	timeout  time.Duration
-	retries  int
-	mu       sync.Mutex
-	conns    []*conn
-	breakers []*breaker
-	rr       atomic.Uint32
+	// members is the client's picture of the cluster: node-ID-indexed
+	// addresses and liveness, refreshed from any live node after failover
+	// trips (so the client survives the death of every original entry
+	// point, and discovers joined nodes without re-dialing).
+	members atomic.Pointer[clientMembers]
+	cfg     ClientConfig
+	timeout time.Duration
+	retries int
+	// mu guards conns/breakers. Both are node-ID-indexed and only ever
+	// grow; a removed member keeps its slot (skipped via members).
+	mu         sync.Mutex
+	conns      []*conn
+	breakers   []*breaker
+	brThresh   int
+	brCooldown time.Duration
+	rr         atomic.Uint32
+	// lastRefresh rate-limits membership refreshes (unix nanos).
+	lastRefresh atomic.Int64
 
 	timeouts     atomic.Uint64
 	failovers    atomic.Uint64
@@ -80,6 +90,26 @@ type Client struct {
 	rpcLat [msgTypeCount]obs.Histogram
 }
 
+// clientMembers is the client's immutable membership snapshot: index =
+// node ID, an empty address marks an unknown slot, alive marks slots that
+// accept requests (alive or draining members).
+type clientMembers struct {
+	epoch uint64
+	addrs []string
+	alive []bool
+}
+
+// count reports how many slots currently accept requests.
+func (m *clientMembers) count() int {
+	n := 0
+	for _, a := range m.alive {
+		if a {
+			n++
+		}
+	}
+	return n
+}
+
 // DialCluster returns a client for the given node addresses (index = node
 // ID) with default fault tolerance. Connections are established lazily.
 func DialCluster(addrs []string) (*Client, error) {
@@ -92,11 +122,18 @@ func DialClusterConfig(addrs []string, cfg ClientConfig) (*Client, error) {
 		return nil, fmt.Errorf("middleware: no cluster addresses")
 	}
 	c := &Client{
-		addrs:    append([]string(nil), addrs...),
 		cfg:      cfg,
 		conns:    make([]*conn, len(addrs)),
 		breakers: make([]*breaker, len(addrs)),
 	}
+	m := &clientMembers{
+		addrs: append([]string(nil), addrs...),
+		alive: make([]bool, len(addrs)),
+	}
+	for i := range m.alive {
+		m.alive[i] = true
+	}
+	c.members.Store(m)
 	c.timeout = cfg.RPCTimeout
 	if c.timeout == 0 {
 		c.timeout = defaultRPCTimeout
@@ -119,19 +156,43 @@ func DialClusterConfig(addrs []string, cfg ClientConfig) (*Client, error) {
 	if cooldown <= 0 {
 		cooldown = defaultBreakerCooldown
 	}
+	c.brThresh, c.brCooldown = thresh, cooldown
 	for i := range c.breakers {
 		c.breakers[i] = &breaker{threshold: thresh, cooldown: cooldown}
 	}
 	return c, nil
 }
 
-func (c *Client) conn(i int) (*conn, error) {
+// growLocked extends the node-ID-indexed conns/breakers arrays to n slots.
+// Callers hold c.mu.
+func (c *Client) growLocked(n int) {
+	for len(c.breakers) < n {
+		c.conns = append(c.conns, nil)
+		c.breakers = append(c.breakers, &breaker{threshold: c.brThresh, cooldown: c.brCooldown})
+	}
+}
+
+// breaker returns node i's circuit breaker, growing the array if the
+// membership view got ahead of it.
+func (c *Client) breaker(i int) *breaker {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.growLocked(i + 1)
+	return c.breakers[i]
+}
+
+func (c *Client) conn(i int) (*conn, error) {
+	m := c.members.Load()
+	if i < 0 || i >= len(m.addrs) || m.addrs[i] == "" {
+		return nil, errPeerSuspect // unknown slot: steer elsewhere
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.growLocked(len(m.addrs))
 	if c.conns[i] != nil {
 		return c.conns[i], nil
 	}
-	nc, err := net.Dial("tcp", c.addrs[i])
+	nc, err := net.Dial("tcp", m.addrs[i])
 	if err != nil {
 		return nil, err
 	}
@@ -175,18 +236,34 @@ func (c *Client) RegisterMetrics(r *obs.Registry) {
 	}
 }
 
-// next picks the next node round-robin, steering around nodes whose
-// breaker is open (if every breaker is open, the round-robin choice
-// proceeds anyway — somebody has to probe).
+// next picks the next node round-robin over the live membership, steering
+// around removed slots and nodes whose breaker is open (if every breaker
+// is open, the round-robin choice proceeds anyway — somebody has to
+// probe).
 func (c *Client) next() int {
-	for try := 0; try < len(c.addrs); try++ {
-		i := int(c.rr.Add(1)-1) % len(c.addrs)
-		if c.breakers[i].allow() {
+	m := c.members.Load()
+	n := len(m.addrs)
+	c.mu.Lock()
+	c.growLocked(n)
+	brs := c.breakers[:n]
+	c.mu.Unlock()
+	for try := 0; try < n; try++ {
+		i := int(c.rr.Add(1)-1) % n
+		if !m.alive[i] {
+			continue
+		}
+		if brs[i].allow() {
 			return i
 		}
 		c.breakerSkips.Add(1)
 	}
-	return int(c.rr.Add(1)-1) % len(c.addrs)
+	for try := 0; try < n; try++ {
+		i := int(c.rr.Add(1)-1) % n
+		if m.addrs[i] != "" {
+			return i
+		}
+	}
+	return int(c.rr.Add(1)-1) % n
 }
 
 func (c *Client) roundTrip(node int, f *Frame) (*Frame, error) {
@@ -206,7 +283,7 @@ func (c *Client) roundTrip(node int, f *Frame) (*Frame, error) {
 			}
 		}
 		if err == nil {
-			c.breakers[node].success()
+			c.breaker(node).success()
 			return resp, nil
 		}
 	}
@@ -214,7 +291,7 @@ func (c *Client) roundTrip(node int, f *Frame) (*Frame, error) {
 		if err == errRPCTimeout {
 			c.timeouts.Add(1)
 		}
-		c.breakers[node].failure()
+		c.breaker(node).failure()
 	}
 	return nil, err
 }
@@ -222,15 +299,158 @@ func (c *Client) roundTrip(node int, f *Frame) (*Frame, error) {
 // failoverTrip runs the request against node, retrying on other nodes
 // (picked round-robin through the breakers) after transient failures.
 // Only idempotent requests may use it. The second return value is the
-// node that actually answered.
+// node that actually answered. Each failover first refreshes the
+// membership view (rate-limited) so retries route around members the
+// cluster has declared dead and reach members that joined after dial.
 func (c *Client) failoverTrip(node int, f *Frame) (*Frame, int, error) {
 	resp, err := c.roundTrip(node, f)
 	for attempt := 0; attempt < c.retries && isTransient(err); attempt++ {
 		c.failovers.Add(1)
+		c.maybeRefresh()
 		node = c.next()
 		resp, err = c.roundTrip(node, f)
 	}
 	return resp, node, err
+}
+
+// refreshInterval rate-limits failover-triggered membership refreshes.
+const refreshInterval = 200 * time.Millisecond
+
+// maybeRefresh refreshes the membership view unless one happened within
+// refreshInterval (one refresh per failure burst, not one per retry).
+func (c *Client) maybeRefresh() {
+	now := time.Now().UnixNano()
+	last := c.lastRefresh.Load()
+	if now-last < int64(refreshInterval) || !c.lastRefresh.CompareAndSwap(last, now) {
+		return
+	}
+	c.RefreshMembership() //nolint:errcheck // best effort; stale view keeps working
+}
+
+// RefreshMembership fetches the cluster's membership view from any node
+// that answers and installs it if newer: dead members stop receiving
+// requests, joined members become entry points. The client survives the
+// death of every address it was dialed with, as long as some member it
+// has learned about is still alive.
+func (c *Client) RefreshMembership() error {
+	m := c.members.Load()
+	var lastErr error
+	for i := range m.addrs {
+		if m.addrs[i] == "" || !m.alive[i] {
+			continue
+		}
+		req := getFrame()
+		req.Type = MsgView
+		resp, err := c.roundTrip(i, req)
+		releaseFrame(req)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.Type == MsgViewReply {
+			v, derr := decodeView(resp.Payload)
+			releaseFrame(resp)
+			if derr != nil {
+				lastErr = derr
+				continue
+			}
+			c.installMembers(v)
+			return nil
+		}
+		typ := resp.Type
+		releaseFrame(resp)
+		lastErr = fmt.Errorf("middleware: unexpected view reply %d", typ)
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("middleware: no live node to refresh membership from")
+	}
+	return lastErr
+}
+
+// installMembers folds a decoded membership view into the client's
+// picture if it is newer, closing connections to members now dead.
+func (c *Client) installMembers(v *memberView) {
+	for {
+		cur := c.members.Load()
+		if cur != nil && cur.epoch >= v.epoch {
+			return
+		}
+		m := &clientMembers{
+			epoch: v.epoch,
+			addrs: make([]string, v.size()),
+			alive: make([]bool, v.size()),
+		}
+		for i, mi := range v.members {
+			m.addrs[i] = mi.Addr
+			// Draining members still serve; only dead (and empty) slots
+			// stop being entry points.
+			m.alive[i] = mi.State != stateDead && mi.Addr != ""
+		}
+		if !c.members.CompareAndSwap(cur, m) {
+			continue
+		}
+		var dead []*conn
+		c.mu.Lock()
+		c.growLocked(len(m.addrs))
+		for i := range m.alive {
+			if !m.alive[i] && i < len(c.conns) && c.conns[i] != nil {
+				dead = append(dead, c.conns[i])
+				c.conns[i] = nil
+			}
+		}
+		c.mu.Unlock()
+		for _, cc := range dead {
+			cc.close()
+		}
+		return
+	}
+}
+
+// MembershipEpoch reports the epoch of the client's membership view (0
+// until a refresh has installed one; the dialed address list has no
+// epoch).
+func (c *Client) MembershipEpoch() uint64 {
+	if m := c.members.Load(); m != nil {
+		return m.epoch
+	}
+	return 0
+}
+
+// DrainNode asks the cluster to move a member out of the ring (graceful
+// leave): the member keeps serving while its successors pull its blocks.
+// The updated view is installed locally on success. Once the survivors'
+// RebalancePending drains to zero, RemoveNode completes the departure.
+func (c *Client) DrainNode(node int) error {
+	return c.memberDrain(node, 0)
+}
+
+// RemoveNode promotes a (typically drained) member to dead: the cluster
+// stops routing to it entirely and it is safe to shut down.
+func (c *Client) RemoveNode(node int) error {
+	return c.memberDrain(node, 1)
+}
+
+func (c *Client) memberDrain(node int, flags uint8) error {
+	req := getFrame()
+	req.Type = MsgDrain
+	req.Aux = int64(node)
+	req.Flags = flags
+	entry := c.next()
+	if entry == node {
+		entry = c.next()
+	}
+	resp, _, err := c.failoverTrip(entry, req)
+	releaseFrame(req)
+	if err != nil {
+		return err
+	}
+	if resp.Type == MsgViewReply {
+		if v, derr := decodeView(resp.Payload); derr == nil {
+			c.installMembers(v)
+		}
+	}
+	releaseFrame(resp)
+	return nil
 }
 
 // stickyCap bounds the read-your-writes map; older entries are evicted in
@@ -263,7 +483,13 @@ func (c *Client) writeEntry(f block.FileID) int {
 	c.stickyMu.Lock()
 	node, ok := c.stickyNode[f]
 	c.stickyMu.Unlock()
-	if !ok || !c.breakers[node].allow() {
+	if !ok {
+		return -1
+	}
+	if m := c.members.Load(); node >= len(m.alive) || !m.alive[node] {
+		return -1 // the sticky node left the cluster
+	}
+	if !c.breaker(node).allow() {
 		return -1
 	}
 	return node
@@ -373,7 +599,11 @@ func (c *Client) ClusterStats() (Stats, error) {
 	sum.HintAccuracy = 1
 	reached := 0
 	var lastErr error
-	for i := range c.addrs {
+	m := c.members.Load()
+	for i := range m.addrs {
+		if m.addrs[i] == "" || !m.alive[i] {
+			continue
+		}
 		s, err := c.NodeStats(i)
 		if err != nil {
 			if isTransient(err) {
@@ -411,6 +641,12 @@ func (c *Client) ClusterStats() (Stats, error) {
 		sum.StoreLen += s.StoreLen
 		sum.StoreMasters += s.StoreMasters
 		sum.StoreReplicas += s.StoreReplicas
+		sum.RebalancedBlocks += s.RebalancedBlocks
+		sum.RebalancePending += s.RebalancePending
+		sum.HeartbeatFailures += s.HeartbeatFailures
+		if s.MembershipEpoch > sum.MembershipEpoch {
+			sum.MembershipEpoch = s.MembershipEpoch
+		}
 		if s.HintAccuracy < sum.HintAccuracy {
 			sum.HintAccuracy = s.HintAccuracy
 		}

@@ -17,7 +17,7 @@ func isResponse(t MsgType) bool {
 	switch t {
 	case MsgBlockData, MsgBlockMiss, MsgFileData, MsgDirResult, MsgForwardAck,
 		MsgAck, MsgErr, MsgStatsReply, MsgTraceReply, MsgRunData, MsgDirResultN,
-		MsgInvalSinceReply:
+		MsgInvalSinceReply, MsgViewReply:
 		return true
 	}
 	return false

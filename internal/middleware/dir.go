@@ -357,14 +357,24 @@ type partitionedLocator struct {
 	n *Node
 }
 
-// manager reports the node managing id's directory entry.
+// manager reports the node managing id's directory entry: the legacy
+// hash % clusterSize partition for static clusters, the same hash mapped
+// over the in-ring members under the elastic view (dead and draining
+// slots stop managing; entries they held are soft state that the next
+// miss rebuilds via the home).
 func (p *partitionedLocator) manager(id block.ID) int {
-	cs := p.n.clusterSize()
-	if cs == 0 {
+	v := p.n.viewRef()
+	if v == nil || v.size() == 0 {
 		return p.n.cfg.ID // membership not installed yet: stay local
 	}
 	h := uint32(id.File)*2654435761 + uint32(id.Idx)*40503
-	return int(h % uint32(cs))
+	if v.static {
+		return int(h % uint32(v.size()))
+	}
+	if m, ok := v.manager(h); ok {
+		return m
+	}
+	return p.n.cfg.ID
 }
 
 func (p *partitionedLocator) Lookup(id block.ID) (int32, bool, error) {

@@ -79,7 +79,7 @@ func TestNodeRestartRejoins(t *testing.T) {
 	nodes[2].Close()
 	restarted, err := Start(Config{
 		ID: 2, Listen: addrs[2], CapacityBlocks: 64, Policy: core.PolicyMaster,
-		Geometry: testGeom, Source: NewMemSource(testGeom, sizes),
+		Geometry: testGeom, Source: NewMemSource(testGeom, sizes), StaticHome: true,
 	})
 	if err != nil {
 		t.Fatalf("restart on %s: %v", addrs[2], err)

@@ -113,6 +113,44 @@ func FuzzReadFrame(f *testing.F) {
 	binary.BigEndian.PutUint32(invHuge[35:], uint32(8+(maxInvalBatch+1)*8)) // batch over the limit
 	f.Add(invHuge)
 
+	// Membership frames: heartbeat pings, the join/drain control messages,
+	// and view transfers carrying an encoded member list — plus the
+	// truncated, state-corrupted, and trailing-garbage view payloads
+	// decodeView must reject without panicking.
+	members := []memberInfo{
+		{Addr: "127.0.0.1:7001", State: stateAlive},
+		{Addr: "127.0.0.1:7002", State: stateDraining},
+		{Addr: "", State: stateDead},
+	}
+	viewPayload := appendView(nil, newMemberView(9, false, members))
+	for _, fr := range []*Frame{
+		{Type: MsgPing, Aux: 9},
+		{Type: MsgView},
+		{Type: MsgViewReply, Aux: 9, Payload: viewPayload},
+		{Type: MsgViewUpdate, Payload: viewPayload},
+		{Type: MsgJoin, Aux: 3, Payload: []byte("127.0.0.1:7003")},
+		{Type: MsgDrain, Aux: 2, Flags: 1},
+	} {
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, fr); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	var viewBuf bytes.Buffer
+	if err := WriteFrame(&viewBuf, &Frame{Type: MsgViewUpdate, Payload: viewPayload}); err != nil {
+		f.Fatal(err)
+	}
+	venc := viewBuf.Bytes()
+	f.Add(venc[:len(venc)-1]) // view cut inside the last member's address
+	badState := append([]byte(nil), venc...)
+	badState[headerLen+13] = 99 // first member's state byte out of range
+	f.Add(badState)
+	viewTrailing := append([]byte(nil), venc...)
+	viewTrailing = append(viewTrailing, 0xEE) // trailing garbage after the member list
+	binary.BigEndian.PutUint32(viewTrailing[35:], uint32(len(viewPayload)+1))
+	f.Add(viewTrailing)
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		fr, err := ReadFrame(bytes.NewReader(data))
 		if err != nil {

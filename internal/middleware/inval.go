@@ -55,6 +55,7 @@ type invalSender struct {
 	notify chan struct{} // cap 1: publish wake-up, coalesced
 	next   uint64        // next sequence to send (sender-loop private)
 	acked  atomic.Uint64 // last sequence the peer acknowledged
+	dead   atomic.Bool   // peer promoted to dead: stop delivering, count as drained
 	buf    []byte        // reusable MsgInvalidateN payload buffer
 }
 
@@ -116,14 +117,67 @@ func (b *invalBus) publish(id block.ID) uint64 {
 		b.count++
 	}
 	b.ring[idx] = invalRec{id: id, at: time.Now().UnixNano()}
+	senders := b.senders // resize appends concurrently: snapshot under mu
 	b.mu.Unlock()
-	for _, s := range b.senders {
+	for _, s := range senders {
 		select {
 		case s.notify <- struct{}{}:
 		default: // already signalled; the loop drains to head anyway
 		}
 	}
 	return seq
+}
+
+// resize grows the sender set to cover a membership view of clusterSize
+// slots. Existing senders (and their sequence state) are untouched — an
+// origin's per-peer sequences survive every home move, which is what keeps
+// receivers' gap detection sound across a resize. A sender that joins
+// mid-stream owes nothing for history published before it existed: it
+// starts acknowledged up to the current head.
+func (b *invalBus) resize(clusterSize int) {
+	b.mu.Lock()
+	if b.stopped {
+		b.mu.Unlock()
+		return
+	}
+	have := make(map[int]bool, len(b.senders))
+	for _, s := range b.senders {
+		have[s.peer] = true
+	}
+	var started []*invalSender
+	for i := 0; i < clusterSize; i++ {
+		if i == b.n.cfg.ID || have[i] {
+			continue
+		}
+		s := &invalSender{peer: i, notify: make(chan struct{}, 1), next: b.head + 1}
+		s.acked.Store(b.head)
+		b.senders = append(b.senders, s)
+		started = append(started, s)
+	}
+	b.mu.Unlock()
+	for _, s := range started {
+		go b.senderLoop(s)
+	}
+}
+
+// markDead tells the sender for a dead peer to stop delivering. The peer's
+// backlog is unrecoverable (it will flush and catch up if it ever returns);
+// a dead sender counts as drained so FlushInval and the depth gauge are not
+// wedged forever by a corpse.
+func (b *invalBus) markDead(peer int) {
+	b.mu.Lock()
+	senders := b.senders
+	b.mu.Unlock()
+	for _, s := range senders {
+		if s.peer != peer {
+			continue
+		}
+		s.dead.Store(true)
+		select {
+		case s.notify <- struct{}{}:
+		default:
+		}
+	}
 }
 
 // collect builds the next batch for a sender starting at sequence `from`:
@@ -163,9 +217,13 @@ func (b *invalBus) collect(from uint64, out []block.ID, seen map[block.ID]struct
 func (b *invalBus) depth() uint64 {
 	b.mu.Lock()
 	head := b.head
+	senders := b.senders
 	b.mu.Unlock()
 	var deepest uint64
-	for _, s := range b.senders {
+	for _, s := range senders {
+		if s.dead.Load() {
+			continue
+		}
 		if d := head - min(s.acked.Load(), head); d > deepest {
 			deepest = d
 		}
@@ -178,8 +236,12 @@ func (b *invalBus) depth() uint64 {
 func (b *invalBus) drained() bool {
 	b.mu.Lock()
 	head := b.head
+	senders := b.senders
 	b.mu.Unlock()
-	for _, s := range b.senders {
+	for _, s := range senders {
+		if s.dead.Load() {
+			continue
+		}
 		if s.acked.Load() < head {
 			return false
 		}
@@ -206,6 +268,9 @@ func (b *invalBus) senderLoop(s *invalSender) {
 		case <-s.notify:
 		}
 		for {
+			if s.dead.Load() {
+				break // the peer is gone; markDead made drained() ignore us
+			}
 			// Send from the acked mark, not the sent mark: a peer that
 			// answered a batch with a gap-ack (it went off to catch up)
 			// still owes acknowledgements for the unacked window, and with
@@ -297,7 +362,7 @@ func (n *Node) invalOriginFor(origin int) *invalOrigin {
 	if origin < 0 || origin >= len(n.invalIn) {
 		return nil
 	}
-	return &n.invalIn[origin]
+	return n.invalIn[origin]
 }
 
 // handleInvalidateN applies one batch of sequenced invalidation records.

@@ -1,0 +1,402 @@
+package middleware
+
+import (
+	"bytes"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/block"
+	"repro/internal/core"
+)
+
+// startRingCluster is startCluster in elastic (consistent-hash) mode: the
+// membership machinery under test, not the legacy modulo mapping.
+func startRingCluster(t *testing.T, k, capacityBlocks int, sizes map[block.FileID]int64, mut func(i int, cfg *Config)) ([]*Node, *Client) {
+	t.Helper()
+	nodes := make([]*Node, k)
+	addrs := make([]string, k)
+	for i := 0; i < k; i++ {
+		cfg := Config{
+			ID:             i,
+			CapacityBlocks: capacityBlocks,
+			Policy:         core.PolicyMaster,
+			Geometry:       testGeom,
+			Source:         NewMemSource(testGeom, sizes),
+		}
+		if mut != nil {
+			mut(i, &cfg)
+		}
+		n, err := Start(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = n
+		addrs[i] = n.Addr()
+	}
+	for _, n := range nodes {
+		n.SetAddrs(addrs)
+	}
+	client, err := DialCluster(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		client.Close()
+		for _, n := range nodes {
+			if n != nil {
+				n.Close()
+			}
+		}
+	})
+	return nodes, client
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// rebalanceSettled reports that every listed node has drained its pending
+// re-homing pulls.
+func rebalanceSettled(nodes []*Node) bool {
+	for _, n := range nodes {
+		if n == nil {
+			continue
+		}
+		if n.Stats().RebalancePending != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// expectWithWrite overlays one written block onto the synthetic content.
+func expectWithWrite(f block.FileID, size int64, idx int32, data []byte) []byte {
+	out := expect(testGeom, f, size)
+	copy(out[int64(idx)*int64(testGeom.Size):], data)
+	return out
+}
+
+// TestJoinRebalancesAndServes grows a 2-node ring to 3 under concurrent
+// reads: zero client-visible errors, the joiner takes over its slice of
+// the ring (pulling write-through state from the previous homes), and
+// every file — including one written before the join — reads back correct
+// through every entry node.
+func TestJoinRebalancesAndServes(t *testing.T) {
+	sizes := map[block.FileID]int64{}
+	const files = 24
+	for f := 0; f < files; f++ {
+		sizes[block.FileID(f)] = 2048
+	}
+	nodes, client := startRingCluster(t, 2, 256, sizes, nil)
+
+	// Divergent write-through state the joiner must not lose.
+	written := bytes.Repeat([]byte{0xAB}, 1024)
+	if err := client.Write(3, 0, written); err != nil {
+		t.Fatal(err)
+	}
+	for f := block.FileID(0); f < files; f++ {
+		if _, err := client.Read(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Reads hammer the cluster while the membership changes.
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	errCh := make(chan error, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for f := block.FileID(0); !stop.Load(); f = (f + 1) % files {
+			if _, err := client.Read(f); err != nil {
+				select {
+				case errCh <- err:
+				default:
+				}
+				return
+			}
+		}
+	}()
+
+	joiner, err := Start(Config{
+		ID: 2, CapacityBlocks: 256, Policy: core.PolicyMaster,
+		Geometry: testGeom, Source: NewMemSource(testGeom, sizes),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes = append(nodes, joiner)
+	t.Cleanup(func() { joiner.Close() })
+	if err := joiner.Join(nodes[0].Addr()); err != nil {
+		t.Fatalf("join: %v", err)
+	}
+
+	waitFor(t, 10*time.Second, "all nodes at epoch 2+", func() bool {
+		for _, n := range nodes {
+			if n.MembershipEpoch() < 2 {
+				return false
+			}
+		}
+		return true
+	})
+	waitFor(t, 10*time.Second, "rebalance to settle", func() bool { return rebalanceSettled(nodes) })
+
+	stop.Store(true)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatalf("read error during join: %v", err)
+	default:
+	}
+
+	// The joiner owns a slice of the ring now.
+	owned := 0
+	for f := block.FileID(0); f < files; f++ {
+		if h, err := joiner.home(f); err == nil && h == 2 {
+			owned++
+		}
+	}
+	if owned == 0 {
+		t.Fatal("joiner owns no files (24 files over 3 nodes)")
+	}
+	if pulled := joiner.Stats().RebalancedBlocks; pulled == 0 {
+		t.Fatal("joiner pulled no blocks")
+	}
+
+	// Every file correct through every entry, written block included.
+	if err := client.RefreshMembership(); err != nil {
+		t.Fatal(err)
+	}
+	for f := block.FileID(0); f < files; f++ {
+		want := expect(testGeom, f, 2048)
+		if f == 3 {
+			want = expectWithWrite(f, 2048, 0, written)
+		}
+		for entry := 0; entry < 3; entry++ {
+			got, err := client.ReadVia(entry, f)
+			if err != nil {
+				t.Fatalf("file %d via node %d: %v", f, entry, err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("file %d via node %d: content mismatch after join", f, entry)
+			}
+		}
+	}
+}
+
+// TestDrainHandsOffAndServes shrinks a 3-node ring to 2 gracefully: drain,
+// wait for the survivors to pull the drained node's slice (write-through
+// state included), remove it, shut it down — and every file still reads
+// back correct with zero errors.
+func TestDrainHandsOffAndServes(t *testing.T) {
+	sizes := map[block.FileID]int64{}
+	const files = 24
+	for f := 0; f < files; f++ {
+		sizes[block.FileID(f)] = 2048
+	}
+	nodes, client := startRingCluster(t, 3, 256, sizes, nil)
+
+	// Write one block of every file: the drained node's write-through
+	// state must survive the hand-off wherever each file homes.
+	written := bytes.Repeat([]byte{0xCD}, 1024)
+	for f := block.FileID(0); f < files; f++ {
+		if err := client.Write(f, 1, written); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const drained = 2
+	if err := client.DrainNode(drained); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	waitFor(t, 10*time.Second, "drain epoch everywhere", func() bool {
+		for _, n := range nodes {
+			if n.MembershipEpoch() < 2 {
+				return false
+			}
+		}
+		return true
+	})
+	survivors := []*Node{nodes[0], nodes[1]}
+	waitFor(t, 10*time.Second, "survivors to pull the drained slice", func() bool {
+		return rebalanceSettled(survivors)
+	})
+	if err := client.RemoveNode(drained); err != nil {
+		t.Fatalf("remove: %v", err)
+	}
+	waitFor(t, 10*time.Second, "removal epoch on survivors", func() bool {
+		return nodes[0].MembershipEpoch() >= 3 && nodes[1].MembershipEpoch() >= 3
+	})
+	nodes[2].Close()
+	nodes[2] = nil
+
+	for f := block.FileID(0); f < files; f++ {
+		want := expectWithWrite(f, 2048, 1, written)
+		for _, entry := range []int{0, 1} {
+			got, err := client.ReadVia(entry, f)
+			if err != nil {
+				t.Fatalf("file %d via node %d after drain: %v", f, entry, err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("file %d via node %d: content mismatch after drain", f, entry)
+			}
+		}
+	}
+	// The survivors own everything.
+	for f := block.FileID(0); f < files; f++ {
+		h, err := nodes[0].home(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h == drained {
+			t.Fatalf("file %d still homes at the drained node", f)
+		}
+	}
+}
+
+// TestHeartbeatPromotesDeadAndRehomes crashes a node with no graceful
+// drain: the survivors' heartbeats suspect it, promote it to dead, and
+// re-home its slice of the ring — reads keep succeeding throughout (the
+// successor fallback bridges the gap before the promotion lands).
+func TestHeartbeatPromotesDeadAndRehomes(t *testing.T) {
+	sizes := map[block.FileID]int64{}
+	const files = 18
+	for f := 0; f < files; f++ {
+		sizes[block.FileID(f)] = 2048
+	}
+	nodes, client := startRingCluster(t, 3, 256, sizes, func(i int, cfg *Config) {
+		cfg.HeartbeatInterval = 10 * time.Millisecond
+		cfg.SuspectTimeout = 30 * time.Millisecond
+		cfg.DeadTimeout = 60 * time.Millisecond
+		cfg.RPCTimeout = 250 * time.Millisecond
+	})
+
+	for f := block.FileID(0); f < files; f++ {
+		if _, err := client.Read(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const crashed = 2
+	nodes[2].Close()
+	nodes[2] = nil
+
+	waitFor(t, 15*time.Second, "dead promotion", func() bool {
+		for _, n := range nodes[:2] {
+			v := n.viewRef()
+			if v == nil || v.members[crashed].State != stateDead {
+				return false
+			}
+		}
+		return true
+	})
+	waitFor(t, 10*time.Second, "re-homing to settle", func() bool {
+		return rebalanceSettled(nodes[:2])
+	})
+
+	if hb := nodes[0].Stats().HeartbeatFailures + nodes[1].Stats().HeartbeatFailures; hb == 0 {
+		t.Fatal("no heartbeat failures recorded around a crash")
+	}
+	for f := block.FileID(0); f < files; f++ {
+		h, err := nodes[0].home(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h == crashed {
+			t.Fatalf("file %d still homes at the crashed node", f)
+		}
+		for _, entry := range []int{0, 1} {
+			got, err := client.ReadVia(entry, f)
+			if err != nil {
+				t.Fatalf("file %d via node %d after crash: %v", f, entry, err)
+			}
+			if !bytes.Equal(got, expect(testGeom, f, 2048)) {
+				t.Fatalf("file %d via node %d: content mismatch after crash", f, entry)
+			}
+		}
+	}
+}
+
+// TestClientSurvivesOriginalEntryDeath dials a client at a single node,
+// lets the failover path refresh the membership view, then kills that
+// original entry point: the client keeps working through members it only
+// learned about from the view.
+func TestClientSurvivesOriginalEntryDeath(t *testing.T) {
+	sizes := map[block.FileID]int64{0: 2048, 1: 2048, 2: 2048, 3: 2048}
+	nodes, seeded := startRingCluster(t, 3, 256, sizes, nil)
+	defer seeded.Close()
+
+	client, err := DialCluster([]string{nodes[0].Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if _, err := client.Read(0); err != nil {
+		t.Fatal(err)
+	}
+	// Learn the full membership while the original entry is still alive
+	// (the failover path calls this on transient failures).
+	if err := client.RefreshMembership(); err != nil {
+		t.Fatal(err)
+	}
+	if client.MembershipEpoch() == 0 {
+		t.Fatal("client learned no membership view")
+	}
+
+	// Gracefully remove node 0 — the client's only dialed address.
+	if err := client.DrainNode(0); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 10*time.Second, "survivors to pull node 0's slice", func() bool {
+		return rebalanceSettled(nodes[1:])
+	})
+	if err := client.RemoveNode(0); err != nil {
+		t.Fatal(err)
+	}
+	nodes[0].Close()
+	nodes[0] = nil
+	if err := client.RefreshMembership(); err != nil {
+		t.Fatalf("refresh after entry death: %v", err)
+	}
+
+	for f := block.FileID(0); f < 4; f++ {
+		got, err := client.Read(f)
+		if err != nil {
+			t.Fatalf("read %d after original entry died: %v", f, err)
+		}
+		if !bytes.Equal(got, expect(testGeom, f, 2048)) {
+			t.Fatalf("file %d: content mismatch", f)
+		}
+	}
+}
+
+// TestStaticClusterRejectsMembershipChanges pins the compatibility mode:
+// a StaticHome cluster's membership is fixed.
+func TestStaticClusterRejectsMembershipChanges(t *testing.T) {
+	sizes := map[block.FileID]int64{0: 2048}
+	nodes, client := startCluster(t, 2, 64, core.PolicyMaster, false, sizes)
+	if err := client.DrainNode(1); err == nil {
+		t.Fatal("static cluster accepted a drain")
+	}
+	joiner, err := Start(Config{
+		ID: 2, CapacityBlocks: 64, Policy: core.PolicyMaster,
+		Geometry: testGeom, Source: NewMemSource(testGeom, sizes),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer joiner.Close()
+	if err := joiner.Join(nodes[0].Addr()); err == nil {
+		t.Fatal("static cluster admitted a joiner")
+	}
+}

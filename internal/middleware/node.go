@@ -103,6 +103,27 @@ type Config struct {
 	// and return after the local invalidate + durable write-through, with
 	// peers converging within the bounded staleness window.
 	SyncInvalidate bool
+	// StaticHome pins the paper's original static home mapping — file ID
+	// modulo cluster size — byte for byte (pinned by replay equivalence,
+	// like SyncInvalidate). Membership is then fixed at SetAddrs: join and
+	// drain requests are rejected and heartbeat suspicion never promotes a
+	// peer to dead. Default off: homes come from the consistent-hash ring
+	// and the cluster is elastic.
+	StaticHome bool
+	// HeartbeatInterval enables heartbeat failure detection: every interval
+	// the node probes its peers with MsgPing (feeding the existing circuit
+	// breakers), marks a peer suspect after SuspectTimeout without a
+	// successful probe, and proposes it dead after DeadTimeout (the
+	// coordinator then re-homes its slice of the ring). 0 (the default)
+	// disables heartbeats — membership only changes by explicit RPC.
+	HeartbeatInterval time.Duration
+	// SuspectTimeout is how long a peer can miss probes before it is
+	// locally suspect (reads route around it). Default 3×HeartbeatInterval.
+	SuspectTimeout time.Duration
+	// DeadTimeout is how long a peer can miss probes before this node asks
+	// the coordinator to promote it to dead cluster-wide. Default
+	// 10×HeartbeatInterval.
+	DeadTimeout time.Duration
 	// Fault, when non-nil, injects transport faults (delays, drops,
 	// partitions, mid-frame crashes) into every connection this node
 	// dials or accepts. Testing and chaos benchmarking only.
@@ -129,6 +150,10 @@ const (
 	traceReplicate      = "replicate"       // hot-block replica pushed to Peer (adaptive replication)
 	traceInvalBatch     = "inval_batch"     // invalidation batch delivered to Peer (Aux: records)
 	traceInvalCatchup   = "inval_catchup"   // catch-up started against origin Peer (Aux: from seq, -1 flush)
+	traceRebalance      = "rebalance"       // file re-homed here (File: file, Aux: blocks pulled, -1 unreachable old home)
+	traceMemberJoin     = "member_join"     // membership view installed with a new/returning member (Peer: member, Aux: epoch)
+	traceMemberDead     = "member_dead"     // membership view installed promoting Peer to dead (Aux: epoch)
+	traceHeartbeatFail  = "heartbeat_fail"  // heartbeat probe of Peer failed (Aux: consecutive misses)
 )
 
 // Node is a live cooperative caching node: a TCP server cooperating with
@@ -146,10 +171,41 @@ type Node struct {
 	mu       sync.Mutex
 	addrs    []string
 	peers    []*conn
-	peerAges []atomic.Int64
+	peerAges []*atomic.Int64
 	breakers []*breaker // per-peer circuit breakers (index = node ID)
 	accepted map[*conn]struct{}
 	closed   bool
+
+	// view is the current membership snapshot (ring.go): an immutable
+	// epoch-versioned value swapped atomically, so the home mapping on the
+	// read path is a single pointer load with no lock. memberMu serializes
+	// view construction (join/drain/dead promotion — the coordinator's
+	// serialization point); installView does the CAS install.
+	view     atomic.Pointer[memberView]
+	memberMu sync.Mutex
+
+	// Heartbeat failure detection (member.go). hbStop ends the probe loop;
+	// hbMu guards hbBusy (peers with a probe in flight), hbLast (last
+	// successful probe per peer), and hbFails (consecutive probe failures,
+	// reset on success — dead promotion needs deadMinFails of them).
+	// hbSuspect marks peers this node currently routes around (local
+	// judgement — not a view state).
+	hbStop    chan struct{}
+	hbMu      sync.Mutex
+	hbBusy    map[int]bool
+	hbLast    map[int]time.Time
+	hbFails   map[int]int
+	hbSuspect map[int]bool
+	hbInterval, hbSuspectAfter, hbDeadAfter time.Duration
+
+	// Rebalance state (rebalance.go): migrPending maps each file whose home
+	// moved here to its previous home, migrFlight single-flights the pulls,
+	// migrCount mirrors len(migrPending) so the hot path's "is a migration
+	// running" check is one atomic load.
+	migrMu      sync.Mutex
+	migrPending map[block.FileID]int
+	migrFlight  map[block.FileID]chan struct{}
+	migrCount   atomic.Int64
 
 	pmu     sync.Mutex
 	pending map[block.ID]chan struct{}
@@ -188,7 +244,7 @@ type Node struct {
 	// single-node cluster — writes fan out synchronously). invalIn is the
 	// per-origin receive state (index = origin node ID). See inval.go.
 	bus     *invalBus
-	invalIn []invalOrigin
+	invalIn []*invalOrigin
 
 	// stampMu guards the write/replication ordering stamps (inval.go):
 	// stamps maps a block to the newest applied invalidation, stampRing
@@ -247,6 +303,8 @@ type counters struct {
 	replicasPushed atomic.Uint64
 	// invalidation bus counters
 	invalBatched, invalCatchups atomic.Uint64
+	// membership / rebalance counters
+	rebalancedBlocks, heartbeatFailures atomic.Uint64
 }
 
 // Stats is a snapshot of a node's behaviour (JSON-encodable for the
@@ -285,6 +343,12 @@ type Stats struct {
 	ReplicasPushed   uint64 // hot-block replicas pushed to peers and accepted
 	ReplicaHits      uint64 // accesses served from replica copies
 	AdmissionRejects uint64 // inserts the TinyLFU admission filter turned away
+	// Elastic membership counters: see the Elastic membership section of
+	// DESIGN.md.
+	MembershipEpoch   uint64 // current membership view epoch (0: no view installed)
+	RebalancedBlocks  uint64 // blocks pulled here by home re-assignment (rebalance)
+	RebalancePending  uint64 // files whose re-homing pull has not completed yet
+	HeartbeatFailures uint64 // heartbeat probes that failed
 	StoreLen         int
 	StoreMasters     int
 	StoreReplicas    int // replica copies currently cached
@@ -391,6 +455,25 @@ func Start(cfg Config) (*Node, error) {
 	}
 	n.retryRand = newLockedRand(retrySeed)
 	n.tracer = cfg.Tracer
+	n.migrPending = make(map[block.FileID]int)
+	n.migrFlight = make(map[block.FileID]chan struct{})
+	if cfg.HeartbeatInterval > 0 {
+		n.hbInterval = cfg.HeartbeatInterval
+		n.hbSuspectAfter = cfg.SuspectTimeout
+		if n.hbSuspectAfter <= 0 {
+			n.hbSuspectAfter = 3 * n.hbInterval
+		}
+		n.hbDeadAfter = cfg.DeadTimeout
+		if n.hbDeadAfter <= 0 {
+			n.hbDeadAfter = 10 * n.hbInterval
+		}
+		n.hbBusy = make(map[int]bool)
+		n.hbLast = make(map[int]time.Time)
+		n.hbFails = make(map[int]int)
+		n.hbSuspect = make(map[int]bool)
+		n.hbStop = make(chan struct{})
+		go n.heartbeatLoop()
+	}
 	n.reps = newReplicaSets()
 	if cfg.AdmissionFilter {
 		n.store.SetAdmission(core.NewAdmission(cfg.CapacityBlocks))
@@ -493,24 +576,42 @@ func (n *Node) Addr() string { return n.ln.Addr().String() }
 // ID reports the node's cluster index.
 func (n *Node) ID() int { return n.cfg.ID }
 
-// SetAddrs installs the cluster membership (index = node ID). It must be
-// called before the node serves requests that involve peers.
+// SetAddrs installs the cluster's bootstrap membership (index = node ID):
+// every address alive, epoch advanced past any prior view. It must be
+// called before the node serves requests that involve peers. Bootstrap
+// deliberately skips rebalance — each node starts with exactly its homed
+// slice, there is nothing to pull. Later membership changes go through
+// Join/Drain/dead promotion (member.go), which install views incrementally
+// and migrate data.
 func (n *Node) SetAddrs(addrs []string) {
 	n.mu.Lock()
 	n.addrs = append([]string(nil), addrs...)
 	n.peers = make([]*conn, len(addrs))
-	n.peerAges = make([]atomic.Int64, len(addrs))
+	n.peerAges = make([]*atomic.Int64, len(addrs))
 	n.breakers = make([]*breaker, len(addrs))
 	for i := range n.peerAges {
+		n.peerAges[i] = &atomic.Int64{}
 		n.peerAges[i].Store(noAge)
 		n.breakers[i] = &breaker{threshold: n.brThresh, cooldown: n.brCooldown}
 	}
-	n.invalIn = make([]invalOrigin, len(addrs))
+	n.invalIn = make([]*invalOrigin, len(addrs))
+	for i := range n.invalIn {
+		n.invalIn[i] = &invalOrigin{}
+	}
 	old := n.bus
 	n.bus = nil
 	if !n.cfg.SyncInvalidate && len(addrs) > 1 && !n.closed {
 		n.bus = newInvalBus(n, len(addrs))
 	}
+	epoch := uint64(1)
+	if v := n.view.Load(); v != nil && v.epoch >= epoch {
+		epoch = v.epoch + 1
+	}
+	members := make([]memberInfo, len(addrs))
+	for i, a := range addrs {
+		members[i] = memberInfo{Addr: a, State: stateAlive}
+	}
+	n.view.Store(newMemberView(epoch, n.cfg.StaticHome, members))
 	n.mu.Unlock()
 	if old != nil {
 		old.shutdown()
@@ -538,6 +639,9 @@ func (n *Node) Close() error {
 	n.closed = true
 	if n.epochStop != nil {
 		close(n.epochStop)
+	}
+	if n.hbStop != nil {
+		close(n.hbStop)
 	}
 	if n.bus != nil {
 		n.bus.shutdown()
@@ -593,6 +697,13 @@ func (n *Node) Stats() Stats {
 		StoreMasters:     n.store.Masters(),
 		StoreReplicas:    n.store.Replicas(),
 		HintAccuracy:     1,
+
+		RebalancedBlocks:  n.c.rebalancedBlocks.Load(),
+		RebalancePending:  uint64(n.migrCount.Load()),
+		HeartbeatFailures: n.c.heartbeatFailures.Load(),
+	}
+	if v := n.view.Load(); v != nil {
+		s.MembershipEpoch = v.epoch
 	}
 	if b := n.busRef(); b != nil {
 		s.InvalBacklog = b.depth()
@@ -645,6 +756,8 @@ func (n *Node) RegisterMetrics(r *obs.Registry) {
 		{"cc_replicas_total", "hot-block replicas pushed to peers and accepted", c.replicasPushed.Load},
 		{"cc_replica_hits_total", "accesses served from replica copies", n.store.ReplicaHits},
 		{"cc_admission_rejects_total", "inserts the TinyLFU admission filter turned away", n.store.AdmissionRejects},
+		{"cc_rebalance_blocks_total", "blocks pulled here by home re-assignment", c.rebalancedBlocks.Load},
+		{"cc_heartbeat_failures_total", "heartbeat probes that failed", c.heartbeatFailures.Load},
 	}
 	for _, m := range counters {
 		r.Counter(m.name, m.help, "", m.fn)
@@ -657,6 +770,15 @@ func (n *Node) RegisterMetrics(r *obs.Registry) {
 			return float64(b.depth())
 		}
 		return 0
+	})
+	r.Gauge("cc_membership_epoch", "current membership view epoch", "", func() float64 {
+		if v := n.view.Load(); v != nil {
+			return float64(v.epoch)
+		}
+		return 0
+	})
+	r.Gauge("cc_rebalance_pending", "files whose re-homing pull has not completed", "", func() float64 {
+		return float64(n.migrCount.Load())
 	})
 	r.Gauge("cc_store_blocks", "blocks currently cached", "", func() float64 { return float64(n.store.Len()) })
 	r.Gauge("cc_store_masters", "master copies currently cached", "", func() float64 { return float64(n.store.Masters()) })
@@ -681,6 +803,7 @@ var requestMsgTypes = []MsgType{
 	MsgDirDrop, MsgForward, MsgWriteBlock, MsgInvalidate, MsgPutBlock,
 	MsgStats, MsgTrace, MsgGetRun, MsgDirLookupN, MsgDirUpdateN,
 	MsgReplicate, MsgReplicaOp, MsgRepush, MsgInvalidateN, MsgInvalSince,
+	MsgPing, MsgView, MsgViewUpdate, MsgJoin, MsgDrain,
 }
 
 // busRef reads the bus pointer under the membership lock (SetAddrs can
@@ -777,10 +900,13 @@ func (n *Node) observe(f *Frame) {
 		return
 	}
 	n.mu.Lock()
-	ok := int(f.Sender) < len(n.peerAges)
+	var age *atomic.Int64
+	if int(f.Sender) < len(n.peerAges) {
+		age = n.peerAges[f.Sender]
+	}
 	n.mu.Unlock()
-	if ok {
-		n.peerAges[f.Sender].Store(f.OldestAge)
+	if age != nil {
+		age.Store(f.OldestAge)
 	}
 	if n.hints != nil {
 		for _, d := range f.Hints {
@@ -955,22 +1081,32 @@ func (n *Node) reliableRPC(peer int, f *Frame, retries int) (*Frame, error) {
 	}
 }
 
-// home reports the home node of file f (round-robin over the membership,
-// the global file-to-node mapping of §3).
+// home reports the home node of file f — the global file-to-node mapping
+// of §3. Under the default consistent-hash view this is a lock-free ring
+// lookup; with Config.StaticHome it is the paper's original modulo mapping.
 func (n *Node) home(f block.FileID) (int, error) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if len(n.addrs) == 0 {
+	v := n.view.Load()
+	if v == nil {
 		return 0, fmt.Errorf("middleware: no cluster membership")
 	}
-	return int(f) % len(n.addrs), nil
+	h, ok := v.home(f)
+	if !ok {
+		return 0, fmt.Errorf("middleware: no cluster membership")
+	}
+	return h, nil
 }
 
+// clusterSize is the member-slot count (dead slots included): the bound of
+// every per-peer loop and array index.
 func (n *Node) clusterSize() int {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return len(n.addrs)
+	if v := n.view.Load(); v != nil {
+		return v.size()
+	}
+	return 0
 }
+
+// viewRef is the current membership view (nil before SetAddrs).
+func (n *Node) viewRef() *memberView { return n.view.Load() }
 
 // --- request handling ---
 
@@ -1021,6 +1157,16 @@ func (n *Node) handle(f *Frame) *Frame {
 		return n.handleInvalidateN(f)
 	case MsgInvalSince:
 		return n.handleInvalSince(f)
+	case MsgPing:
+		return n.handlePing(f)
+	case MsgView:
+		return n.handleView(f)
+	case MsgViewUpdate:
+		return n.handleViewUpdate(f)
+	case MsgJoin:
+		return n.handleJoin(f)
+	case MsgDrain:
+		return n.handleDrain(f)
 	case MsgReplicate:
 		return n.handleReplicate(f)
 	case MsgReplicaOp:
@@ -1028,6 +1174,9 @@ func (n *Node) handle(f *Frame) *Frame {
 	case MsgRepush:
 		return n.handleRepush(f)
 	case MsgPutBlock:
+		// Pull the file's prior-home state before accepting a write-through,
+		// so a migration arriving later cannot clobber this newer block.
+		n.ensureMigrated(f.File)
 		// The BlockSource contract does not promise a copy: take ownership.
 		if err := n.cfg.Source.WriteBlock(f.File, f.Idx, f.TakePayload()); err != nil {
 			return errFrame("put %v: %v", f.ID(), err)
@@ -1090,6 +1239,7 @@ func (n *Node) handleGetBlock(f *Frame) *Frame {
 				return r
 			}
 		}
+		n.ensureMigrated(f.File)
 		data, err := n.cfg.Source.ReadBlock(f.File, f.Idx)
 		if err != nil {
 			return errFrame("home read %v: %v", id, err)
@@ -1133,6 +1283,7 @@ func (n *Node) handleGetRun(f *Frame) *Frame {
 	}
 	first := f.Idx
 	if f.Flags&FlagMaster != 0 {
+		n.ensureMigrated(f.File)
 		var buf []byte
 		count := 0
 		var masters uint32

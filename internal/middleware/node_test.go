@@ -25,6 +25,7 @@ func startCluster(t *testing.T, k int, capacityBlocks int, policy core.Policy, h
 			Policy:         policy,
 			Geometry:       geom,
 			Source:         NewMemSource(geom, sizes),
+			StaticHome:     true, // legacy placement tests assume f % k homes
 		})
 		if err != nil {
 			t.Fatal(err)

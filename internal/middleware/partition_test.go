@@ -19,6 +19,7 @@ func startPartitioned(t *testing.T, k, capacity int, sizes map[block.FileID]int6
 			ID:             i,
 			DirMode:        DirPartitioned,
 			CapacityBlocks: capacity,
+			StaticHome:     true,
 			Policy:         core.PolicyMaster,
 			Geometry:       geom,
 			Source:         NewMemSource(geom, sizes),

@@ -128,11 +128,33 @@ const (
 	// means the requested range fell off the origin's bounded history — the
 	// requester must treat its whole cache as suspect and flush.
 	MsgInvalSinceReply
+	// MsgPing is the heartbeat probe. Aux carries the sender's membership
+	// epoch; the MsgAck reply carries the receiver's, so either side learns
+	// it is behind and fetches the newer view (anti-entropy).
+	MsgPing
+	// MsgView asks a node for its current membership view, answered by
+	// MsgViewReply. Clients use it to re-discover entry nodes after their
+	// construction-time list goes stale.
+	MsgView
+	// MsgViewUpdate pushes a membership view (payload: see appendView) to a
+	// peer, which installs it if newer. Answered by MsgAck.
+	MsgViewUpdate
+	// MsgJoin asks the cluster to admit a new member. Aux is the joiner's
+	// requested slot ID, the payload its listen address. Any member accepts
+	// the frame and forwards it to the coordinator; the MsgViewReply carries
+	// the view that includes the joiner.
+	MsgJoin
+	// MsgDrain asks the cluster to move member Aux out of the ring
+	// (state draining: it keeps serving while successors pull its blocks).
+	// Forwarded to the coordinator like MsgJoin; answered by MsgViewReply.
+	MsgDrain
+	// MsgViewReply answers MsgView/MsgJoin/MsgDrain with a serialized view.
+	MsgViewReply
 )
 
 // msgTypeCount bounds the frame-type space (array sizing for per-type
 // metrics).
-const msgTypeCount = int(MsgInvalSinceReply) + 1
+const msgTypeCount = int(MsgViewReply) + 1
 
 // metricName is the snake_case label value a frame type gets in the
 // per-RPC-type latency histograms and the trace dump.
@@ -202,6 +224,18 @@ func (t MsgType) metricName() string {
 		return "inval_since"
 	case MsgInvalSinceReply:
 		return "inval_since_reply"
+	case MsgPing:
+		return "ping"
+	case MsgView:
+		return "view"
+	case MsgViewUpdate:
+		return "view_update"
+	case MsgJoin:
+		return "join"
+	case MsgDrain:
+		return "drain"
+	case MsgViewReply:
+		return "view_reply"
 	}
 	return fmt.Sprintf("type_%d", uint8(t))
 }
@@ -386,7 +420,8 @@ func typeCarriesPayload(t MsgType) bool {
 	case MsgBlockData, MsgFileData, MsgForward, MsgWriteBlock, MsgPutBlock,
 		MsgErr, MsgStatsReply, MsgTraceReply, MsgRunData,
 		MsgDirLookupN, MsgDirResultN, MsgDirUpdateN, MsgReplicate,
-		MsgReplicaOp, MsgInvalidateN, MsgInvalSinceReply:
+		MsgReplicaOp, MsgInvalidateN, MsgInvalSinceReply,
+		MsgViewUpdate, MsgJoin, MsgViewReply:
 		return true
 	}
 	return false

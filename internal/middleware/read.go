@@ -227,6 +227,9 @@ func (n *Node) fetchRun(f block.FileID, size int64, r runPlan, out []byte, outBa
 	}
 	if r.home && r.src == n.cfg.ID {
 		// Local home: disk reads, no wire. Still one InsertRun/UpdateN.
+		// A home that just moved here pulls the previous home's
+		// write-through state before the first authoritative read.
+		n.ensureMigrated(f)
 		blocks := make([][]byte, 0, r.count)
 		for i := r.first; i < r.first+int32(r.count); i++ {
 			data, err := n.cfg.Source.ReadBlock(f, i)
@@ -509,16 +512,61 @@ func (n *Node) fetchBlock(id block.ID) ([]byte, error) {
 // fetchFromHome reads the master copy via the file's home node and installs
 // this node as the master holder. In hint mode the home may instead
 // redirect to the probable owner; a failed redirect forces the disk read.
+// Under the elastic ring, an unreachable home degrades to its ring
+// successor — the node that inherits the file once the failure is promoted
+// to a membership change — so reads stay error-free through a crash.
 func (n *Node) fetchFromHome(id block.ID) ([]byte, error) {
 	home, err := n.home(id.File)
 	if err != nil {
 		return nil, err
 	}
-	var data []byte
+	data, redirected, err := n.readMaster(id, home)
+	if err != nil && isTransient(err) {
+		if succ, ok := n.ringSuccessor(id.File, home); ok {
+			n.c.homeFallbacks.Add(1)
+			n.trace(traceHomeFallback, home, id, 1)
+			data, redirected, err = n.readMaster(id, succ)
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	if redirected {
+		// fetchRedirected already accounted and installed the copy.
+		return data, nil
+	}
+	n.c.diskReads.Add(1)
+	n.insertBlock(id, data, true)
+	n.loc.Update(id, int32(n.cfg.ID)) //nolint:errcheck // next miss self-corrects via home
+	return data, nil
+}
+
+// ringSuccessor names the node that takes over f if `down` leaves the ring:
+// the next alive member on the hash ring. Static clusters have no
+// successor (the legacy error surfaces unchanged).
+func (n *Node) ringSuccessor(f block.FileID, down int) (int, bool) {
+	v := n.view.Load()
+	if v == nil || v.static {
+		return 0, false
+	}
+	succ, ok := v.homeExcluding(f, down)
+	if !ok || succ == down {
+		return 0, false
+	}
+	return succ, true
+}
+
+// readMaster reads one authoritative block via the given home node — the
+// local backing store when that is us, the retried MsgGetBlock protocol
+// (with probable-owner redirects) otherwise. redirected reports that the
+// block came from a probable-owner redirect (served, accounted, and
+// installed by fetchRedirected) rather than from the home.
+func (n *Node) readMaster(id block.ID, home int) (data []byte, redirected bool, err error) {
 	if home == n.cfg.ID {
+		n.ensureMigrated(id.File)
 		data, err = n.cfg.Source.ReadBlock(id.File, id.Idx)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
 	} else {
 		flags := FlagMaster
@@ -527,10 +575,10 @@ func (n *Node) fetchFromHome(id block.ID) ([]byte, error) {
 			req.Type, req.Flags, req.File, req.Idx = MsgGetBlock, flags, id.File, id.Idx
 			// The home is the only source of this block's truth: retry
 			// transient failures (a restarting home comes back).
-			resp, err := n.reliableRPC(home, req, n.retries)
+			resp, rerr := n.reliableRPC(home, req, n.retries)
 			releaseFrame(req)
-			if err != nil {
-				return nil, err
+			if rerr != nil {
+				return nil, false, rerr
 			}
 			if resp.Type == MsgBlockMiss && resp.Aux >= 0 && flags&FlagForce == 0 {
 				holder := int(resp.Aux)
@@ -538,7 +586,7 @@ func (n *Node) fetchFromHome(id block.ID) ([]byte, error) {
 				// Probable-owner redirect: try the hinted holder; on
 				// success this is a remote memory hit, not a disk read.
 				if d, ok := n.fetchRedirected(id, holder); ok {
-					return d, nil
+					return d, true, nil
 				}
 				flags |= FlagForce
 				continue
@@ -546,17 +594,14 @@ func (n *Node) fetchFromHome(id block.ID) ([]byte, error) {
 			if resp.Type != MsgBlockData {
 				typ := resp.Type
 				releaseFrame(resp)
-				return nil, fmt.Errorf("middleware: home %d returned %d for %v", home, typ, id)
+				return nil, false, fmt.Errorf("middleware: home %d returned %d for %v", home, typ, id)
 			}
 			data = resp.TakePayload() // the store retains this slice
 			releaseFrame(resp)
 			break
 		}
 	}
-	n.c.diskReads.Add(1)
-	n.insertBlock(id, data, true)
-	n.loc.Update(id, int32(n.cfg.ID)) //nolint:errcheck // next miss self-corrects via home
-	return data, nil
+	return data, false, nil
 }
 
 // fetchRedirected follows a home redirect to the probable master holder.
@@ -604,10 +649,11 @@ func (n *Node) insertBlock(id block.ID, data []byte, master bool) {
 
 func (n *Node) forwardEvicted(ev *Evicted) {
 	self := int32(n.cfg.ID)
+	v := n.viewRef()
 	target := -1
 	var oldest int64
 	for i := 0; i < n.clusterSize(); i++ {
-		if i == n.cfg.ID {
+		if i == n.cfg.ID || (v != nil && !v.reachable(i)) {
 			continue
 		}
 		age := n.peerAges[i].Load()

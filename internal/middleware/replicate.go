@@ -196,11 +196,12 @@ func (n *Node) pushReplicas(id block.ID) {
 	if fanout > size-1 {
 		fanout = size - 1
 	}
+	v := n.viewRef()
 	var accepted [maxReplicaFanout]int32
 	nAccepted := 0
 	for k := 0; k < fanout; k++ {
 		target := (n.cfg.ID + 1 + k) % size
-		if target == n.cfg.ID {
+		if target == n.cfg.ID || (v != nil && !v.reachable(target)) {
 			continue
 		}
 		req := getFrame()

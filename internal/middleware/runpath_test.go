@@ -22,6 +22,7 @@ func startClusterCfg(t *testing.T, k, capacityBlocks int, sizes map[block.FileID
 			Policy:         core.PolicyMaster,
 			Geometry:       testGeom,
 			Source:         NewMemSource(testGeom, sizes),
+			StaticHome:     true, // legacy placement tests assume f % k homes
 		}
 		if mut != nil {
 			mut(i, &cfg)

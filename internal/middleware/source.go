@@ -54,6 +54,17 @@ func (m *MemSource) FileSize(f block.FileID) (int64, error) {
 	return size, nil
 }
 
+// Files implements FileLister: the file IDs this source can serve.
+func (m *MemSource) Files() []block.FileID {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]block.FileID, 0, len(m.sizes))
+	for f := range m.sizes {
+		out = append(out, f)
+	}
+	return out
+}
+
 // SyntheticBlock is the deterministic content of block (f, idx) of the
 // given length: a keyed byte pattern any reader can recompute.
 func SyntheticBlock(f block.FileID, idx int32, n int) []byte {
@@ -147,6 +158,17 @@ func (d *DirSource) path(f block.FileID) (string, error) {
 		return "", fmt.Errorf("middleware: unknown file %d", f)
 	}
 	return filepath.Join(d.dir, name), nil
+}
+
+// Files implements FileLister: the file IDs this source can serve.
+func (d *DirSource) Files() []block.FileID {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]block.FileID, 0, len(d.names))
+	for f := range d.names {
+		out = append(out, f)
+	}
+	return out
 }
 
 // FileSize implements BlockSource.

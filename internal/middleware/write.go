@@ -81,10 +81,11 @@ func (n *Node) writeBlockSync(id block.ID, data []byte) error {
 	// heals and the next fetch repairs it — while application errors are
 	// aggregated and reported after the full fan-out.
 	n.handleInvalidate(id)
+	v := n.viewRef()
 	var wg sync.WaitGroup
 	errs := make([]error, n.clusterSize())
 	for i := 0; i < n.clusterSize(); i++ {
-		if i == n.cfg.ID {
+		if i == n.cfg.ID || (v != nil && !v.reachable(i)) {
 			continue
 		}
 		wg.Add(1)
@@ -138,13 +139,32 @@ func (n *Node) writeBlockSync(id block.ID, data []byte) error {
 }
 
 // writeThrough persists data at id's home: a local disk write when this
-// node is the home, a retried MsgPutBlock otherwise.
+// node is the home, a retried MsgPutBlock otherwise. Under the elastic
+// ring an unreachable home degrades to its ring successor — the node that
+// inherits the file once the failure becomes a membership change — so
+// writes stay error-free through a crash.
 func (n *Node) writeThrough(id block.ID, data []byte) error {
 	home, err := n.home(id.File)
 	if err != nil {
 		return err
 	}
+	err = n.putMaster(id, data, home)
+	if err != nil && isTransient(err) {
+		if succ, ok := n.ringSuccessor(id.File, home); ok {
+			n.c.homeFallbacks.Add(1)
+			n.trace(traceHomeFallback, home, id, 2)
+			err = n.putMaster(id, data, succ)
+		}
+	}
+	return err
+}
+
+// putMaster persists one block at the given home node.
+func (n *Node) putMaster(id block.ID, data []byte, home int) error {
 	if home == n.cfg.ID {
+		// Pull the previous home's state first: a migration finishing after
+		// this write must not clobber the newer block.
+		n.ensureMigrated(id.File)
 		return n.cfg.Source.WriteBlock(id.File, id.Idx, data)
 	}
 	req := getFrame()
