@@ -19,6 +19,12 @@
 //	# fault plan; the run must finish with zero client-visible errors and
 //	# records the fault-handling counters into BENCH_live.json
 //	ccload -chaos
+//
+//	# HTTP mode: replay over the full production path (keep-alive HTTP into
+//	# an httpfront gateway that streams out of the cluster); in-process by
+//	# default, or against a running gateway (ccnode -serve -http-addr)
+//	ccload -http -connections 256 -requests 20000
+//	ccload -http -http-url http://127.0.0.1:8080 -connections 10000 -requests 100000
 package main
 
 import (
@@ -51,6 +57,10 @@ func main() {
 		resize      = flag.Bool("resize", false, "run the elastic-membership resize scenario (grow 4→8 mid-replay, drain back to 4) and record it in -benchout")
 		writesBench = flag.Bool("writesbench", false, "run the write-latency A/B matrix (sync/async invalidation × healthy/slow peer) and record it in -benchout")
 		scenario    = flag.String("scenario", "", "run one named protocol scenario with its expected-counter signature, or 'all' (full_hit, partial_hit, cold_miss, write_invalidate, flash_crowd, node_drain)")
+		httpMode    = flag.Bool("http", false, "replay over HTTP through an httpfront gateway and record the 'http' section in -benchout")
+		httpURL     = flag.String("http-url", "", "http mode: drive this running gateway (ccnode -serve -http-addr) instead of an in-process one; /httpstats is scraped for hand-off counters")
+		connections = flag.Int("connections", 256, "http mode: concurrent keep-alive connections (closed-loop clients)")
+		clfPath     = flag.String("clf", "", "http mode: replay this Common Log Format access log instead of the synthetic trace")
 		benchOut    = flag.String("benchout", "BENCH_live.json", "benchmark result path (bench mode)")
 		nNodes      = flag.Int("nodes", 4, "selftest cluster size")
 		capacity    = flag.Int("capacity", 1024, "selftest per-node cache capacity in blocks")
@@ -127,6 +137,32 @@ func main() {
 	}
 	if *scenario != "" {
 		if err := runScenarios(*scenario, *requests, *concurrency, *seed); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *httpMode {
+		alpha := *zipf
+		if *zipfS > 0 {
+			alpha = *zipfS
+		}
+		err := runHTTP(httpOpts{
+			out:         *benchOut,
+			url:         *httpURL,
+			clf:         *clfPath,
+			nodes:       *nNodes,
+			capacity:    *capacity,
+			hints:       *hints,
+			files:       *files,
+			avg:         *avg,
+			requests:    *requests,
+			connections: *connections,
+			zipf:        alpha,
+			seed:        *seed,
+			warmup:      *warmup,
+			interval:    *interval,
+		})
+		if err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -441,6 +477,10 @@ type benchDoc struct {
 	// cluster grows 4→8 mid-replay and drains back to 4, with zero
 	// client-visible errors and the hit-rate dip localized in Intervals.
 	Resize *resizeRecord `json:"resize,omitempty"`
+	// HTTP is the end-to-end serving-path replay (ccload -http): keep-alive
+	// HTTP connections into an httpfront gateway streaming out of the
+	// cluster, with the gateway's hand-off counters alongside.
+	HTTP *httpRecord `json:"http,omitempty"`
 }
 
 // loadBenchDoc reads an existing benchmark document; a missing or

@@ -11,6 +11,9 @@
 //	# print per-node statistics
 //	ccnode -stats -cluster 127.0.0.1:7000,127.0.0.1:7001
 //
+//	# additionally serve the cluster's files over HTTP (keep-alive + h2c)
+//	ccnode -serve -id 0 ... -http-addr 127.0.0.1:8080
+//
 // All nodes of one cluster must be started with identical -files/-avg so
 // they agree on the (synthetic) file set; a real deployment would supply a
 // shared manifest and a DirSource instead.
@@ -30,6 +33,8 @@ import (
 
 	"repro/internal/block"
 	"repro/internal/core"
+	"repro/internal/httpfront"
+	"repro/internal/loadgen"
 	"repro/internal/middleware"
 	"repro/internal/obs"
 )
@@ -54,6 +59,7 @@ func main() {
 		brThresh = flag.Int("breaker-threshold", 0, "consecutive failures before a peer's circuit opens (0: default of 5, negative: disabled)")
 		brCool   = flag.Duration("breaker-cooldown", 0, "open-circuit cooldown before a half-open probe (0: 500ms default)")
 		metrics  = flag.String("metrics-addr", "", "with -serve: HTTP address exposing /metrics (Prometheus), /debug/vars, and /debug/pprof")
+		httpAddr = flag.String("http-addr", "", "with -serve: HTTP front door serving the cluster's files as /f/<id> (keep-alive + h2c, locality hand-off; /httpstats for gateway counters)")
 		traceCap = flag.Int("trace", 0, "with -serve: retain the last N protocol trace events, dumpable via the trace RPC (0: tracing off)")
 		repThr   = flag.Float64("replicate-threshold", 0, "with -serve: serve-rate score above which hot masters push replica copies (0: replication off)")
 		repFan   = flag.Int("replica-fanout", 0, "with -serve: replica copies pushed per hot block (0: default of 2)")
@@ -84,7 +90,7 @@ func main() {
 	case *serve:
 		ad := adaptive{threshold: *repThr, fanout: *repFan, admission: *admit}
 		ms := membership{join: *join, static: *static, heartbeat: *hbIvl, suspect: *suspect, dead: *deadTO}
-		runNode(*id, *listen, addrs, *capacity, *policy, *hints, *files, *avg, ft, ad, ms, *metrics, *traceCap, *syncInv)
+		runNode(*id, *listen, addrs, *capacity, *policy, *hints, *files, *avg, ft, ad, ms, *metrics, *httpAddr, *traceCap, *syncInv)
 	case *drain >= 0:
 		client := dial(addrs, ft)
 		defer client.Close()
@@ -200,7 +206,7 @@ func drainNode(client *middleware.Client, id int) error {
 	return nil
 }
 
-func runNode(id int, listen string, addrs []string, capacity int, policy string, hints bool, files int, avg int64, ft faultTolerance, ad adaptive, ms membership, metricsAddr string, traceCap int, syncInval bool) {
+func runNode(id int, listen string, addrs []string, capacity int, policy string, hints bool, files int, avg int64, ft faultTolerance, ad adaptive, ms membership, metricsAddr, httpAddr string, traceCap int, syncInval bool) {
 	if ms.join != "" {
 		if listen == "" {
 			log.Fatal("-join requires -listen (the joiner's own address)")
@@ -269,6 +275,15 @@ func runNode(id int, listen string, addrs []string, capacity int, policy string,
 	if metricsAddr != "" {
 		go serveMetrics(metricsAddr, n)
 	}
+	if httpAddr != "" {
+		clusterAddrs := addrs
+		if len(clusterAddrs) == 0 {
+			// Join mode: seed the gateway's client with our own address; the
+			// membership refresh learns the rest of the cluster from it.
+			clusterAddrs = []string{n.Addr()}
+		}
+		go serveHTTP(httpAddr, clusterAddrs, files, ft)
+	}
 	log.Printf("node %d serving on %s (capacity %d blocks, %s, hints=%v, static_home=%v)",
 		id, n.Addr(), capacity, policy, hints, ms.static)
 
@@ -277,6 +292,39 @@ func runNode(id int, listen string, addrs []string, capacity int, policy string,
 	<-sig
 	log.Printf("shutting down")
 	n.Close()
+}
+
+// serveHTTP runs the HTTP front door next to this node: a gateway over its
+// own middleware client, serving the synthetic manifest as /f/<id> with
+// HTTP/1.1 keep-alive and h2c, handing each request off to the file's home
+// node. Any node of the cluster can run one — they are equivalent entry
+// points, like the round-robin DNS fronting the paper's web server.
+func serveHTTP(addr string, clusterAddrs []string, files int, ft faultTolerance) {
+	client, err := middleware.DialClusterConfig(clusterAddrs, middleware.ClientConfig{
+		RPCTimeout:       ft.rpcTimeout,
+		Retries:          ft.retries,
+		BreakerThreshold: ft.breakerThreshold,
+		BreakerCooldown:  ft.breakerCooldown,
+	})
+	if err != nil {
+		log.Printf("http front door: %v", err)
+		return
+	}
+	table := httpfront.NewPathTable(nil)
+	for f := 0; f < files; f++ {
+		table.Add(loadgen.PathForFile(block.FileID(f)), block.FileID(f))
+	}
+	gw := httpfront.New(client, table)
+	mux := http.NewServeMux()
+	mux.Handle("/", gw)
+	mux.Handle("/httpstats", gw.StatsJSONHandler())
+	mux.Handle("/stats", httpfront.StatsHandler(client))
+	srv := httpfront.NewServer(mux)
+	srv.Addr = addr
+	log.Printf("http front door on http://%s/f/<id>", addr)
+	if err := srv.ListenAndServe(); err != nil {
+		log.Printf("http front door: %v", err)
+	}
 }
 
 // serveMetrics exposes the node's observability surface on its own HTTP

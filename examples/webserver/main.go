@@ -87,16 +87,24 @@ func main() {
 	defer client.Close()
 	log.Printf("middleware cluster: %v", addrs)
 
-	// The HTTP layer: a gateway resolving /doc/<id> paths, with
-	// ETag-based conditional GETs, plus a cluster statistics endpoint.
+	// The HTTP layer: a gateway resolving /doc/<id> paths, with ETag-based
+	// conditional GETs, Range support, and locality hand-off (requests enter
+	// the cluster at the document's home node), plus statistics endpoints.
 	table := httpfront.NewPathTable(nil)
 	for d := 0; d < *docs; d++ {
 		table.Add(fmt.Sprintf("/doc/%d", d), block.FileID(d))
 	}
+	gw := httpfront.New(client, table)
 	mux := http.NewServeMux()
-	mux.Handle("/doc/", httpfront.New(client, table))
+	mux.Handle("/doc/", gw)
+	mux.Handle("/httpstats", gw.StatsJSONHandler())
 	mux.Handle("/stats", httpfront.StatsHandler(client))
 
+	// NewServer speaks HTTP/1.1 keep-alive and cleartext HTTP/2 (h2c), the
+	// production front-door shape; responses stream through a FileReader in
+	// bounded chunks, never materializing a document in gateway memory.
+	srv := httpfront.NewServer(mux)
+	srv.Addr = *listen
 	log.Printf("serving %d documents on http://%s/doc/<id>", *docs, *listen)
-	log.Fatal(http.ListenAndServe(*listen, mux))
+	log.Fatal(srv.ListenAndServe())
 }

@@ -1,21 +1,27 @@
 // Package httpfront is the web-server layer of the paper's motivating
 // scenario: an off-the-shelf HTTP front end over the cooperative caching
-// middleware. Each request enters the cluster at the next node round-robin
-// (as round-robin DNS would choose) and the middleware supplies the content
-// from cluster memory wherever possible.
+// middleware. Any gateway is a valid entry point for any request; when the
+// client's membership view knows the file's home node, the gateway hands
+// the request off there at connection time (the paper's §4.1 request
+// hand-off, surfaced as a counter and a trace event) so the read enters
+// where the blocks live. Responses stream through a middleware.FileReader
+// in bounded chunks — the gateway never materializes a whole file — and
+// http.ServeContent supplies Range, If-Range, HEAD, and conditional-GET
+// semantics on top of it.
 package httpfront
 
 import (
 	"fmt"
-	"hash/fnv"
 	"mime"
 	"net/http"
 	"path"
-	"strconv"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/block"
 	"repro/internal/middleware"
+	"repro/internal/obs"
 )
 
 // Resolver maps a URL path to a file ID. ok is false for unknown paths.
@@ -58,56 +64,231 @@ func (t *PathTable) Add(p string, f block.FileID) {
 type Gateway struct {
 	client  *middleware.Client
 	resolve Resolver
+	tracer  *obs.Tracer
+	handoff bool
+
+	// gens holds per-file write generations feeding the ETag validator;
+	// Invalidate bumps them so conditional GETs revalidate after a write.
+	genMu sync.RWMutex
+	gens  map[block.FileID]uint64
+
+	nRequests    atomic.Uint64
+	nHandoffs    atomic.Uint64
+	nNotModified atomic.Uint64
+	nNotFound    atomic.Uint64
+	nRangeReqs   atomic.Uint64
+	nErrors      atomic.Uint64
+	nBytes       atomic.Uint64
 }
 
-// New builds a gateway over client using resolver.
+// GatewayStats is a snapshot of a gateway's serving counters.
+type GatewayStats struct {
+	// Requests counts every request the gateway accepted for serving.
+	Requests uint64 `json:"requests"`
+	// Handoffs counts requests whose cluster entry point was forwarded to
+	// the file's home node (§4.1 hand-off) instead of round-robin.
+	Handoffs uint64 `json:"handoffs"`
+	// NotModified counts 304 responses (zero block reads each).
+	NotModified uint64 `json:"not_modified"`
+	// NotFound counts 404s — unresolved paths and unknown cluster files.
+	NotFound uint64 `json:"not_found"`
+	// RangeRequests counts requests carrying a Range header.
+	RangeRequests uint64 `json:"range_requests"`
+	// Errors counts 5xx responses from cluster failures.
+	Errors uint64 `json:"errors"`
+	// BytesServed is the total response body bytes written.
+	BytesServed uint64 `json:"bytes_served"`
+}
+
+// New builds a gateway over client using resolver, with locality hand-off
+// enabled. The client's membership view is refreshed (best effort) so
+// home placement is known from the first request.
 func New(client *middleware.Client, resolver Resolver) *Gateway {
-	return &Gateway{client: client, resolve: resolver}
+	g := &Gateway{
+		client:  client,
+		resolve: resolver,
+		handoff: true,
+		gens:    make(map[block.FileID]uint64),
+	}
+	client.RefreshMembership() //nolint:errcheck // best effort; gateway works round-robin without a view
+	return g
 }
 
-// ServeHTTP implements http.Handler: resolves the path, reads the file
-// through the cluster (round-robin entry node), and replies with
-// ETag-based conditional-GET support.
+// SetTracer installs a ring-buffer tracer recording "http_handoff" events.
+func (g *Gateway) SetTracer(t *obs.Tracer) { g.tracer = t }
+
+// SetHandoff toggles locality-aware entry-node selection (on by default).
+func (g *Gateway) SetHandoff(on bool) { g.handoff = on }
+
+// Stats snapshots the gateway's serving counters.
+func (g *Gateway) Stats() GatewayStats {
+	return GatewayStats{
+		Requests:      g.nRequests.Load(),
+		Handoffs:      g.nHandoffs.Load(),
+		NotModified:   g.nNotModified.Load(),
+		NotFound:      g.nNotFound.Load(),
+		RangeRequests: g.nRangeReqs.Load(),
+		Errors:        g.nErrors.Load(),
+		BytesServed:   g.nBytes.Load(),
+	}
+}
+
+// RegisterMetrics exposes the gateway counters on a Prometheus registry.
+func (g *Gateway) RegisterMetrics(r *obs.Registry) {
+	r.Counter("cc_http_requests_total", "HTTP requests accepted by the gateway", "", g.nRequests.Load)
+	r.Counter("cc_http_handoffs_total", "requests entered at the file's home node", "", g.nHandoffs.Load)
+	r.Counter("cc_http_not_modified_total", "304 responses", "", g.nNotModified.Load)
+	r.Counter("cc_http_not_found_total", "404 responses", "", g.nNotFound.Load)
+	r.Counter("cc_http_range_requests_total", "requests with a Range header", "", g.nRangeReqs.Load)
+	r.Counter("cc_http_errors_total", "5xx responses from cluster failures", "", g.nErrors.Load)
+	r.Counter("cc_http_bytes_served_total", "response body bytes written", "", g.nBytes.Load)
+}
+
+// Invalidate bumps file f's validator generation. Call it after writing f
+// through the cluster so cached ETags stop matching and clients refetch.
+func (g *Gateway) Invalidate(f block.FileID) {
+	g.genMu.Lock()
+	g.gens[f]++
+	g.genMu.Unlock()
+}
+
+// validator derives the strong ETag for file f without touching content:
+// identity, size, and write generation. The size comes from the open's
+// zero-length probe, so a conditional GET that matches costs zero cluster
+// block reads.
+func (g *Gateway) validator(f block.FileID, size int64) string {
+	g.genMu.RLock()
+	gen := g.gens[f]
+	g.genMu.RUnlock()
+	return fmt.Sprintf("\"%x-%x-%x\"", uint64(f), uint64(size), gen)
+}
+
+// StatusForError maps a middleware read failure to an HTTP status:
+// unknown files are the client's fault (404), deadline misses are 504,
+// and every other cluster failure is 502.
+func StatusForError(err error) int {
+	switch {
+	case middleware.IsNotFound(err):
+		return http.StatusNotFound
+	case middleware.IsTimeout(err):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusBadGateway
+	}
+}
+
+// countingWriter tracks response bytes and the final status so the gateway
+// counters see what http.ServeContent decided.
+type countingWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  uint64
+}
+
+func (cw *countingWriter) WriteHeader(code int) {
+	cw.status = code
+	cw.ResponseWriter.WriteHeader(code)
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	if cw.status == 0 {
+		cw.status = http.StatusOK
+	}
+	n, err := cw.ResponseWriter.Write(p)
+	cw.bytes += uint64(n)
+	return n, err
+}
+
+// ServeHTTP implements http.Handler: resolves the path, opens a streaming
+// reader through the cluster — entering at the file's home node when the
+// membership view knows it — and delegates Range/HEAD/conditional handling
+// to http.ServeContent over the reader. Peak gateway memory per request is
+// one copy buffer, never the file.
 func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet && r.Method != http.MethodHead {
 		w.Header().Set("Allow", "GET, HEAD")
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
+	g.nRequests.Add(1)
+	if r.Header.Get("Range") != "" {
+		g.nRangeReqs.Add(1)
+	}
 	f, ok := g.resolve.Resolve(r.URL.Path)
 	if !ok {
+		g.nNotFound.Add(1)
 		http.NotFound(w, r)
 		return
 	}
-	body, err := g.client.Read(f)
+	entry := -1
+	if g.handoff {
+		if home, ok := g.client.HomeOf(f); ok {
+			entry = home
+			g.nHandoffs.Add(1)
+			g.tracer.Record(obs.Event{
+				UnixNanos: time.Now().UnixNano(),
+				Kind:      "http_handoff",
+				Node:      -1, // the gateway is not a cluster member
+				Peer:      int32(home),
+				File:      int64(f),
+				Idx:       -1,
+			})
+		}
+	}
+	fr, err := g.client.OpenVia(entry, f)
 	if err != nil {
-		http.Error(w, fmt.Sprintf("middleware read: %v", err), http.StatusBadGateway)
+		status := StatusForError(err)
+		if status == http.StatusNotFound {
+			g.nNotFound.Add(1)
+			http.NotFound(w, r)
+			return
+		}
+		g.nErrors.Add(1)
+		http.Error(w, fmt.Sprintf("middleware read: %v", err), status)
 		return
 	}
 
-	etag := contentETag(body)
-	w.Header().Set("ETag", etag)
-	if r.Header.Get("If-None-Match") == etag {
-		w.WriteHeader(http.StatusNotModified)
-		return
+	w.Header().Set("ETag", g.validator(f, fr.Size()))
+	if ct := mime.TypeByExtension(path.Ext(r.URL.Path)); ct != "" {
+		// Known extensions skip ServeContent's sniff (which would cost a
+		// ranged read of the first 512 bytes on every response).
+		w.Header().Set("Content-Type", ct)
 	}
-	ct := mime.TypeByExtension(path.Ext(r.URL.Path))
-	if ct == "" {
-		ct = http.DetectContentType(body)
+	cw := &countingWriter{ResponseWriter: w}
+	// ServeContent handles If-None-Match/If-Range before any read, so a
+	// 304's only cluster traffic is the open's zero-length size probe.
+	http.ServeContent(cw, r, path.Base(r.URL.Path), time.Time{}, fr)
+	g.nBytes.Add(cw.bytes)
+	if cw.status == http.StatusNotModified {
+		g.nNotModified.Add(1)
 	}
-	w.Header().Set("Content-Type", ct)
-	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
-	if r.Method == http.MethodHead {
-		return
-	}
-	w.Write(body) //nolint:errcheck // best-effort response body
 }
 
-// contentETag derives a strong validator from the content.
-func contentETag(body []byte) string {
-	h := fnv.New64a()
-	h.Write(body) //nolint:errcheck // hash writes cannot fail
-	return fmt.Sprintf("%q", strconv.FormatUint(h.Sum64(), 16))
+// NewServer wraps handler in a production-shaped front door: HTTP/1.1 with
+// keep-alive and cleartext HTTP/2 (h2c), so both browser-era keep-alive
+// fleets and multiplexing clients are first-class.
+func NewServer(handler http.Handler) *http.Server {
+	protocols := new(http.Protocols)
+	protocols.SetHTTP1(true)
+	protocols.SetUnencryptedHTTP2(true)
+	return &http.Server{
+		Handler:           handler,
+		Protocols:         protocols,
+		ReadHeaderTimeout: 30 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+}
+
+// StatsJSONHandler reports the gateway's serving counters as JSON — the
+// endpoint ccload scrapes for hand-off accounting when the gateway runs in
+// another process.
+func (g *Gateway) StatsJSONHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s := g.Stats()
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"requests":%d,"handoffs":%d,"not_modified":%d,"not_found":%d,"range_requests":%d,"errors":%d,"bytes_served":%d}`+"\n",
+			s.Requests, s.Handoffs, s.NotModified, s.NotFound, s.RangeRequests, s.Errors, s.BytesServed)
+	})
 }
 
 // StatsHandler reports aggregated cluster statistics as plain text.

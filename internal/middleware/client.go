@@ -57,6 +57,10 @@ type Client struct {
 	// trips (so the client survives the death of every original entry
 	// point, and discovers joined nodes without re-dialing).
 	members atomic.Pointer[clientMembers]
+	// view is the last decoded membership view behind members: it keeps
+	// the consistent-hash ring so the client can compute file→home
+	// placement itself (HomeOf) for locality-aware entry (§4.1 hand-off).
+	view    atomic.Pointer[memberView]
 	cfg     ClientConfig
 	timeout time.Duration
 	retries int
@@ -389,6 +393,7 @@ func (c *Client) installMembers(v *memberView) {
 		if !c.members.CompareAndSwap(cur, m) {
 			continue
 		}
+		c.view.Store(v)
 		var dead []*conn
 		c.mu.Lock()
 		c.growLocked(len(m.addrs))
@@ -404,6 +409,28 @@ func (c *Client) installMembers(v *memberView) {
 		}
 		return
 	}
+}
+
+// HomeOf reports the home node of file f under the client's current
+// membership view — the file→node placement the cluster itself uses, so a
+// serving layer can enter at the node that will own the read (the paper's
+// §4.1 request hand-off done at connection time instead of after a
+// misrouted hop). ok is false until RefreshMembership has installed a
+// view, or when the computed home is not currently reachable.
+func (c *Client) HomeOf(f block.FileID) (int, bool) {
+	v := c.view.Load()
+	if v == nil {
+		return 0, false
+	}
+	h, ok := v.home(f)
+	if !ok || !v.reachable(h) {
+		return 0, false
+	}
+	m := c.members.Load()
+	if m == nil || h >= len(m.alive) || !m.alive[h] {
+		return 0, false
+	}
+	return h, true
 }
 
 // MembershipEpoch reports the epoch of the client's membership view (0

@@ -355,6 +355,17 @@ func errFrame(format string, args ...any) *Frame {
 	return f
 }
 
+// errFrameFrom builds a MsgErr response for err, preserving its
+// classification across the wire: not-found failures are flagged so the
+// requesting client reconstructs errors.Is(err, ErrUnknownFile).
+func errFrameFrom(err error, format string, args ...any) *Frame {
+	f := errFrame(format, args...)
+	if errors.Is(err, ErrUnknownFile) {
+		f.Flags |= FlagNotFound
+	}
+	return f
+}
+
 // ackFrame builds a bare MsgAck response.
 func ackFrame() *Frame {
 	f := getFrame()

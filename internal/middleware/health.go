@@ -49,6 +49,22 @@ func isTransient(err error) bool {
 	return errors.As(err, &ne)
 }
 
+// IsTransient reports whether err is a transport-level failure a caller
+// may retry (timeout, torn/refused/closed connection, suspected peer).
+// Serving layers use it to pick a 5xx class for cluster errors.
+func IsTransient(err error) bool { return isTransient(err) }
+
+// IsTimeout reports whether err is a deadline miss — an RPC that ran out
+// of time rather than a peer that refused or a request that was wrong.
+// HTTP gateways map this class to 504 Gateway Timeout.
+func IsTimeout(err error) bool {
+	if errors.Is(err, errRPCTimeout) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
 // breaker is a per-peer circuit breaker. After `threshold` consecutive
 // transport failures the circuit opens: requests to the peer fail fast
 // (errPeerSuspect) instead of paying a timeout each. After `cooldown`, one

@@ -1121,7 +1121,7 @@ func (n *Node) handle(f *Frame) *Frame {
 	case MsgReadFile:
 		data, err := n.ReadFile(f.File)
 		if err != nil {
-			return errFrame("read file %d: %v", f.File, err)
+			return errFrameFrom(err, "read file %d: %v", f.File, err)
 		}
 		r := getFrame()
 		r.Type, r.File, r.Payload = MsgFileData, f.File, data
@@ -1130,11 +1130,11 @@ func (n *Node) handle(f *Frame) *Frame {
 		off, length := unpackRange(f.Aux)
 		size, err := n.cfg.Source.FileSize(f.File)
 		if err != nil {
-			return errFrame("read range %d: %v", f.File, err)
+			return errFrameFrom(err, "read range %d: %v", f.File, err)
 		}
 		data, err := n.ReadRange(f.File, off, length)
 		if err != nil {
-			return errFrame("read range %d: %v", f.File, err)
+			return errFrameFrom(err, "read range %d: %v", f.File, err)
 		}
 		r := getFrame()
 		r.Type, r.File, r.Aux, r.Payload = MsgFileData, f.File, size, data
@@ -1147,7 +1147,7 @@ func (n *Node) handle(f *Frame) *Frame {
 		// WriteBlock retains the slice (store insert): take ownership away
 		// from the pooled frame.
 		if err := n.WriteBlock(f.ID(), f.TakePayload()); err != nil {
-			return errFrame("write %v: %v", f.ID(), err)
+			return errFrameFrom(err, "write %v: %v", f.ID(), err)
 		}
 		return ackFrame()
 	case MsgInvalidate:

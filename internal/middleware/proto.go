@@ -354,6 +354,10 @@ const (
 	// holds a hint pointing elsewhere (breaks probable-owner redirect
 	// loops in hint mode).
 	FlagForce
+	// FlagNotFound, on a MsgErr reply, marks the failure as "file unknown
+	// to the cluster" so clients can classify it (ErrUnknownFile) instead
+	// of treating every remote error alike.
+	FlagNotFound
 )
 
 // HintDelta is one piggybacked directory update: "the master of this block
@@ -638,10 +642,14 @@ func readFrame(r io.Reader, limit int) (*Frame, error) {
 // ID returns the block identifier of the frame.
 func (f *Frame) ID() block.ID { return block.ID{File: f.File, Idx: f.Idx} }
 
-// Err extracts the error of a MsgErr frame.
+// Err extracts the error of a MsgErr frame. A reply flagged FlagNotFound
+// wraps ErrUnknownFile so the classification survives the wire crossing.
 func (f *Frame) Err() error {
 	if f.Type != MsgErr {
 		return nil
+	}
+	if f.Flags&FlagNotFound != 0 {
+		return fmt.Errorf("middleware: remote error: %s: %w", f.Payload, ErrUnknownFile)
 	}
 	return fmt.Errorf("middleware: remote error: %s", f.Payload)
 }

@@ -79,31 +79,51 @@ func (n *Node) ReadRange(f block.FileID, off int64, length int) ([]byte, error) 
 
 // FileReader is a random-access view of a file served through the cluster.
 // It implements io.ReaderAt, io.Reader and io.Seeker, so cluster files plug
-// directly into code written against the standard library.
+// directly into code written against the standard library. Each read is one
+// or more ranged RPCs of at most maxRangeLen bytes; the reader never holds
+// more than the caller's buffer.
 type FileReader struct {
 	c    *Client
 	file block.FileID
 	size int64
 	pos  int64
+	// entry is the preferred cluster entry node for this reader's RPCs
+	// (-1: round-robin). A gateway pins it to the file's home so the read
+	// enters where the blocks live — the §4.1 hand-off.
+	entry int
 }
 
 // Open returns a reader for file f. The open itself is one zero-length
 // ranged read, which validates the file and learns its size (every
 // MsgReadRange reply carries the file size in Aux).
 func (c *Client) Open(f block.FileID) (*FileReader, error) {
-	fr := &FileReader{c: c, file: f, size: -1}
+	return c.OpenVia(-1, f)
+}
+
+// OpenVia is Open entering the cluster at a specific node (-1 for
+// round-robin). Transient failures still fail over to other nodes; the pin
+// only biases where requests land first.
+func (c *Client) OpenVia(node int, f block.FileID) (*FileReader, error) {
+	fr := &FileReader{c: c, file: f, size: -1, entry: node}
 	if _, err := fr.probeSize(); err != nil {
 		return nil, err
 	}
 	return fr, nil
 }
 
+// entryNode picks the node a ranged RPC enters at.
+func (fr *FileReader) entryNode() int {
+	if fr.entry >= 0 {
+		return fr.entry
+	}
+	return fr.c.next()
+}
+
 // probeSize performs the zero-length ranged read that sizes the file.
 func (fr *FileReader) probeSize() (int64, error) {
-	node := fr.c.next()
 	req := getFrame()
 	req.Type, req.File, req.Aux = MsgReadRange, fr.file, packRange(0, 0)
-	resp, err := fr.c.roundTrip(node, req)
+	resp, _, err := fr.c.failoverTrip(fr.entryNode(), req)
 	releaseFrame(req)
 	if err != nil {
 		return 0, err
@@ -116,32 +136,51 @@ func (fr *FileReader) probeSize() (int64, error) {
 // Size reports the file's size in bytes.
 func (fr *FileReader) Size() int64 { return fr.size }
 
-// ReadAt implements io.ReaderAt.
+// ReadAt implements io.ReaderAt: it reads len(p) bytes at off or reports
+// why it could not, looping over ranged RPCs when len(p) exceeds the
+// per-RPC range limit, and returning io.EOF only at true end of file.
 func (fr *FileReader) ReadAt(p []byte, off int64) (int, error) {
-	if off >= fr.size {
-		return 0, io.EOF
+	if off < 0 {
+		// Rejected up front: packRange would silently corrupt a negative
+		// offset into a huge unsigned one.
+		return 0, fmt.Errorf("middleware: negative read offset %d", off)
 	}
-	want := len(p)
-	if want > maxRangeLen {
-		want = maxRangeLen
+	total := 0
+	for total < len(p) {
+		if off >= fr.size {
+			return total, io.EOF
+		}
+		want := len(p) - total
+		if rem := fr.size - off; int64(want) > rem {
+			want = int(rem)
+		}
+		if want > maxRangeLen {
+			want = maxRangeLen
+		}
+		req := getFrame()
+		req.Type, req.File, req.Aux = MsgReadRange, fr.file, packRange(off, want)
+		resp, _, err := fr.c.failoverTrip(fr.entryNode(), req)
+		releaseFrame(req)
+		if err != nil {
+			return total, err
+		}
+		// Copy into the caller's buffer, then recycle the pooled payload:
+		// the ranged-read reply is the one response path whose payload
+		// never needs to outlive the call.
+		n := copy(p[total:], resp.Payload)
+		releaseFrame(resp)
+		total += n
+		off += int64(n)
+		if n < want {
+			// The server clamps ranges to EOF; any other short reply is a
+			// protocol violation, not an EOF.
+			if off >= fr.size {
+				return total, io.EOF
+			}
+			return total, fmt.Errorf("middleware: short range reply for file %d: %d of %d bytes", fr.file, n, want)
+		}
 	}
-	node := fr.c.next()
-	req := getFrame()
-	req.Type, req.File, req.Aux = MsgReadRange, fr.file, packRange(off, want)
-	resp, err := fr.c.roundTrip(node, req)
-	releaseFrame(req)
-	if err != nil {
-		return 0, err
-	}
-	// Copy into the caller's buffer, then recycle the pooled payload: the
-	// ranged-read reply is the one response path whose payload never needs
-	// to outlive the call.
-	n := copy(p, resp.Payload)
-	releaseFrame(resp)
-	if n < len(p) {
-		return n, io.EOF
-	}
-	return n, nil
+	return total, nil
 }
 
 // Read implements io.Reader.

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"io"
 	"testing"
+	"testing/iotest"
 
 	"repro/internal/block"
 	"repro/internal/core"
@@ -115,8 +116,104 @@ func TestFileReaderInterfaces(t *testing.T) {
 func TestOpenUnknownFile(t *testing.T) {
 	sizes := map[block.FileID]int64{0: 1024}
 	_, client := startCluster(t, 2, 64, core.PolicyMaster, false, sizes)
-	if _, err := client.Open(99); err == nil {
+	err := func() error { _, err := client.Open(99); return err }()
+	if err == nil {
 		t.Fatal("unknown file opened")
+	}
+	if !IsNotFound(err) {
+		t.Fatalf("open of unknown file not classified not-found: %v", err)
+	}
+}
+
+// TestFileReaderContract runs the stdlib iotest contract checker over
+// files straddling block boundaries: FileReader must behave exactly like
+// bytes.Reader for Read, ReadAt, and Seek.
+func TestFileReaderContract(t *testing.T) {
+	sizes := map[block.FileID]int64{
+		0: 1024, // exactly one block
+		1: 1023, // one byte short of a block
+		2: 1025, // one byte over
+		3: 4096, // multi-block, aligned
+		4: 5000, // multi-block, unaligned tail
+	}
+	_, client := startCluster(t, 2, 64, core.PolicyMaster, false, sizes)
+	for f, size := range sizes {
+		fr, err := client.Open(f)
+		if err != nil {
+			t.Fatalf("open %d: %v", f, err)
+		}
+		if err := iotest.TestReader(fr, expect(testGeom, f, size)); err != nil {
+			t.Fatalf("file %d (%d bytes): %v", f, size, err)
+		}
+	}
+	fr, err := client.Open(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fr.ReadAt(make([]byte, 10), -1); err == nil || err == io.EOF {
+		t.Fatalf("negative offset: err = %v, want a non-EOF error", err)
+	}
+}
+
+// TestFileReaderReadAtBeyondRangeLimit pins the io.ReaderAt contract for
+// buffers larger than one ranged RPC can carry (maxRangeLen): ReadAt must
+// loop over RPCs until the buffer is full, and return io.EOF only at true
+// end of file — the exact case the pre-fix code answered with a short read
+// and a spurious EOF.
+func TestFileReaderReadAtBeyondRangeLimit(t *testing.T) {
+	geom := block.Geometry{Size: 64 * 1024, ExtentBlocks: 8} // big blocks keep the block count sane
+	size := int64(maxRangeLen) + 200_000
+	sizes := map[block.FileID]int64{3: size}
+	nodes := make([]*Node, 2)
+	addrs := make([]string, 2)
+	for i := range nodes {
+		n, err := Start(Config{
+			ID: i, CapacityBlocks: 512, Policy: core.PolicyMaster,
+			Geometry: geom, Source: NewMemSource(geom, sizes),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = n
+		addrs[i] = n.Addr()
+		t.Cleanup(func() { n.Close() })
+	}
+	for _, n := range nodes {
+		n.SetAddrs(addrs)
+	}
+	client, err := DialCluster(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close() })
+
+	fr, err := client.Open(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := expect(geom, 3, size)
+
+	const off = 50_000
+	buf := make([]byte, maxRangeLen+100_000) // needs two ranged RPCs
+	n, err := fr.ReadAt(buf, off)
+	if err != nil {
+		t.Fatalf("ReadAt: n=%d err=%v (spurious EOF regression?)", n, err)
+	}
+	if n != len(buf) {
+		t.Fatalf("ReadAt filled %d of %d bytes", n, len(buf))
+	}
+	if !bytes.Equal(buf, full[off:off+int64(len(buf))]) {
+		t.Fatal("chunked ReadAt content mismatch")
+	}
+
+	// A buffer larger than the remaining file still ends in a true EOF.
+	tail := make([]byte, maxRangeLen+100_000)
+	n, err = fr.ReadAt(tail, size-1000)
+	if err != io.EOF || n != 1000 {
+		t.Fatalf("ReadAt at tail: n=%d err=%v, want 1000, io.EOF", n, err)
+	}
+	if !bytes.Equal(tail[:n], full[size-1000:]) {
+		t.Fatal("tail content mismatch")
 	}
 }
 

@@ -1,6 +1,7 @@
 package middleware
 
 import (
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"os"
@@ -9,6 +10,17 @@ import (
 
 	"repro/internal/block"
 )
+
+// ErrUnknownFile marks a request for a file no source in the cluster can
+// serve. Sources wrap it so serving layers can distinguish "does not exist"
+// (a client error) from transport faults; the wire protocol carries the
+// distinction across nodes via FlagNotFound, so errors.Is(err,
+// ErrUnknownFile) holds on the client side too.
+var ErrUnknownFile = errors.New("unknown file")
+
+// IsNotFound reports whether err — local or relayed over the wire —
+// identifies a file unknown to the cluster.
+func IsNotFound(err error) bool { return errors.Is(err, ErrUnknownFile) }
 
 // BlockSource is a node's backing store: the "disk" holding the files whose
 // home this node is. The simulator models it; the live middleware reads it.
@@ -49,7 +61,7 @@ func (m *MemSource) FileSize(f block.FileID) (int64, error) {
 	defer m.mu.RUnlock()
 	size, ok := m.sizes[f]
 	if !ok {
-		return 0, fmt.Errorf("middleware: unknown file %d", f)
+		return 0, fmt.Errorf("middleware: %w %d", ErrUnknownFile, f)
 	}
 	return size, nil
 }
@@ -155,7 +167,7 @@ func (d *DirSource) path(f block.FileID) (string, error) {
 	defer d.mu.RUnlock()
 	name, ok := d.names[f]
 	if !ok {
-		return "", fmt.Errorf("middleware: unknown file %d", f)
+		return "", fmt.Errorf("middleware: %w %d", ErrUnknownFile, f)
 	}
 	return filepath.Join(d.dir, name), nil
 }

@@ -12,21 +12,26 @@ import (
 
 // ParseCLF reads a web server access log in Common Log Format
 // ("host ident user [date] \"METHOD /path PROTO\" status bytes") and builds
-// a Trace: each distinct successfully served path becomes a file (sized by
-// the largest response observed for it) and each GET of it becomes a
-// request. This lets the original Calgary/Clarknet/NASA/Rutgers traces be
-// dropped into the harness when available; the synthetic presets are the
-// offline substitute.
+// a Trace: each distinct path with at least one size-defining response (a
+// 200 carrying a byte count) becomes a file, sized by the largest such
+// response, and each successful GET of it (200 or 304) becomes a request.
+// Paths observed only as 304s never learn a size — replaying them as
+// zero-byte files would skew hit rates and byte counts — so they are
+// dropped entirely. This lets the original Calgary/Clarknet/NASA/Rutgers
+// traces be dropped into the harness when available; the synthetic presets
+// are the offline substitute.
 func ParseCLF(name string, r io.Reader) (*Trace, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 64*1024), 1024*1024)
 
 	type info struct {
-		id   block.FileID
-		size int64
+		id    block.FileID
+		size  int64
+		sized bool
 	}
 	byPath := make(map[string]*info)
-	t := &Trace{Name: name}
+	var sized []*info // paths in the order they first became sized
+	var reqs []*info  // the request stream, in log order
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
@@ -39,18 +44,35 @@ func ParseCLF(name string, r io.Reader) (*Trace, error) {
 		}
 		fi, seen := byPath[path]
 		if !seen {
-			fi = &info{id: block.FileID(len(t.Files))}
+			fi = &info{}
 			byPath[path] = fi
-			t.Files = append(t.Files, File{ID: fi.id})
 		}
-		if size > fi.size {
-			fi.size = size
-			t.Files[fi.id].Size = size
+		// Only a 200 with an explicit byte count defines the file's size; a
+		// 304 (or a 200 logged with "-") is a request of the path, admitted
+		// below only if some other response sized it.
+		if status == 200 && size >= 0 {
+			if !fi.sized {
+				fi.sized = true
+				sized = append(sized, fi)
+			}
+			if size > fi.size {
+				fi.size = size
+			}
 		}
-		t.Requests = append(t.Requests, fi.id)
+		reqs = append(reqs, fi)
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("trace: reading CLF at line %d: %w", lineNo, err)
+	}
+	t := &Trace{Name: name}
+	for i, fi := range sized {
+		fi.id = block.FileID(i)
+		t.Files = append(t.Files, File{ID: fi.id, Size: fi.size})
+	}
+	for _, fi := range reqs {
+		if fi.sized {
+			t.Requests = append(t.Requests, fi.id)
+		}
 	}
 	if len(t.Files) == 0 {
 		return nil, fmt.Errorf("trace: no usable requests in CLF input")
@@ -59,19 +81,33 @@ func ParseCLF(name string, r io.Reader) (*Trace, error) {
 }
 
 // parseCLFLine extracts (path, status, bytes) from one CLF line. ok is false
-// for lines that are malformed or not GETs.
+// for lines that are malformed or not GETs. size is -1 when the byte count
+// is logged as "-" (no body, e.g. a 304).
 func parseCLFLine(line string) (path string, status int, size int64, ok bool) {
-	// The request field is the first quoted string.
+	// The request field is the first quoted string. Some servers escape
+	// embedded quotes as \" — skip escaped characters when scanning for the
+	// closing quote so such lines don't truncate mid-field.
 	q1 := strings.IndexByte(line, '"')
 	if q1 < 0 {
 		return "", 0, 0, false
 	}
-	q2 := strings.IndexByte(line[q1+1:], '"')
+	q2 := -1
+	for i := q1 + 1; i < len(line); i++ {
+		switch line[i] {
+		case '\\':
+			i++
+		case '"':
+			q2 = i
+		}
+		if q2 >= 0 {
+			break
+		}
+	}
 	if q2 < 0 {
 		return "", 0, 0, false
 	}
-	req := line[q1+1 : q1+1+q2]
-	rest := strings.Fields(line[q1+q2+2:])
+	req := line[q1+1 : q2]
+	rest := strings.Fields(line[q2+1:])
 	if len(rest) < 2 {
 		return "", 0, 0, false
 	}
@@ -87,12 +123,12 @@ func parseCLFLine(line string) (path string, status int, size int64, ok bool) {
 	if err != nil {
 		return "", 0, 0, false
 	}
-	var sz int64
+	size = -1
 	if rest[1] != "-" {
-		sz, err = strconv.ParseInt(rest[1], 10, 64)
-		if err != nil || sz < 0 {
+		size, err = strconv.ParseInt(rest[1], 10, 64)
+		if err != nil || size < 0 {
 			return "", 0, 0, false
 		}
 	}
-	return path, st, sz, true
+	return path, st, size, true
 }

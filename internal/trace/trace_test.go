@@ -111,6 +111,96 @@ func TestParseCLF(t *testing.T) {
 	}
 }
 
+// TestParseCLFTable pins the size-defining-status semantics: only a 200
+// with an explicit byte count creates/sizes a file; 304s (and 200s logged
+// with "-") count as requests only for paths sized elsewhere in the log,
+// and paths never sized are dropped rather than replayed as empty files.
+func TestParseCLFTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		log     []string
+		wantErr bool
+		files   int
+		reqs    int
+		sizes   []int64
+	}{
+		{
+			name:    "304-only path yields no files",
+			log:     []string{`h - - [d] "GET /cached HTTP/1.0" 304 -`},
+			wantErr: true,
+		},
+		{
+			name: "304 before the sizing 200 still counts",
+			log: []string{
+				`h - - [d] "GET /a HTTP/1.0" 304 -`,
+				`h - - [d] "GET /a HTTP/1.0" 200 512`,
+			},
+			files: 1, reqs: 2, sizes: []int64{512},
+		},
+		{
+			name: "never-sized path dropped among sized ones",
+			log: []string{
+				`h - - [d] "GET /a HTTP/1.0" 200 100`,
+				`h - - [d] "GET /ghost HTTP/1.0" 304 -`,
+				`h - - [d] "GET /a HTTP/1.0" 304 -`,
+				`h - - [d] "GET /b HTTP/1.0" 200 200`,
+				`h - - [d] "GET /ghost HTTP/1.0" 304 -`,
+			},
+			files: 2, reqs: 3, sizes: []int64{100, 200},
+		},
+		{
+			name: "200 without byte count does not size a file",
+			log: []string{
+				`h - - [d] "GET /nosize HTTP/1.0" 200 -`,
+				`h - - [d] "GET /a HTTP/1.0" 200 42`,
+			},
+			files: 1, reqs: 1, sizes: []int64{42},
+		},
+		{
+			name: "escaped quote inside the request field",
+			log: []string{
+				`h - - [d] "GET /weird\"name HTTP/1.0" 200 77`,
+			},
+			files: 1, reqs: 1, sizes: []int64{77},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tr, err := ParseCLF("tbl", strings.NewReader(strings.Join(tc.log, "\n")))
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("expected error, got %+v", tr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := tr.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if len(tr.Files) != tc.files || len(tr.Requests) != tc.reqs {
+				t.Fatalf("files=%d reqs=%d, want %d/%d", len(tr.Files), len(tr.Requests), tc.files, tc.reqs)
+			}
+			for i, want := range tc.sizes {
+				if tr.Files[i].Size != want {
+					t.Fatalf("file %d size = %d, want %d", i, tr.Files[i].Size, want)
+				}
+			}
+		})
+	}
+}
+
+func TestParseCLFLineEscapedQuote(t *testing.T) {
+	path, st, size, ok := parseCLFLine(`h - - [d] "GET /e\"q HTTP/1.0" 200 9`)
+	if !ok || st != 200 || size != 9 || path != `/e\"q` {
+		t.Fatalf("got %q %d %d %v", path, st, size, ok)
+	}
+	if _, st, size, ok := parseCLFLine(`h - - [d] "GET /x HTTP/1.0" 304 -`); !ok || st != 304 || size != -1 {
+		t.Fatalf("304 '-': got %d %d %v, want 304 -1 true", st, size, ok)
+	}
+}
+
 func TestParseCLFEmpty(t *testing.T) {
 	if _, err := ParseCLF("x", strings.NewReader("nothing useful")); err == nil {
 		t.Fatal("expected error for unusable input")
