@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -62,10 +63,14 @@ func main() {
 		jsonOut    = flag.String("json", "BENCH_results.json", "write machine-readable results to this file (empty: disable)")
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file")
+		mtxProfile = flag.String("mutexprofile", "", "write a pprof mutex-contention profile to this file")
+		blkProfile = flag.String("blockprofile", "", "write a pprof blocking profile to this file")
 		notes      noteFlags
 	)
 	flag.Var(&notes, "note", "key=value annotation recorded in the -json results (repeatable)")
 	flag.Parse()
+
+	defer obs.ContentionProfiles(*mtxProfile, *blkProfile)()
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)

@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"runtime/pprof"
 	"sort"
 	"strings"
@@ -89,6 +90,8 @@ func main() {
 		interval    = flag.Duration("interval", 0, "time-series bucket width (0: 1s, 250ms in bench/chaos mode; negative: no time series)")
 		traceDump   = flag.Bool("trace-dump", false, "after the replay, dump each node's protocol event trace as JSON (nodes must run with tracing on; -selftest attaches tracers)")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this path")
+		mtxProfile  = flag.String("mutexprofile", "", "write a mutex-contention profile of the run to this path (bench mode: where the store shards pay off)")
+		blkProfile  = flag.String("blockprofile", "", "write a blocking profile of the run to this path")
 	)
 	flag.Parse()
 
@@ -102,6 +105,7 @@ func main() {
 		}
 		defer pprof.StopCPUProfile()
 	}
+	defer obs.ContentionProfiles(*mtxProfile, *blkProfile)()
 
 	if *bench && *flash {
 		spec := trace.FlashSpec{At: *flashAt, Dur: *flashDur, Files: *flashFiles, Boost: *flashBoost}
@@ -458,7 +462,14 @@ type chaosRecord struct {
 // fills PresetsPerBlock instead of Presets, so the document carries the
 // run-path/per-block before-and-after side by side.
 type benchDoc struct {
-	Generated       string        `json:"generated"`
+	Generated string `json:"generated"`
+	// GoMaxProcs/NumCPU/GoVersion record the machine behind the numbers:
+	// contention-sensitive results (the sharded store, writev batching) are
+	// only comparable between runs at equal NumCPU, and the 1-CPU CI
+	// container legitimately reports lower throughput than a dev box.
+	GoMaxProcs      int           `json:"gomaxprocs"`
+	NumCPU          int           `json:"num_cpu"`
+	GoVersion       string        `json:"go_version"`
 	Requests        int           `json:"requests_per_preset"`
 	Presets         []benchRecord `json:"presets"`
 	PresetsPerBlock []benchRecord `json:"presets_per_block,omitempty"`
@@ -495,6 +506,9 @@ func loadBenchDoc(path string) benchDoc {
 
 func writeBenchDoc(path string, doc benchDoc) error {
 	doc.Generated = time.Now().UTC().Format(time.RFC3339)
+	doc.GoMaxProcs = runtime.GOMAXPROCS(0)
+	doc.NumCPU = runtime.NumCPU()
+	doc.GoVersion = runtime.Version()
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err

@@ -1,0 +1,60 @@
+package core
+
+// ShardedHotness stripes a Hotness tracker over power-of-two shards keyed
+// by a mixed hash of the key, so the hot-path Observe on a multicore server
+// contends on one stripe's mutex instead of one global one. Keys are
+// disjoint across shards, so per-key operations (Observe, Score) are exact;
+// Advance steps every shard in turn and Epoch reads shard zero — all shards
+// advance together, so the epoch is a consistent clock for every caller
+// that reads it through this wrapper.
+type ShardedHotness struct {
+	shards []*Hotness
+	mask   uint64
+}
+
+// NewShardedHotness builds a tracker striped over the given shard count
+// (rounded up to a power of two, capped at 64; values < 1 mean one shard).
+// Decay and floor follow NewHotness.
+func NewShardedHotness(decay, floor float64, shards int) *ShardedHotness {
+	n := 1
+	for n < shards && n < 64 {
+		n <<= 1
+	}
+	s := &ShardedHotness{shards: make([]*Hotness, n), mask: uint64(n - 1)}
+	for i := range s.shards {
+		s.shards[i] = NewHotness(decay, floor)
+	}
+	return s
+}
+
+func (s *ShardedHotness) shard(key uint64) *Hotness {
+	if len(s.shards) == 1 {
+		return s.shards[0]
+	}
+	return s.shards[mix(key)&s.mask]
+}
+
+// Observe records one access to key and returns its new score.
+func (s *ShardedHotness) Observe(key uint64) float64 { return s.shard(key).Observe(key) }
+
+// Score reports key's current (decayed) score.
+func (s *ShardedHotness) Score(key uint64) float64 { return s.shard(key).Score(key) }
+
+// Advance steps every shard's epoch clock and sweep.
+func (s *ShardedHotness) Advance() {
+	for _, h := range s.shards {
+		h.Advance()
+	}
+}
+
+// Epoch reports the current epoch.
+func (s *ShardedHotness) Epoch() uint64 { return s.shards[0].Epoch() }
+
+// Len reports the number of tracked keys across all shards.
+func (s *ShardedHotness) Len() int {
+	n := 0
+	for _, h := range s.shards {
+		n += h.Len()
+	}
+	return n
+}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"encoding/json"
 	"os"
+	"runtime"
 	"time"
 )
 
@@ -22,12 +23,18 @@ type FigureResult struct {
 // parallelism, how long each figure and each underlying sweep point took,
 // and the figure data itself.
 type BenchResults struct {
-	GeneratedAt string         `json:"generated_at"`
-	Seed        int64          `json:"seed"`
-	Requests    int            `json:"requests"`
-	Parallelism int            `json:"parallelism"`
-	GoMaxProcs  int            `json:"gomaxprocs"`
-	TotalWallMS float64        `json:"total_wall_ms"`
+	GeneratedAt string `json:"generated_at"`
+	Seed        int64  `json:"seed"`
+	Requests    int    `json:"requests"`
+	Parallelism int    `json:"parallelism"`
+	// GoMaxProcs/NumCPU/GoVersion record the machine the numbers came from:
+	// a 1-CPU CI container and a 16-core dev box produce legitimately
+	// different throughput, and contention-sensitive results (the sharded
+	// store, parallel benchmarks) are only comparable at equal NumCPU.
+	GoMaxProcs  int     `json:"gomaxprocs"`
+	NumCPU      int     `json:"num_cpu"`
+	GoVersion   string  `json:"go_version"`
+	TotalWallMS float64 `json:"total_wall_ms"`
 	// Notes carries free-form perf annotations from the invoker (e.g.
 	// engine-bench numbers, serial-vs-parallel wall-clock comparisons).
 	Notes   map[string]string `json:"notes,omitempty"`
@@ -43,6 +50,8 @@ func NewBenchResults(opt Options, gomaxprocs int) *BenchResults {
 		Requests:    opt.TargetRequests,
 		Parallelism: opt.parallelism(),
 		GoMaxProcs:  gomaxprocs,
+		NumCPU:      runtime.NumCPU(),
+		GoVersion:   runtime.Version(),
 	}
 }
 

@@ -114,6 +114,60 @@ func TestReplayOutputEquivalence(t *testing.T) {
 	}
 }
 
+// TestShardedStoreReplayEquivalence pins the shard-count contract of the
+// lock-striped store: a cluster whose stores run 8 lock shards and one whose
+// stores run the single-lock configuration (StoreShards = 1, the historical
+// store) replay the same deterministic trace with identical §3 counters and
+// identical bytes. Sharding partitions the *lock*, not the protocol: with
+// capacity ample enough that no shard ever evicts, the partitioned LRU and
+// the global LRU are observably the same machine. (Under eviction pressure
+// the partition approximates the global order — that regime is covered by
+// the faulted replays and the shard unit tests, not by exact equivalence.)
+func TestShardedStoreReplayEquivalence(t *testing.T) {
+	const k = 3
+	geom := block.Geometry{Size: 1024, ExtentBlocks: 8}
+	shardedClient, sizes := startClusterMut(t, k, 4096, func(i int, cfg *middleware.Config) {
+		cfg.StoreShards = 8
+	}, middleware.ClientConfig{})
+	singleClient, _ := startClusterMut(t, k, 4096, func(i int, cfg *middleware.Config) {
+		cfg.StoreShards = 1
+	}, middleware.ClientConfig{})
+	tr := replayTrace(sizes, 120)
+
+	resSharded, err := Replay(shardedClient, tr, Config{Concurrency: 1, WarmupFrac: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resSingle, err := Replay(singleClient, tr, Config{Concurrency: 1, WarmupFrac: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, g := resSharded.Cluster, resSingle.Cluster
+	if s.Accesses != g.Accesses || s.LocalHits != g.LocalHits ||
+		s.RemoteHits != g.RemoteHits || s.DiskReads != g.DiskReads {
+		t.Errorf("sharded store diverged from single-lock store:\nsharded: accesses=%d local=%d remote=%d disk=%d\n single: accesses=%d local=%d remote=%d disk=%d",
+			s.Accesses, s.LocalHits, s.RemoteHits, s.DiskReads,
+			g.Accesses, g.LocalHits, g.RemoteHits, g.DiskReads)
+	}
+	if s.RaceMisses != g.RaceMisses || s.Forwards != g.Forwards || s.Invalidations != g.Invalidations {
+		t.Errorf("secondary counters diverged: sharded races=%d forwards=%d inval=%d, single races=%d forwards=%d inval=%d",
+			s.RaceMisses, s.Forwards, s.Invalidations, g.RaceMisses, g.Forwards, g.Invalidations)
+	}
+	for f := 0; f < len(sizes); f++ {
+		id := block.FileID(f)
+		want := syntheticFile(geom, id, sizes[id])
+		for name, cl := range map[string]*middleware.Client{"sharded": shardedClient, "single": singleClient} {
+			got, err := cl.Read(id)
+			if err != nil {
+				t.Fatalf("%s read file %d: %v", name, f, err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("%s cluster corrupted file %d (%d bytes)", name, f, len(got))
+			}
+		}
+	}
+}
+
 // TestRunPathReplayEquivalence replays the same deterministic trace against
 // two clusters that differ only in the read planner — run-granular fetches vs
 // the per-block path — and requires identical observable behaviour: the §3

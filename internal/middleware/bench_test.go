@@ -163,6 +163,106 @@ func BenchmarkNodeReadFileReplica(b *testing.B) {
 	}
 }
 
+// BenchmarkStoreGetParallel measures concurrent warm hits on the sharded
+// store under GOMAXPROCS goroutines (b.RunParallel): the lock-contention
+// profile the shard split exists to flatten. Run with -cpu 1,4 to see the
+// scaling; pair with -mutexprofile to see where the remaining contention
+// lives. On a 1-CPU host this degenerates to the serial path (see
+// BENCH_live caveats).
+func BenchmarkStoreGetParallel(b *testing.B) {
+	const blocks = 256
+	s := NewStoreShards(blocks, core.PolicyMaster, 0) // 0: NumCPU shards
+	for i := int32(0); i < blocks; i++ {
+		s.Insert(block.ID{File: 1, Idx: i}, SyntheticBlock(1, i, 8192), true)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		dst := make([]byte, 8192)
+		var i int32
+		for pb.Next() {
+			id := block.ID{File: 1, Idx: i % blocks}
+			i++
+			if _, ok := s.CopyInto(id, dst); !ok {
+				b.Fatal("warm block missing")
+			}
+		}
+	})
+}
+
+// BenchmarkNodeReadFileParallel is BenchmarkNodeReadFile under concurrent
+// readers: every goroutine sweeps the same warm 64 KB file, so the store's
+// shard mutexes (and the payload refcounts) are the only shared state on the
+// path. Run with -cpu 1,4 for the before/after of the shard split.
+func BenchmarkNodeReadFileParallel(b *testing.B) {
+	geom := block.Geometry{Size: 8192, ExtentBlocks: 8}
+	sizes := map[block.FileID]int64{0: 8 * 8192}
+	n, err := Start(Config{
+		ID: 0, CapacityBlocks: 64, Policy: core.PolicyMaster,
+		Geometry: geom, Source: NewMemSource(geom, sizes),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer n.Close()
+	n.SetAddrs([]string{n.Addr()})
+	if _, err := n.ReadFile(0); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			data, err := n.ReadFile(0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(data) != 8*8192 {
+				b.Fatalf("read %d bytes", len(data))
+			}
+		}
+	})
+}
+
+// BenchmarkServeRun measures the peer-side cost of serving one 8-block run
+// out of the warm store: GetRun pins references, the reply's segments alias
+// the pinned buffers, and releaseFrame drops the pins — the scatter-gather
+// path with zero payload copies and zero concatenation. allocs/op is the
+// headline: the reply frame plus the segment/pin slices, independent of the
+// run's byte size.
+func BenchmarkServeRun(b *testing.B) {
+	geom := block.Geometry{Size: 8192, ExtentBlocks: 8}
+	sizes := map[block.FileID]int64{0: 8 * 8192}
+	n, err := Start(Config{
+		ID: 0, CapacityBlocks: 64, Policy: core.PolicyMaster,
+		Geometry: geom, Source: NewMemSource(geom, sizes),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer n.Close()
+	n.SetAddrs([]string{n.Addr()})
+	if _, err := n.ReadFile(0); err != nil { // warm all 8 blocks
+		b.Fatal(err)
+	}
+	req := &Frame{Type: MsgGetRun, File: 0, Idx: 0, Aux: packRunAux(8, 0), Sender: -1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp := n.handleGetRun(req)
+		if resp.Type != MsgRunData {
+			b.Fatalf("reply type %d", resp.Type)
+		}
+		if count, _ := unpackRunAux(resp.Aux); count != 8 {
+			b.Fatalf("served %d blocks, want 8", count)
+		}
+		if len(resp.Payload) != 0 {
+			b.Fatal("run reply concatenated a payload")
+		}
+		releaseFrame(resp)
+	}
+}
+
 // benchColdReads measures client whole-file reads against a cluster under
 // permanent cache pressure: 128 files × 8 blocks cycle through 4 nodes whose
 // combined capacity holds a quarter of the working set, so nearly every read

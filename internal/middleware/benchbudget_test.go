@@ -15,7 +15,7 @@ import (
 // benchmarks — too slow for every local `go test`.
 //
 // To update the budget after an intentional change, re-measure with
-// `go test -run '^$' -bench 'ConnRoundTrip|NodeReadFile|ClientReadFile$|WriteBlock' ./internal/middleware/`
+// `go test -run '^$' -bench 'ConnRoundTrip|NodeReadFile|StoreGetParallel|ServeRun|ClientReadFile$|WriteBlock' ./internal/middleware/`
 // and edit testdata/alloc_budget.json.
 func TestBenchAllocBudget(t *testing.T) {
 	if os.Getenv("CC_BENCH_BUDGET") != "1" {
@@ -30,11 +30,14 @@ func TestBenchAllocBudget(t *testing.T) {
 		t.Fatalf("parse alloc budget: %v", err)
 	}
 	benches := map[string]func(*testing.B){
-		"BenchmarkConnRoundTrip":       BenchmarkConnRoundTrip,
-		"BenchmarkNodeReadFile":        BenchmarkNodeReadFile,
-		"BenchmarkNodeReadFileReplica": BenchmarkNodeReadFileReplica,
-		"BenchmarkClientReadFile":      BenchmarkClientReadFile,
-		"BenchmarkWriteBlock":          BenchmarkWriteBlock,
+		"BenchmarkConnRoundTrip":        BenchmarkConnRoundTrip,
+		"BenchmarkNodeReadFile":         BenchmarkNodeReadFile,
+		"BenchmarkNodeReadFileReplica":  BenchmarkNodeReadFileReplica,
+		"BenchmarkNodeReadFileParallel": BenchmarkNodeReadFileParallel,
+		"BenchmarkStoreGetParallel":     BenchmarkStoreGetParallel,
+		"BenchmarkServeRun":             BenchmarkServeRun,
+		"BenchmarkClientReadFile":       BenchmarkClientReadFile,
+		"BenchmarkWriteBlock":           BenchmarkWriteBlock,
 	}
 	for name, fn := range benches {
 		want, ok := budget[name]

@@ -69,7 +69,7 @@ type conn struct {
 
 	wmu  sync.Mutex // serializes frame writes
 	wbuf []byte     // reusable encode buffer (guarded by wmu)
-	iov  [2][]byte  // writev scratch for large payloads (guarded by wmu)
+	iov  [][]byte   // writev scratch: header + payload + segments (guarded by wmu)
 
 	pmu     sync.Mutex
 	pending map[uint32]chan *Frame
@@ -132,7 +132,11 @@ func (c *conn) write(f *Frame) error {
 		// every writer on this conn behind wmu forever.
 		c.nc.SetWriteDeadline(time.Now().Add(c.cfg.timeout)) //nolint:errcheck // best effort
 	}
-	useWritev := len(f.Payload) > inlinePayloadMax
+	// Scatter-gather: segmented frames (run replies pointing at pinned
+	// store buffers) and large single payloads go out as one writev —
+	// header + each segment, zero concatenation. Fault-injected transports
+	// demand one Write per frame, so they take the contiguous path.
+	useWritev := len(f.Segs) > 0 || len(f.Payload) > inlinePayloadMax
 	if useWritev {
 		if _, single := c.nc.(singleFrameWriter); single {
 			useWritev = false
@@ -140,12 +144,25 @@ func (c *conn) write(f *Frame) error {
 	}
 	if useWritev {
 		c.wbuf = buf
-		c.iov[0], c.iov[1] = buf, f.Payload
-		bufs := net.Buffers(c.iov[:])
+		c.iov = append(c.iov[:0], buf)
+		if len(f.Payload) > 0 {
+			c.iov = append(c.iov, f.Payload)
+		}
+		for _, s := range f.Segs {
+			if len(s) > 0 {
+				c.iov = append(c.iov, s)
+			}
+		}
+		bufs := net.Buffers(c.iov)
 		_, err = bufs.WriteTo(c.nc)
-		c.iov[0], c.iov[1] = nil, nil
+		for i := range c.iov {
+			c.iov[i] = nil // drop payload references; scratch is retained
+		}
 	} else {
 		buf = append(buf, f.Payload...)
+		for _, s := range f.Segs {
+			buf = append(buf, s...)
+		}
 		c.wbuf = buf
 		_, err = c.nc.Write(buf)
 	}

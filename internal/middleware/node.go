@@ -29,6 +29,14 @@ type Config struct {
 	Hints bool
 	// CapacityBlocks is the local cache size in blocks.
 	CapacityBlocks int
+	// StoreShards is the number of lock stripes in the local store (rounded
+	// up to a power of two, capped at the capacity). 0 (the default) sizes
+	// to the host: the smallest power of two covering NumCPU, so concurrent
+	// hits scale across cores instead of convoying on one mutex. 1 restores
+	// the exact single-lock global LRU (deterministic: what the replay-
+	// equivalence suite pins). Miss-coalescing and hotness tracking stripe
+	// with the same count.
+	StoreShards int
 	// Policy is the replacement policy (PolicyMaster recommended; this is
 	// the paper's headline variant).
 	Policy core.Policy
@@ -207,8 +215,11 @@ type Node struct {
 	migrFlight  map[block.FileID]chan struct{}
 	migrCount   atomic.Int64
 
-	pmu     sync.Mutex
-	pending map[block.ID]chan struct{}
+	// pend stripes the miss-coalescing map with the store's shard count, so
+	// concurrent misses on different blocks do not serialize on one mutex
+	// while they register their in-flight fetch.
+	pend     []pendShard
+	pendMask uint64
 
 	// raMu guards raBusy, the set of files with a readahead in flight
 	// (misses on a file already being prefetched do not spawn another).
@@ -229,7 +240,7 @@ type Node struct {
 	// the next mastership claim re-triggers replication), and repLast (the
 	// manager's per-block repush rate limit). epochStop ends the hotness
 	// ticker.
-	hot          *core.Hotness
+	hot          *core.ShardedHotness
 	reps         *replicaSets
 	repRR        atomic.Uint32
 	repMu        sync.Mutex
@@ -284,6 +295,23 @@ type Node struct {
 	invalBatchBlocks obs.ValueHistogram
 
 	c counters
+}
+
+// pendShard is one stripe of the miss-coalescing map: concurrent fetches of
+// the same block join the stripe's in-flight channel instead of issuing a
+// duplicate RPC (getBlock).
+type pendShard struct {
+	mu      sync.Mutex
+	waiting map[block.ID]chan struct{}
+}
+
+// pendingShard routes a block to its miss-coalescing stripe (same hash and
+// stripe count as the store's shards).
+func (n *Node) pendingShard(id block.ID) *pendShard {
+	if len(n.pend) == 1 {
+		return &n.pend[0]
+	}
+	return &n.pend[shardMix(hotKey(id))&n.pendMask]
 }
 
 // counters holds the node's statistics.
@@ -403,10 +431,14 @@ func Start(cfg Config) (*Node, error) {
 		cfg:      cfg,
 		geom:     cfg.Geometry,
 		ln:       ln,
-		store:    NewStore(cfg.CapacityBlocks, cfg.Policy),
+		store:    NewStoreShards(cfg.CapacityBlocks, cfg.Policy, cfg.StoreShards),
 		accepted: make(map[*conn]struct{}),
-		pending:  make(map[block.ID]chan struct{}),
 		raBusy:   make(map[block.FileID]struct{}),
+	}
+	n.pend = make([]pendShard, n.store.ShardCount())
+	n.pendMask = uint64(len(n.pend) - 1)
+	for i := range n.pend {
+		n.pend[i].waiting = make(map[block.ID]chan struct{})
 	}
 	n.workers = cfg.Workers
 	if n.workers == 0 {
@@ -487,7 +519,8 @@ func Start(cfg Config) (*Node, error) {
 		if n.repFanout > maxReplicaFanout {
 			n.repFanout = maxReplicaFanout
 		}
-		n.hot = core.NewHotness(core.DefaultHotnessDecay, core.DefaultHotnessFloor)
+		n.hot = core.NewShardedHotness(core.DefaultHotnessDecay, core.DefaultHotnessFloor,
+			n.store.ShardCount())
 		n.repCool = make(map[block.ID]uint64)
 		n.repHot = make(map[block.ID]uint64)
 		n.repLast = make(map[block.ID]uint64)
@@ -1252,9 +1285,13 @@ func (n *Node) handleGetBlock(f *Frame) *Frame {
 		r.Type, r.Flags, r.File, r.Idx, r.Payload = MsgBlockData, FlagMaster, f.File, f.Idx, data
 		return r
 	}
-	if data, master, ok := n.store.GetServe(id); ok {
+	if pb, master, ok := n.store.GetServe(id); ok {
+		// Zero-copy serve: the reply aliases the pinned store buffer; the
+		// pin rides the frame and is released after the socket write, so
+		// eviction cannot recycle the bytes under the reply.
 		r := getFrame()
-		r.Type, r.File, r.Idx, r.Payload = MsgBlockData, f.File, f.Idx, data
+		r.Type, r.File, r.Idx, r.Payload = MsgBlockData, f.File, f.Idx, pb.data
+		r.pin(pb)
 		if master {
 			// The response says whether a master or a replica served it, so
 			// the requester only records master locations as hints.
@@ -1284,11 +1321,10 @@ func (n *Node) handleGetRun(f *Frame) *Frame {
 	first := f.Idx
 	if f.Flags&FlagMaster != 0 {
 		n.ensureMigrated(f.File)
-		var buf []byte
-		count := 0
+		segs := make([][]byte, 0, want)
 		var masters uint32
-		for count < want {
-			id := block.ID{File: f.File, Idx: first + int32(count)}
+		for len(segs) < want {
+			id := block.ID{File: f.File, Idx: first + int32(len(segs))}
 			if n.hints != nil {
 				if holder, ok, _ := n.hints.Lookup(id); ok &&
 					holder != int32(n.cfg.ID) && holder != f.Sender {
@@ -1297,25 +1333,29 @@ func (n *Node) handleGetRun(f *Frame) *Frame {
 			}
 			data, err := n.cfg.Source.ReadBlock(f.File, id.Idx)
 			if err != nil {
-				if count == 0 {
+				if len(segs) == 0 {
 					return errFrame("home run read %v: %v", id, err)
 				}
 				break
 			}
-			buf = append(buf, data...)
-			masters |= 1 << uint(count)
+			masters |= 1 << uint(len(segs))
+			segs = append(segs, data)
 			if f.Sender >= 0 {
 				n.noteHint(id, f.Sender)
 			}
-			count++
 		}
 		r := getFrame()
 		r.Type, r.Flags, r.File, r.Idx = MsgRunData, FlagMaster, f.File, first
-		r.Aux = packRunAux(count, masters)
-		r.Payload = buf
+		r.Aux = packRunAux(len(segs), masters)
+		r.Segs = segs // scatter-gathered by the writer; never concatenated
 		return r
 	}
-	buf, count, masters := n.store.AppendRun(f.File, first, want, nil)
+	// Peer run: pinned references straight out of the sharded store. The
+	// reply's segments alias the pinned buffers — N cached blocks ship with
+	// zero payload copies and zero concatenation; the pins drop after the
+	// socket write.
+	bufs, masters := n.store.GetRun(f.File, first, want, nil)
+	count := len(bufs)
 	if n.hot != nil && masters != 0 {
 		for i := 0; i < count; i++ {
 			if masters&(1<<uint(i)) != 0 {
@@ -1326,7 +1366,13 @@ func (n *Node) handleGetRun(f *Frame) *Frame {
 	r := getFrame()
 	r.Type, r.File, r.Idx = MsgRunData, f.File, first
 	r.Aux = packRunAux(count, masters)
-	r.Payload = buf
+	if count > 0 {
+		r.Segs = make([][]byte, count)
+		for i, pb := range bufs {
+			r.Segs[i] = pb.data
+			r.pin(pb)
+		}
+	}
 	return r
 }
 
@@ -1395,8 +1441,9 @@ func (n *Node) handleDir(f *Frame) *Frame {
 
 func (n *Node) handleForward(f *Frame) *Frame {
 	id := f.ID()
-	// The store keeps the forwarded slice: take ownership from the frame.
-	accepted, displaced := n.store.AcceptForward(id, f.TakePayload(), f.Aux)
+	// The store keeps the forwarded payload: take the refcounted buffer from
+	// the frame, pooled backing and all, so an eventual eviction recycles it.
+	accepted, displaced := n.store.AcceptForwardBuf(id, f.TakePayloadBuf(), f.Aux)
 	if displaced != nil && displaced.Master {
 		// The block we discarded to make room was a master: the cluster
 		// forgets it (no cascaded forwarding, §3).

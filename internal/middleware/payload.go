@@ -1,0 +1,85 @@
+package middleware
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// payloadBuf is an immutable, refcounted block payload: the unit of
+// ownership for every block of bytes the live data plane moves. The store
+// holds one reference per cached block; serving paths pin additional
+// references for the lifetime of a reply (or a reader), so eviction,
+// invalidation, and writes can never recycle bytes out from under an
+// in-flight use. When the last reference drops, a pool-backed buffer
+// returns to its size-class pool; plain GC-owned bytes (source reads,
+// caller-provided slices) are simply dropped.
+//
+// The ownership state machine (see DESIGN.md "Zero-copy serving"):
+//
+//	pooled --getPayload/TakePayloadBuf--> owned (refs=1)
+//	owned  --retain--> pinned (refs>1)    // store insert, reply segment
+//	pinned --release--> owned             // reply written, reader done
+//	owned  --release--> pooled (refs=0)   // last holder gone
+//
+// payloadBuf values are themselves pooled; a released buffer must never be
+// touched again (retain after the count hit zero panics).
+type payloadBuf struct {
+	data []byte
+	// pooled, when non-nil, is the size-class pool backing of data (the
+	// getPayload pointer); nil means data is plain GC-owned memory.
+	pooled *[]byte
+	refs   atomic.Int32
+}
+
+var payloadBufPool = sync.Pool{New: func() any { return new(payloadBuf) }}
+
+// newPayloadBuf wraps caller-owned bytes in a payload with one reference.
+// The bytes are never pool-recycled (release at zero just drops them), so
+// wrapping a source read or an application slice is always safe.
+func newPayloadBuf(data []byte) *payloadBuf {
+	pb := payloadBufPool.Get().(*payloadBuf)
+	pb.data, pb.pooled = data, nil
+	pb.refs.Store(1)
+	return pb
+}
+
+// newPooledPayloadBuf allocates an n-byte pool-backed payload with one
+// reference. The caller fills data before sharing the buffer; after that
+// the bytes are immutable until the last release.
+func newPooledPayloadBuf(n int) *payloadBuf {
+	pb := payloadBufPool.Get().(*payloadBuf)
+	p := getPayload(n)
+	pb.data, pb.pooled = *p, p
+	pb.refs.Store(1)
+	return pb
+}
+
+// retain adds a reference and returns pb for chaining.
+func (pb *payloadBuf) retain() *payloadBuf {
+	if pb.refs.Add(1) <= 1 {
+		panic("middleware: retain of a released payload")
+	}
+	return pb
+}
+
+// release drops one reference. At zero the backing returns to its pool (if
+// pool-backed) and the payloadBuf itself is recycled; any alias of pb.data
+// taken before the release is invalid afterwards.
+func (pb *payloadBuf) release() {
+	if pb == nil {
+		return
+	}
+	n := pb.refs.Add(-1)
+	if n > 0 {
+		return
+	}
+	if n < 0 {
+		panic("middleware: payload refcount underflow")
+	}
+	p := pb.pooled
+	pb.data, pb.pooled = nil, nil
+	payloadBufPool.Put(pb)
+	if p != nil {
+		putPayload(p)
+	}
+}

@@ -397,6 +397,15 @@ type Frame struct {
 	// from the wire it is backed by a pooled buffer: use TakePayload to
 	// keep the bytes past releaseFrame.
 	Payload []byte
+	// Segs are extra payload segments written to the wire after Payload,
+	// in order. The wire format is unchanged — the receiver sees one
+	// contiguous payload of length len(Payload)+Σlen(Segs[i]) — but the
+	// sender never concatenates them: the writer hands header + Payload +
+	// every segment to one writev. Serving paths point Segs at pinned
+	// store buffers (see pin), so a run reply ships N cached blocks with
+	// zero copies. Outgoing frames only; the decoder always produces a
+	// contiguous Payload.
+	Segs [][]byte
 
 	// hintArr provides allocation-free backing for Hints on decode and
 	// stamp.
@@ -404,6 +413,31 @@ type Frame struct {
 	// pbuf, when non-nil, is the pooled buffer backing Payload; it returns
 	// to its size-class pool on releaseFrame.
 	pbuf *[]byte
+	// bufs are payload references pinned to this frame (Payload or Segs
+	// alias their bytes); releaseFrame drops them after the socket write.
+	bufs []*payloadBuf
+	// bufArr backs bufs allocation-free for the single-block serve path.
+	bufArr [2]*payloadBuf
+}
+
+// pin ties a pinned payload reference to the frame: the reference is
+// released when the frame is (after the reply hits the socket), which is
+// what keeps store eviction from recycling bytes under an in-flight reply.
+func (f *Frame) pin(pb *payloadBuf) {
+	if f.bufs == nil {
+		f.bufs = f.bufArr[:0]
+	}
+	f.bufs = append(f.bufs, pb)
+}
+
+// payloadLen is the total payload length on the wire: Payload plus every
+// scatter-gather segment.
+func (f *Frame) payloadLen() int {
+	n := len(f.Payload)
+	for _, s := range f.Segs {
+		n += len(s)
+	}
+	return n
 }
 
 // header layout: type(1) flags(1) req(4) sender(4) oldest(8) file(4) idx(4)
@@ -439,11 +473,15 @@ var framePool = sync.Pool{New: func() any { return new(Frame) }}
 func getFrame() *Frame { return framePool.Get().(*Frame) }
 
 // releaseFrame recycles a frame and, if its payload is pool-backed, the
-// payload buffer. The frame and any slices reaching into it (Payload,
-// Hints) must not be used afterwards.
+// payload buffer; payload references pinned to the frame are released. The
+// frame and any slices reaching into it (Payload, Segs, Hints) must not be
+// used afterwards.
 func releaseFrame(f *Frame) {
 	if f == nil {
 		return
+	}
+	for _, b := range f.bufs {
+		b.release()
 	}
 	pb := f.pbuf
 	*f = Frame{}
@@ -462,6 +500,19 @@ func (f *Frame) TakePayload() []byte {
 	f.Payload = nil
 	f.pbuf = nil
 	return p
+}
+
+// TakePayloadBuf transfers ownership of the payload to the caller as a
+// refcounted buffer (one reference). Unlike TakePayload, the pooled backing
+// travels with the bytes: when the last reference drops, the buffer returns
+// to its size-class pool instead of leaking to the garbage collector —
+// the path by which store-cached blocks keep the wire pools warm.
+func (f *Frame) TakePayloadBuf() *payloadBuf {
+	pb := payloadBufPool.Get().(*payloadBuf)
+	pb.data, pb.pooled = f.Payload, f.pbuf
+	pb.refs.Store(1)
+	f.Payload, f.pbuf = nil, nil
+	return pb
 }
 
 // payloadClassSizes are the pooled payload buffer capacities. 8 KB matches
@@ -520,12 +571,15 @@ func growSlice(buf []byte, n int) []byte {
 }
 
 // appendHeader validates f and appends its header and hint deltas (not the
-// payload) to buf.
+// payload) to buf. The encoded payload length covers Payload plus every
+// scatter-gather segment: the receiver cannot tell (and need not care)
+// whether the sender gathered the bytes or held them contiguously.
 func appendHeader(buf []byte, f *Frame) ([]byte, error) {
-	if len(f.Payload) > maxPayload {
-		return nil, fmt.Errorf("middleware: payload %d exceeds limit", len(f.Payload))
+	plen := f.payloadLen()
+	if plen > maxPayload {
+		return nil, fmt.Errorf("middleware: payload %d exceeds limit", plen)
 	}
-	if len(f.Payload) > 0 && !typeCarriesPayload(f.Type) {
+	if plen > 0 && !typeCarriesPayload(f.Type) {
 		return nil, fmt.Errorf("middleware: frame type %d does not carry a payload", f.Type)
 	}
 	if len(f.Hints) > maxHintDeltas {
@@ -543,7 +597,7 @@ func appendHeader(buf []byte, f *Frame) ([]byte, error) {
 	binary.BigEndian.PutUint32(hdr[22:], uint32(f.Idx))
 	binary.BigEndian.PutUint64(hdr[26:], uint64(f.Aux))
 	hdr[34] = byte(len(f.Hints))
-	binary.BigEndian.PutUint32(hdr[35:], uint32(len(f.Payload)))
+	binary.BigEndian.PutUint32(hdr[35:], uint32(plen))
 	for i, h := range f.Hints {
 		d := hdr[headerLen+12*i:]
 		binary.BigEndian.PutUint32(d, uint32(h.File))
@@ -569,6 +623,9 @@ func WriteFrame(w io.Writer, f *Frame) error {
 		return err
 	}
 	buf = append(buf, f.Payload...)
+	for _, s := range f.Segs {
+		buf = append(buf, s...)
+	}
 	_, err = w.Write(buf)
 	if cap(buf) <= 1<<20 {
 		*bp = buf[:0]

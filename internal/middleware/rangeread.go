@@ -36,12 +36,15 @@ func (n *Node) ReadRange(f block.FileID, off int64, length int) ([]byte, error) 
 	i := first
 	if start := off - int64(first)*bs; start > 0 {
 		// Unaligned head: the needed bytes are a mid-block suffix, which a
-		// prefix-copying GetBlockInto cannot produce — alias the block once.
-		data, err := n.GetBlock(block.ID{File: f, Idx: first})
+		// prefix-copying GetBlockInto cannot produce — pin the block once and
+		// copy just the suffix out of the pinned buffer.
+		pb, _, err := n.getBlock(block.ID{File: f, Idx: first}, nil, true)
 		if err != nil {
 			return nil, err
 		}
+		data := pb.data
 		if start > int64(len(data)) {
+			pb.release()
 			return nil, fmt.Errorf("middleware: block %d:%d shorter than range start", f, first)
 		}
 		end := int64(len(data))
@@ -49,6 +52,7 @@ func (n *Node) ReadRange(f block.FileID, off int64, length int) ([]byte, error) 
 			end = start + int64(length)
 		}
 		pos = copy(out, data[start:end])
+		pb.release()
 		i++
 	}
 	if i > last || pos == length {

@@ -140,8 +140,8 @@ func (n *Node) planRuns(f block.FileID, missing []int32) ([]runPlan, error) {
 
 // readPlanned fills out — whose first byte is the head of block first —
 // with blocks [first, last] of f. Phase one is a synchronous local sweep
-// (CopyInto under the store lock; a fully cached file costs zero goroutines
-// and zero RPCs). Phase two groups the misses into runs and fetches each
+// (CopyInto: the reference is pinned under the shard lock, the copy runs
+// outside it; a fully cached file costs zero goroutines and zero RPCs). Phase two groups the misses into runs and fetches each
 // with one MsgGetRun; whatever a run does not deliver (stale holder, fault,
 // concurrent eviction) falls back to the per-block getBlock path, which
 // carries the full §3 race and fault semantics — a degraded run is
@@ -230,7 +230,7 @@ func (n *Node) fetchRun(f block.FileID, size int64, r runPlan, out []byte, outBa
 		// A home that just moved here pulls the previous home's
 		// write-through state before the first authoritative read.
 		n.ensureMigrated(f)
-		blocks := make([][]byte, 0, r.count)
+		blocks := make([]*payloadBuf, 0, r.count)
 		for i := r.first; i < r.first+int32(r.count); i++ {
 			data, err := n.cfg.Source.ReadBlock(f, i)
 			if err != nil {
@@ -239,7 +239,7 @@ func (n *Node) fetchRun(f block.FileID, size int64, r runPlan, out []byte, outBa
 			copy(dst(i), data)
 			n.c.accesses.Add(1)
 			n.c.diskReads.Add(1)
-			blocks = append(blocks, data)
+			blocks = append(blocks, newPayloadBuf(data))
 		}
 		n.installRun(f, r.first, blocks, true)
 		return len(blocks)
@@ -272,23 +272,24 @@ func (n *Node) fetchRun(f block.FileID, size int64, r runPlan, out []byte, outBa
 			expect += blockLen(n.geom, size, r.first+int32(i))
 		}
 		if len(resp.Payload) == expect {
-			blocks := make([][]byte, 0, k)
+			blocks := make([]*payloadBuf, 0, k)
 			off := 0
 			for i := r.first; i < r.first+int32(k); i++ {
 				l := blockLen(n.geom, size, i)
-				// A fresh copy per block: the store must not pin the pooled
-				// payload array.
-				data := make([]byte, l)
-				copy(data, resp.Payload[off:off+l])
+				// One pool-backed copy per block: splitting the multi-block
+				// response means one live block never pins the whole run's
+				// payload, and eviction recycles each block independently.
+				pb := newPooledPayloadBuf(l)
+				copy(pb.data, resp.Payload[off:off+l])
 				off += l
-				copy(dst(i), data)
+				copy(dst(i), pb.data)
 				n.c.accesses.Add(1)
 				if r.home {
 					n.c.diskReads.Add(1)
 				} else {
 					n.c.remoteHits.Add(1)
 				}
-				blocks = append(blocks, data)
+				blocks = append(blocks, pb)
 			}
 			n.installRun(f, r.first, blocks, r.home)
 			served = k
@@ -303,10 +304,11 @@ func (n *Node) fetchRun(f block.FileID, size int64, r runPlan, out []byte, outBa
 	return served
 }
 
-// installRun puts a fetched run into the store under one lock acquisition,
-// gives displaced masters their §3 second chance, and (for home runs)
-// repoints the directory with one batched UpdateN.
-func (n *Node) installRun(f block.FileID, first int32, blocks [][]byte, master bool) {
+// installRun puts a fetched run into the store (one lock acquisition per
+// touched shard), gives displaced masters their §3 second chance, and (for
+// home runs) repoints the directory with one batched UpdateN. The store
+// takes the caller's reference on every payload.
+func (n *Node) installRun(f block.FileID, first int32, blocks []*payloadBuf, master bool) {
 	if len(blocks) == 0 {
 		return
 	}
@@ -325,10 +327,18 @@ func (n *Node) installRun(f block.FileID, first int32, blocks [][]byte, master b
 // GetBlock returns the content of one block, implementing the §3 protocol:
 // local cache, then the master copy located through the directory (central
 // or hints), then a master read through the file's home node. Concurrent
-// misses for the same block coalesce into one fetch.
+// misses for the same block coalesce into one fetch. The returned slice is
+// the caller's own copy: the cache can evict and recycle its buffer without
+// the returned bytes ever changing underneath the caller.
 func (n *Node) GetBlock(id block.ID) ([]byte, error) {
-	data, _, err := n.getBlock(id, nil, true)
-	return data, err
+	pb, _, err := n.getBlock(id, nil, true)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, len(pb.data))
+	copy(out, pb.data)
+	pb.release()
+	return out, nil
 }
 
 // GetBlockInto is GetBlock filling a caller-provided buffer: a local hit
@@ -342,9 +352,10 @@ func (n *Node) GetBlockInto(id block.ID, dst []byte) (int, error) {
 
 // getBlock is the shared fetch path with control over readahead triggering
 // (prefetch fetches must not recursively spawn further readahead windows).
-// With dst == nil it returns the block content (aliasing the store's copy);
+// With dst == nil it returns a pinned reference to the block payload — the
+// caller must release it, and until then eviction cannot recycle the bytes;
 // with dst != nil it copies into dst and returns the count.
-func (n *Node) getBlock(id block.ID, dst []byte, triggerRA bool) ([]byte, int, error) {
+func (n *Node) getBlock(id block.ID, dst []byte, triggerRA bool) (*payloadBuf, int, error) {
 	for {
 		n.c.accesses.Add(1)
 		if dst != nil {
@@ -352,28 +363,29 @@ func (n *Node) getBlock(id block.ID, dst []byte, triggerRA bool) ([]byte, int, e
 				n.c.localHits.Add(1)
 				return nil, nn, nil
 			}
-		} else if data, ok := n.store.Get(id); ok {
+		} else if pb, ok := n.store.GetRef(id); ok {
 			n.c.localHits.Add(1)
-			return data, 0, nil
+			return pb, 0, nil
 		}
 		// Coalesce concurrent fetches of the same block.
-		n.pmu.Lock()
-		if ch, inflight := n.pending[id]; inflight {
-			n.pmu.Unlock()
+		sh := n.pendingShard(id)
+		sh.mu.Lock()
+		if ch, inflight := sh.waiting[id]; inflight {
+			sh.mu.Unlock()
 			<-ch
 			// Re-check the cache; if the block was already evicted again
 			// (or the fetch failed), loop and fetch for ourselves.
 			continue
 		}
 		ch := make(chan struct{})
-		n.pending[id] = ch
-		n.pmu.Unlock()
+		sh.waiting[id] = ch
+		sh.mu.Unlock()
 
-		data, err := n.fetchBlock(id)
+		pb, err := n.fetchBlock(id)
 
-		n.pmu.Lock()
-		delete(n.pending, id)
-		n.pmu.Unlock()
+		sh.mu.Lock()
+		delete(sh.waiting, id)
+		sh.mu.Unlock()
 		close(ch)
 		if err != nil {
 			return nil, 0, err
@@ -385,9 +397,11 @@ func (n *Node) getBlock(id block.ID, dst []byte, triggerRA bool) ([]byte, int, e
 			}()
 		}
 		if dst != nil {
-			return nil, copy(dst, data), nil
+			nn := copy(dst, pb.data)
+			pb.release()
+			return nil, nn, nil
 		}
-		return data, 0, nil
+		return pb, 0, nil
 	}
 }
 
@@ -446,18 +460,22 @@ func (n *Node) readahead(after block.ID) {
 				n.c.prefetches.Add(uint64(served))
 			}
 			for i := r.first + int32(served); i < r.first+int32(r.count); i++ {
-				if _, _, err := n.getBlock(block.ID{File: after.File, Idx: i}, nil, false); err != nil {
+				pb, _, err := n.getBlock(block.ID{File: after.File, Idx: i}, nil, false)
+				if err != nil {
 					return
 				}
+				pb.release() // prefetch installs only; no reader to hand to
 				n.c.prefetches.Add(1)
 			}
 		}
 		return
 	}
 	for _, i := range missing {
-		if _, _, err := n.getBlock(block.ID{File: after.File, Idx: i}, nil, false); err != nil {
+		pb, _, err := n.getBlock(block.ID{File: after.File, Idx: i}, nil, false)
+		if err != nil {
 			return
 		}
+		pb.release() // prefetch installs only; no reader to hand to
 		n.c.prefetches.Add(1)
 	}
 }
@@ -465,8 +483,10 @@ func (n *Node) readahead(after block.ID) {
 // fetchBlock obtains a missing block from a peer or through the home node.
 // A peer cache fetch gets exactly one attempt (breaker-gated): its retry
 // is the home fallback, which keeps a block fetch bounded by roughly
-// RPCTimeout × (Retries + 1) even when the believed master is dead.
-func (n *Node) fetchBlock(id block.ID) ([]byte, error) {
+// RPCTimeout × (Retries + 1) even when the believed master is dead. The
+// returned payload is pinned for the caller (one reference), with a second
+// reference handed to the store by the install.
+func (n *Node) fetchBlock(id block.ID) (*payloadBuf, error) {
 	self := int32(n.cfg.ID)
 	if m, ok, err := n.loc.Lookup(id); err == nil && ok && m != self {
 		req := getFrame()
@@ -474,11 +494,11 @@ func (n *Node) fetchBlock(id block.ID) ([]byte, error) {
 		resp, err := n.reliableRPC(int(m), req, 0)
 		releaseFrame(req)
 		if err == nil && resp.Type == MsgBlockData {
-			data := resp.TakePayload() // the store retains this slice
+			pb := resp.TakePayloadBuf() // pool backing travels with the bytes
 			releaseFrame(resp)
 			n.c.remoteHits.Add(1)
-			n.insertBlock(id, data, false)
-			return data, nil
+			n.insertBlockBuf(id, pb.retain(), false)
+			return pb, nil
 		}
 		if err == nil {
 			releaseFrame(resp)
@@ -515,17 +535,17 @@ func (n *Node) fetchBlock(id block.ID) ([]byte, error) {
 // Under the elastic ring, an unreachable home degrades to its ring
 // successor — the node that inherits the file once the failure is promoted
 // to a membership change — so reads stay error-free through a crash.
-func (n *Node) fetchFromHome(id block.ID) ([]byte, error) {
+func (n *Node) fetchFromHome(id block.ID) (*payloadBuf, error) {
 	home, err := n.home(id.File)
 	if err != nil {
 		return nil, err
 	}
-	data, redirected, err := n.readMaster(id, home)
+	pb, redirected, err := n.readMaster(id, home)
 	if err != nil && isTransient(err) {
 		if succ, ok := n.ringSuccessor(id.File, home); ok {
 			n.c.homeFallbacks.Add(1)
 			n.trace(traceHomeFallback, home, id, 1)
-			data, redirected, err = n.readMaster(id, succ)
+			pb, redirected, err = n.readMaster(id, succ)
 		}
 	}
 	if err != nil {
@@ -533,12 +553,12 @@ func (n *Node) fetchFromHome(id block.ID) ([]byte, error) {
 	}
 	if redirected {
 		// fetchRedirected already accounted and installed the copy.
-		return data, nil
+		return pb, nil
 	}
 	n.c.diskReads.Add(1)
-	n.insertBlock(id, data, true)
+	n.insertBlockBuf(id, pb.retain(), true)
 	n.loc.Update(id, int32(n.cfg.ID)) //nolint:errcheck // next miss self-corrects via home
-	return data, nil
+	return pb, nil
 }
 
 // ringSuccessor names the node that takes over f if `down` leaves the ring:
@@ -561,13 +581,14 @@ func (n *Node) ringSuccessor(f block.FileID, down int) (int, bool) {
 // (with probable-owner redirects) otherwise. redirected reports that the
 // block came from a probable-owner redirect (served, accounted, and
 // installed by fetchRedirected) rather than from the home.
-func (n *Node) readMaster(id block.ID, home int) (data []byte, redirected bool, err error) {
+func (n *Node) readMaster(id block.ID, home int) (pb *payloadBuf, redirected bool, err error) {
 	if home == n.cfg.ID {
 		n.ensureMigrated(id.File)
-		data, err = n.cfg.Source.ReadBlock(id.File, id.Idx)
-		if err != nil {
-			return nil, false, err
+		data, rerr := n.cfg.Source.ReadBlock(id.File, id.Idx)
+		if rerr != nil {
+			return nil, false, rerr
 		}
+		pb = newPayloadBuf(data) // fresh source slice, GC-owned
 	} else {
 		flags := FlagMaster
 		for {
@@ -596,16 +617,16 @@ func (n *Node) readMaster(id block.ID, home int) (data []byte, redirected bool, 
 				releaseFrame(resp)
 				return nil, false, fmt.Errorf("middleware: home %d returned %d for %v", home, typ, id)
 			}
-			data = resp.TakePayload() // the store retains this slice
+			pb = resp.TakePayloadBuf() // pool backing travels with the bytes
 			releaseFrame(resp)
 			break
 		}
 	}
-	return data, false, nil
+	return pb, false, nil
 }
 
 // fetchRedirected follows a home redirect to the probable master holder.
-func (n *Node) fetchRedirected(id block.ID, holder int) ([]byte, bool) {
+func (n *Node) fetchRedirected(id block.ID, holder int) (*payloadBuf, bool) {
 	if holder == n.cfg.ID || holder >= n.clusterSize() {
 		return nil, false
 	}
@@ -624,17 +645,17 @@ func (n *Node) fetchRedirected(id block.ID, holder int) ([]byte, bool) {
 		return nil, false
 	}
 	served := resp.Flags
-	data := resp.TakePayload() // the store retains this slice
+	pb := resp.TakePayloadBuf() // pool backing travels with the bytes
 	releaseFrame(resp)
 	n.c.remoteHits.Add(1)
-	n.insertBlock(id, data, false)
+	n.insertBlockBuf(id, pb.retain(), false)
 	if served&FlagMaster != 0 {
 		// Only a master serve is a location fact worth spreading: a
 		// replica holder answering for the master must not be recorded
 		// (and later counted against hint accuracy) as the master.
 		n.noteHint(id, int32(holder))
 	}
-	return data, true
+	return pb, true
 }
 
 // insertBlock caches content and handles the eviction it may cause: a
@@ -647,7 +668,17 @@ func (n *Node) insertBlock(id block.ID, data []byte, master bool) {
 	}
 }
 
+// insertBlockBuf is insertBlock for a payload the caller already holds a
+// reference on: the store takes ownership of that reference (released if
+// admission rejects the block).
+func (n *Node) insertBlockBuf(id block.ID, pb *payloadBuf, master bool) {
+	if ev := n.store.InsertBuf(id, pb, master); ev != nil {
+		n.dispatchEvicted(ev)
+	}
+}
+
 func (n *Node) forwardEvicted(ev *Evicted) {
+	defer ev.Release() // the eviction's pin on the payload ends here
 	self := int32(n.cfg.ID)
 	v := n.viewRef()
 	target := -1
@@ -673,9 +704,10 @@ func (n *Node) forwardEvicted(ev *Evicted) {
 	n.loc.Update(ev.ID, int32(target)) //nolint:errcheck // corrected below
 	req := getFrame()
 	req.Type, req.File, req.Idx, req.Aux = MsgForward, ev.ID.File, ev.ID.Idx, ev.Age
-	req.Payload = ev.Data // store-owned slice, not pooled
+	req.Payload = ev.Data // pinned by ev until the Release above
 	// Best effort: a forward to a dead peer is simply a dropped master.
 	resp, err := n.reliableRPC(target, req, 0)
+	req.Payload = nil // still owned by ev, keep releaseFrame's hands off
 	releaseFrame(req)
 	accepted := err == nil && resp.Flags != 0
 	if err == nil {

@@ -187,8 +187,12 @@ func (n *Node) pushReplicas(id block.ID) {
 	// rejected (stale stamp + fresh data fails safe; the reverse order
 	// could pair a fresh stamp with stale data and win).
 	stamp := n.invalStamp(id)
-	data, ok := n.store.Get(id)
-	if !ok || !n.store.IsMaster(id) {
+	pb, ok := n.store.GetRef(id)
+	if !ok {
+		return
+	}
+	defer pb.release() // pinned across every push write in the round
+	if !n.store.IsMaster(id) {
 		return // lost mastership while the push was queued
 	}
 	size := n.clusterSize()
@@ -207,7 +211,7 @@ func (n *Node) pushReplicas(id block.ID) {
 		req := getFrame()
 		req.Type, req.File, req.Idx = MsgReplicate, id.File, id.Idx
 		req.Aux = int64(stamp) // orders the push against bus invalidations
-		req.Payload = data     // store-owned slice, not pooled
+		req.Payload = pb.data  // pinned by the GetRef above
 		resp, err := n.reliableRPC(target, req, 0)
 		req.Payload = nil
 		releaseFrame(req)
@@ -378,8 +382,9 @@ func (n *Node) handleReplicate(f *Frame) *Frame {
 		r.Type, r.File, r.Idx = MsgAck, f.File, f.Idx
 		return r // Flags=0: rejected
 	}
-	// The store retains the slice: take ownership from the pooled frame.
-	if ev := n.store.InsertReplica(id, f.TakePayload()); ev != nil {
+	// The store keeps the pushed copy: take the refcounted buffer from the
+	// frame, pooled backing and all, so an eventual eviction recycles it.
+	if ev := n.store.InsertReplicaBuf(id, f.TakePayloadBuf()); ev != nil {
 		n.dispatchEvicted(ev)
 	}
 	r := getFrame()

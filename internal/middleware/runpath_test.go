@@ -101,7 +101,7 @@ func TestIdxPayloadCodec(t *testing.T) {
 	}
 }
 
-func TestStoreAppendRun(t *testing.T) {
+func TestStoreGetRun(t *testing.T) {
 	s := NewStore(16, core.PolicyMaster)
 	mk := func(idx int32) []byte { return SyntheticBlock(1, idx, 64) }
 	// Blocks 0,1,2 cached (1 a master), 3 missing, 4 cached.
@@ -110,20 +110,49 @@ func TestStoreAppendRun(t *testing.T) {
 	s.Insert(block.ID{File: 1, Idx: 2}, mk(2), false)
 	s.Insert(block.ID{File: 1, Idx: 4}, mk(4), false)
 
-	buf, count, masters := s.AppendRun(1, 0, 8, nil)
-	if count != 3 {
-		t.Fatalf("served %d blocks, want 3 (stop at the gap)", count)
+	bufs, masters := s.GetRun(1, 0, 8, nil)
+	if len(bufs) != 3 {
+		t.Fatalf("served %d blocks, want 3 (stop at the gap)", len(bufs))
 	}
 	if masters != 0b010 {
 		t.Fatalf("master mask %#b, want 0b010", masters)
 	}
-	want := append(append(append([]byte(nil), mk(0)...), mk(1)...), mk(2)...)
-	if !bytes.Equal(buf, want) {
-		t.Fatal("run payload mismatch")
+	for i, pb := range bufs {
+		if !bytes.Equal(pb.data, mk(int32(i))) {
+			t.Fatalf("run block %d payload mismatch", i)
+		}
+		pb.release()
 	}
 	// A run starting at the gap serves nothing.
-	if _, count, _ := s.AppendRun(1, 3, 8, nil); count != 0 {
-		t.Fatalf("gap start served %d blocks", count)
+	if bufs, _ := s.GetRun(1, 3, 8, nil); len(bufs) != 0 {
+		t.Fatalf("gap start served %d blocks", len(bufs))
+	}
+}
+
+// TestStoreGetRunPinsAcrossEviction is the zero-copy safety property: a run
+// reference pinned before an eviction storm keeps its bytes intact even
+// though the store has recycled the block's slot.
+func TestStoreGetRunPinsAcrossEviction(t *testing.T) {
+	s := NewStore(4, core.PolicyBasic)
+	mk := func(f block.FileID, idx int32) []byte { return SyntheticBlock(f, idx, 64) }
+	for i := int32(0); i < 4; i++ {
+		s.Insert(block.ID{File: 1, Idx: i}, mk(1, i), false)
+	}
+	bufs, _ := s.GetRun(1, 0, 4, nil)
+	if len(bufs) != 4 {
+		t.Fatalf("served %d blocks, want 4", len(bufs))
+	}
+	// Evict everything the run points at.
+	for i := int32(0); i < 4; i++ {
+		if ev := s.Insert(block.ID{File: 2, Idx: i}, mk(2, i), false); ev != nil {
+			ev.Release()
+		}
+	}
+	for i, pb := range bufs {
+		if !bytes.Equal(pb.data, mk(1, int32(i))) {
+			t.Fatalf("pinned run block %d mutated by eviction", i)
+		}
+		pb.release()
 	}
 }
 
@@ -134,7 +163,10 @@ func TestStoreInsertRun(t *testing.T) {
 	s.Insert(block.ID{File: 9, Idx: 0}, mk(9, 0), true)
 	s.Insert(block.ID{File: 9, Idx: 1}, mk(9, 1), false)
 
-	blocks := [][]byte{mk(2, 3), mk(2, 4), mk(2, 5), mk(2, 6)}
+	blocks := []*payloadBuf{
+		newPayloadBuf(mk(2, 3)), newPayloadBuf(mk(2, 4)),
+		newPayloadBuf(mk(2, 5)), newPayloadBuf(mk(2, 6)),
+	}
 	evs := s.InsertRun(2, 3, blocks, true)
 	if len(evs) != 2 {
 		t.Fatalf("%d evictions, want 2", len(evs))

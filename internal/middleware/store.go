@@ -1,6 +1,8 @@
 package middleware
 
 import (
+	"math"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -12,65 +14,191 @@ import (
 )
 
 // Evicted describes a block pushed out of the store. Master victims carry
-// their data so the node layer can forward them to a peer (§3); replica
-// victims carry their flag so the node layer can retire them from the
-// manager's replica set.
+// their data — pinned on the caller's behalf — so the node layer can forward
+// them to a peer (§3); call Release when the forward (or the decision to
+// drop) is done. Replica victims carry their flag so the node layer can
+// retire them from the manager's replica set.
 type Evicted struct {
 	ID      block.ID
 	Master  bool
 	Replica bool
 	Age     int64
-	Data    []byte
+	// Data is the evicted master's content. It stays valid until Release:
+	// the eviction transfers the store's payload reference to the Evicted,
+	// so the bytes cannot be recycled while a forward is in flight.
+	Data []byte
+	buf  *payloadBuf
 }
 
-// hotKey folds a block ID into the uint64 key space of the hotness tracker
-// and the admission sketch.
+// Release drops the pinned payload reference carried by a master eviction.
+// Safe on nil and on data-less evictions.
+func (ev *Evicted) Release() {
+	if ev == nil || ev.buf == nil {
+		return
+	}
+	ev.buf.release()
+	ev.buf, ev.Data = nil, nil
+}
+
+// hotKey folds a block ID into the uint64 key space of the hotness tracker,
+// the admission sketch, and the store's shard hash.
 func hotKey(id block.ID) uint64 {
 	return uint64(id.File)<<32 | uint64(uint32(id.Idx))
 }
 
-// Store is the thread-safe in-memory block store of a live node: the
-// BlockCache replacement structure plus the actual payloads. Ages are
-// wall-clock nanoseconds guarded to be per-store monotone: comparable
+// shardMix is the splitmix64 finalizer: it spreads hotKey's structured bits
+// (file in the high half, index in the low) uniformly over the shard space,
+// so the blocks of one file stripe across every shard.
+func shardMix(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// emptyAge is the per-shard oldest-age sentinel for an empty shard.
+const emptyAge = math.MaxInt64
+
+// storeShard is one lock stripe of the store: its own mutex, replacement
+// structure, payload map, replica set, and monotone clock. Aggregate
+// counters are mirrored into atomics on every unlock, so Len/Masters/
+// Replicas/OldestAge never take a shard lock.
+type storeShard struct {
+	mu      sync.Mutex
+	c       *cache.BlockCache
+	data    map[block.ID]*payloadBuf
+	replica map[block.ID]struct{}
+	clock   int64
+
+	oldest atomic.Int64 // age of the shard's oldest block; emptyAge when none
+	nlen   atomic.Int64
+	nmast  atomic.Int64
+	nrepl  atomic.Int64
+}
+
+// unlock publishes the shard's aggregate counters and releases its mutex.
+// Every locked operation must exit through it: the mirrors are what keep
+// the lock-free aggregate reads exact at quiescence.
+func (sh *storeShard) unlock() {
+	if age, ok := sh.c.OldestAge(); ok {
+		sh.oldest.Store(int64(age))
+	} else {
+		sh.oldest.Store(emptyAge)
+	}
+	sh.nlen.Store(int64(sh.c.Len()))
+	sh.nmast.Store(int64(sh.c.Masters()))
+	sh.nrepl.Store(int64(len(sh.replica)))
+	sh.mu.Unlock()
+}
+
+// tick returns the current access age. Callers hold sh.mu. Ages are
+// wall-clock nanoseconds guarded to be per-shard monotone: comparable
 // across nodes to the accuracy of their clocks, which is all the
 // *approximate* global LRU of §3 requires.
+func (sh *storeShard) tick() sim.Time {
+	now := time.Now().UnixNano()
+	if now <= sh.clock {
+		now = sh.clock + 1
+	}
+	sh.clock = now
+	return sim.Time(now)
+}
+
+// Store is the thread-safe in-memory block store of a live node: the
+// BlockCache replacement structure plus the actual payloads, lock-striped
+// into power-of-two shards keyed by a block-ID hash so concurrent hits on a
+// multicore host scale instead of convoying on one mutex. Payloads are
+// refcounted (see payloadBuf): every read path pins a reference before the
+// shard lock drops, so the copy to the caller — or the socket write, for
+// zero-copy serves — happens outside the lock and can never race a recycle.
+//
+// Replacement quality: each shard runs the paper's policy over its own
+// partition. Consistent-hash-partitioned LRU asymptotically matches
+// monolithic LRU miss ratio (Asymptotic Miss Ratio of LRU Caching with
+// Consistent Hashing), and shard count 1 is bit-identical to the historical
+// single-lock store — the replay-equivalence suite pins that.
 type Store struct {
-	mu     sync.Mutex
 	policy core.Policy
-	c      *cache.BlockCache
-	data   map[block.ID][]byte
-	clock  int64
-	// replica marks cached non-master blocks installed by adaptive
-	// replication pushes; they are counted separately and retired from the
-	// manager's replica set on eviction.
-	replica map[block.ID]struct{}
-	// adm, when non-nil, is the TinyLFU admission filter: a full cache
+	shards []*storeShard
+	mask   uint64
+	// adm, when non-nil, is the TinyLFU admission filter: a full shard
 	// only accepts a non-master insert whose estimated frequency beats the
-	// would-be victim's (one-hit wonders never displace warm blocks).
-	adm *core.Admission
+	// would-be victim's (one-hit wonders never displace warm blocks). The
+	// sketch itself is shared across shards (it has its own mutex; the
+	// filter is off by default).
+	adm atomic.Pointer[core.Admission]
 
 	replicaHits      atomic.Uint64
 	admissionRejects atomic.Uint64
 }
 
-// NewStore builds a store holding at most capacity blocks under the given
-// replacement policy (PolicyBasic/PolicySched share replacement; disk
-// scheduling does not apply to the live store).
-func NewStore(capacity int, policy core.Policy) *Store {
-	return &Store{
-		policy:  policy,
-		c:       cache.NewBlockCache(capacity),
-		data:    make(map[block.ID][]byte, capacity),
-		replica: make(map[block.ID]struct{}),
+// resolveStoreShards picks a shard count: requested (rounded up to a power
+// of two) or, for requested <= 0, the smallest power of two covering
+// runtime.NumCPU, capped at 64. The count never exceeds capacity — every
+// shard's BlockCache needs at least one slot.
+func resolveStoreShards(requested, capacity int) int {
+	n := requested
+	if n <= 0 {
+		n = runtime.NumCPU()
 	}
+	p := 1
+	for p < n && p < 64 {
+		p <<= 1
+	}
+	for p > capacity && p > 1 {
+		p >>= 1
+	}
+	return p
+}
+
+// NewStore builds a single-shard store holding at most capacity blocks
+// under the given replacement policy — the deterministic configuration
+// (exact global LRU order) used by tests and single-core deployments.
+func NewStore(capacity int, policy core.Policy) *Store {
+	return NewStoreShards(capacity, policy, 1)
+}
+
+// NewStoreShards builds a store striped over the given shard count
+// (rounded up to a power of two, capped at capacity; <= 0 selects the
+// NumCPU default). Capacity is divided across shards with the remainder
+// spread over the first shards, so per-shard capacities sum exactly to the
+// configured total.
+func NewStoreShards(capacity int, policy core.Policy, shards int) *Store {
+	n := resolveStoreShards(shards, capacity)
+	s := &Store{policy: policy, shards: make([]*storeShard, n), mask: uint64(n - 1)}
+	base, extra := capacity/n, capacity%n
+	for i := range s.shards {
+		c := base
+		if i < extra {
+			c++
+		}
+		s.shards[i] = &storeShard{
+			c:       cache.NewBlockCache(c),
+			data:    make(map[block.ID]*payloadBuf, c),
+			replica: make(map[block.ID]struct{}),
+		}
+		s.shards[i].oldest.Store(emptyAge)
+	}
+	return s
+}
+
+// ShardCount reports the number of lock stripes.
+func (s *Store) ShardCount() int { return len(s.shards) }
+
+// shardOf routes a block ID to its lock stripe.
+func (s *Store) shardOf(id block.ID) *storeShard {
+	if len(s.shards) == 1 {
+		return s.shards[0]
+	}
+	return s.shards[shardMix(hotKey(id))&s.mask]
 }
 
 // SetAdmission installs (or, with nil, removes) the admission filter. Call
 // before the store serves traffic.
 func (s *Store) SetAdmission(a *core.Admission) {
-	s.mu.Lock()
-	s.adm = a
-	s.mu.Unlock()
+	s.adm.Store(a)
 }
 
 // ReplicaHits reports accesses served from replica copies.
@@ -79,177 +207,219 @@ func (s *Store) ReplicaHits() uint64 { return s.replicaHits.Load() }
 // AdmissionRejects reports inserts the admission filter turned away.
 func (s *Store) AdmissionRejects() uint64 { return s.admissionRejects.Load() }
 
-// Replicas reports the number of cached replica copies.
+// Replicas reports the number of cached replica copies (lock-free sum of
+// the per-shard mirrors).
 func (s *Store) Replicas() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.replica)
+	var n int64
+	for _, sh := range s.shards {
+		n += sh.nrepl.Load()
+	}
+	return int(n)
 }
 
 // IsReplica reports whether id is held as a replica copy.
 func (s *Store) IsReplica(id block.ID) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	_, ok := s.replica[id]
+	sh := s.shardOf(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	_, ok := sh.replica[id]
 	return ok
 }
 
 // noteAccessLocked feeds the admission sketch (every access builds the
 // frequency estimate) and the replica-hit counter for a served block.
-// Callers hold s.mu; hit reports whether the access was served.
-func (s *Store) noteAccessLocked(id block.ID, hit bool) {
-	if s.adm != nil {
-		s.adm.Observe(hotKey(id))
+// Callers hold sh.mu; hit reports whether the access was served.
+func (s *Store) noteAccessLocked(sh *storeShard, id block.ID, hit bool) {
+	if a := s.adm.Load(); a != nil {
+		a.Observe(hotKey(id))
 	}
 	if hit {
-		if _, ok := s.replica[id]; ok {
+		if _, ok := sh.replica[id]; ok {
 			s.replicaHits.Add(1)
 		}
 	}
 }
 
-// tick returns the current access age. Callers hold s.mu.
-func (s *Store) tick() sim.Time {
-	now := time.Now().UnixNano()
-	if now <= s.clock {
-		now = s.clock + 1
-	}
-	s.clock = now
-	return sim.Time(now)
-}
-
-// Get returns the cached content of id (touching LRU state) and whether it
-// was present.
-func (s *Store) Get(id block.ID) ([]byte, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if !s.c.Touch(id, s.tick()) {
-		s.noteAccessLocked(id, false)
+// GetRef returns a pinned reference to the cached content of id (touching
+// LRU state) and whether it was present. The caller must release the
+// reference; until then the bytes cannot be recycled by eviction,
+// invalidation, or a write. This is the zero-copy read primitive — no byte
+// is copied, under the lock or after it.
+func (s *Store) GetRef(id block.ID) (*payloadBuf, bool) {
+	sh := s.shardOf(id)
+	sh.mu.Lock()
+	defer sh.unlock()
+	if !sh.c.Touch(id, sh.tick()) {
+		s.noteAccessLocked(sh, id, false)
 		return nil, false
 	}
-	s.noteAccessLocked(id, true)
-	return s.data[id], true
+	s.noteAccessLocked(sh, id, true)
+	return sh.data[id].retain(), true
 }
 
-// GetServe is Get for the peer-serve path: it additionally reports whether
-// the block is held as a master copy, so the server can flag the response
-// and feed the hotness tracker without a second lock acquisition.
-func (s *Store) GetServe(id block.ID) (data []byte, master, ok bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if !s.c.Touch(id, s.tick()) {
-		s.noteAccessLocked(id, false)
+// Get returns a copy of the cached content of id (touching LRU state) and
+// whether it was present. The copy happens outside the shard lock;
+// latency-critical paths use GetRef or CopyInto instead.
+func (s *Store) Get(id block.ID) ([]byte, bool) {
+	pb, ok := s.GetRef(id)
+	if !ok {
+		return nil, false
+	}
+	out := make([]byte, len(pb.data))
+	copy(out, pb.data)
+	pb.release()
+	return out, true
+}
+
+// GetServe is GetRef for the peer-serve path: it additionally reports
+// whether the block is held as a master copy, so the server can flag the
+// response and feed the hotness tracker without a second lock acquisition.
+func (s *Store) GetServe(id block.ID) (pb *payloadBuf, master, ok bool) {
+	sh := s.shardOf(id)
+	sh.mu.Lock()
+	defer sh.unlock()
+	if !sh.c.Touch(id, sh.tick()) {
+		s.noteAccessLocked(sh, id, false)
 		return nil, false, false
 	}
-	s.noteAccessLocked(id, true)
-	return s.data[id], s.c.IsMaster(id), true
+	s.noteAccessLocked(sh, id, true)
+	return sh.data[id].retain(), sh.c.IsMaster(id), true
 }
 
 // CopyInto copies the cached content of id into dst (touching LRU state),
-// returning the byte count and whether it was present. It lets readers fill
-// their output buffer in one copy under the store lock instead of aliasing
-// the stored slice and copying later.
+// returning the byte count and whether it was present. The reference is
+// pinned under the shard lock; the copy itself happens after the lock
+// drops, so a warm local hit never holds a shard mutex across a memcpy.
 func (s *Store) CopyInto(id block.ID, dst []byte) (int, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if !s.c.Touch(id, s.tick()) {
-		s.noteAccessLocked(id, false)
+	pb, ok := s.GetRef(id)
+	if !ok {
 		return 0, false
 	}
-	s.noteAccessLocked(id, true)
-	return copy(dst, s.data[id]), true
+	n := copy(dst, pb.data)
+	pb.release()
+	return n, true
 }
 
 // Contains reports presence without touching.
 func (s *Store) Contains(id block.ID) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.c.Contains(id)
+	sh := s.shardOf(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.c.Contains(id)
 }
 
 // IsMaster reports whether id is held as a master copy.
 func (s *Store) IsMaster(id block.ID) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.c.IsMaster(id)
+	sh := s.shardOf(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.c.IsMaster(id)
 }
 
-// Len reports the number of cached blocks.
+// Len reports the number of cached blocks (lock-free sum of the per-shard
+// mirrors; exact whenever no shard lock is held).
 func (s *Store) Len() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.c.Len()
+	var n int64
+	for _, sh := range s.shards {
+		n += sh.nlen.Load()
+	}
+	return int(n)
 }
 
 // Masters reports the number of cached master copies.
 func (s *Store) Masters() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.c.Masters()
+	var n int64
+	for _, sh := range s.shards {
+		n += sh.nmast.Load()
+	}
+	return int(n)
 }
 
 // OldestAge reports the logical age of the oldest block; ok is false when
-// the store is empty.
+// the store is empty. It reads the per-shard atomic mirrors — no lock —
+// because every outgoing frame stamps this value (§3 peer-age piggyback)
+// and the stamp must never contend with the data plane.
 func (s *Store) OldestAge() (int64, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	age, ok := s.c.OldestAge()
-	return int64(age), ok
-}
-
-// Insert caches id, evicting per the policy if full. The returned eviction
-// (nil if none, or the block was already present) tells the node layer what
-// left memory; the caller decides forwarding. When an admission filter is
-// installed, a full cache only accepts a non-master insert whose estimated
-// frequency beats the would-be victim's; a rejected insert returns nil with
-// nothing evicted (the caller already holds the data, it just is not
-// cached).
-func (s *Store) Insert(id block.ID, data []byte, master bool) *Evicted {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.insertLocked(id, data, master)
-}
-
-func (s *Store) insertLocked(id block.ID, data []byte, master bool) *Evicted {
-	if s.c.Contains(id) {
-		if master {
-			s.c.Promote(id)
-			delete(s.replica, id)
+	oldest, ok := int64(emptyAge), false
+	for _, sh := range s.shards {
+		if a := sh.oldest.Load(); a != emptyAge {
+			ok = true
+			if a < oldest {
+				oldest = a
+			}
 		}
-		s.data[id] = data
+	}
+	if !ok {
+		return 0, false
+	}
+	return oldest, true
+}
+
+// Insert caches a copy of id backed by caller-owned bytes, evicting per the
+// policy if the shard is full. The returned eviction (nil if none, or the
+// block was already present) tells the node layer what left memory; the
+// caller decides forwarding and must Release it. When an admission filter
+// is installed, a full shard only accepts a non-master insert whose
+// estimated frequency beats the would-be victim's; a rejected insert
+// returns nil with nothing evicted (the caller already holds the data, it
+// just is not cached).
+func (s *Store) Insert(id block.ID, data []byte, master bool) *Evicted {
+	return s.InsertBuf(id, newPayloadBuf(data), master)
+}
+
+// InsertBuf is Insert taking ownership of one reference to pb (retain
+// first to keep using it past the call).
+func (s *Store) InsertBuf(id block.ID, pb *payloadBuf, master bool) *Evicted {
+	sh := s.shardOf(id)
+	sh.mu.Lock()
+	defer sh.unlock()
+	return s.insertLocked(sh, id, pb, master)
+}
+
+func (s *Store) insertLocked(sh *storeShard, id block.ID, pb *payloadBuf, master bool) *Evicted {
+	if sh.c.Contains(id) {
+		if master {
+			sh.c.Promote(id)
+			delete(sh.replica, id)
+		}
+		old := sh.data[id]
+		sh.data[id] = pb
+		old.release()
 		return nil
 	}
 	var ev *Evicted
-	if s.c.Full() {
-		if !master && !s.admitLocked(id) {
+	if sh.c.Full() {
+		if !master && !s.admitLocked(sh, id) {
+			pb.release()
 			return nil
 		}
-		ev = s.evictOneLocked()
+		ev = s.evictOneLocked(sh)
 	}
-	s.c.Insert(id, master, s.tick())
-	s.data[id] = data
+	sh.c.Insert(id, master, sh.tick())
+	sh.data[id] = pb
 	return ev
 }
 
 // admitLocked consults the admission filter for a non-master insert into a
-// full cache: the candidate must beat the block the policy would evict.
-// Callers hold s.mu.
-func (s *Store) admitLocked(id block.ID) bool {
-	if s.adm == nil {
+// full shard: the candidate must beat the block the policy would evict.
+// Callers hold sh.mu.
+func (s *Store) admitLocked(sh *storeShard, id block.ID) bool {
+	a := s.adm.Load()
+	if a == nil {
 		return true
 	}
-	victim, oldestMaster, _, ok := s.c.Oldest()
-	if ok && s.policy == core.PolicyMaster && oldestMaster && s.c.NonMasters() > 0 {
+	victim, oldestMaster, _, ok := sh.c.Oldest()
+	if ok && s.policy == core.PolicyMaster && oldestMaster && sh.c.NonMasters() > 0 {
 		// The policy would spare the master and evict the oldest
 		// non-master: that is the block the candidate must beat.
-		if vid, _, ok2 := s.c.OldestNonMaster(); ok2 {
+		if vid, _, ok2 := sh.c.OldestNonMaster(); ok2 {
 			victim = vid
 		}
 	}
 	if !ok {
 		return true
 	}
-	if s.adm.Admit(hotKey(id), hotKey(victim)) {
+	if a.Admit(hotKey(id), hotKey(victim)) {
 		return true
 	}
 	s.admissionRejects.Add(1)
@@ -261,94 +431,117 @@ func (s *Store) admitLocked(id block.ID) bool {
 // block already cached keeps its role (a master is not demoted); otherwise
 // the block is installed as a replica-flagged non-master.
 func (s *Store) InsertReplica(id block.ID, data []byte) *Evicted {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.c.Contains(id) {
-		s.data[id] = data
-		if !s.c.IsMaster(id) {
-			s.replica[id] = struct{}{}
+	return s.InsertReplicaBuf(id, newPayloadBuf(data))
+}
+
+// InsertReplicaBuf is InsertReplica taking ownership of one reference to pb.
+func (s *Store) InsertReplicaBuf(id block.ID, pb *payloadBuf) *Evicted {
+	sh := s.shardOf(id)
+	sh.mu.Lock()
+	defer sh.unlock()
+	if sh.c.Contains(id) {
+		old := sh.data[id]
+		sh.data[id] = pb
+		old.release()
+		if !sh.c.IsMaster(id) {
+			sh.replica[id] = struct{}{}
 		}
 		return nil
 	}
 	var ev *Evicted
-	if s.c.Full() {
-		ev = s.evictOneLocked()
+	if sh.c.Full() {
+		ev = s.evictOneLocked(sh)
 	}
-	s.c.Insert(id, false, s.tick())
-	s.data[id] = data
-	s.replica[id] = struct{}{}
+	sh.c.Insert(id, false, sh.tick())
+	sh.data[id] = pb
+	sh.replica[id] = struct{}{}
 	return ev
 }
 
-// evictOneLocked applies the replacement policy. Callers hold s.mu.
-func (s *Store) evictOneLocked() *Evicted {
-	if _, oldestMaster, _, ok := s.c.Oldest(); ok &&
-		s.policy == core.PolicyMaster && oldestMaster && s.c.NonMasters() > 0 {
-		id, age, _ := s.c.EvictOldestNonMaster()
+// evictOneLocked applies the replacement policy to one shard. A master
+// victim's payload reference transfers to the Evicted (the §3 second-chance
+// forward reads it after the lock drops); non-master victims release theirs
+// immediately. Callers hold sh.mu.
+func (s *Store) evictOneLocked(sh *storeShard) *Evicted {
+	if _, oldestMaster, _, ok := sh.c.Oldest(); ok &&
+		s.policy == core.PolicyMaster && oldestMaster && sh.c.NonMasters() > 0 {
+		id, age, _ := sh.c.EvictOldestNonMaster()
 		ev := &Evicted{ID: id, Master: false, Age: int64(age)}
-		ev.Replica = s.dropReplicaLocked(id)
-		delete(s.data, id)
+		ev.Replica = dropReplicaLocked(sh, id)
+		sh.data[id].release()
+		delete(sh.data, id)
 		return ev
 	}
-	id, master, age, ok := s.c.EvictOldest()
+	id, master, age, ok := sh.c.EvictOldest()
 	if !ok {
 		return nil
 	}
 	ev := &Evicted{ID: id, Master: master, Age: int64(age)}
-	ev.Replica = s.dropReplicaLocked(id)
+	ev.Replica = dropReplicaLocked(sh, id)
 	if master {
-		ev.Data = s.data[id]
+		ev.buf = sh.data[id] // transfer the store's reference
+		ev.Data = ev.buf.data
+	} else {
+		sh.data[id].release()
 	}
-	delete(s.data, id)
+	delete(sh.data, id)
 	return ev
 }
 
 // dropReplicaLocked clears id's replica flag, reporting whether it was set.
-// Callers hold s.mu.
-func (s *Store) dropReplicaLocked(id block.ID) bool {
-	if _, ok := s.replica[id]; ok {
-		delete(s.replica, id)
+// Callers hold sh.mu.
+func dropReplicaLocked(sh *storeShard, id block.ID) bool {
+	if _, ok := sh.replica[id]; ok {
+		delete(sh.replica, id)
 		return true
 	}
 	return false
 }
 
-// AppendRun appends the contiguous run of cached blocks of f starting at
-// first (at most max blocks) to buf under one lock acquisition, touching
-// each served block's LRU state. It stops at the first gap and returns the
-// extended buffer, the number of blocks served, and a bitmask marking which
-// served blocks are held as master copies (bit i = block first+i).
-func (s *Store) AppendRun(f block.FileID, first int32, max int, buf []byte) ([]byte, int, uint32) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	count := 0
+// GetRun appends pinned references for the contiguous run of cached blocks
+// of f starting at first (at most max blocks) to out, touching each served
+// block's LRU state. It stops at the first gap and returns the extended
+// slice and a bitmask marking which served blocks are held as master copies
+// (bit i = block first+i). No byte is copied or concatenated — the caller
+// points reply segments at the pinned buffers and releases them after the
+// socket write. Blocks of a run stripe across shards, so the walk locks
+// each block's shard in turn (one short critical section per block, never
+// one long one).
+func (s *Store) GetRun(f block.FileID, first int32, max int, out []*payloadBuf) ([]*payloadBuf, uint32) {
 	var masters uint32
-	for count < max {
+	for count := 0; count < max; count++ {
 		id := block.ID{File: f, Idx: first + int32(count)}
-		if !s.c.Touch(id, s.tick()) {
-			s.noteAccessLocked(id, false)
+		sh := s.shardOf(id)
+		sh.mu.Lock()
+		if !sh.c.Touch(id, sh.tick()) {
+			s.noteAccessLocked(sh, id, false)
+			sh.unlock()
 			break
 		}
-		s.noteAccessLocked(id, true)
-		if s.c.IsMaster(id) {
+		s.noteAccessLocked(sh, id, true)
+		if sh.c.IsMaster(id) {
 			masters |= 1 << uint(count)
 		}
-		buf = append(buf, s.data[id]...)
-		count++
+		pb := sh.data[id].retain()
+		sh.unlock()
+		out = append(out, pb)
 	}
-	return buf, count, masters
+	return out, masters
 }
 
 // InsertRun installs a fetched run of contiguous blocks (blocks[i] is block
-// first+i) under one lock acquisition and one tick sequence, returning
-// every eviction the installs caused, in order. Master victims among them
-// get the §3 second chance from the caller, exactly as with Insert.
-func (s *Store) InsertRun(f block.FileID, first int32, blocks [][]byte, master bool) []*Evicted {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+// first+i), taking ownership of one reference to each, and returns every
+// eviction the installs caused, in order. Master victims among them get the
+// §3 second chance from the caller, exactly as with Insert.
+func (s *Store) InsertRun(f block.FileID, first int32, blocks []*payloadBuf, master bool) []*Evicted {
 	var evs []*Evicted
-	for i, data := range blocks {
-		if ev := s.insertLocked(block.ID{File: f, Idx: first + int32(i)}, data, master); ev != nil {
+	for i, pb := range blocks {
+		id := block.ID{File: f, Idx: first + int32(i)}
+		sh := s.shardOf(id)
+		sh.mu.Lock()
+		ev := s.insertLocked(sh, id, pb, master)
+		sh.unlock()
+		if ev != nil {
 			evs = append(evs, ev)
 		}
 	}
@@ -356,41 +549,55 @@ func (s *Store) InsertRun(f block.FileID, first int32, blocks [][]byte, master b
 }
 
 // AcceptForward applies the §3 arrival rules for a forwarded master:
-// dropped if everything local is younger (accepted=false); otherwise the
-// local oldest is discarded outright (never re-forwarded — no cascades) and
-// the block is installed with its original age. displaced reports what was
-// discarded to make room (its directory entry must be dropped if a master).
+// dropped if everything local (in the block's shard) is younger
+// (accepted=false); otherwise the shard's oldest is discarded outright
+// (never re-forwarded — no cascades) and the block is installed with its
+// original age. displaced reports what was discarded to make room (its
+// directory entry must be dropped if a master; it never carries data).
 func (s *Store) AcceptForward(id block.ID, data []byte, age int64) (accepted bool, displaced *Evicted) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.c.Contains(id) {
-		s.c.Promote(id)
-		delete(s.replica, id)
-		s.data[id] = data
+	return s.AcceptForwardBuf(id, newPayloadBuf(data), age)
+}
+
+// AcceptForwardBuf is AcceptForward taking ownership of one reference to pb.
+func (s *Store) AcceptForwardBuf(id block.ID, pb *payloadBuf, age int64) (accepted bool, displaced *Evicted) {
+	sh := s.shardOf(id)
+	sh.mu.Lock()
+	defer sh.unlock()
+	if sh.c.Contains(id) {
+		sh.c.Promote(id)
+		delete(sh.replica, id)
+		old := sh.data[id]
+		sh.data[id] = pb
+		old.release()
 		return true, nil
 	}
-	if s.c.Full() {
-		if oldest, ok := s.c.OldestAge(); ok && int64(oldest) >= age {
+	if sh.c.Full() {
+		if oldest, ok := sh.c.OldestAge(); ok && int64(oldest) >= age {
+			pb.release()
 			return false, nil
 		}
-		vid, vMaster, vAge, _ := s.c.EvictOldest()
+		vid, vMaster, vAge, _ := sh.c.EvictOldest()
 		displaced = &Evicted{ID: vid, Master: vMaster, Age: int64(vAge)}
-		displaced.Replica = s.dropReplicaLocked(vid)
-		delete(s.data, vid)
+		displaced.Replica = dropReplicaLocked(sh, vid)
+		sh.data[vid].release()
+		delete(sh.data, vid)
 	}
-	s.c.Insert(id, true, sim.Time(age))
-	s.data[id] = data
+	sh.c.Insert(id, true, sim.Time(age))
+	sh.data[id] = pb
 	return true, displaced
 }
 
-// Remove discards id; reports presence and master role.
+// Remove discards id; reports presence and master role. The payload is
+// released — but any reply that pinned a reference first keeps its bytes.
 func (s *Store) Remove(id block.ID) (present, master bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	present, master = s.c.Remove(id)
+	sh := s.shardOf(id)
+	sh.mu.Lock()
+	defer sh.unlock()
+	present, master = sh.c.Remove(id)
 	if present {
-		delete(s.data, id)
-		delete(s.replica, id)
+		sh.data[id].release()
+		delete(sh.data, id)
+		delete(sh.replica, id)
 	}
 	return present, master
 }
@@ -399,15 +606,18 @@ func (s *Store) Remove(id block.ID) (present, master bool) {
 // as masters (their directory entries must be dropped by the caller). Used
 // when a truncated invalidation catch-up makes the whole cache suspect.
 func (s *Store) RemoveAll() []block.ID {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	var masters []block.ID
-	for id := range s.data {
-		if _, master := s.c.Remove(id); master {
-			masters = append(masters, id)
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for id, pb := range sh.data {
+			if _, master := sh.c.Remove(id); master {
+				masters = append(masters, id)
+			}
+			pb.release()
 		}
+		sh.data = make(map[block.ID]*payloadBuf)
+		sh.replica = make(map[block.ID]struct{})
+		sh.unlock()
 	}
-	s.data = make(map[block.ID][]byte)
-	s.replica = make(map[block.ID]struct{})
 	return masters
 }

@@ -71,7 +71,7 @@ func TestAcceptForwardRules(t *testing.T) {
 	// The destination's oldest block is older than the forwarded age:
 	// accepted, displacing that oldest block (which is exactly when the
 	// forwarder chooses this destination).
-	young := s.clock + 1000
+	young := s.shards[0].clock + 1000
 	acc, displaced := s.AcceptForward(sid(3, 0), []byte("f"), young)
 	if !acc || displaced == nil || displaced.ID != sid(1, 0) {
 		t.Fatalf("accept=%v displaced=%+v", acc, displaced)
